@@ -1,0 +1,91 @@
+// Allocator-ablation (ours, extending the paper's §6 related-work
+// discussion): how do the three memory-management regimes compare on the
+// same near-capacity iteration trace?
+//   * PyTorch-style fixed caching segments (the baseline the paper attacks),
+//   * expandable segments / virtual-memory stitching (GMLake, PyTorch
+//     expandable_segments:True — the transparent alternative),
+//   * MEMO's static bi-level plan.
+// Metrics: peak reserved bytes, reorganization events, and the largest
+// sequence each regime completes on an 80 GiB device.
+
+#include <cstdio>
+#include <iostream>
+
+#include "alloc/trace_replay.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/executor.h"
+#include "model/trace_gen.h"
+#include "parallel/memory_model.h"
+#include "planner/bilevel_planner.h"
+
+namespace {
+
+struct TraceBundle {
+  memo::model::ModelTrace trace;
+  std::int64_t static_bytes;
+};
+
+TraceBundle MakeTrace(std::int64_t seq) {
+  memo::model::ModelConfig model = memo::model::Gpt7B();
+  memo::parallel::ParallelStrategy strategy;
+  strategy.tp = 4;
+  strategy.cp = 2;
+  strategy.full_recompute = true;
+  memo::model::TraceGenOptions options;
+  options.seq_local = strategy.SeqLocal(seq);
+  options.tensor_parallel = strategy.tp;
+  options.mode = memo::model::ActivationMode::kFullRecompute;
+  return TraceBundle{
+      memo::model::GenerateModelTrace(model, options),
+      memo::parallel::ComputeModelStateBytes(model, strategy).total() +
+          memo::core::kDeviceReserveBytes};
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Allocator ablation: 7B TP=4 CP=2 full-recompute trace on an 80 GiB "
+      "device\n\n");
+  memo::TablePrinter table({"seq", "caching reserved", "caching reorgs",
+                            "caching ok", "expandable reserved",
+                            "expandable ok", "plan arena+static",
+                            "plan ok"});
+  for (std::int64_t sk : {512, 768, 896, 1024, 1088, 1152, 1280}) {
+    const TraceBundle bundle = MakeTrace(sk * memo::kSeqK);
+
+    memo::alloc::CachingAllocator::Options fixed;
+    fixed.capacity_bytes = 80 * memo::kGiB;
+    const auto caching = memo::alloc::ReplayTrace(bundle.trace.requests,
+                                                  fixed, bundle.static_bytes);
+
+    memo::alloc::CachingAllocator::Options expandable = fixed;
+    expandable.expandable_segments = true;
+    const auto vm = memo::alloc::ReplayTrace(bundle.trace.requests,
+                                             expandable, bundle.static_bytes);
+
+    const auto plan = memo::planner::PlanMemory(bundle.trace);
+    const bool plan_fits =
+        plan.ok() &&
+        bundle.static_bytes + plan->arena_bytes <= 80 * memo::kGiB;
+
+    table.AddRow(
+        {memo::FormatSeqLen(sk * memo::kSeqK),
+         memo::FormatBytes(caching.stats.peak_reserved_bytes),
+         std::to_string(caching.stats.num_reorg_events),
+         caching.status.ok() ? "yes" : "OOM",
+         memo::FormatBytes(vm.stats.peak_reserved_bytes),
+         vm.status.ok() ? "yes" : "OOM",
+         plan.ok()
+             ? memo::FormatBytes(bundle.static_bytes + plan->arena_bytes)
+             : "-",
+         plan_fits ? "yes" : "OOM"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nExpandable segments remove the contiguity failure mode but keep\n"
+      "runtime allocator work and per-shape growth; the static plan needs\n"
+      "the least memory and does no allocator work at all during training.\n");
+  return 0;
+}

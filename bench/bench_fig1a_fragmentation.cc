@@ -1,0 +1,150 @@
+// Regenerates the paper's Fig. 1(a): allocated vs reserved GPU memory over
+// one Megatron-style iteration (7B model, 512K sequence), showing the
+// reserved-but-unallocated fragmentation gap, plus the §5.2 reorganization
+// counts per iteration at different sequence lengths.
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "alloc/trace_replay.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/executor.h"
+#include "common/logging.h"
+#include "model/trace_gen.h"
+#include "parallel/memory_model.h"
+
+namespace {
+
+using memo::alloc::CachingAllocator;
+using memo::alloc::ReplayResult;
+using memo::alloc::ReplayTrace;
+
+ReplayResult ReplayMegatron(std::int64_t seq, bool record_history) {
+  memo::model::ModelConfig model = memo::model::Gpt7B();
+  memo::parallel::ParallelStrategy strategy;
+  strategy.tp = 4;
+  strategy.cp = 2;
+  strategy.full_recompute = true;
+  memo::model::TraceGenOptions options;
+  options.seq_local = strategy.SeqLocal(seq);
+  options.tensor_parallel = strategy.tp;
+  options.mode = memo::model::ActivationMode::kFullRecompute;
+  const auto trace = memo::model::GenerateModelTrace(model, options);
+
+  const auto states = memo::parallel::ComputeModelStateBytes(model, strategy);
+  CachingAllocator::Options dev;
+  dev.capacity_bytes = 80 * memo::kGiB;
+  dev.record_history = record_history;
+  return ReplayTrace(trace.requests, dev,
+                     states.total() + memo::core::kDeviceReserveBytes);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Fig 1(a): allocated vs reserved memory, 7B @ 512K, TP=4 CP=2,\n"
+      "full recomputation through the PyTorch-style caching allocator.\n\n");
+  const ReplayResult replay = ReplayMegatron(512 * memo::kSeqK, true);
+  std::printf("replay status: %s\n\n", replay.status.ToString().c_str());
+
+  // Downsample the per-request history into ~40 rows with an ASCII gauge.
+  const auto& history = replay.history;
+  memo::TablePrinter curve({"request#", "allocated", "reserved", "gap",
+                            "allocated|reserved"});
+  const std::size_t step = std::max<std::size_t>(1, history.size() / 40);
+  std::int64_t max_reserved = 1;
+  for (const auto& h : history) {
+    max_reserved = std::max(max_reserved, h.reserved_bytes);
+  }
+  for (std::size_t i = 0; i < history.size(); i += step) {
+    const auto& h = history[i];
+    const int bar_a =
+        static_cast<int>(40.0 * h.allocated_bytes / max_reserved);
+    const int bar_r =
+        static_cast<int>(40.0 * h.reserved_bytes / max_reserved);
+    std::string gauge(bar_a, '#');
+    gauge += std::string(std::max(0, bar_r - bar_a), '.');
+    curve.AddRow({std::to_string(h.op_index),
+                  memo::FormatBytes(h.allocated_bytes),
+                  memo::FormatBytes(h.reserved_bytes),
+                  memo::FormatBytes(h.reserved_bytes - h.allocated_bytes),
+                  gauge});
+  }
+  curve.Print(std::cout);
+
+  std::int64_t max_gap = 0;
+  for (const auto& h : history) {
+    max_gap = std::max(max_gap, h.reserved_bytes - h.allocated_bytes);
+  }
+  std::printf(
+      "\npeak reserved %s, peak allocated %s, largest reserved-but-"
+      "unallocated gap %s\n(the paper observes >4 GiB gaps at this "
+      "workload)\n\n",
+      memo::FormatBytes(replay.stats.peak_reserved_bytes).c_str(),
+      memo::FormatBytes(replay.stats.peak_allocated_bytes).c_str(),
+      memo::FormatBytes(max_gap).c_str());
+
+  std::printf("Reorganization events per iteration (§5.2):\n");
+  memo::TablePrinter reorgs({"seq", "reorg events", "bytes flushed",
+                             "device mallocs", "status"});
+  for (std::int64_t sk : {128, 256, 512, 768, 896, 1024, 1088, 1152}) {
+    const ReplayResult r = ReplayMegatron(sk * memo::kSeqK, false);
+    reorgs.AddRow({memo::FormatSeqLen(sk * memo::kSeqK),
+                   std::to_string(r.stats.num_reorg_events),
+                   memo::FormatBytes(r.stats.reorg_bytes_flushed),
+                   std::to_string(r.stats.num_device_mallocs),
+                   r.status.ok() ? "ok" : r.status.ToString()});
+  }
+  reorgs.Print(std::cout);
+
+  // Real training batches vary in length (documents are not all 512K
+  // tokens). With one shared cache across iterations, blocks cached for the
+  // previous shape stop matching and the allocator fragments cumulatively —
+  // the regime the paper's Megatron runs live in.
+  std::printf(
+      "\nMulti-iteration replay with variable sequence lengths (base 896K,\n"
+      "8 iterations cycling x{1.0, 0.75, 0.875, 0.5}):\n\n");
+  memo::model::ModelConfig model = memo::model::Gpt7B();
+  memo::parallel::ParallelStrategy strategy;
+  strategy.tp = 4;
+  strategy.cp = 2;
+  strategy.full_recompute = true;
+  const auto states = memo::parallel::ComputeModelStateBytes(model, strategy);
+
+  CachingAllocator::Options dev;
+  dev.capacity_bytes = 80 * memo::kGiB;
+  CachingAllocator shared(dev);
+  MEMO_CHECK(shared
+                 .Allocate(states.total() + memo::core::kDeviceReserveBytes)
+                 .ok());
+  const double scales[] = {1.0, 0.75, 0.875, 0.5};
+  memo::TablePrinter multi({"iteration", "seq", "reorgs so far",
+                            "bytes flushed", "reserved peak", "status"});
+  for (int iter = 0; iter < 8; ++iter) {
+    const std::int64_t seq = static_cast<std::int64_t>(
+        896 * memo::kSeqK * scales[iter % 4] / (16 * memo::kSeqK)) *
+        16 * memo::kSeqK;
+    memo::model::TraceGenOptions options;
+    options.seq_local = strategy.SeqLocal(seq);
+    options.tensor_parallel = strategy.tp;
+    options.mode = memo::model::ActivationMode::kFullRecompute;
+    const auto trace = memo::model::GenerateModelTrace(model, options);
+    const memo::Status status =
+        memo::alloc::ReplayTraceInto(shared, trace.requests);
+    multi.AddRow({std::to_string(iter), memo::FormatSeqLen(seq),
+                  std::to_string(shared.stats().num_reorg_events),
+                  memo::FormatBytes(shared.stats().reorg_bytes_flushed),
+                  memo::FormatBytes(shared.stats().peak_reserved_bytes),
+                  status.ok() ? "ok" : status.ToString()});
+  }
+  multi.Print(std::cout);
+
+  std::printf(
+      "\nMEMO's static plan issues zero device (re)allocations at runtime,\n"
+      "so its rows would read 0 everywhere (one plan per sequence shape,\n"
+      "all sharing the same arena).\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates the paper's Fig. 4 (one transformer layer's forward/backward
+// memory request sequence, skeletal vs transient) and Fig. 9 (the
+// whole-iteration request sequence grouped by segment).
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "model/trace_gen.h"
+
+int main() {
+  memo::model::ModelConfig model = memo::model::Gpt7B();
+  memo::model::TraceGenOptions options;
+  options.seq_local = 64 * memo::kSeqK;
+  options.tensor_parallel = 4;
+  options.mode = memo::model::ActivationMode::kRetainAll;
+
+  std::printf("Fig 4: one transformer layer's forward request sequence\n\n");
+  const auto fwd = memo::model::GenerateLayerForwardTrace(model, options);
+  std::cout << memo::model::FormatTrace(fwd) << "\n";
+
+  std::printf("Fig 4: the same layer's backward request sequence\n\n");
+  const auto bwd = memo::model::GenerateLayerBackwardTrace(model, options);
+  std::cout << memo::model::FormatTrace(bwd) << "\n";
+
+  std::printf(
+      "Fig 9: whole-iteration request sequence by segment (7B, 8 layers "
+      "shown)\n\n");
+  model.num_layers = 8;
+  const auto trace = memo::model::GenerateModelTrace(model, options);
+  memo::TablePrinter segments(
+      {"segment", "layer", "requests", "mallocs", "skeletal", "bytes"});
+  for (const auto& seg : trace.segments) {
+    int mallocs = 0;
+    int skeletal = 0;
+    std::int64_t bytes = 0;
+    for (int i = seg.begin; i < seg.end; ++i) {
+      const auto& r = trace.requests[i];
+      if (r.kind == memo::model::MemoryRequest::Kind::kMalloc) {
+        ++mallocs;
+        bytes += r.bytes;
+        if (r.skeletal) ++skeletal;
+      }
+    }
+    segments.AddRow({seg.name,
+                     seg.layer >= 0 ? std::to_string(seg.layer) : "-",
+                     std::to_string(seg.end - seg.begin),
+                     std::to_string(mallocs), std::to_string(skeletal),
+                     memo::FormatBytes(bytes)});
+  }
+  segments.Print(std::cout);
+
+  std::printf("\nwhole-iteration max-live: %s across %zu requests\n",
+              memo::FormatBytes(trace.MaxLiveBytes()).c_str(),
+              trace.requests.size());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Regenerates the paper's Fig. 5: the skeletal-activation inventory of one
+// transformer layer with per-tensor sizes (in b*s*h units and bytes), the
+// 16*b*s*h total, and the tensor-level swap classification of §4.1.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "model/activation_spec.h"
+
+int main() {
+  const memo::model::ModelConfig model = memo::model::Gpt7B();
+  const std::int64_t batch = 1;
+  const std::int64_t seq = 1024 * memo::kSeqK;  // the headline sequence
+  const std::int64_t tp = 8;
+
+  std::printf(
+      "Fig 5: skeletal activations of one transformer layer\n"
+      "(7B model, b=1, s=1M, TP=8 with sequence parallelism)\n\n");
+
+  const std::int64_t unit_bytes =
+      batch * seq * model.hidden * memo::model::ModelConfig::kBytesPerElement /
+      tp;
+  memo::TablePrinter table(
+      {"tensor", "size (b*s*h units)", "bytes/GPU", "swap policy"});
+  double total_units = 0;
+  for (const auto& t : memo::model::SkeletalInventory(model)) {
+    const char* policy =
+        t.cls == memo::model::SkeletalClass::kLayerInput
+            ? "always offload (layer input)"
+        : t.cls == memo::model::SkeletalClass::kAttnOutput
+            ? "always offload (attention output)"
+            : "token-wise (alpha fraction)";
+    table.AddRow({t.name, memo::StrFormat("%g", t.bsh_units),
+                  memo::FormatBytes(static_cast<std::int64_t>(
+                      t.bsh_units * static_cast<double>(unit_bytes))),
+                  policy});
+    total_units += t.bsh_units;
+  }
+  table.Print(std::cout);
+
+  const auto layout =
+      memo::model::ComputeSkeletalLayout(model, batch, seq, tp);
+  std::printf(
+      "\ntotal: %g b*s*h units = %s per layer per GPU\n"
+      "attention output share: %.2f%% (paper: 6.25%%)\n"
+      "all %d layers, unsharded, fp16: %s (paper: 4096 GB for this exact "
+      "configuration)\n",
+      total_units, memo::FormatBytes(layout.total_bytes()).c_str(),
+      100.0 * static_cast<double>(layout.attn_out_bytes) /
+          static_cast<double>(layout.total_bytes()),
+      model.num_layers,
+      memo::FormatBytes(
+          memo::model::ComputeSkeletalLayout(model, batch, seq, 1)
+              .total_bytes() *
+          model.num_layers)
+          .c_str());
+  return 0;
+}

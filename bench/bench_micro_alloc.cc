@@ -1,0 +1,88 @@
+// Microbenchmarks of the memory-management substrate: caching-allocator
+// throughput, trace replay, and plan-allocator validation cost. These bound
+// the overhead the simulator adds per experiment cell.
+
+#include <benchmark/benchmark.h>
+
+#include "alloc/caching_allocator.h"
+#include "common/logging.h"
+#include "alloc/plan_allocator.h"
+#include "alloc/trace_replay.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "model/trace_gen.h"
+
+namespace {
+
+using memo::alloc::CachingAllocator;
+
+void BM_CachingAllocatorChurn(benchmark::State& state) {
+  CachingAllocator::Options options;
+  options.capacity_bytes = 8 * memo::kGiB;
+  CachingAllocator allocator(options);
+  memo::Rng rng(7);
+  std::vector<std::uint64_t> live;
+  for (auto _ : state) {
+    if (live.size() < 64 && (live.empty() || rng.NextDouble() < 0.6)) {
+      auto h = allocator.Allocate(rng.NextInRange(1, 32) * memo::kMiB);
+      if (h.ok()) live.push_back(h.value());
+    } else {
+      const std::size_t i = rng.NextBounded(live.size());
+      benchmark::DoNotOptimize(allocator.Free(live[i]));
+      live[i] = live.back();
+      live.pop_back();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CachingAllocatorChurn);
+
+void BM_ReplayMegatronIterationTrace(benchmark::State& state) {
+  memo::model::ModelConfig model = memo::model::Gpt7B();
+  model.num_layers = static_cast<int>(state.range(0));
+  memo::model::TraceGenOptions options;
+  options.seq_local = 64 * memo::kSeqK;
+  options.tensor_parallel = 8;
+  options.mode = memo::model::ActivationMode::kFullRecompute;
+  const auto trace = memo::model::GenerateModelTrace(model, options);
+  CachingAllocator::Options dev;
+  dev.capacity_bytes = 80 * memo::kGiB;
+  for (auto _ : state) {
+    auto result = memo::alloc::ReplayTrace(trace.requests, dev);
+    benchmark::DoNotOptimize(result.stats.peak_reserved_bytes);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.requests.size()));
+}
+BENCHMARK(BM_ReplayMegatronIterationTrace)->Arg(8)->Arg(32)->Arg(80);
+
+void BM_PlanAllocatorReplay(benchmark::State& state) {
+  // One layer's worth of plan-validated (de)allocations, repeated.
+  memo::alloc::PlanAllocator allocator(memo::kGiB);
+  for (int i = 0; i < 16; ++i) {
+    MEMO_CHECK_OK(allocator.Bind(i, i * 64 * memo::kMiB, 64 * memo::kMiB));
+  }
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) MEMO_CHECK_OK(allocator.Allocate(i));
+    for (int i = 0; i < 16; ++i) MEMO_CHECK_OK(allocator.Free(i));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PlanAllocatorReplay);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  memo::model::ModelConfig model = memo::model::Gpt7B();
+  memo::model::TraceGenOptions options;
+  options.seq_local = 128 * memo::kSeqK;
+  options.tensor_parallel = 8;
+  options.mode = memo::model::ActivationMode::kMemoBuffers;
+  for (auto _ : state) {
+    auto trace = memo::model::GenerateModelTrace(model, options);
+    benchmark::DoNotOptimize(trace.requests.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

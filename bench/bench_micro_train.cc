@@ -1,0 +1,94 @@
+// Microbenchmarks of the numeric training substrate: attention forward and
+// backward, one full mini-GPT iteration under both activation policies, and
+// the token-wise restore path in isolation (the recomputation MEMO pays
+// when alpha < 1).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "train/trainer.h"
+
+namespace {
+
+using memo::train::ActivationPolicy;
+
+memo::train::MiniGptConfig BenchModel() {
+  memo::train::MiniGptConfig c;
+  c.layers = 2;
+  c.hidden = 32;
+  c.heads = 4;
+  c.ffn = 128;
+  c.vocab = 64;
+  c.seq = 128;
+  return c;
+}
+
+void BM_AttentionForward(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  memo::Rng rng(1);
+  const auto q = memo::train::Tensor::Randn(s, 32, 0.5, rng);
+  const auto k = memo::train::Tensor::Randn(s, 32, 0.5, rng);
+  const auto v = memo::train::Tensor::Randn(s, 32, 0.5, rng);
+  memo::train::Tensor out(s, 32);
+  for (auto _ : state) {
+    memo::train::AttentionForward(q, k, v, 4, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetComplexityN(s);
+}
+BENCHMARK(BM_AttentionForward)->Arg(64)->Arg(128)->Arg(256)->Complexity();
+
+void BM_AttentionBackward(benchmark::State& state) {
+  const std::int64_t s = state.range(0);
+  memo::Rng rng(2);
+  const auto q = memo::train::Tensor::Randn(s, 32, 0.5, rng);
+  const auto k = memo::train::Tensor::Randn(s, 32, 0.5, rng);
+  const auto v = memo::train::Tensor::Randn(s, 32, 0.5, rng);
+  const auto dout = memo::train::Tensor::Randn(s, 32, 0.5, rng);
+  memo::train::Tensor dq(s, 32);
+  memo::train::Tensor dk(s, 32);
+  memo::train::Tensor dv(s, 32);
+  for (auto _ : state) {
+    memo::train::AttentionBackward(q, k, v, 4, dout, &dq, &dk, &dv);
+    benchmark::DoNotOptimize(dq.data());
+  }
+}
+BENCHMARK(BM_AttentionBackward)->Arg(64)->Arg(128);
+
+void IterateOnce(ActivationPolicy policy, double alpha) {
+  static const auto config = BenchModel();
+  static const memo::train::MiniGpt model(config);
+  static const auto params = memo::train::MiniGptParams::Init(config, 5);
+  static auto grads = memo::train::MiniGptParams::Init(config, 5);
+  static std::vector<int> tokens;
+  static std::vector<int> targets;
+  if (tokens.empty()) {
+    memo::train::SyntheticData data(config.vocab, 0.9, 5);
+    data.NextSequence(config.seq, &tokens, &targets);
+  }
+  for (memo::train::Tensor* g : grads.Flat()) g->Fill(0.0f);
+  memo::train::ActivationStore store(policy, alpha);
+  benchmark::DoNotOptimize(
+      model.ForwardBackward(params, tokens, targets, &store, &grads));
+}
+
+void BM_IterationRetainAll(benchmark::State& state) {
+  for (auto _ : state) IterateOnce(ActivationPolicy::kRetainAll, 1.0);
+}
+BENCHMARK(BM_IterationRetainAll);
+
+void BM_IterationTokenWiseAlpha0(benchmark::State& state) {
+  // Worst case for recomputation: every "other" row replayed.
+  for (auto _ : state) IterateOnce(ActivationPolicy::kTokenWise, 0.0);
+}
+BENCHMARK(BM_IterationTokenWiseAlpha0);
+
+void BM_IterationTokenWiseAlpha1(benchmark::State& state) {
+  // Pure "swapping": rows copied out and back, nothing recomputed.
+  for (auto _ : state) IterateOnce(ActivationPolicy::kTokenWise, 1.0);
+}
+BENCHMARK(BM_IterationTokenWiseAlpha1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// Regenerates the paper's Table 4 ablation: MFU of
+//   1. Full Recomputation (caching allocator, no plan)
+//   2. Full Recomputation + Memory Plan
+//   3. Full Swapping + Memory Plan (alpha forced to 1)
+//   4. MEMO (token-wise recomputation & swapping + memory plan)
+// training the 7B model on 8 GPUs with the parallelism fixed at TP=4, CP=2
+// (the paper's §5.3 setting), sequence lengths 64K..896K.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/baseline_executors.h"
+#include "core/memo_executor.h"
+
+namespace {
+
+using memo::core::BaselineOptions;
+using memo::core::MemoOptions;
+using memo::core::RunMegatronIteration;
+using memo::core::RunMemoIteration;
+using memo::core::Workload;
+
+std::string Cell(const memo::StatusOr<memo::core::IterationResult>& r) {
+  if (r.ok()) return memo::StrFormat("%.2f%%", r->metrics.mfu * 100.0);
+  if (r.status().IsOutOfHostMemory()) return "X_oohm";
+  return "X_oom";
+}
+
+}  // namespace
+
+int main() {
+  const memo::hw::ClusterSpec cluster = memo::hw::PaperCluster(8);
+  const memo::model::ModelConfig model = memo::model::Gpt7B();
+  memo::parallel::ParallelStrategy strategy;
+  strategy.tp = 4;
+  strategy.cp = 2;
+
+  std::printf(
+      "Table 4: ablation, 7B model on 8 GPUs, fixed TP=4 CP=2 DP=1\n\n");
+  memo::TablePrinter table({"seq", "FullRecompute", "FullRecompute+Plan",
+                            "FullSwap+Plan", "MEMO", "MEMO alpha",
+                            "reorgs(no plan)"});
+
+  for (std::int64_t sk :
+       {64, 128, 256, 384, 512, 640, 768, 896, 1024, 1088, 1152, 1280}) {
+    const Workload w{model, sk * memo::kSeqK};
+    memo::parallel::ParallelStrategy recompute_strategy = strategy;
+    recompute_strategy.full_recompute = true;
+
+    BaselineOptions no_plan;
+    const auto full_recompute =
+        RunMegatronIteration(w, recompute_strategy, cluster, no_plan);
+
+    BaselineOptions with_plan;
+    with_plan.use_memory_plan = true;
+    const auto recompute_plan =
+        RunMegatronIteration(w, recompute_strategy, cluster, with_plan);
+
+    MemoOptions full_swap;
+    full_swap.forced_alpha = 1.0;
+    const auto swap_plan = RunMemoIteration(w, strategy, cluster, full_swap);
+
+    const auto ours = RunMemoIteration(w, strategy, cluster);
+
+    table.AddRow(
+        {memo::FormatSeqLen(w.seq), Cell(full_recompute),
+         Cell(recompute_plan), Cell(swap_plan), Cell(ours),
+         ours.ok() ? memo::StrFormat("%.3f", ours->alpha) : "-",
+         full_recompute.ok()
+             ? std::to_string(full_recompute->reorg_events)
+             : "-"});
+  }
+  table.Print(std::cout);
+
+  std::printf(
+      "\nPaper shape: plan extends the recompute OOM boundary and raises its"
+      "\nMFU; full swapping wins at mid lengths then hits X_oohm; MEMO"
+      "\ndominates at every length and reaches the longest sequences.\n");
+  return 0;
+}

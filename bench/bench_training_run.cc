@@ -1,0 +1,76 @@
+// Variable-length training-run study (ours): real corpora mix document
+// lengths, so iteration shapes vary and the caching allocator's pool
+// persists across them. Simulates multi-iteration runs of all three systems
+// over a length mixture and reports aggregate MFU/TGS plus allocator
+// dynamics — the steady-state view behind the paper's per-iteration
+// Table 3.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/training_run.h"
+
+int main() {
+  const memo::hw::ClusterSpec cluster = memo::hw::PaperCluster(8);
+  const memo::model::ModelConfig model = memo::model::Gpt7B();
+
+  memo::core::TrainingRunOptions options;
+  options.iterations = 16;
+  // A mixture around 512K: full-length documents plus shorter ones.
+  options.seq_lengths = {512 * memo::kSeqK, 384 * memo::kSeqK,
+                         512 * memo::kSeqK, 256 * memo::kSeqK,
+                         448 * memo::kSeqK, 128 * memo::kSeqK};
+
+  std::printf(
+      "Variable-length run: 7B on 8 GPUs, 16 iterations over a 128K-512K\n"
+      "document mixture, fixed per-system strategy.\n\n");
+  memo::TablePrinter table({"system", "strategy", "avg MFU", "avg TGS",
+                            "total time", "reorgs", "reorg stalls",
+                            "peak device", "shapes"});
+
+  struct Case {
+    memo::parallel::SystemKind system;
+    memo::parallel::ParallelStrategy strategy;
+  };
+  memo::parallel::ParallelStrategy mega;
+  mega.tp = 4;
+  mega.cp = 2;
+  mega.full_recompute = true;
+  memo::parallel::ParallelStrategy ds;
+  ds.ulysses_sp = 8;
+  ds.zero_stage = 3;
+  ds.full_recompute = true;
+  memo::parallel::ParallelStrategy ours;
+  ours.tp = 4;
+  ours.cp = 2;
+
+  for (const Case& c : {Case{memo::parallel::SystemKind::kDeepSpeed, ds},
+                        Case{memo::parallel::SystemKind::kMegatron, mega},
+                        Case{memo::parallel::SystemKind::kMemo, ours}}) {
+    auto run = memo::core::SimulateTrainingRun(c.system, model, c.strategy,
+                                               cluster, options);
+    if (!run.ok()) {
+      table.AddRow({memo::parallel::SystemKindToString(c.system),
+                    c.strategy.ToString(), run.status().ToString()});
+      continue;
+    }
+    table.AddRow({memo::parallel::SystemKindToString(c.system),
+                  c.strategy.ToString(),
+                  memo::StrFormat("%.2f%%", run->avg_mfu * 100.0),
+                  memo::StrFormat("%.2f", run->avg_tgs),
+                  memo::FormatSeconds(run->total_seconds),
+                  std::to_string(run->reorg_events),
+                  memo::FormatSeconds(run->reorg_stall_seconds),
+                  memo::FormatBytes(run->peak_device_bytes),
+                  std::to_string(run->distinct_shapes)});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nMEMO solves one plan per distinct shape (here %zu) before training\n"
+      "and keeps zero allocator activity at runtime; the baselines share one\n"
+      "caching pool whose blocks outlive shape changes.\n",
+      options.seq_lengths.size());
+  return 0;
+}

@@ -1,0 +1,355 @@
+#include "alloc/caching_allocator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace memo::alloc {
+
+namespace {
+// PyTorch caching-allocator constants (CUDACachingAllocator.cpp).
+constexpr std::int64_t kMinBlockSize = 512;
+constexpr std::int64_t kSmallSize = 1 * kMiB;
+constexpr std::int64_t kSmallBuffer = 2 * kMiB;
+constexpr std::int64_t kLargeBuffer = 20 * kMiB;
+constexpr std::int64_t kMinLargeAlloc = 10 * kMiB;
+constexpr std::int64_t kRoundLarge = 2 * kMiB;
+}  // namespace
+
+/// A contiguous region inside a segment. Blocks form a doubly-linked list
+/// per segment for neighbour coalescing.
+struct CachingAllocator::Block {
+  Segment* segment = nullptr;
+  std::int64_t offset = 0;
+  std::int64_t size = 0;
+  bool allocated = false;
+  bool small = false;
+  Block* prev = nullptr;
+  Block* next = nullptr;
+};
+
+/// One device allocation (cudaMalloc'd region) hosting one or more blocks.
+struct CachingAllocator::Segment {
+  std::int64_t id = 0;
+  std::int64_t size = 0;
+  bool small = false;
+  Block* first = nullptr;
+
+  /// True when the segment consists of a single free block.
+  bool FullyFree() const {
+    return first != nullptr && !first->allocated && first->next == nullptr;
+  }
+};
+
+bool CachingAllocator::PoolCompare(const Block* a, const Block* b) {
+  if (a->size != b->size) return a->size < b->size;
+  if (a->segment->id != b->segment->id) return a->segment->id < b->segment->id;
+  return a->offset < b->offset;
+}
+
+CachingAllocator::CachingAllocator(const Options& options)
+    : options_(options),
+      small_pool_(&PoolCompare),
+      large_pool_(&PoolCompare) {}
+
+CachingAllocator::~CachingAllocator() {
+  for (auto& segment : segments_) {
+    Block* b = segment->first;
+    while (b != nullptr) {
+      Block* next = b->next;
+      delete b;
+      b = next;
+    }
+  }
+}
+
+std::int64_t CachingAllocator::RoundSize(std::int64_t bytes) {
+  if (bytes < kMinBlockSize) return kMinBlockSize;
+  return AlignUp(bytes, kMinBlockSize);
+}
+
+bool CachingAllocator::IsSmall(std::int64_t rounded) const {
+  return rounded <= kSmallSize;
+}
+
+std::int64_t CachingAllocator::SegmentSizeFor(std::int64_t rounded) const {
+  if (rounded <= kSmallSize) return kSmallBuffer;
+  if (rounded < kMinLargeAlloc) return kLargeBuffer;
+  return AlignUp(rounded, kRoundLarge);
+}
+
+CachingAllocator::FreePool& CachingAllocator::PoolFor(bool small) {
+  return small ? small_pool_ : large_pool_;
+}
+
+CachingAllocator::Block* CachingAllocator::FindBestFit(FreePool& pool,
+                                                       std::int64_t rounded) {
+  // Smallest free block with size >= rounded: the pool is ordered by
+  // (size, segment, offset), so lower_bound on a probe finds it directly.
+  Segment probe_segment;
+  probe_segment.id = -1;
+  Block probe;
+  probe.segment = &probe_segment;
+  probe.size = rounded;
+  probe.offset = -1;
+  auto it = pool.lower_bound(&probe);
+  if (it == pool.end()) return nullptr;
+  Block* block = *it;
+  pool.erase(it);
+  return block;
+}
+
+CachingAllocator::Block* CachingAllocator::NewSegmentBlock(
+    std::int64_t rounded) {
+  const bool small = IsSmall(rounded);
+  const std::int64_t segment_size = SegmentSizeFor(rounded);
+  if (stats_.reserved_bytes + segment_size > options_.capacity_bytes) {
+    return nullptr;  // simulated cudaMalloc failure
+  }
+  auto segment = std::make_unique<Segment>();
+  segment->id = static_cast<std::int64_t>(segments_.size());
+  segment->size = segment_size;
+  segment->small = small;
+  Block* block = new Block();
+  block->segment = segment.get();
+  block->offset = 0;
+  block->size = segment_size;
+  block->small = small;
+  segment->first = block;
+  segments_.push_back(std::move(segment));
+  stats_.reserved_bytes += segment_size;
+  stats_.peak_reserved_bytes =
+      std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+  ++stats_.num_device_mallocs;
+  return block;
+}
+
+void CachingAllocator::SplitIfWorthwhile(Block* block, std::int64_t rounded,
+                                         bool small) {
+  const std::int64_t remaining = block->size - rounded;
+  // PyTorch: small-pool blocks split when the remainder can hold a minimum
+  // block; large-pool blocks only when the remainder exceeds the small-pool
+  // threshold (avoids littering the large pool with slivers).
+  const bool should_split =
+      small ? remaining >= kMinBlockSize : remaining > kSmallSize;
+  if (!should_split) return;
+  Block* rest = new Block();
+  rest->segment = block->segment;
+  rest->offset = block->offset + rounded;
+  rest->size = remaining;
+  rest->small = small;
+  rest->prev = block;
+  rest->next = block->next;
+  if (block->next != nullptr) block->next->prev = rest;
+  block->next = rest;
+  block->size = rounded;
+  PoolFor(small).insert(rest);
+}
+
+CachingAllocator::Block* CachingAllocator::ExtendExpandableSegment(
+    std::int64_t rounded, bool small) {
+  constexpr std::int64_t kGranule = 2 * kMiB;
+  Segment*& segment = small ? expandable_small_ : expandable_large_;
+  if (segment == nullptr) {
+    auto owned = std::make_unique<Segment>();
+    owned->id = static_cast<std::int64_t>(segments_.size());
+    owned->small = small;
+    segment = owned.get();
+    segments_.push_back(std::move(owned));
+  }
+  // How much new VA to map: the free tail (if any) already counts toward
+  // the request.
+  Block* tail = segment->first;
+  while (tail != nullptr && tail->next != nullptr) tail = tail->next;
+  const std::int64_t tail_free =
+      (tail != nullptr && !tail->allocated) ? tail->size : 0;
+  const std::int64_t grow = AlignUp(std::max<std::int64_t>(
+                                        rounded - tail_free, kGranule),
+                                    kGranule);
+  if (stats_.reserved_bytes + grow > options_.capacity_bytes) return nullptr;
+
+  Block* extension = new Block();
+  extension->segment = segment;
+  extension->offset = segment->size;
+  extension->size = grow;
+  extension->small = small;
+  segment->size += grow;
+  stats_.reserved_bytes += grow;
+  stats_.peak_reserved_bytes =
+      std::max(stats_.peak_reserved_bytes, stats_.reserved_bytes);
+  ++stats_.num_device_mallocs;  // counts a VA-map operation
+
+  if (tail == nullptr) {
+    segment->first = extension;
+  } else if (!tail->allocated) {
+    // Merge the extension into the free tail.
+    PoolFor(small).erase(tail);
+    tail->size += grow;
+    delete extension;
+    return tail;
+  } else {
+    tail->next = extension;
+    extension->prev = tail;
+  }
+  return extension;
+}
+
+StatusOr<std::uint64_t> CachingAllocator::Allocate(std::int64_t bytes) {
+  if (bytes <= 0) return InvalidArgumentError("allocation size must be > 0");
+  const std::int64_t rounded = RoundSize(bytes);
+  const bool small = IsSmall(rounded);
+  FreePool& pool = PoolFor(small);
+
+  Block* block = FindBestFit(pool, rounded);
+  if (block == nullptr) {
+    block = options_.expandable_segments
+                ? ExtendExpandableSegment(rounded, small)
+                : NewSegmentBlock(rounded);
+  }
+  if (block == nullptr) {
+    // Reorganization: cudaFree all fully-free cached segments and retry the
+    // device allocation. This is the expensive stall the memory plan avoids.
+    ++stats_.num_reorg_events;
+    stats_.reorg_bytes_flushed += EmptyCache();
+    block = FindBestFit(pool, rounded);  // pools changed only by removal
+    if (block == nullptr) {
+      block = options_.expandable_segments
+                  ? ExtendExpandableSegment(rounded, small)
+                  : NewSegmentBlock(rounded);
+    }
+    if (block == nullptr) {
+      return OutOfMemoryError(
+          "cannot allocate " + FormatBytes(bytes) + " (reserved " +
+          FormatBytes(stats_.reserved_bytes) + ", allocated " +
+          FormatBytes(stats_.allocated_bytes) + ", capacity " +
+          FormatBytes(options_.capacity_bytes) + ")");
+    }
+  }
+
+  SplitIfWorthwhile(block, rounded, small);
+  block->allocated = true;
+  const std::uint64_t handle = next_handle_++;
+  live_[handle] = block;
+  stats_.allocated_bytes += block->size;
+  stats_.peak_allocated_bytes =
+      std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+  ++stats_.num_allocs;
+  ++op_counter_;
+  RecordSample();
+  return handle;
+}
+
+Status CachingAllocator::Free(std::uint64_t handle) {
+  auto it = live_.find(handle);
+  if (it == live_.end()) {
+    return InvalidArgumentError("free of unknown handle");
+  }
+  Block* block = it->second;
+  live_.erase(it);
+  stats_.allocated_bytes -= block->size;
+  ++stats_.num_frees;
+  block->allocated = false;
+
+  FreePool& pool = PoolFor(block->small);
+  // Coalesce with free neighbours inside the segment.
+  if (block->prev != nullptr && !block->prev->allocated) {
+    Block* prev = block->prev;
+    pool.erase(prev);
+    prev->size += block->size;
+    prev->next = block->next;
+    if (block->next != nullptr) block->next->prev = prev;
+    delete block;
+    block = prev;
+  }
+  if (block->next != nullptr && !block->next->allocated) {
+    Block* next = block->next;
+    pool.erase(next);
+    block->size += next->size;
+    block->next = next->next;
+    if (next->next != nullptr) next->next->prev = block;
+    delete next;
+  }
+  if (block->prev == nullptr) block->segment->first = block;
+  pool.insert(block);
+  ++op_counter_;
+  RecordSample();
+  return OkStatus();
+}
+
+std::int64_t CachingAllocator::EmptyCache() {
+  std::int64_t released = 0;
+  for (auto& segment : segments_) {
+    if (segment == nullptr) continue;
+    const bool expandable =
+        segment.get() == expandable_small_ || segment.get() == expandable_large_;
+    if (expandable) {
+      // Unmap the free tail granules (expandable segments shrink in place).
+      Block* tail = segment->first;
+      while (tail != nullptr && tail->next != nullptr) tail = tail->next;
+      if (tail == nullptr || tail->allocated) continue;
+      const std::int64_t shrink = tail->size / (2 * kMiB) * (2 * kMiB);
+      if (shrink <= 0) continue;
+      PoolFor(tail->small).erase(tail);
+      tail->size -= shrink;
+      segment->size -= shrink;
+      stats_.reserved_bytes -= shrink;
+      released += shrink;
+      ++stats_.num_device_frees;
+      if (tail->size == 0) {
+        if (tail->prev != nullptr) {
+          tail->prev->next = nullptr;
+        } else {
+          segment->first = nullptr;
+        }
+        delete tail;
+      } else {
+        PoolFor(tail->small).insert(tail);
+      }
+      continue;
+    }
+    if (!segment->FullyFree()) continue;
+    Block* block = segment->first;
+    PoolFor(block->small).erase(block);
+    released += segment->size;
+    stats_.reserved_bytes -= segment->size;
+    ++stats_.num_device_frees;
+    delete block;
+    segment.reset();
+  }
+  // Compact the segment list (ids of dead segments are never reused).
+  segments_.erase(std::remove(segments_.begin(), segments_.end(), nullptr),
+                  segments_.end());
+  return released;
+}
+
+int CachingAllocator::num_free_blocks() const {
+  return static_cast<int>(small_pool_.size() + large_pool_.size());
+}
+
+std::int64_t CachingAllocator::largest_free_block() const {
+  std::int64_t largest = 0;
+  if (!small_pool_.empty()) largest = (*small_pool_.rbegin())->size;
+  if (!large_pool_.empty()) {
+    largest = std::max(largest, (*large_pool_.rbegin())->size);
+  }
+  return largest;
+}
+
+std::int64_t CachingAllocator::free_bytes() const {
+  return stats_.reserved_bytes - stats_.allocated_bytes;
+}
+
+double CachingAllocator::FragmentationIndex() const {
+  const std::int64_t free = free_bytes();
+  if (free <= 0) return 0.0;
+  return 1.0 - static_cast<double>(largest_free_block()) /
+                   static_cast<double>(free);
+}
+
+void CachingAllocator::RecordSample() {
+  if (!options_.record_history) return;
+  history_.push_back(
+      MemorySample{op_counter_, stats_.allocated_bytes, stats_.reserved_bytes});
+}
+
+}  // namespace memo::alloc

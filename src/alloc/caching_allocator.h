@@ -1,0 +1,151 @@
+#ifndef MEMO_ALLOC_CACHING_ALLOCATOR_H_
+#define MEMO_ALLOC_CACHING_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace memo::alloc {
+
+/// Aggregate statistics of an allocator run.
+struct AllocatorStats {
+  std::int64_t allocated_bytes = 0;  // bytes in live client blocks
+  std::int64_t reserved_bytes = 0;   // bytes in device segments (cudaMalloc'd)
+  std::int64_t peak_allocated_bytes = 0;
+  std::int64_t peak_reserved_bytes = 0;
+  std::int64_t num_allocs = 0;
+  std::int64_t num_frees = 0;
+  std::int64_t num_device_mallocs = 0;  // cudaMalloc calls
+  std::int64_t num_device_frees = 0;    // cudaFree calls
+  /// Cache-flush ("memory reorganization") events: the allocator failed to
+  /// serve a request from cached blocks or a fresh device allocation and had
+  /// to release cached segments via cudaFree before retrying. Each event
+  /// stalls the GPU (paper §1, Fig. 1a discussion).
+  std::int64_t num_reorg_events = 0;
+  /// Total bytes of cached segments flushed across all reorg events.
+  std::int64_t reorg_bytes_flushed = 0;
+};
+
+/// One sample of the allocated/reserved curves (the paper's Fig. 1a).
+struct MemorySample {
+  std::int64_t op_index = 0;
+  std::int64_t allocated_bytes = 0;
+  std::int64_t reserved_bytes = 0;
+};
+
+/// A faithful reimplementation of the PyTorch CUDA caching allocator's
+/// block-pool design, operating on a simulated device of fixed capacity.
+///
+/// Matches pytorch/c10/cuda/CUDACachingAllocator.cpp behaviour:
+///   * sizes rounded to 512 B;
+///   * small pool (requests <= 1 MiB) served from 2 MiB segments, large pool
+///     from 20 MiB segments (requests < 10 MiB) or exact-size segments
+///     rounded to 2 MiB;
+///   * best-fit within the pool (ordered by size, then address), block
+///     splitting with the PyTorch remainder thresholds, and coalescing with
+///     free neighbours on free;
+///   * on failure: flush fully-free cached segments (a "reorganization"),
+///     retry the device allocation, and only then report OOM.
+///
+/// Device-level allocation is modeled as a byte budget (`capacity`): real
+/// GPUs fail cudaMalloc when no contiguous VA-backed physical range exists;
+/// the budget abstraction keeps the client-visible fragmentation (reserved
+/// vs allocated gap, reorg events, OOM points) while staying deterministic.
+class CachingAllocator {
+ public:
+  struct Options {
+    std::int64_t capacity_bytes = 80 * kGiB;
+    /// Record an allocated/reserved sample after every request (Fig. 1a).
+    bool record_history = false;
+    /// Model PyTorch's expandable_segments / GMLake-style virtual memory
+    /// stitching: one growable segment per pool, extended in 2 MiB granules
+    /// instead of allocating discrete cudaMalloc segments. Eliminates the
+    /// can't-find-contiguous-block failure mode (the §6 related-work
+    /// alternative to static planning); EmptyCache unmaps the free tail.
+    bool expandable_segments = false;
+  };
+
+  explicit CachingAllocator(const Options& options);
+  ~CachingAllocator();
+
+  CachingAllocator(const CachingAllocator&) = delete;
+  CachingAllocator& operator=(const CachingAllocator&) = delete;
+
+  /// Allocates `bytes` and returns an opaque handle. Fails with
+  /// kOutOfMemory when the request cannot be served even after flushing the
+  /// cache.
+  StatusOr<std::uint64_t> Allocate(std::int64_t bytes);
+
+  /// Releases the block identified by `handle` back to its pool.
+  Status Free(std::uint64_t handle);
+
+  /// Flushes all fully-free cached segments (torch.cuda.empty_cache()).
+  /// Returns the number of bytes released to the device.
+  std::int64_t EmptyCache();
+
+  const AllocatorStats& stats() const { return stats_; }
+  const std::vector<MemorySample>& history() const { return history_; }
+
+  /// Number of distinct free blocks currently cached (fragmentation proxy).
+  int num_free_blocks() const;
+
+  /// Largest single free cached block (what the next big request can reuse).
+  std::int64_t largest_free_block() const;
+
+  /// Total bytes sitting in free cached blocks (= reserved - allocated).
+  std::int64_t free_bytes() const;
+
+  /// External fragmentation index in [0, 1]:
+  /// 1 - largest_free_block / free_bytes. 0 when the free space is one
+  /// contiguous block (or empty); approaches 1 when it is shattered into
+  /// many small pieces — the condition that triggers the Fig. 1(a)
+  /// reorganizations.
+  double FragmentationIndex() const;
+
+ private:
+  struct Block;
+  struct Segment;
+  using FreePool = std::set<Block*, bool (*)(const Block*, const Block*)>;
+
+  /// Orders free pools by (size, segment id, offset) for deterministic
+  /// best-fit.
+  static bool PoolCompare(const Block* a, const Block* b);
+
+  static std::int64_t RoundSize(std::int64_t bytes);
+  std::int64_t SegmentSizeFor(std::int64_t rounded) const;
+  bool IsSmall(std::int64_t rounded) const;
+
+  FreePool& PoolFor(bool small);
+  Block* FindBestFit(FreePool& pool, std::int64_t rounded);
+  Block* NewSegmentBlock(std::int64_t rounded);
+  /// Expandable mode: grows the pool's single segment by 2 MiB granules and
+  /// returns a free block covering the extension (merged with a free tail).
+  Block* ExtendExpandableSegment(std::int64_t rounded, bool small);
+  void SplitIfWorthwhile(Block* block, std::int64_t rounded, bool small);
+  void RecordSample();
+
+  Options options_;
+  AllocatorStats stats_;
+  std::vector<MemorySample> history_;
+  std::int64_t op_counter_ = 0;
+
+  std::vector<std::unique_ptr<Segment>> segments_;
+  FreePool small_pool_;
+  FreePool large_pool_;
+  /// Expandable-mode designated segments (owned by segments_), or nullptr.
+  Segment* expandable_small_ = nullptr;
+  Segment* expandable_large_ = nullptr;
+  std::unordered_map<std::uint64_t, Block*> live_;
+  std::uint64_t next_handle_ = 1;
+};
+
+}  // namespace memo::alloc
+
+#endif  // MEMO_ALLOC_CACHING_ALLOCATOR_H_

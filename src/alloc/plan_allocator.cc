@@ -1,0 +1,73 @@
+#include "alloc/plan_allocator.h"
+
+#include <algorithm>
+#include <string>
+
+namespace memo::alloc {
+
+PlanAllocator::PlanAllocator(std::int64_t arena_bytes)
+    : arena_bytes_(arena_bytes) {}
+
+Status PlanAllocator::Bind(std::int64_t tensor_id, std::int64_t address,
+                           std::int64_t size) {
+  if (address < 0 || size <= 0 || address + size > arena_bytes_) {
+    return InvalidArgumentError(
+        "placement of tensor " + std::to_string(tensor_id) +
+        " outside arena: [" + std::to_string(address) + ", " +
+        std::to_string(address + size) + ") of " +
+        std::to_string(arena_bytes_));
+  }
+  if (!bindings_.emplace(tensor_id, Placement{address, size}).second) {
+    return InvalidArgumentError("tensor " + std::to_string(tensor_id) +
+                                " already bound");
+  }
+  return OkStatus();
+}
+
+Status PlanAllocator::Allocate(std::int64_t tensor_id) {
+  auto binding = bindings_.find(tensor_id);
+  if (binding == bindings_.end()) {
+    return NotFoundError("tensor " + std::to_string(tensor_id) +
+                         " has no planned placement");
+  }
+  const Placement& p = binding->second;
+  // Overlap check against live neighbours: the first live interval starting
+  // at or after `p.address`, and its predecessor.
+  auto next = live_.lower_bound(p.address);
+  if (next != live_.end() && next->first < p.address + p.size) {
+    return InternalError("plan overlap: tensor " + std::to_string(tensor_id) +
+                         " overlaps live tensor " +
+                         std::to_string(next->second.second));
+  }
+  if (next != live_.begin()) {
+    auto prev = std::prev(next);
+    if (prev->second.first > p.address) {
+      return InternalError("plan overlap: tensor " +
+                           std::to_string(tensor_id) +
+                           " overlaps live tensor " +
+                           std::to_string(prev->second.second));
+    }
+  }
+  live_[p.address] = {p.address + p.size, tensor_id};
+  live_bytes_ += p.size;
+  peak_live_bytes_ = std::max(peak_live_bytes_, live_bytes_);
+  return OkStatus();
+}
+
+Status PlanAllocator::Free(std::int64_t tensor_id) {
+  auto binding = bindings_.find(tensor_id);
+  if (binding == bindings_.end()) {
+    return NotFoundError("tensor " + std::to_string(tensor_id) +
+                         " has no planned placement");
+  }
+  auto it = live_.find(binding->second.address);
+  if (it == live_.end() || it->second.second != tensor_id) {
+    return InvalidArgumentError("tensor " + std::to_string(tensor_id) +
+                                " is not live");
+  }
+  live_bytes_ -= binding->second.size;
+  live_.erase(it);
+  return OkStatus();
+}
+
+}  // namespace memo::alloc

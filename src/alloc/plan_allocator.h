@@ -1,0 +1,56 @@
+#ifndef MEMO_ALLOC_PLAN_ALLOCATOR_H_
+#define MEMO_ALLOC_PLAN_ALLOCATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace memo::alloc {
+
+/// Executes a static memory plan (the output of the bi-level MIP planner,
+/// §4.2): every tensor_id has a precomputed address inside one arena that is
+/// reserved once before training. At runtime this allocator only validates
+/// the plan — an Allocate is a table lookup plus an overlap check against
+/// currently-live tensors, and never calls into the device, so it can never
+/// fragment or trigger reorganization stalls.
+class PlanAllocator {
+ public:
+  /// `arena_bytes` is the planned peak (the M of the DSA problem).
+  explicit PlanAllocator(std::int64_t arena_bytes);
+
+  /// Registers the planned placement of a tensor. Fails if the placement
+  /// exceeds the arena or the id is already bound.
+  Status Bind(std::int64_t tensor_id, std::int64_t address,
+              std::int64_t size);
+
+  /// Marks the tensor live. Fails if unbound, already live, or if its
+  /// planned region overlaps a live tensor (a planner bug).
+  Status Allocate(std::int64_t tensor_id);
+
+  /// Marks the tensor dead. Fails if it is not live.
+  Status Free(std::int64_t tensor_id);
+
+  std::int64_t arena_bytes() const { return arena_bytes_; }
+  std::int64_t live_bytes() const { return live_bytes_; }
+  std::int64_t peak_live_bytes() const { return peak_live_bytes_; }
+  int num_live() const { return static_cast<int>(live_.size()); }
+
+ private:
+  struct Placement {
+    std::int64_t address = 0;
+    std::int64_t size = 0;
+  };
+
+  std::int64_t arena_bytes_;
+  std::int64_t live_bytes_ = 0;
+  std::int64_t peak_live_bytes_ = 0;
+  std::unordered_map<std::int64_t, Placement> bindings_;
+  /// Live intervals ordered by start address -> (end address, tensor_id).
+  std::map<std::int64_t, std::pair<std::int64_t, std::int64_t>> live_;
+};
+
+}  // namespace memo::alloc
+
+#endif  // MEMO_ALLOC_PLAN_ALLOCATOR_H_

@@ -1,0 +1,78 @@
+#include "alloc/unified_memory.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace memo::alloc {
+
+UnifiedMemoryAllocator::UnifiedMemoryAllocator(const Options& options)
+    : options_(options) {
+  MEMO_CHECK_GT(options.device_bytes, 0);
+  MEMO_CHECK_GE(options.host_bytes, 0);
+}
+
+void UnifiedMemoryAllocator::EvictFor(std::int64_t bytes) {
+  if (device_resident_bytes_ + bytes <= options_.device_bytes) return;
+  // Collect resident blocks by last use (ascending) and evict until it fits.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> lru;  // (use, handle)
+  for (const auto& [handle, block] : blocks_) {
+    if (block.resident) lru.emplace_back(block.last_use, handle);
+  }
+  std::sort(lru.begin(), lru.end());
+  for (const auto& [use, handle] : lru) {
+    if (device_resident_bytes_ + bytes <= options_.device_bytes) break;
+    Block& block = blocks_[handle];
+    block.resident = false;
+    device_resident_bytes_ -= block.bytes;
+    migrated_out_bytes_ += block.bytes;
+  }
+}
+
+StatusOr<std::uint64_t> UnifiedMemoryAllocator::Allocate(std::int64_t bytes) {
+  if (bytes <= 0) return InvalidArgumentError("allocation size must be > 0");
+  if (allocated_bytes_ + bytes >
+      options_.device_bytes + options_.host_bytes) {
+    return OutOfHostMemoryError(
+        "managed pool exhausted: " + FormatBytes(allocated_bytes_ + bytes) +
+        " of " + FormatBytes(options_.device_bytes + options_.host_bytes));
+  }
+  if (bytes > options_.device_bytes) {
+    return InvalidArgumentError(
+        "a single managed block larger than the device cannot be resident");
+  }
+  EvictFor(bytes);
+  const std::uint64_t handle = next_handle_++;
+  blocks_[handle] = Block{bytes, true, ++clock_};
+  allocated_bytes_ += bytes;
+  device_resident_bytes_ += bytes;
+  migrated_in_bytes_ += bytes;  // first touch populates device pages
+  return handle;
+}
+
+Status UnifiedMemoryAllocator::Free(std::uint64_t handle) {
+  auto it = blocks_.find(handle);
+  if (it == blocks_.end()) return InvalidArgumentError("unknown handle");
+  allocated_bytes_ -= it->second.bytes;
+  if (it->second.resident) device_resident_bytes_ -= it->second.bytes;
+  blocks_.erase(it);
+  return OkStatus();
+}
+
+Status UnifiedMemoryAllocator::Touch(std::uint64_t handle) {
+  auto it = blocks_.find(handle);
+  if (it == blocks_.end()) return InvalidArgumentError("unknown handle");
+  Block& block = it->second;
+  block.last_use = ++clock_;
+  if (!block.resident) {
+    EvictFor(block.bytes);
+    block.resident = true;
+    device_resident_bytes_ += block.bytes;
+    migrated_in_bytes_ += block.bytes;
+  }
+  return OkStatus();
+}
+
+}  // namespace memo::alloc

@@ -1,0 +1,70 @@
+#ifndef MEMO_ALLOC_UNIFIED_MEMORY_H_
+#define MEMO_ALLOC_UNIFIED_MEMORY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace memo::alloc {
+
+/// Models CUDA Unified Memory for the profiler's fallback path (§4.3.2):
+/// when even one transformer layer does not fit in device memory, MEMO
+/// profiles under cudaMallocManaged, which never fails up to the host
+/// capacity but transparently migrates pages between device and host.
+///
+/// The model: allocations are managed blocks; device residency is tracked
+/// with an LRU over blocks. Touching a non-resident block (every allocation
+/// is touched on malloc, and the profiler touches on access) migrates it in,
+/// evicting least-recently-used blocks. The simulator charges page-migration
+/// traffic, which is what makes unified-memory *training* impractically slow
+/// while remaining perfectly fine for one profiling pass — exactly the
+/// paper's usage.
+class UnifiedMemoryAllocator {
+ public:
+  struct Options {
+    std::int64_t device_bytes = 0;  // physical device capacity
+    std::int64_t host_bytes = 0;    // managed pool upper bound
+  };
+
+  explicit UnifiedMemoryAllocator(const Options& options);
+
+  /// Allocates a managed block (touched on device immediately).
+  /// Fails with kOutOfHostMemory when device + host capacity is exhausted.
+  StatusOr<std::uint64_t> Allocate(std::int64_t bytes);
+
+  /// Frees a managed block.
+  Status Free(std::uint64_t handle);
+
+  /// Marks a block as accessed on device, migrating it in if necessary.
+  Status Touch(std::uint64_t handle);
+
+  std::int64_t allocated_bytes() const { return allocated_bytes_; }
+  std::int64_t device_resident_bytes() const { return device_resident_bytes_; }
+  /// Total bytes migrated host->device and device->host (profiling cost).
+  std::int64_t migrated_in_bytes() const { return migrated_in_bytes_; }
+  std::int64_t migrated_out_bytes() const { return migrated_out_bytes_; }
+
+ private:
+  struct Block {
+    std::int64_t bytes = 0;
+    bool resident = false;
+    std::uint64_t last_use = 0;
+  };
+
+  /// Evicts LRU resident blocks until `bytes` fit on device.
+  void EvictFor(std::int64_t bytes);
+
+  Options options_;
+  std::unordered_map<std::uint64_t, Block> blocks_;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t clock_ = 0;
+  std::int64_t allocated_bytes_ = 0;
+  std::int64_t device_resident_bytes_ = 0;
+  std::int64_t migrated_in_bytes_ = 0;
+  std::int64_t migrated_out_bytes_ = 0;
+};
+
+}  // namespace memo::alloc
+
+#endif  // MEMO_ALLOC_UNIFIED_MEMORY_H_

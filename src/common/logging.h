@@ -1,0 +1,76 @@
+#ifndef MEMO_COMMON_LOGGING_H_
+#define MEMO_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace memo {
+
+/// Severity levels for MEMO_LOG.
+enum class LogSeverity { kInfo, kWarning, kError, kFatal };
+
+namespace internal_logging {
+
+/// Minimum severity that is actually printed. Tests may raise this to silence
+/// expected warnings.
+LogSeverity& MinLogSeverity();
+
+/// Stream-style log message; emits on destruction. FATAL messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a stream expression; used by the CHECK macro's else-branch so the
+/// streamed operands are not evaluated on success.
+struct LogMessageVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define MEMO_LOG(severity)                                       \
+  ::memo::internal_logging::LogMessage(                          \
+      ::memo::LogSeverity::k##severity, __FILE__, __LINE__)      \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// memory-planning bugs silently corrupt simulated address spaces, so
+/// invariants stay on even in release mode (RocksDB-style assert policy).
+#define MEMO_CHECK(condition)                                             \
+  (condition) ? (void)0                                                   \
+              : ::memo::internal_logging::LogMessageVoidify() &           \
+                    ::memo::internal_logging::LogMessage(                 \
+                        ::memo::LogSeverity::kFatal, __FILE__, __LINE__)  \
+                        .stream()                                         \
+                        << "Check failed: " #condition " "
+
+#define MEMO_CHECK_EQ(a, b) MEMO_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MEMO_CHECK_NE(a, b) MEMO_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MEMO_CHECK_LE(a, b) MEMO_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MEMO_CHECK_LT(a, b) MEMO_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MEMO_CHECK_GE(a, b) MEMO_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MEMO_CHECK_GT(a, b) MEMO_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Checks that a Status-returning expression is OK.
+#define MEMO_CHECK_OK(expr)                         \
+  do {                                              \
+    ::memo::Status memo_check_status_ = (expr);     \
+    MEMO_CHECK(memo_check_status_.ok())             \
+        << memo_check_status_.ToString();           \
+  } while (0)
+
+}  // namespace memo
+
+#endif  // MEMO_COMMON_LOGGING_H_

@@ -1,0 +1,16 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace memo {
+
+double Rng::NextGaussian() {
+  // Box-Muller; draws two uniforms per call (no caching to stay stateless
+  // beyond `state_`, which keeps replay simple).
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+}  // namespace memo

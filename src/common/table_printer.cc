@@ -1,0 +1,63 @@
+#include "common/table_printer.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace memo {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString(); }
+
+std::string TablePrinter::ToString() const {
+  const std::size_t n = headers_.size();
+  std::vector<std::size_t> widths(n);
+  for (std::size_t i = 0; i < n; ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row[i].size() > widths[i]) widths[i] = row[i].size();
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < n; ++i) {
+      out << row[i];
+      if (i + 1 < n) {
+        out << std::string(widths[i] - row[i].size() + 3, ' ');
+      }
+    }
+    out << "\n";
+  };
+
+  emit_row(headers_);
+  std::vector<std::string> rule(n);
+  for (std::size_t i = 0; i < n; ++i) rule[i] = std::string(widths[i], '-');
+  emit_row(rule);
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string result(needed > 0 ? needed : 0, '\0');
+  if (needed > 0) {
+    std::vsnprintf(result.data(), result.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return result;
+}
+
+}  // namespace memo

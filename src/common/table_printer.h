@@ -1,0 +1,46 @@
+#ifndef MEMO_COMMON_TABLE_PRINTER_H_
+#define MEMO_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memo {
+
+/// Renders aligned plain-text tables for the benchmark harnesses that
+/// regenerate the paper's tables (Table 3, Table 4, the Fig. 12 summaries).
+/// Cells are strings; the printer right-pads to column widths and draws a
+/// header rule, e.g.
+///
+///   seq_len   method   MFU      TGS
+///   -------   ------   ------   -------
+///   64K       MEMO     52.34%   1786.22
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row. Rows shorter than the header are padded with "";
+  /// longer rows are truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  /// Number of data rows added so far.
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Renders the table to `os`.
+  void Print(std::ostream& os) const;
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper returning std::string (used to build table cells).
+std::string StrFormat(const char* fmt, ...);
+
+}  // namespace memo
+
+#endif  // MEMO_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,74 @@
+#include "core/alpha_solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "solver/simplex.h"
+
+namespace memo::core {
+
+StatusOr<AlphaResult> SolveAlpha(const AlphaInputs& inputs) {
+  if (inputs.s_others_bytes < 0 || inputs.s_input_bytes < 0 ||
+      inputs.s_attn_bytes < 0) {
+    return InvalidArgumentError("negative tensor sizes");
+  }
+  if (inputs.pcie_bytes_per_second <= 0.0 ||
+      inputs.layer_forward_seconds <= 0.0) {
+    return InvalidArgumentError("bandwidth and layer time must be positive");
+  }
+  if (inputs.num_layers < 3) {
+    // The last two layers never swap (§4.1); with n < 3 nothing is swapped
+    // and any alpha trivially works.
+    AlphaResult trivial;
+    trivial.alpha = 1.0;
+    return trivial;
+  }
+
+  const double base = static_cast<double>(inputs.s_input_bytes) +
+                      static_cast<double>(inputs.s_attn_bytes);
+  const double others = static_cast<double>(inputs.s_others_bytes);
+  const double budget_overlap =
+      inputs.pcie_bytes_per_second * inputs.layer_forward_seconds;
+  const double budget_host = static_cast<double>(inputs.host_bytes_per_gpu) /
+                             (inputs.num_layers - 2);
+
+  if (base > budget_host) {
+    return OutOfHostMemoryError(
+        "layer inputs and attention outputs alone exceed host memory");
+  }
+
+  // Solve the one-variable LP through the simplex substrate (the paper's
+  // formulation verbatim); the closed form is cross-checked in tests.
+  solver::LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.AddConstraint({others}, solver::LpProblem::Relation::kLe,
+                   budget_overlap - base);
+  lp.AddConstraint({others}, solver::LpProblem::Relation::kLe,
+                   budget_host - base);
+  lp.AddConstraint({1.0}, solver::LpProblem::Relation::kLe, 1.0);
+  const solver::LpSolution solution = solver::SolveLp(lp);
+  if (solution.outcome != solver::LpSolution::Outcome::kOptimal) {
+    // alpha >= 0 infeasible happens only when base exceeds budget_overlap;
+    // that is a legal outcome: swap only what fits, recompute the rest.
+    // Model it as alpha = 0 with the overlap constraint binding.
+    AlphaResult result;
+    result.alpha = 0.0;
+    result.overlap_bound = true;
+    return result;
+  }
+
+  AlphaResult result;
+  result.alpha = std::clamp(solution.x[0], 0.0, 1.0);
+  const double used = base + result.alpha * others;
+  result.overlap_bound = used >= budget_overlap - 1e-6 * budget_overlap;
+  result.host_memory_bound = used >= budget_host - 1e-6 * budget_host;
+  return result;
+}
+
+double QuantizeAlpha(double alpha, int steps) {
+  if (steps <= 0) return alpha;
+  return std::floor(alpha * steps + 1e-9) / steps;
+}
+
+}  // namespace memo::core

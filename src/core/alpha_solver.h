@@ -1,0 +1,49 @@
+#ifndef MEMO_CORE_ALPHA_SOLVER_H_
+#define MEMO_CORE_ALPHA_SOLVER_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace memo::core {
+
+/// Inputs of the §4.1 swap-fraction problem (Eq. 1-3), all per GPU:
+///   max alpha
+///   s.t. (S_input + S_attn + alpha*S_others) / B <= T_layer   (overlap)
+///        (n-2) * (S_input + S_attn + alpha*S_others) <= M_CPU (host memory)
+///        0 <= alpha <= 1.
+struct AlphaInputs {
+  std::int64_t s_input_bytes = 0;   // per-layer layer-input tensor
+  std::int64_t s_attn_bytes = 0;    // per-layer FlashAttention output
+  std::int64_t s_others_bytes = 0;  // per-layer remaining skeletal tensors
+  double pcie_bytes_per_second = 0.0;  // effective B
+  double layer_forward_seconds = 0.0;  // T_layer
+  int num_layers = 0;                  // n
+  std::int64_t host_bytes_per_gpu = 0; // M_CPU share of this GPU
+};
+
+struct AlphaResult {
+  /// The maximal feasible fraction in [0, 1].
+  double alpha = 0.0;
+  /// Which constraint is binding at the optimum (both may be false when
+  /// alpha == 1 with slack everywhere).
+  bool overlap_bound = false;
+  bool host_memory_bound = false;
+};
+
+/// Solves the swap-fraction linear program. Fails with kOutOfHostMemory when
+/// even alpha = 0 violates the host capacity (the always-offloaded layer
+/// input + attention output alone deplete CPU memory — the paper's X_oohm
+/// outcome), and with kInvalidArgument on malformed inputs. An alpha of 0 due
+/// to the *overlap* constraint is a valid result (full token-wise
+/// recomputation), not an error.
+StatusOr<AlphaResult> SolveAlpha(const AlphaInputs& inputs);
+
+/// Rounds alpha DOWN to a multiple of 1/`steps` (token groups must be
+/// discrete; the paper's Table 7 uses eighths). Never rounds a feasible
+/// alpha up, so constraints stay satisfied.
+double QuantizeAlpha(double alpha, int steps = 8);
+
+}  // namespace memo::core
+
+#endif  // MEMO_CORE_ALPHA_SOLVER_H_

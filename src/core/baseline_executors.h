@@ -1,0 +1,36 @@
+#ifndef MEMO_CORE_BASELINE_EXECUTORS_H_
+#define MEMO_CORE_BASELINE_EXECUTORS_H_
+
+#include "core/executor.h"
+#include "core/timings.h"
+
+namespace memo::core {
+
+struct BaselineOptions {
+  hw::Calibration calibration = hw::DefaultCalibration();
+  /// Replace the caching allocator with a bi-level static memory plan while
+  /// keeping the baseline's execution strategy ("Full Recomputation +
+  /// Memory Plan" in the paper's Table 4 ablation). Eliminates
+  /// fragmentation and reorganization stalls; activations then occupy
+  /// exactly the planned arena.
+  bool use_memory_plan = false;
+};
+
+/// Simulates one Megatron-LM (+ TransformerEngine) iteration: TP/SP + CP +
+/// PP + ZeRO-1 with optional full activation recomputation, activations
+/// managed by the PyTorch-style caching allocator. The allocator is driven
+/// with the real request trace, so fragmentation, reorganization stalls and
+/// OOM points are emergent, not assumed.
+StatusOr<IterationResult> RunMegatronIteration(
+    const Workload& workload, const parallel::ParallelStrategy& strategy,
+    const hw::ClusterSpec& cluster, const BaselineOptions& options = {});
+
+/// Simulates one Megatron-DeepSpeed iteration: Ulysses sequence parallelism
+/// + ZeRO-3 + full recomputation, caching-allocator memory management.
+StatusOr<IterationResult> RunDeepSpeedIteration(
+    const Workload& workload, const parallel::ParallelStrategy& strategy,
+    const hw::ClusterSpec& cluster, const BaselineOptions& options = {});
+
+}  // namespace memo::core
+
+#endif  // MEMO_CORE_BASELINE_EXECUTORS_H_

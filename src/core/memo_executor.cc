@@ -1,0 +1,228 @@
+#include "core/memo_executor.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "model/trace_gen.h"
+#include "parallel/memory_model.h"
+#include "parallel/pipeline.h"
+#include "sim/engine.h"
+#include "sim/trace_export.h"
+
+namespace memo::core {
+
+StatusOr<IterationResult> RunMemoIteration(
+    const Workload& workload, const parallel::ParallelStrategy& strategy,
+    const hw::ClusterSpec& cluster, const MemoOptions& options) {
+  MEMO_RETURN_IF_ERROR(parallel::ValidateStrategy(
+      parallel::SystemKind::kMemo, strategy, workload.model, cluster,
+      workload.seq));
+
+  const hw::Calibration& cal = options.calibration;
+  const IterationTimings t = ComputeIterationTimings(
+      parallel::SystemKind::kMemo, workload.model, strategy, cluster, cal,
+      workload.seq);
+  const int layers = t.layers_per_stage;
+  const model::SkeletalLayout& skeletal = t.skeletal;
+
+  // ---- Swap fraction (Eq. 1-3).
+  const double pcie_bps =
+      cluster.node.gpu.pcie_bandwidth * cal.pcie_efficiency;
+  const double cp_fwd_exposed = t.layer.cp_fwd_exposed;
+  const double layer_fwd_total =
+      t.layer.fwd_compute + t.layer.fwd_comm + cp_fwd_exposed;
+  double alpha = options.forced_alpha;
+  if (alpha < 0.0) {
+    AlphaInputs inputs;
+    inputs.s_input_bytes = skeletal.input_bytes;
+    inputs.s_attn_bytes = skeletal.attn_out_bytes;
+    inputs.s_others_bytes = skeletal.others_bytes;
+    inputs.pcie_bytes_per_second = pcie_bps;
+    inputs.layer_forward_seconds = layer_fwd_total;
+    inputs.num_layers = layers;
+    inputs.host_bytes_per_gpu = cluster.host_bytes_per_gpu();
+    MEMO_ASSIGN_OR_RETURN(AlphaResult solved, SolveAlpha(inputs));
+    alpha = QuantizeAlpha(solved.alpha, options.alpha_steps);
+  } else {
+    // Forced alphas (ablations) must still respect host capacity.
+    const double per_layer =
+        static_cast<double>(skeletal.input_bytes + skeletal.attn_out_bytes) +
+        alpha * static_cast<double>(skeletal.others_bytes);
+    if ((layers - 2) * per_layer >
+        static_cast<double>(cluster.host_bytes_per_gpu())) {
+      return OutOfHostMemoryError(
+          StrFormat("offloading %.1f GiB/GPU exceeds the host share",
+                    (layers - 2) * per_layer / static_cast<double>(kGiB)));
+    }
+  }
+
+  const std::int64_t offload_bytes_per_layer =
+      skeletal.input_bytes + skeletal.attn_out_bytes +
+      static_cast<std::int64_t>(alpha *
+                                static_cast<double>(skeletal.others_bytes));
+
+  // ---- Memory plan for transient tensors.
+  model::ModelConfig stage_model = workload.model;
+  stage_model.num_layers = layers;
+  model::TraceGenOptions trace_options;
+  trace_options.seq_local = strategy.SeqLocal(workload.seq);
+  trace_options.tensor_parallel = strategy.tp;
+  trace_options.mode = model::ActivationMode::kMemoBuffers;
+  const model::ModelTrace trace =
+      model::GenerateModelTrace(stage_model, trace_options);
+  MEMO_ASSIGN_OR_RETURN(planner::MemoryPlan plan,
+                        planner::PlanMemory(trace, options.planner));
+
+  // ---- Device memory feasibility.
+  const parallel::ModelStateBytes model_state =
+      parallel::ComputeModelStateBytes(workload.model, strategy);
+  // Rounding buffers (§4.1): with alpha > 0 both buffers hold the full
+  // skeletal set; with alpha == 0 the "others" region is not double-buffered
+  // (it is never offloaded, so one shared buffer suffices).
+  const std::int64_t buffers =
+      alpha > 0.0
+          ? 2 * skeletal.total_bytes()
+          : 2 * (skeletal.input_bytes + skeletal.attn_out_bytes) +
+                skeletal.others_bytes;
+  const std::int64_t device_total = model_state.total() + buffers +
+                                    plan.arena_bytes + kDeviceReserveBytes;
+  if (device_total > cluster.node.gpu.memory_bytes) {
+    return OutOfMemoryError(StrFormat(
+        "needs %s (states %s + buffers %s + arena %s + reserve) of %s",
+        FormatBytes(device_total).c_str(),
+        FormatBytes(model_state.total()).c_str(),
+        FormatBytes(buffers).c_str(), FormatBytes(plan.arena_bytes).c_str(),
+        FormatBytes(cluster.node.gpu.memory_bytes).c_str()));
+  }
+
+  // ---- Host memory accounting (the alpha solver already enforced it when
+  // solving; forced alphas were checked above).
+  const std::int64_t host_bytes =
+      static_cast<std::int64_t>(std::max(0, layers - 2)) *
+      offload_bytes_per_layer;
+
+  // ---- Schedule one iteration on three streams (Fig. 11).
+  sim::SimEngine engine;
+  const sim::StreamId compute = engine.CreateStream("compute");
+  const sim::StreamId d2h = engine.CreateStream("offload");
+  const sim::StreamId h2d = engine.CreateStream("prefetch");
+
+  std::vector<sim::EventId> fwd_done(layers);
+  std::vector<sim::EventId> offload_done(layers);
+  std::vector<sim::EventId> bwd_done(layers);
+  std::vector<sim::EventId> prefetch_done(layers);
+  for (int i = 0; i < layers; ++i) {
+    fwd_done[i] = engine.CreateEvent("fwd_done");
+    offload_done[i] = engine.CreateEvent("offload_done");
+    bwd_done[i] = engine.CreateEvent("bwd_done");
+    prefetch_done[i] = engine.CreateEvent("prefetch_done");
+  }
+  const double offload_seconds =
+      static_cast<double>(offload_bytes_per_layer) / pcie_bps;
+  // The last two layers start backward right after forward and skip
+  // swapping entirely (§4.1).
+  const auto swaps = [&](int i) { return i < layers - 2; };
+
+  engine.EnqueueOp(compute, t.embedding, "embedding_fwd");
+  for (int i = 0; i < layers; ++i) {
+    if (i >= 2 && swaps(i - 2)) {
+      // Buffer (i%2) must finish draining to CPU before layer i rewrites it.
+      engine.WaitEvent(compute, offload_done[i - 2]);
+    }
+    engine.EnqueueOp(compute, layer_fwd_total, "layer_fwd");
+    engine.RecordEvent(compute, fwd_done[i]);
+    if (swaps(i)) {
+      engine.WaitEvent(d2h, fwd_done[i]);
+      engine.EnqueueOp(d2h, offload_seconds, "offload");
+      engine.RecordEvent(d2h, offload_done[i]);
+    }
+  }
+  engine.EnqueueOp(compute, t.classifier_fwd, "classifier_fwd");
+  engine.EnqueueOp(compute, t.classifier_bwd, "classifier_bwd");
+
+  const double cp_bwd_exposed = t.layer.cp_bwd_exposed;
+  const double recompute_per_layer =
+      (1.0 - alpha) * t.layer.recompute_nonattn;
+  const double layer_bwd_total = t.layer.bwd_compute + t.layer.bwd_comm +
+                                 cp_bwd_exposed + recompute_per_layer;
+
+  // Backward ops interleaved with prefetches in dependency order: the
+  // prefetch of layer i targets rounding buffer (i%2), which frees when
+  // layer i+2's backward finishes; layers n-1 and n-2 kept their skeletal
+  // data on device and need no prefetch.
+  for (int i = layers - 1; i >= 0; --i) {
+    if (swaps(i)) {
+      if (i + 2 < layers) engine.WaitEvent(h2d, bwd_done[i + 2]);
+      engine.WaitEvent(h2d, offload_done[i]);  // data must be on the host
+      engine.EnqueueOp(h2d, offload_seconds, "prefetch");
+      engine.RecordEvent(h2d, prefetch_done[i]);
+      engine.WaitEvent(compute, prefetch_done[i]);
+    }
+    engine.EnqueueOp(compute, layer_bwd_total, "layer_bwd");
+    engine.RecordEvent(compute, bwd_done[i]);
+  }
+  engine.EnqueueOp(compute, t.embedding, "embedding_bwd");
+  engine.EnqueueOp(compute, t.grad_sync, "grad_sync");
+
+  if (!options.timeline_path.empty()) {
+    MEMO_RETURN_IF_ERROR(
+        sim::WriteChromeTrace(engine, options.timeline_path));
+  }
+
+  if (strategy.virtual_pipeline > 1 &&
+      kPipelineMicrobatches % strategy.pp != 0) {
+    return InvalidArgumentError(
+        "interleaved 1F1B needs microbatches divisible by pp");
+  }
+  double iteration = engine.Makespan();
+  if (strategy.pp > 1) {
+    // Scale this stage's overlapped schedule by the exact 1F1B pipeline
+    // factor (makespan over one stage's serial layer time).
+    parallel::PipelineSchedule ps;
+    ps.stages = strategy.pp;
+    ps.microbatches = kPipelineMicrobatches;
+    ps.fwd_seconds = layers * layer_fwd_total / kPipelineMicrobatches;
+    ps.bwd_seconds = layers * layer_bwd_total / kPipelineMicrobatches;
+    ps.p2p_seconds = t.p2p_chunk_seconds;
+    const double serial = layers * (layer_fwd_total + layer_bwd_total);
+    const double pipelined =
+        strategy.virtual_pipeline > 1
+            ? parallel::SimulateInterleaved1F1B(ps, strategy.virtual_pipeline)
+                  .makespan_seconds
+            : parallel::Simulate1F1B(ps).makespan_seconds;
+    const double factor = pipelined / serial;
+    iteration *= factor;
+  }
+  iteration *= 1.0 + cal.iteration_fixed_overhead_fraction;
+
+  // ---- Result assembly.
+  IterationResult result;
+  result.strategy = strategy;
+  result.alpha = alpha;
+  result.iteration_seconds = iteration;
+  result.metrics = cost::ComputeMetrics(
+      workload.model, workload.seq, /*num_samples=*/strategy.dp,
+      cluster.total_gpus(), cluster.node.gpu.peak_flops, iteration);
+  result.compute_seconds =
+      layers * (t.layer.fwd_compute + t.layer.bwd_compute) +
+      t.classifier_fwd + t.classifier_bwd;
+  result.recompute_seconds = layers * recompute_per_layer;
+  result.exposed_comm_seconds =
+      layers * (t.layer.fwd_comm + t.layer.bwd_comm + cp_fwd_exposed +
+                cp_bwd_exposed) +
+      t.grad_sync;
+  result.swap_stall_seconds = engine.StallSeconds(compute);
+  result.reorg_stall_seconds = 0.0;  // static plan: no reorganizations
+  result.reorg_events = 0;
+  result.model_state_bytes = model_state.total();
+  result.activation_peak_bytes = plan.arena_bytes;
+  result.buffer_bytes = buffers;
+  result.peak_device_bytes = device_total;
+  result.host_offload_bytes = host_bytes;
+  return result;
+}
+
+}  // namespace memo::core

@@ -1,0 +1,23 @@
+#ifndef MEMO_CORE_REPORT_H_
+#define MEMO_CORE_REPORT_H_
+
+#include <string>
+
+#include "common/table_printer.h"
+#include "core/executor.h"
+
+namespace memo::core {
+
+/// Renders an IterationResult as the standard two-column report used by the
+/// quickstart example and memo_cli: strategy, alpha, MFU/TGS, iteration
+/// time, the memory budget breakdown and the overhead breakdown.
+TablePrinter IterationReportTable(const IterationResult& result,
+                                  const model::ModelConfig& model);
+
+/// Convenience: the rendered table as a string.
+std::string FormatIterationReport(const IterationResult& result,
+                                  const model::ModelConfig& model);
+
+}  // namespace memo::core
+
+#endif  // MEMO_CORE_REPORT_H_

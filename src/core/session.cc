@@ -1,0 +1,75 @@
+#include "core/session.h"
+
+#include "common/logging.h"
+
+namespace memo::core {
+
+StatusOr<IterationResult> RunStrategy(parallel::SystemKind system,
+                                      const Workload& workload,
+                                      const parallel::ParallelStrategy& strategy,
+                                      const hw::ClusterSpec& cluster,
+                                      const SessionOptions& options) {
+  switch (system) {
+    case parallel::SystemKind::kMemo:
+      return RunMemoIteration(workload, strategy, cluster, options.memo);
+    case parallel::SystemKind::kMegatron:
+      return RunMegatronIteration(workload, strategy, cluster,
+                                  options.baseline);
+    case parallel::SystemKind::kDeepSpeed:
+      return RunDeepSpeedIteration(workload, strategy, cluster,
+                                   options.baseline);
+  }
+  return InternalError("unknown system");
+}
+
+SystemRunResult RunBestStrategy(parallel::SystemKind system,
+                                const Workload& workload,
+                                const hw::ClusterSpec& cluster,
+                                const SessionOptions& options) {
+  SystemRunResult result;
+  bool saw_host_oom = false;
+  bool found = false;
+  const std::vector<parallel::ParallelStrategy> candidates =
+      parallel::EnumerateStrategies(system, workload.model, cluster,
+                                    workload.seq);
+  for (const parallel::ParallelStrategy& strategy : candidates) {
+    ++result.strategies_tried;
+    auto run = RunStrategy(system, workload, strategy, cluster, options);
+    if (!run.ok()) {
+      if (run.status().IsOutOfHostMemory()) saw_host_oom = true;
+      continue;
+    }
+    ++result.strategies_feasible;
+    if (!found || run->metrics.mfu > result.best.metrics.mfu) {
+      result.best = *run;
+      found = true;
+    }
+  }
+  if (!found) {
+    result.status = saw_host_oom
+                        ? OutOfHostMemoryError("all strategies host-bound")
+                        : OutOfMemoryError("no strategy fits device memory");
+  }
+  return result;
+}
+
+std::int64_t MaxSupportedSeqLen(parallel::SystemKind system,
+                                const model::ModelConfig& model,
+                                const hw::ClusterSpec& cluster,
+                                std::int64_t step, std::int64_t max_seq,
+                                const SessionOptions& options) {
+  MEMO_CHECK_GT(step, 0);
+  std::int64_t best = 0;
+  for (std::int64_t seq = step; seq <= max_seq; seq += step) {
+    const SystemRunResult run =
+        RunBestStrategy(system, Workload{model, seq}, cluster, options);
+    if (run.status.ok()) {
+      best = seq;
+    } else if (seq > best + 4 * step) {
+      break;  // four consecutive failures past the best: stop scanning
+    }
+  }
+  return best;
+}
+
+}  // namespace memo::core

@@ -1,0 +1,55 @@
+#ifndef MEMO_CORE_SESSION_H_
+#define MEMO_CORE_SESSION_H_
+
+#include <vector>
+
+#include "core/baseline_executors.h"
+#include "core/executor.h"
+#include "core/memo_executor.h"
+
+namespace memo::core {
+
+/// Outcome of auto-tuning one system on one workload (the paper hand-tunes
+/// the Appendix A strategies; we search the same space and keep the best
+/// feasible configuration by MFU).
+struct SystemRunResult {
+  /// OK when at least one strategy fits; otherwise the representative
+  /// failure: kOutOfHostMemory if some strategy was host-bound (the paper's
+  /// X_oohm), else kOutOfMemory (X_oom).
+  Status status = OkStatus();
+  IterationResult best;                 // valid iff status.ok()
+  int strategies_tried = 0;
+  int strategies_feasible = 0;
+};
+
+struct SessionOptions {
+  MemoOptions memo;
+  BaselineOptions baseline;
+};
+
+/// Runs every valid strategy of `system` on the workload and returns the
+/// best feasible one by MFU (deterministic tie-break by strategy order).
+SystemRunResult RunBestStrategy(parallel::SystemKind system,
+                                const Workload& workload,
+                                const hw::ClusterSpec& cluster,
+                                const SessionOptions& options = {});
+
+/// Runs a single explicit strategy through the matching executor.
+StatusOr<IterationResult> RunStrategy(parallel::SystemKind system,
+                                      const Workload& workload,
+                                      const parallel::ParallelStrategy& strategy,
+                                      const hw::ClusterSpec& cluster,
+                                      const SessionOptions& options = {});
+
+/// The longest sequence length (multiple of `step`) that `system` can train,
+/// scanning upward from `step` to `max_seq` (Fig. 12a). Returns 0 when even
+/// the first step fails.
+std::int64_t MaxSupportedSeqLen(parallel::SystemKind system,
+                                const model::ModelConfig& model,
+                                const hw::ClusterSpec& cluster,
+                                std::int64_t step, std::int64_t max_seq,
+                                const SessionOptions& options = {});
+
+}  // namespace memo::core
+
+#endif  // MEMO_CORE_SESSION_H_

@@ -1,0 +1,154 @@
+#include "core/timings.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "cost/flops.h"
+#include "cost/ring_attention.h"
+
+namespace memo::core {
+
+IterationTimings ComputeIterationTimings(
+    parallel::SystemKind system, const model::ModelConfig& model,
+    const parallel::ParallelStrategy& strategy,
+    const hw::ClusterSpec& cluster, const hw::Calibration& calibration,
+    std::int64_t seq) {
+  const cost::KernelCostModel kernel(cluster.node.gpu, calibration);
+  const cost::CommCostModel comm(cluster, calibration);
+
+  const std::int64_t batch = 1;  // one sequence per DP replica (long context)
+  const std::int64_t shard =
+      static_cast<std::int64_t>(strategy.tp) * strategy.cp *
+      strategy.ulysses_sp;
+  const std::int64_t seq_local = strategy.SeqLocal(seq);
+
+  IterationTimings t;
+  t.layers_per_stage = model.num_layers / strategy.pp;
+  t.skeletal = model::ComputeSkeletalLayout(model, batch, seq_local,
+                                            strategy.tp);
+
+  // ---- Compute. Every parallel dimension (TP heads/columns, CP sequence
+  // with causal load balancing, Ulysses heads) divides both GEMM and
+  // attention FLOPs evenly by `shard`.
+  const cost::LayerFlops fwd_full = cost::LayerForwardFlops(model, batch, seq);
+  const cost::LayerFlops bwd_full = cost::LayerBackwardFlops(model, batch, seq);
+  const cost::LayerFlops fwd_gpu{fwd_full.gemm / shard, fwd_full.attn / shard};
+  const cost::LayerFlops bwd_gpu{bwd_full.gemm / shard, bwd_full.attn / shard};
+
+  t.layer.fwd_compute = kernel.LayerForwardSeconds(fwd_gpu);
+  t.layer.fwd_flash = kernel.FlashFwdSeconds(fwd_gpu.attn);
+  t.layer.bwd_compute = kernel.LayerBackwardSeconds(bwd_gpu);
+  t.layer.recompute_full = t.layer.fwd_compute;
+  t.layer.recompute_nonattn =
+      t.layer.fwd_compute - t.layer.fwd_flash;  // token-wise part only
+
+  // ---- Communication.
+  const std::int64_t unit_bytes =
+      batch * seq_local * model.hidden * model::ModelConfig::kBytesPerElement;
+
+  if (strategy.tp > 1) {
+    // Megatron TP+SP: two AllGather + two ReduceScatter per layer pass.
+    const double per_pass =
+        2.0 * comm.AllGatherSeconds(unit_bytes, strategy.tp) +
+        2.0 * comm.ReduceScatterSeconds(unit_bytes, strategy.tp);
+    t.layer.fwd_comm += per_pass;
+    t.layer.bwd_comm += per_pass;
+    // Recomputation replays the forward collectives too.
+    t.layer.recompute_full += per_pass;
+    t.layer.recompute_nonattn += per_pass;
+  }
+
+  if (strategy.cp > 1) {
+    // Ring attention K/V exchange: (cp-1) rounds of the TP-sharded K and V
+    // blocks; the span of the ring includes the TP dimension.
+    const std::int64_t kv_bytes = 2 * unit_bytes / strategy.tp;
+    const int span = strategy.tp * strategy.cp;
+    const double ring_bw = comm.RingBandwidth(span);
+    const double comm_per_step =
+        static_cast<double>(kv_bytes) / ring_bw +
+        calibration.collective_latency_s;
+    t.layer.cp_fwd_comm = (strategy.cp - 1) * comm_per_step;
+    // Backward exchanges K/V again plus dK/dV accumulation.
+    t.layer.cp_bwd_comm = 2.0 * t.layer.cp_fwd_comm;
+    // Step-level overlap: chunk k of the attention computes while block
+    // k+1 is in flight; only the excess is exposed.
+    const cost::RingAttentionTiming fwd_ring = cost::SimulateRingAttention(
+        strategy.cp, t.layer.fwd_flash / strategy.cp, comm_per_step);
+    t.layer.cp_fwd_exposed = fwd_ring.exposed_comm_seconds;
+    const double bwd_flash =
+        kernel.FlashBwdSeconds(bwd_gpu.attn);
+    const cost::RingAttentionTiming bwd_ring = cost::SimulateRingAttention(
+        strategy.cp, bwd_flash / strategy.cp, 2.0 * comm_per_step);
+    t.layer.cp_bwd_exposed = bwd_ring.exposed_comm_seconds;
+  }
+
+  if (strategy.ulysses_sp > 1) {
+    // DeepSpeed-Ulysses: AllToAll on q, k, v before attention and on the
+    // attention output after it; backward mirrors all four.
+    const double a2a =
+        comm.AllToAllSeconds(unit_bytes, strategy.ulysses_sp);
+    t.layer.fwd_comm += 4.0 * a2a;
+    t.layer.bwd_comm += 4.0 * a2a;
+    t.layer.recompute_full += 4.0 * a2a;
+  }
+
+  if (strategy.zero_stage >= 3) {
+    // ZeRO-3 parameter gathering: AllGather the layer's parameters before
+    // forward and again before backward, ReduceScatter the gradients after
+    // backward. DeepSpeed prefetches the next layer's gather during the
+    // current layer's compute; the exposed remainder comes from a prefetch-
+    // pipeline simulation over the stage's layers (per-layer average).
+    const std::int64_t layer_param_bytes =
+        model.layer_parameters() * model::ModelConfig::kBytesPerElement;
+    const int degree = strategy.zero_shard_degree();
+    const double gather = comm.AllGatherSeconds(layer_param_bytes, degree);
+    const int stage_layers = std::max(1, t.layers_per_stage);
+    auto exposed_per_layer = [&](double compute_per_layer,
+                                 double comm_per_layer) {
+      return cost::SimulatePrefetchPipeline(stage_layers, compute_per_layer,
+                                            comm_per_layer)
+                 .exposed_comm_seconds /
+             stage_layers;
+    };
+    const double fwd_exposed = exposed_per_layer(t.layer.fwd_compute, gather);
+    // Backward re-gathers parameters and reduce-scatters gradients.
+    const double bwd_exposed =
+        exposed_per_layer(t.layer.bwd_compute, 2.0 * gather);
+    t.layer.fwd_comm += fwd_exposed;
+    t.layer.bwd_comm += bwd_exposed;
+    t.layer.recompute_full += fwd_exposed;
+  }
+
+  // ---- Embedding and classifier.
+  const double cls_flops =
+      cost::ClassifierForwardFlops(model, batch, seq_local) / strategy.tp;
+  t.classifier_fwd = kernel.GemmSeconds(cls_flops);
+  t.classifier_bwd = 2.0 * t.classifier_fwd;
+  t.embedding = kernel.GemmSeconds(cls_flops) * 0.02;  // lookup, tiny
+
+  // ---- Gradient synchronization (ZeRO-1 reduce-scatter + gather; for
+  // ZeRO-3 the per-layer reduce-scatter already covers it).
+  if (strategy.zero_stage < 3 && strategy.dp > 1) {
+    const std::int64_t rank_param_bytes =
+        model.num_parameters() / (strategy.tp * strategy.pp) *
+        model::ModelConfig::kBytesPerElement;
+    t.grad_sync =
+        comm.ReduceScatterSeconds(rank_param_bytes, strategy.dp) +
+        comm.AllGatherSeconds(rank_param_bytes, strategy.dp);
+  }
+
+  // ---- Pipeline boundary traffic.
+  if (strategy.pp > 1) {
+    t.pp_p2p = 2.0 * (strategy.pp - 1) * comm.P2PSeconds(unit_bytes);
+    t.p2p_chunk_seconds =
+        comm.P2PSeconds(unit_bytes / kPipelineMicrobatches);
+  }
+
+  // ---- Full-layer skeletal offload time (Fig 1b).
+  t.offload_layer_full = kernel.PcieSeconds(t.skeletal.total_bytes());
+
+  (void)system;
+  return t;
+}
+
+}  // namespace memo::core

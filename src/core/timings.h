@@ -1,0 +1,73 @@
+#ifndef MEMO_CORE_TIMINGS_H_
+#define MEMO_CORE_TIMINGS_H_
+
+#include <cstdint>
+
+#include "cost/comm_cost.h"
+#include "cost/kernel_cost.h"
+#include "hw/calibration.h"
+#include "hw/gpu_spec.h"
+#include "model/activation_spec.h"
+#include "parallel/strategy.h"
+
+namespace memo::core {
+
+/// Per-transformer-layer timing components on one GPU for a given workload
+/// and strategy. Produced once per configuration by ComputeIterationTimings
+/// and consumed by all executors — the single source of simulated seconds.
+struct LayerTimings {
+  double fwd_compute = 0.0;  // GEMMs + FlashAttention, forward
+  double fwd_flash = 0.0;    // FlashAttention share of fwd_compute (Fig 7)
+  double fwd_comm = 0.0;     // exposed TP / Ulysses / ZeRO collectives
+  double bwd_compute = 0.0;
+  double bwd_comm = 0.0;
+  /// Context-parallel ring K/V exchange: total wire time per layer pass...
+  double cp_fwd_comm = 0.0;
+  double cp_bwd_comm = 0.0;
+  /// ...and the part of it actually exposed to the compute stream, from the
+  /// step-level ring-attention simulation (cost/ring_attention.h).
+  double cp_fwd_exposed = 0.0;
+  double cp_bwd_exposed = 0.0;
+  /// Re-running the full layer forward (vanilla recomputation).
+  double recompute_full = 0.0;
+  /// Re-running only the token-wise (non-attention) forward work at
+  /// fraction 1: MEMO's backward rematerialization cost is
+  /// (1 - alpha) * recompute_nonattn (§4.1).
+  double recompute_nonattn = 0.0;
+};
+
+/// Whole-iteration timing components (excluding scheduling, which the
+/// executors decide).
+struct IterationTimings {
+  LayerTimings layer;
+  double embedding = 0.0;
+  double classifier_fwd = 0.0;
+  double classifier_bwd = 0.0;
+  double grad_sync = 0.0;      // per-iteration gradient reduce + gather
+  double pp_p2p = 0.0;         // pipeline boundary sends per iteration
+  /// Boundary transfer time for ONE sequence-chunk microbatch (feeds the
+  /// 1F1B schedule simulation).
+  double p2p_chunk_seconds = 0.0;
+  int layers_per_stage = 0;    // n / pp
+  /// Seconds to offload one layer's FULL skeletal set over PCIe (Fig 1b).
+  double offload_layer_full = 0.0;
+  /// Per-GPU skeletal byte layout of one layer.
+  model::SkeletalLayout skeletal;
+};
+
+/// Microbatch count assumed when pipeline parallelism is used (sequence
+/// chunking); sets the GPipe bubble fraction (pp-1)/(m+pp-1).
+inline constexpr int kPipelineMicrobatches = 4;
+
+/// Computes all timing components for `system` running `model` at sequence
+/// length `seq` (per DP replica batch of 1 sequence) under `strategy`.
+IterationTimings ComputeIterationTimings(parallel::SystemKind system,
+                                         const model::ModelConfig& model,
+                                         const parallel::ParallelStrategy& strategy,
+                                         const hw::ClusterSpec& cluster,
+                                         const hw::Calibration& calibration,
+                                         std::int64_t seq);
+
+}  // namespace memo::core
+
+#endif  // MEMO_CORE_TIMINGS_H_

@@ -1,0 +1,114 @@
+#include "core/training_run.h"
+
+#include <algorithm>
+#include <map>
+
+#include "alloc/trace_replay.h"
+#include "common/logging.h"
+#include "model/trace_gen.h"
+#include "parallel/memory_model.h"
+
+namespace memo::core {
+
+StatusOr<TrainingRunStats> SimulateTrainingRun(
+    parallel::SystemKind system, const model::ModelConfig& model,
+    const parallel::ParallelStrategy& strategy,
+    const hw::ClusterSpec& cluster, const TrainingRunOptions& options) {
+  if (options.iterations <= 0) {
+    return InvalidArgumentError("iterations must be > 0");
+  }
+  if (options.seq_lengths.empty()) {
+    return InvalidArgumentError("seq_lengths must not be empty");
+  }
+  const hw::Calibration& cal =
+      system == parallel::SystemKind::kMemo
+          ? options.session.memo.calibration
+          : options.session.baseline.calibration;
+
+  // Per-shape timing memo: RunStrategy is deterministic per length.
+  std::map<std::int64_t, IterationResult> per_shape;
+  for (std::int64_t seq : options.seq_lengths) {
+    if (per_shape.count(seq) > 0) continue;
+    auto run = RunStrategy(system, Workload{model, seq}, strategy, cluster,
+                           options.session);
+    if (!run.ok()) return run.status();
+    per_shape.emplace(seq, *run);
+  }
+
+  // For baselines, thread one allocator through every iteration so the
+  // cache carries state across shapes; reorg stalls come from this shared
+  // pool, replacing the per-call fresh-allocator figures.
+  const bool shares_allocator = system != parallel::SystemKind::kMemo;
+  alloc::CachingAllocator::Options dev;
+  dev.capacity_bytes = cluster.node.gpu.memory_bytes;
+  alloc::CachingAllocator shared(dev);
+  if (shares_allocator) {
+    const auto states = parallel::ComputeModelStateBytes(model, strategy);
+    std::int64_t static_bytes = states.total() + kDeviceReserveBytes;
+    if (system == parallel::SystemKind::kDeepSpeed) {
+      static_bytes += 2 * model.layer_parameters() *
+                      model::ModelConfig::kBytesPerElement;
+    }
+    auto h = shared.Allocate(static_bytes);
+    if (!h.ok()) return h.status();
+  }
+
+  TrainingRunStats stats;
+  stats.distinct_shapes = static_cast<int>(per_shape.size());
+  double total_model_flops = 0.0;
+  double total_tokens = 0.0;
+  std::int64_t reorgs_before = 0;
+  std::int64_t flushed_before = 0;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const std::int64_t seq =
+        options.seq_lengths[iter % options.seq_lengths.size()];
+    const IterationResult& shape = per_shape.at(seq);
+
+    double iteration = shape.iteration_seconds - shape.reorg_stall_seconds;
+    if (shares_allocator) {
+      model::ModelConfig stage_model = model;
+      stage_model.num_layers = model.num_layers / strategy.pp;
+      model::TraceGenOptions trace_options;
+      trace_options.seq_local = strategy.SeqLocal(seq);
+      trace_options.tensor_parallel = strategy.tp;
+      trace_options.mode = strategy.full_recompute
+                               ? model::ActivationMode::kFullRecompute
+                               : model::ActivationMode::kRetainAll;
+      if (system == parallel::SystemKind::kDeepSpeed) {
+        trace_options.classifier_chunks = 1;
+      }
+      const auto trace = model::GenerateModelTrace(stage_model, trace_options);
+      MEMO_RETURN_IF_ERROR(alloc::ReplayTraceInto(shared, trace.requests));
+      const std::int64_t new_reorgs =
+          shared.stats().num_reorg_events - reorgs_before;
+      const std::int64_t new_flushed =
+          shared.stats().reorg_bytes_flushed - flushed_before;
+      reorgs_before = shared.stats().num_reorg_events;
+      flushed_before = shared.stats().reorg_bytes_flushed;
+      const double stall =
+          static_cast<double>(new_reorgs) * cal.reorg_fixed_seconds +
+          static_cast<double>(new_flushed) * cal.reorg_seconds_per_byte;
+      iteration += stall;
+      stats.reorg_events += new_reorgs;
+      stats.reorg_stall_seconds += stall;
+    }
+
+    stats.total_seconds += iteration;
+    total_model_flops += cost::ModelFlopsPerSample(model, seq) * strategy.dp;
+    total_tokens += static_cast<double>(seq) * strategy.dp;
+    stats.peak_device_bytes =
+        std::max(stats.peak_device_bytes,
+                 shares_allocator ? shared.stats().peak_reserved_bytes
+                                  : shape.peak_device_bytes);
+  }
+
+  stats.avg_mfu = total_model_flops /
+                  (stats.total_seconds * cluster.node.gpu.peak_flops *
+                   cluster.total_gpus());
+  stats.avg_tgs =
+      total_tokens / (stats.total_seconds * cluster.total_gpus());
+  return stats;
+}
+
+}  // namespace memo::core

@@ -1,0 +1,50 @@
+#ifndef MEMO_CORE_TRAINING_RUN_H_
+#define MEMO_CORE_TRAINING_RUN_H_
+
+#include <vector>
+
+#include "core/session.h"
+
+namespace memo::core {
+
+/// A multi-iteration training run over variable-length batches (real
+/// corpora are not all 1M-token documents). Single-iteration simulation
+/// understates allocator dynamics: the caching allocator's pool persists
+/// across iterations, so blocks cached for one sequence shape fragment the
+/// next. This runner threads ONE allocator through every iteration for the
+/// baseline systems; MEMO plans each distinct shape once and reuses the
+/// plans (its runtime never touches an allocator).
+struct TrainingRunOptions {
+  int iterations = 8;
+  /// Per-iteration sequence lengths, cycled. Every length must be valid for
+  /// the strategy (divisible by CP * SP and the classifier chunking).
+  std::vector<std::int64_t> seq_lengths;
+  SessionOptions session;
+};
+
+struct TrainingRunStats {
+  double total_seconds = 0.0;
+  /// Token-weighted aggregate metrics across the run.
+  double avg_mfu = 0.0;
+  double avg_tgs = 0.0;
+  /// Allocator dynamics accumulated over the shared pool (baselines only).
+  std::int64_t reorg_events = 0;
+  double reorg_stall_seconds = 0.0;
+  /// Distinct sequence shapes encountered (= number of plans MEMO solves).
+  int distinct_shapes = 0;
+  /// Peak reserved bytes of the shared allocator (baselines) or the largest
+  /// per-shape static footprint (MEMO).
+  std::int64_t peak_device_bytes = 0;
+};
+
+/// Simulates `options.iterations` training iterations of `system` under a
+/// fixed `strategy`. Fails with the OOM/OOHM of the first iteration that
+/// does not fit (allocator state included for the baselines).
+StatusOr<TrainingRunStats> SimulateTrainingRun(
+    parallel::SystemKind system, const model::ModelConfig& model,
+    const parallel::ParallelStrategy& strategy,
+    const hw::ClusterSpec& cluster, const TrainingRunOptions& options);
+
+}  // namespace memo::core
+
+#endif  // MEMO_CORE_TRAINING_RUN_H_

@@ -1,0 +1,59 @@
+#include "cost/comm_cost.h"
+
+#include "common/logging.h"
+
+namespace memo::cost {
+
+double CommCostModel::RingBandwidth(int group_size) const {
+  MEMO_CHECK_GT(group_size, 0);
+  const hw::NodeSpec& node = cluster_.node;
+  if (group_size <= node.gpus_per_node) {
+    return node.nvlink_bandwidth * calibration_.collective_efficiency;
+  }
+  // Cross-node ring: each node's NIC carries the traffic of all of its
+  // ranks, so a rank sees 1/gpus_per_node of the NIC.
+  return node.ib_bandwidth / node.gpus_per_node *
+         calibration_.collective_efficiency;
+}
+
+double CommCostModel::AllReduceSeconds(std::int64_t bytes,
+                                       int group_size) const {
+  if (group_size <= 1 || bytes <= 0) return 0.0;
+  const double n = group_size;
+  return 2.0 * (n - 1.0) / n * static_cast<double>(bytes) /
+             RingBandwidth(group_size) +
+         Latency();
+}
+
+double CommCostModel::AllGatherSeconds(std::int64_t bytes,
+                                       int group_size) const {
+  if (group_size <= 1 || bytes <= 0) return 0.0;
+  const double n = group_size;
+  return (n - 1.0) / n * static_cast<double>(bytes) /
+             RingBandwidth(group_size) +
+         Latency();
+}
+
+double CommCostModel::ReduceScatterSeconds(std::int64_t bytes,
+                                           int group_size) const {
+  return AllGatherSeconds(bytes, group_size);  // same ring volume
+}
+
+double CommCostModel::AllToAllSeconds(std::int64_t bytes,
+                                      int group_size) const {
+  if (group_size <= 1 || bytes <= 0) return 0.0;
+  const double n = group_size;
+  return (n - 1.0) / n * static_cast<double>(bytes) /
+             RingBandwidth(group_size) +
+         Latency();
+}
+
+double CommCostModel::P2PSeconds(std::int64_t bytes) const {
+  if (bytes <= 0) return 0.0;
+  return static_cast<double>(bytes) /
+             (cluster_.node.ib_bandwidth / cluster_.node.gpus_per_node *
+              calibration_.collective_efficiency) +
+         Latency();
+}
+
+}  // namespace memo::cost

@@ -1,0 +1,56 @@
+#ifndef MEMO_COST_COMM_COST_H_
+#define MEMO_COST_COMM_COST_H_
+
+#include <cstdint>
+
+#include "hw/calibration.h"
+#include "hw/gpu_spec.h"
+
+namespace memo::cost {
+
+/// Times NCCL-style collectives for process groups laid out on the paper's
+/// cluster topology (NVLink inside a node, a shared InfiniBand NIC between
+/// nodes). All costs are per-rank wall time using the standard ring-algorithm
+/// volume formulas.
+class CommCostModel {
+ public:
+  CommCostModel(const hw::ClusterSpec& cluster,
+                const hw::Calibration& calibration)
+      : cluster_(cluster), calibration_(calibration) {}
+
+  /// Effective per-rank bandwidth (bytes/s) for a ring over `group_size`
+  /// consecutive ranks. Groups contained in one node ride NVLink; groups
+  /// spanning nodes are bottlenecked by the node NIC, which all
+  /// `gpus_per_node` ranks of a node share when every GPU communicates
+  /// simultaneously (the training-collective common case).
+  double RingBandwidth(int group_size) const;
+
+  /// AllReduce of `bytes` per rank: ring moves 2*(n-1)/n * bytes.
+  double AllReduceSeconds(std::int64_t bytes, int group_size) const;
+
+  /// AllGather producing `bytes` (the gathered size) per rank:
+  /// (n-1)/n * bytes on the wire.
+  double AllGatherSeconds(std::int64_t bytes, int group_size) const;
+
+  /// ReduceScatter consuming `bytes` (the pre-reduction size) per rank.
+  double ReduceScatterSeconds(std::int64_t bytes, int group_size) const;
+
+  /// AllToAll where each rank holds `bytes` and exchanges (n-1)/n of it.
+  double AllToAllSeconds(std::int64_t bytes, int group_size) const;
+
+  /// Point-to-point transfer of `bytes` between pipeline stages
+  /// (cross-node in the paper's placements).
+  double P2PSeconds(std::int64_t bytes) const;
+
+  const hw::ClusterSpec& cluster() const { return cluster_; }
+
+ private:
+  double Latency() const { return calibration_.collective_latency_s; }
+
+  hw::ClusterSpec cluster_;
+  hw::Calibration calibration_;
+};
+
+}  // namespace memo::cost
+
+#endif  // MEMO_COST_COMM_COST_H_

@@ -1,0 +1,45 @@
+#include "cost/flops.h"
+
+namespace memo::cost {
+
+LayerFlops LayerForwardFlops(const model::ModelConfig& config,
+                             std::int64_t batch, std::int64_t seq) {
+  const double b = static_cast<double>(batch);
+  const double s = static_cast<double>(seq);
+  const double h = static_cast<double>(config.hidden);
+  const double f = static_cast<double>(config.ffn_hidden);
+  LayerFlops flops;
+  // Q and output projections (2bsh^2 each), K/V projections (GQA-scaled),
+  // and the FFN (4bshf).
+  const double kv = config.kv_ratio();
+  flops.gemm = (2.0 + 4.0 * kv) * b * s * h * h + 2.0 * b * s * h * h +
+               4.0 * b * s * h * f;
+  // QK^T and AV are each 2*b*s^2*h full-matrix FLOPs; causal masking halves
+  // both (FlashAttention skips fully-masked tiles).
+  flops.attn = 2.0 * b * s * s * h;
+  return flops;
+}
+
+LayerFlops LayerBackwardFlops(const model::ModelConfig& config,
+                              std::int64_t batch, std::int64_t seq) {
+  const LayerFlops fwd = LayerForwardFlops(config, batch, seq);
+  return LayerFlops{2.0 * fwd.gemm, 2.0 * fwd.attn};
+}
+
+double ClassifierForwardFlops(const model::ModelConfig& config,
+                              std::int64_t batch, std::int64_t seq) {
+  return 2.0 * static_cast<double>(batch) * static_cast<double>(seq) *
+         static_cast<double>(config.hidden) *
+         static_cast<double>(config.vocab);
+}
+
+double ModelFlopsPerSample(const model::ModelConfig& config,
+                           std::int64_t seq) {
+  const double s = static_cast<double>(seq);
+  const double p = static_cast<double>(config.num_parameters());
+  const double n = static_cast<double>(config.num_layers);
+  const double h = static_cast<double>(config.hidden);
+  return 6.0 * s * p + 6.0 * n * h * s * s;
+}
+
+}  // namespace memo::cost

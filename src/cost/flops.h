@@ -1,0 +1,40 @@
+#ifndef MEMO_COST_FLOPS_H_
+#define MEMO_COST_FLOPS_H_
+
+#include <cstdint>
+
+#include "model/model_config.h"
+
+namespace memo::cost {
+
+/// FLOP counts for one transformer layer processing `batch` sequences of
+/// `seq` tokens (full, unsharded). All counts are forward-pass FLOPs with the
+/// causal mask applied (attention score/value GEMMs do half the full-matrix
+/// work); backward-pass counts are derived via the standard 2x factor
+/// (dgrad + wgrad for GEMMs, dq/dk/dv for attention).
+struct LayerFlops {
+  double gemm = 0.0;   // QKV + output projection + FFN GEMMs
+  double attn = 0.0;   // FlashAttention score & value computation
+  double total() const { return gemm + attn; }
+};
+
+/// Forward FLOPs of one transformer layer.
+LayerFlops LayerForwardFlops(const model::ModelConfig& config,
+                             std::int64_t batch, std::int64_t seq);
+
+/// Backward FLOPs of one transformer layer (2x forward for both classes).
+LayerFlops LayerBackwardFlops(const model::ModelConfig& config,
+                              std::int64_t batch, std::int64_t seq);
+
+/// Forward FLOPs of the classifier (final projection into the vocabulary):
+/// 2 * b * s * h * V.
+double ClassifierForwardFlops(const model::ModelConfig& config,
+                              std::int64_t batch, std::int64_t seq);
+
+/// The paper's §5.1 model-FLOPs-per-sample formula used as the MFU
+/// numerator: 6 * s * P + 6 * n * h * s^2 (causal FlashAttention).
+double ModelFlopsPerSample(const model::ModelConfig& config, std::int64_t seq);
+
+}  // namespace memo::cost
+
+#endif  // MEMO_COST_FLOPS_H_

@@ -1,0 +1,64 @@
+#ifndef MEMO_COST_KERNEL_COST_H_
+#define MEMO_COST_KERNEL_COST_H_
+
+#include "cost/flops.h"
+#include "hw/calibration.h"
+#include "hw/gpu_spec.h"
+
+namespace memo::cost {
+
+/// Converts FLOP counts into simulated seconds on one GPU, using the
+/// calibrated kernel-class efficiencies (DESIGN.md §4). This is the only
+/// place compute time is produced.
+class KernelCostModel {
+ public:
+  KernelCostModel(const hw::GpuSpec& gpu, const hw::Calibration& calibration)
+      : gpu_(gpu), calibration_(calibration) {}
+
+  /// Seconds to execute `flops` of dense GEMM work.
+  double GemmSeconds(double flops) const {
+    return flops / (gpu_.peak_flops * calibration_.gemm_efficiency);
+  }
+
+  /// Seconds of FlashAttention forward work.
+  double FlashFwdSeconds(double flops) const {
+    return flops / (gpu_.peak_flops * calibration_.flash_fwd_efficiency);
+  }
+
+  /// Seconds of FlashAttention backward work.
+  double FlashBwdSeconds(double flops) const {
+    return flops / (gpu_.peak_flops * calibration_.flash_bwd_efficiency);
+  }
+
+  /// One transformer layer's forward compute time on one GPU, given the
+  /// per-GPU FLOP shares (already divided by the parallelism degrees).
+  double LayerForwardSeconds(const LayerFlops& per_gpu_flops) const {
+    return GemmSeconds(per_gpu_flops.gemm) *
+               (1.0 + calibration_.elementwise_overhead_fraction) +
+           FlashFwdSeconds(per_gpu_flops.attn);
+  }
+
+  /// One transformer layer's backward compute time on one GPU.
+  double LayerBackwardSeconds(const LayerFlops& per_gpu_flops) const {
+    return GemmSeconds(per_gpu_flops.gemm) *
+               (1.0 + calibration_.elementwise_overhead_fraction) +
+           FlashBwdSeconds(per_gpu_flops.attn);
+  }
+
+  /// Seconds to move `bytes` across the CPU<->GPU PCIe link.
+  double PcieSeconds(std::int64_t bytes) const {
+    return static_cast<double>(bytes) /
+           (gpu_.pcie_bandwidth * calibration_.pcie_efficiency);
+  }
+
+  const hw::GpuSpec& gpu() const { return gpu_; }
+  const hw::Calibration& calibration() const { return calibration_; }
+
+ private:
+  hw::GpuSpec gpu_;
+  hw::Calibration calibration_;
+};
+
+}  // namespace memo::cost
+
+#endif  // MEMO_COST_KERNEL_COST_H_

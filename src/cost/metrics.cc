@@ -1,0 +1,24 @@
+#include "cost/metrics.h"
+
+#include "common/logging.h"
+
+namespace memo::cost {
+
+TrainingMetrics ComputeMetrics(const model::ModelConfig& config,
+                               std::int64_t seq, std::int64_t num_samples,
+                               int num_gpus, double peak_flops_per_gpu,
+                               double iteration_seconds) {
+  MEMO_CHECK_GT(iteration_seconds, 0.0);
+  MEMO_CHECK_GT(num_gpus, 0);
+  TrainingMetrics metrics;
+  metrics.iteration_seconds = iteration_seconds;
+  const double model_flops =
+      ModelFlopsPerSample(config, seq) * static_cast<double>(num_samples);
+  metrics.mfu = model_flops /
+                (iteration_seconds * peak_flops_per_gpu * num_gpus);
+  metrics.tgs = static_cast<double>(seq) * static_cast<double>(num_samples) /
+                (iteration_seconds * num_gpus);
+  return metrics;
+}
+
+}  // namespace memo::cost

@@ -1,0 +1,30 @@
+#ifndef MEMO_COST_METRICS_H_
+#define MEMO_COST_METRICS_H_
+
+#include <cstdint>
+
+#include "cost/flops.h"
+#include "hw/gpu_spec.h"
+#include "model/model_config.h"
+
+namespace memo::cost {
+
+/// The two §5.1 efficiency metrics of an iteration.
+struct TrainingMetrics {
+  double mfu = 0.0;           // Model FLOPs Utilization, [0, 1]
+  double tgs = 0.0;           // Tokens per GPU per Second
+  double iteration_seconds = 0.0;
+};
+
+/// Computes MFU and TGS for one iteration that processed `num_samples`
+/// sequences of `seq` tokens on `num_gpus` GPUs in `iteration_seconds`.
+/// MFU uses the paper's 6sP + 6nhs^2 model-FLOPs formula (redundant
+/// recomputation FLOPs do NOT count toward the numerator).
+TrainingMetrics ComputeMetrics(const model::ModelConfig& config,
+                               std::int64_t seq, std::int64_t num_samples,
+                               int num_gpus, double peak_flops_per_gpu,
+                               double iteration_seconds);
+
+}  // namespace memo::cost
+
+#endif  // MEMO_COST_METRICS_H_

@@ -1,0 +1,36 @@
+#ifndef MEMO_COST_RING_ATTENTION_H_
+#define MEMO_COST_RING_ATTENTION_H_
+
+namespace memo::cost {
+
+/// Step-level timing of ring attention (context parallelism, §2.3): each of
+/// the `steps` ring rounds computes partial attention against one K/V block
+/// while the next block is in flight. The communication of round k overlaps
+/// the computation of round k-1; only the excess is exposed.
+struct RingAttentionTiming {
+  /// Wall time of the whole attention phase on this rank.
+  double elapsed_seconds = 0.0;
+  /// Part of elapsed time the compute unit sat waiting for K/V blocks.
+  double exposed_comm_seconds = 0.0;
+};
+
+/// Simulates the ring with CUDA-stream semantics: a compute stream performs
+/// `steps` partial-attention chunks of `compute_per_step` seconds; a
+/// communication stream forwards K/V blocks, each taking `comm_per_step`
+/// seconds, with block k+1's transfer starting as soon as block k has
+/// arrived. Chunk k waits for block k (block 0 is local).
+RingAttentionTiming SimulateRingAttention(int steps, double compute_per_step,
+                                          double comm_per_step);
+
+/// Same pipeline shape but with NO local block: chunk k waits for transfer
+/// k, including the first. Models ZeRO-3's parameter-gather prefetch (layer
+/// i's AllGather streams while layer i-1 computes; the first layer's gather
+/// is always exposed) — replacing fixed "overlap discount" constants with an
+/// emergent exposure.
+RingAttentionTiming SimulatePrefetchPipeline(int steps,
+                                             double compute_per_step,
+                                             double comm_per_step);
+
+}  // namespace memo::cost
+
+#endif  // MEMO_COST_RING_ATTENTION_H_

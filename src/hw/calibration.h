@@ -1,0 +1,53 @@
+#ifndef MEMO_HW_CALIBRATION_H_
+#define MEMO_HW_CALIBRATION_H_
+
+namespace memo::hw {
+
+/// Every constant that turns counted FLOPs/bytes into simulated seconds lives
+/// here, in one place, so the honest-numbers policy of DESIGN.md §4 is
+/// auditable: nothing elsewhere in the library hard-codes a paper result.
+///
+/// Efficiencies are fractions of `GpuSpec::peak_flops` achieved by a kernel
+/// class on A100-generation hardware; they are standard public figures, not
+/// values fitted to reproduce individual table cells.
+struct Calibration {
+  /// Large dense GEMM efficiency (cuBLAS bf16 on A100 reaches ~0.55-0.65).
+  double gemm_efficiency = 0.60;
+  /// FlashAttention-2 forward efficiency on long sequences (causal-masked
+  /// FLOP accounting; FA2 reaches 50-60% of peak on A100 at long s).
+  double flash_fwd_efficiency = 0.56;
+  /// FlashAttention-2 backward efficiency (slightly lower: atomics + extra
+  /// recomputation-internal passes are already folded into its FLOP count).
+  double flash_bwd_efficiency = 0.52;
+  /// Elementwise/normalization ops run at memory bandwidth; we fold them into
+  /// a fixed per-layer overhead fraction of GEMM time instead of modeling
+  /// HBM explicitly.
+  double elementwise_overhead_fraction = 0.03;
+
+  /// Fraction of nominal link bandwidth achieved by NCCL-style collectives.
+  double collective_efficiency = 0.75;
+  /// Fraction of nominal PCIe bandwidth achieved by pinned-memory cudaMemcpyAsync.
+  double pcie_efficiency = 0.85;
+  /// Per-collective launch/latency cost in seconds.
+  double collective_latency_s = 20e-6;
+
+  /// Cost of one caching-allocator reorganization ("cudaFree all cached
+  /// blocks + re-cudaMalloc"), per byte of cached memory flushed. cudaFree
+  /// synchronizes the device and the driver remaps at ~dozens of GB/s;
+  /// 25 GB/s round-trip is in line with the multi-hundred-ms stalls PyTorch
+  /// users observe when expandable segments are off.
+  double reorg_seconds_per_byte = 1.0 / 25e9;
+  /// Fixed cost per reorganization event (driver sync + bookkeeping).
+  double reorg_fixed_seconds = 30e-3;
+
+  /// Optimizer step + gradient norm / misc per-iteration fixed overhead,
+  /// as a fraction of pure compute time. Identical across systems.
+  double iteration_fixed_overhead_fraction = 0.01;
+};
+
+/// The calibration used by all experiments.
+inline Calibration DefaultCalibration() { return Calibration{}; }
+
+}  // namespace memo::hw
+
+#endif  // MEMO_HW_CALIBRATION_H_

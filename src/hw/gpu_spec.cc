@@ -1,0 +1,50 @@
+#include "hw/gpu_spec.h"
+
+#include "common/logging.h"
+
+namespace memo::hw {
+
+GpuSpec A800() {
+  return GpuSpec{
+      .name = "A800-80GB",
+      .peak_flops = 312.0 * kTeraFlops,
+      .memory_bytes = 80 * kGiB,
+      .pcie_bandwidth = 32.0 * kGBps,
+  };
+}
+
+GpuSpec A100() {
+  return GpuSpec{
+      .name = "A100-80GB",
+      .peak_flops = 312.0 * kTeraFlops,
+      .memory_bytes = 80 * kGiB,
+      .pcie_bandwidth = 32.0 * kGBps,
+  };
+}
+
+GpuSpec H100() {
+  return GpuSpec{
+      .name = "H100-80GB",
+      .peak_flops = 989.0 * kTeraFlops,  // Dense BF16 (paper quotes 1979 with sparsity).
+      .memory_bytes = 80 * kGiB,
+      .pcie_bandwidth = 64.0 * kGBps,  // PCIe 5.0 x16.
+  };
+}
+
+ClusterSpec PaperCluster(int num_gpus) {
+  MEMO_CHECK_GT(num_gpus, 0);
+  NodeSpec node;
+  node.gpu = A800();
+  if (num_gpus < node.gpus_per_node) {
+    // Sub-node runs (used in small tests) keep the per-GPU host share of a
+    // full node rather than granting the whole 2 TB to one GPU.
+    node.gpus_per_node = num_gpus;
+    node.host_memory_bytes = num_gpus * (2 * kTiB / 8);
+    return ClusterSpec{node, 1};
+  }
+  MEMO_CHECK_EQ(num_gpus % node.gpus_per_node, 0)
+      << "cluster size must be a multiple of 8 GPUs";
+  return ClusterSpec{node, num_gpus / node.gpus_per_node};
+}
+
+}  // namespace memo::hw

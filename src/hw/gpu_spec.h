@@ -1,0 +1,68 @@
+#ifndef MEMO_HW_GPU_SPEC_H_
+#define MEMO_HW_GPU_SPEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.h"
+
+namespace memo::hw {
+
+/// Static description of one accelerator model.
+///
+/// Only quantities the paper's evaluation depends on are modeled: peak
+/// half-precision throughput (the MFU denominator), device memory capacity
+/// (the OOM boundary), and the CPU<->GPU link bandwidth (the swapping
+/// budget of §4.1).
+struct GpuSpec {
+  std::string name;
+  /// Peak dense half-precision throughput, FLOP/s (A800: 312 TFLOP/s).
+  double peak_flops = 0.0;
+  /// Device memory capacity in bytes.
+  std::int64_t memory_bytes = 0;
+  /// Effective PCIe bandwidth between this GPU and host memory, bytes/s.
+  /// The paper's testbed measures 32 GB/s per GPU.
+  double pcie_bandwidth = 0.0;
+};
+
+/// NVIDIA A800 80GB — the paper's evaluation GPU.
+GpuSpec A800();
+/// NVIDIA A100 80GB (same compute/memory envelope as A800 for our purposes).
+GpuSpec A100();
+/// NVIDIA H100 80GB (used by the §2.2 compute-vs-bandwidth growth argument).
+GpuSpec H100();
+
+/// Static description of one server node.
+struct NodeSpec {
+  GpuSpec gpu;
+  int gpus_per_node = 8;
+  /// Host (CPU) memory capacity in bytes; 2 TB in the paper's cluster. All
+  /// GPUs of a node share this pool when offloading activations.
+  std::int64_t host_memory_bytes = 2 * kTiB;
+  /// Intra-node NVLink bandwidth per GPU, bytes/s (400 GB/s in the paper).
+  double nvlink_bandwidth = 400.0 * kGBps;
+  /// Inter-node InfiniBand bandwidth per node, bytes/s (200 GB/s).
+  double ib_bandwidth = 200.0 * kGBps;
+};
+
+/// A homogeneous cluster of `num_nodes` identical nodes.
+struct ClusterSpec {
+  NodeSpec node;
+  int num_nodes = 1;
+
+  int total_gpus() const { return node.gpus_per_node * num_nodes; }
+
+  /// Host memory available per GPU for activation offloading: the node pool
+  /// divided by the GPUs sharing it (§4.1's M_CPU constraint is per node;
+  /// we account per GPU for per-rank planning).
+  std::int64_t host_bytes_per_gpu() const {
+    return node.host_memory_bytes / node.gpus_per_node;
+  }
+};
+
+/// The paper's A800 cluster scaled to `num_gpus` (8 GPUs per node).
+ClusterSpec PaperCluster(int num_gpus);
+
+}  // namespace memo::hw
+
+#endif  // MEMO_HW_GPU_SPEC_H_

@@ -1,0 +1,67 @@
+#include "model/activation_spec.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace memo::model {
+
+std::vector<SkeletalTensor> SkeletalInventory(const ModelConfig& config) {
+  const double ffn_units = static_cast<double>(config.ffn_hidden) /
+                           static_cast<double>(config.hidden);
+  const double kv = config.kv_ratio();
+  return {
+      {"input", SkeletalClass::kLayerInput, 1, 0},
+      {"input_norm", SkeletalClass::kOther, 1, 0},
+      {"q", SkeletalClass::kOther, 1, 0},
+      {"k", SkeletalClass::kOther, kv, 0},
+      {"v", SkeletalClass::kOther, kv, 0},
+      {"attn_out", SkeletalClass::kAttnOutput, 1, 0},
+      {"proj_out", SkeletalClass::kOther, 1, 0},
+      {"post_attn_norm", SkeletalClass::kOther, 1, 0},
+      {"fc1_out", SkeletalClass::kOther, ffn_units, 0},
+      {"gelu_out", SkeletalClass::kOther, ffn_units, 0},
+  };
+}
+
+SkeletalLayout ComputeSkeletalLayout(const ModelConfig& config,
+                                     std::int64_t batch,
+                                     std::int64_t seq_local,
+                                     std::int64_t tensor_parallel) {
+  MEMO_CHECK_GT(batch, 0);
+  MEMO_CHECK_GT(seq_local, 0);
+  MEMO_CHECK_GT(tensor_parallel, 0);
+  // With Megatron-style sequence parallelism (enabled in every paper run),
+  // the non-TP regions are sharded along the sequence dimension and the TP
+  // regions along heads / ffn columns, so every skeletal tensor ends up
+  // 1/tensor_parallel of its full size on each GPU.
+  const std::int64_t unit =
+      batch * seq_local * config.hidden * ModelConfig::kBytesPerElement /
+      tensor_parallel;
+  // FlashAttention stores one fp32 log-sum-exp value per (head, token).
+  const std::int64_t lse_bytes =
+      batch * seq_local * (config.num_heads / tensor_parallel) * 4;
+
+  SkeletalLayout layout;
+  for (const SkeletalTensor& t : SkeletalInventory(config)) {
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(
+            std::llround(t.bsh_units * static_cast<double>(unit))) +
+        t.extra_bytes;
+    switch (t.cls) {
+      case SkeletalClass::kLayerInput:
+        layout.input_bytes += bytes;
+        break;
+      case SkeletalClass::kAttnOutput:
+        layout.attn_out_bytes += bytes;
+        break;
+      case SkeletalClass::kOther:
+        layout.others_bytes += bytes;
+        break;
+    }
+  }
+  layout.attn_out_bytes += lse_bytes;
+  return layout;
+}
+
+}  // namespace memo::model

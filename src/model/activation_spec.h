@@ -1,0 +1,63 @@
+#ifndef MEMO_MODEL_ACTIVATION_SPEC_H_
+#define MEMO_MODEL_ACTIVATION_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/model_config.h"
+
+namespace memo::model {
+
+/// Skeletal-tensor classes from the paper's Fig. 5 discussion. MEMO treats
+/// the layer input and the FlashAttention output specially at the tensor
+/// granularity (§4.1); everything else is managed at the token granularity.
+enum class SkeletalClass {
+  kLayerInput,   // input of the transformer layer (S_input)
+  kAttnOutput,   // FlashAttention output (+ log-sum-exp) (S_attn)
+  kOther,        // all remaining skeletal tensors (S_others)
+};
+
+/// One skeletal activation tensor produced during a transformer layer's
+/// forward pass and kept for its backward pass.
+struct SkeletalTensor {
+  std::string name;
+  SkeletalClass cls = SkeletalClass::kOther;
+  /// Size in units of b*s*h elements (the paper's Fig. 5 bracket notation).
+  /// Fractional for GQA K/V tensors (kv_heads/num_heads of a unit) and
+  /// non-4x FFN ratios; 0 marks byte-sized side tensors via `extra_bytes`.
+  double bsh_units = 0;
+  /// Additional bytes not proportional to b*s*h (e.g. softmax LSE, LN rstd).
+  std::int64_t extra_bytes = 0;
+};
+
+/// The complete skeletal inventory of one transformer layer, Fig. 5:
+///   input(1) | ln1_out(1) | q(1) k(1) v(1) | attn_out(1) | proj_out(1) |
+///   ln2_out(1) | fc1_out(4) | gelu_out(4)   == 16 b*s*h elements total.
+/// FFN tensors assume h_ffn = 4h (all Table 2 models); for other ratios the
+/// fc1/gelu units scale as h_ffn/h.
+std::vector<SkeletalTensor> SkeletalInventory(const ModelConfig& config);
+
+/// Byte sizes of the three skeletal classes for a given per-GPU shard.
+/// `seq_local` is the number of tokens this GPU holds after sequence/context
+/// parallel sharding; `batch` is the micro-batch size.
+struct SkeletalLayout {
+  std::int64_t input_bytes = 0;   // S_input
+  std::int64_t attn_out_bytes = 0;  // S_attn
+  std::int64_t others_bytes = 0;  // S_others
+  std::int64_t total_bytes() const {
+    return input_bytes + attn_out_bytes + others_bytes;
+  }
+};
+
+/// Computes the per-layer skeletal byte layout. `hidden_local` is the hidden
+/// size visible to this GPU (h / TP for the tensor-parallel regions; the
+/// caller passes the already-sharded value).
+SkeletalLayout ComputeSkeletalLayout(const ModelConfig& config,
+                                     std::int64_t batch,
+                                     std::int64_t seq_local,
+                                     std::int64_t tensor_parallel);
+
+}  // namespace memo::model
+
+#endif  // MEMO_MODEL_ACTIVATION_SPEC_H_

@@ -1,0 +1,60 @@
+#include "model/model_config.h"
+
+namespace memo::model {
+
+std::int64_t ModelConfig::layer_parameters() const {
+  const std::int64_t h = hidden;
+  // Q and output projections are h x h; K and V shrink with GQA.
+  const std::int64_t h_kv =
+      h * kv_heads() / num_heads;  // exact: head_dim * kv_heads
+  return 2 * h * h + 2 * h * h_kv + 2 * h * ffn_hidden + 4 * h;
+}
+
+std::int64_t ModelConfig::num_parameters() const {
+  const std::int64_t h = hidden;
+  return num_layers * layer_parameters() + 2 * vocab * h + 2 * h;
+}
+
+Status ModelConfig::Validate() const {
+  if (num_layers <= 0) return InvalidArgumentError("num_layers must be > 0");
+  if (hidden <= 0) return InvalidArgumentError("hidden must be > 0");
+  if (ffn_hidden <= 0) return InvalidArgumentError("ffn_hidden must be > 0");
+  if (num_heads <= 0) return InvalidArgumentError("num_heads must be > 0");
+  if (vocab <= 0) return InvalidArgumentError("vocab must be > 0");
+  if (hidden % num_heads != 0) {
+    return InvalidArgumentError("hidden must be divisible by num_heads");
+  }
+  if (num_kv_heads < 0 ||
+      (num_kv_heads > 0 && num_heads % num_kv_heads != 0)) {
+    return InvalidArgumentError(
+        "num_kv_heads must divide num_heads (grouped-query attention)");
+  }
+  return OkStatus();
+}
+
+ModelConfig Gpt7B() {
+  return ModelConfig{"7B", 32, 4096, 16384, 32, 0, 50257};
+}
+ModelConfig Gpt13B() {
+  return ModelConfig{"13B", 40, 5120, 20480, 40, 0, 50257};
+}
+ModelConfig Gpt30B() {
+  return ModelConfig{"30B", 48, 7168, 28672, 56, 0, 50257};
+}
+ModelConfig Gpt65B() {
+  return ModelConfig{"65B", 80, 8192, 32768, 64, 0, 50257};
+}
+ModelConfig Llama8BGqa() {
+  return ModelConfig{"8B-GQA", 32, 4096, 14336, 32, 8, 128256};
+}
+
+StatusOr<ModelConfig> ModelByName(const std::string& name) {
+  if (name == "7B") return Gpt7B();
+  if (name == "13B") return Gpt13B();
+  if (name == "30B") return Gpt30B();
+  if (name == "65B") return Gpt65B();
+  if (name == "8B-GQA") return Llama8BGqa();
+  return NotFoundError("unknown model preset: " + name);
+}
+
+}  // namespace memo::model

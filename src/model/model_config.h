@@ -1,0 +1,70 @@
+#ifndef MEMO_MODEL_MODEL_CONFIG_H_
+#define MEMO_MODEL_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace memo::model {
+
+/// Architecture hyper-parameters of a decoder-only GPT model, matching the
+/// paper's Table 2. All evaluated models use a standard pre-norm transformer
+/// with multi-head attention and a 4x GELU FFN.
+struct ModelConfig {
+  std::string name;
+  int num_layers = 0;       // n_layers
+  std::int64_t hidden = 0;  // h
+  std::int64_t ffn_hidden = 0;  // h_ffn (4h for all Table 2 models)
+  int num_heads = 0;        // n_head
+  /// Grouped-query attention: number of K/V heads; 0 means multi-head
+  /// attention (kv heads == query heads, all Table 2 models). GQA shrinks
+  /// the K/V projections and their skeletal activations, which shifts
+  /// MEMO's S_others and therefore the solved swap fraction.
+  int num_kv_heads = 0;
+  std::int64_t vocab = 0;   // n_vocab
+
+  /// Bytes per element of parameters and activations (fp16/bf16 training).
+  static constexpr int kBytesPerElement = 2;
+
+  std::int64_t head_dim() const { return hidden / num_heads; }
+
+  /// Effective K/V head count (num_heads when MHA).
+  int kv_heads() const { return num_kv_heads > 0 ? num_kv_heads : num_heads; }
+
+  /// K/V width as a fraction of the hidden size: kv_heads / num_heads.
+  double kv_ratio() const {
+    return static_cast<double>(kv_heads()) / num_heads;
+  }
+
+  /// Total parameter count P:
+  ///   per layer: 4h^2 (QKV + output projection) + 2*h*h_ffn (FFN)
+  ///              + 4h (two LayerNorms' scale and bias)
+  ///   plus input embedding (V*h), final LayerNorm (2h) and untied
+  ///   classifier (V*h).
+  std::int64_t num_parameters() const;
+
+  /// Parameters in one transformer layer only.
+  std::int64_t layer_parameters() const;
+
+  /// Validates that the configuration is internally consistent.
+  Status Validate() const;
+};
+
+/// The paper's Table 2 presets.
+ModelConfig Gpt7B();
+ModelConfig Gpt13B();
+ModelConfig Gpt30B();
+ModelConfig Gpt65B();
+
+/// A Llama-3-8B-shaped GQA preset (32 layers, h=4096, 32 query / 8 KV
+/// heads, 3.5x FFN, 128K vocabulary) — the extension architecture used to
+/// exercise MEMO's accounting beyond the paper's MHA models.
+ModelConfig Llama8BGqa();
+
+/// Looks a preset up by name ("7B", "13B", "30B", "65B", "8B-GQA").
+StatusOr<ModelConfig> ModelByName(const std::string& name);
+
+}  // namespace memo::model
+
+#endif  // MEMO_MODEL_MODEL_CONFIG_H_

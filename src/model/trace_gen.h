@@ -1,0 +1,109 @@
+#ifndef MEMO_MODEL_TRACE_GEN_H_
+#define MEMO_MODEL_TRACE_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "model/activation_spec.h"
+#include "model/model_config.h"
+
+namespace memo::model {
+
+/// One entry of a memory request sequence, in the paper's Fig. 4 format:
+/// "malloc tensor_id size" / "free tensor_id size".
+struct MemoryRequest {
+  enum class Kind { kMalloc, kFree };
+  Kind kind = Kind::kMalloc;
+  std::int64_t tensor_id = 0;
+  std::int64_t bytes = 0;
+  /// Skeletal tensors are produced in a forward pass and freed in the
+  /// corresponding backward pass; transient tensors are created and
+  /// discarded within a single layer's forward or backward pass (§3.1).
+  bool skeletal = false;
+  std::string name;
+};
+
+/// How skeletal activations are managed, which changes the request trace the
+/// allocator sees:
+///  * kRetainAll      — vanilla training: all skeletal tensors stay allocated
+///                      from forward until consumed in backward.
+///  * kFullRecompute  — Megatron-style full activation recomputation: only
+///                      each layer's input survives the forward pass; during
+///                      backward the layer forward is replayed, re-allocating
+///                      the skeletal set.
+///  * kMemoBuffers    — MEMO: skeletal tensors live in the pre-allocated
+///                      rounding buffers (§4.1) and never reach the dynamic
+///                      allocator; only transient tensors appear.
+enum class ActivationMode { kRetainAll, kFullRecompute, kMemoBuffers };
+
+/// Parameters of trace generation for one GPU rank.
+struct TraceGenOptions {
+  std::int64_t batch = 1;
+  /// Tokens held by this rank (already divided by CP/SP sharding).
+  std::int64_t seq_local = 0;
+  /// Tensor-parallel degree (shards hidden/ffn/head dimensions).
+  std::int64_t tensor_parallel = 1;
+  ActivationMode mode = ActivationMode::kRetainAll;
+  /// cuBLAS-style per-GEMM workspace allocation.
+  std::int64_t gemm_workspace_bytes = 32 * kMiB;
+  /// The classifier materializes logits in this many sequence chunks
+  /// (Megatron-style chunked vocab-parallel cross entropy).
+  int classifier_chunks = 8;
+};
+
+/// A contiguous region of a request trace, e.g. one layer's forward pass.
+/// Segments let the bi-level planner (§4.2) identify the repeated
+/// transformer-layer substructure. `begin`/`end` index into
+/// `ModelTrace::requests`, half-open.
+struct TraceSegment {
+  std::string name;  // "embedding_fwd", "layer_fwd", "layer_bwd", ...
+  int begin = 0;
+  int end = 0;
+  /// Layer index for transformer-layer segments, -1 otherwise.
+  int layer = -1;
+};
+
+/// A full training-iteration request trace (the paper's Fig. 9): embedding
+/// forward, n layer forwards, classifier forward+backward, n layer backwards
+/// (reverse order), embedding backward.
+struct ModelTrace {
+  std::vector<MemoryRequest> requests;
+  std::vector<TraceSegment> segments;
+
+  /// Sum of malloc bytes currently live after executing `requests[0..i)`,
+  /// maximized over i — a lower bound for any allocator.
+  std::int64_t MaxLiveBytes() const;
+
+  /// Validates malloc/free pairing: every free matches a prior live malloc
+  /// with the same size; no tensor freed twice.
+  Status Validate() const;
+};
+
+/// Forward request trace of one interior transformer layer, extracted from a
+/// small model trace (all interior layers are identical, §3.3). The layer's
+/// input pre-exists (allocated by the previous segment); its output *is*
+/// allocated by this trace (it is the next layer's input).
+std::vector<MemoryRequest> GenerateLayerForwardTrace(
+    const ModelConfig& config, const TraceGenOptions& options);
+
+/// Backward request trace of the same interior layer. Frees in it reference
+/// the tensor_ids allocated by the matching GenerateLayerForwardTrace. In
+/// kFullRecompute mode the recompute replay is prepended.
+std::vector<MemoryRequest> GenerateLayerBackwardTrace(
+    const ModelConfig& config, const TraceGenOptions& options);
+
+/// Generates the whole-iteration trace of Fig. 9 for an `config.num_layers`-
+/// layer model (embedding + transformer layers + classifier, forward and
+/// backward).
+ModelTrace GenerateModelTrace(const ModelConfig& config,
+                              const TraceGenOptions& options);
+
+/// Renders a request trace in the paper's Fig. 4 table format.
+std::string FormatTrace(const std::vector<MemoryRequest>& requests);
+
+}  // namespace memo::model
+
+#endif  // MEMO_MODEL_TRACE_GEN_H_

@@ -1,0 +1,31 @@
+#include "parallel/memory_model.h"
+
+#include "common/logging.h"
+
+namespace memo::parallel {
+
+ModelStateBytes ComputeModelStateBytes(const model::ModelConfig& model,
+                                       const ParallelStrategy& strategy) {
+  // Parameters held by one rank: transformer layers shard by TP and PP;
+  // the embedding and classifier are vocabulary-parallel over TP and live on
+  // the first/last pipeline stages (we account the worse, embedding-bearing
+  // stage; for pp == 1 that is exact).
+  const std::int64_t layer_params =
+      model.layer_parameters() * (model.num_layers / strategy.pp) /
+      strategy.tp;
+  const std::int64_t embedding_params = model.vocab * model.hidden / strategy.tp;
+  std::int64_t rank_params = layer_params + embedding_params;
+  if (strategy.pp == 1) rank_params += embedding_params;  // untied classifier
+
+  const int zero_degree = strategy.zero_shard_degree();
+  ModelStateBytes bytes;
+  bytes.params = 2 * rank_params;
+  bytes.grads = 2 * rank_params;
+  bytes.optimizer = 12 * rank_params;
+  if (strategy.zero_stage >= 1) bytes.optimizer /= zero_degree;
+  if (strategy.zero_stage >= 2) bytes.grads /= zero_degree;
+  if (strategy.zero_stage >= 3) bytes.params /= zero_degree;
+  return bytes;
+}
+
+}  // namespace memo::parallel

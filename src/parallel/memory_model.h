@@ -1,0 +1,31 @@
+#ifndef MEMO_PARALLEL_MEMORY_MODEL_H_
+#define MEMO_PARALLEL_MEMORY_MODEL_H_
+
+#include <cstdint>
+
+#include "parallel/strategy.h"
+
+namespace memo::parallel {
+
+/// Per-GPU bytes of permanently resident model state under standard mixed-
+/// precision training: fp16 weights (2 B/param), the bf16 gradient
+/// accumulation buffer (2 B/param), and fp32 optimizer state (master
+/// weights + Adam moments, 12 B/param), with ZeRO sharding applied per
+/// stage over zero_shard_degree().
+struct ModelStateBytes {
+  std::int64_t params = 0;
+  std::int64_t grads = 0;
+  std::int64_t optimizer = 0;
+  std::int64_t total() const { return params + grads + optimizer; }
+};
+
+/// Computes the per-GPU model-state footprint. TP and PP shard the
+/// parameters held by a rank; ZeRO shards over `zero_shard_degree()`:
+/// stage >= 1 shards optimizer state, stage >= 2 also gradients,
+/// stage >= 3 also the fp16 parameters.
+ModelStateBytes ComputeModelStateBytes(const model::ModelConfig& model,
+                                       const ParallelStrategy& strategy);
+
+}  // namespace memo::parallel
+
+#endif  // MEMO_PARALLEL_MEMORY_MODEL_H_

@@ -1,0 +1,47 @@
+#ifndef MEMO_PARALLEL_PIPELINE_H_
+#define MEMO_PARALLEL_PIPELINE_H_
+
+namespace memo::parallel {
+
+/// Inputs of a non-interleaved 1F1B pipeline schedule (Megatron-style,
+/// PipeDream-flush): `stages` pipeline stages process `microbatches`
+/// sequence chunks; each stage spends `fwd_seconds` / `bwd_seconds` per
+/// chunk and pays `p2p_seconds` to receive activations (gradients) from its
+/// neighbour.
+struct PipelineSchedule {
+  int stages = 1;
+  int microbatches = 1;
+  double fwd_seconds = 0.0;
+  double bwd_seconds = 0.0;
+  double p2p_seconds = 0.0;
+};
+
+struct PipelineResult {
+  /// Wall time from the first forward to the last backward.
+  double makespan_seconds = 0.0;
+  /// Idle fraction of the busiest stage: (makespan - busy) / makespan.
+  /// For uniform stage times and zero p2p this equals the textbook
+  /// (stages - 1) / (microbatches + stages - 1).
+  double bubble_fraction = 0.0;
+};
+
+/// Simulates the exact 1F1B schedule with a dependency-driven timeline:
+/// warmup forwards (stages - stage - 1 per stage), the steady 1F1B phase,
+/// and the cooldown backwards, honoring cross-stage data dependencies and
+/// in-order execution within each stage.
+PipelineResult Simulate1F1B(const PipelineSchedule& schedule);
+
+/// Megatron's interleaved 1F1B ("virtual pipeline"): each physical stage
+/// hosts `virtual_chunks` non-contiguous model chunks, so the pipeline depth
+/// seen by a microbatch is stages * virtual_chunks while the warmup bubble
+/// stays proportional to the physical depth — shrinking the idle fraction
+/// by ~1/virtual_chunks at the cost of more p2p traffic.
+/// `fwd_seconds`/`bwd_seconds` of the schedule are interpreted per
+/// microbatch per PHYSICAL stage (each chunk costs 1/virtual_chunks of it);
+/// `microbatches` must be a multiple of `stages` (the Megatron requirement).
+PipelineResult SimulateInterleaved1F1B(const PipelineSchedule& schedule,
+                                       int virtual_chunks);
+
+}  // namespace memo::parallel
+
+#endif  // MEMO_PARALLEL_PIPELINE_H_

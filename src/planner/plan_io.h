@@ -1,0 +1,34 @@
+#ifndef MEMO_PLANNER_PLAN_IO_H_
+#define MEMO_PLANNER_PLAN_IO_H_
+
+#include <string>
+
+#include "planner/bilevel_planner.h"
+
+namespace memo::planner {
+
+/// Serializes a memory plan to a stable, line-oriented text format:
+///
+///   memo-plan v1
+///   arena <bytes>
+///   meta <fwd_peak> <bwd_peak> <lower_bound> <l1f> <l1b> <l2> <tensors>
+///   tensor <id> <address> <size>
+///   ...
+///
+/// Plans are computed once per (model, strategy, sequence-shape) and reused
+/// for every subsequent run, so persisting them avoids re-solving at job
+/// startup (§4.3.3).
+std::string SerializePlan(const MemoryPlan& plan);
+
+/// Parses SerializePlan output. Fails with kInvalidArgument on malformed
+/// input (wrong header, truncated lines, duplicate tensors, address/size
+/// inconsistencies against the arena).
+StatusOr<MemoryPlan> ParsePlan(const std::string& text);
+
+/// File convenience wrappers.
+Status SavePlan(const MemoryPlan& plan, const std::string& path);
+StatusOr<MemoryPlan> LoadPlan(const std::string& path);
+
+}  // namespace memo::planner
+
+#endif  // MEMO_PLANNER_PLAN_IO_H_

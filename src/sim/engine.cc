@@ -1,0 +1,100 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/units.h"
+
+namespace memo::sim {
+
+StreamId SimEngine::CreateStream(std::string name) {
+  streams_.push_back(Stream{std::move(name)});
+  return StreamId{static_cast<int>(streams_.size()) - 1};
+}
+
+EventId SimEngine::CreateEvent(std::string name) {
+  events_.push_back(Event{std::move(name)});
+  return EventId{static_cast<int>(events_.size()) - 1};
+}
+
+SimEngine::Stream& SimEngine::GetStream(StreamId id) {
+  MEMO_CHECK_GE(id.value, 0);
+  MEMO_CHECK_LT(id.value, static_cast<int>(streams_.size()));
+  return streams_[id.value];
+}
+
+const SimEngine::Stream& SimEngine::GetStream(StreamId id) const {
+  MEMO_CHECK_GE(id.value, 0);
+  MEMO_CHECK_LT(id.value, static_cast<int>(streams_.size()));
+  return streams_[id.value];
+}
+
+double SimEngine::EnqueueOp(StreamId stream, double duration_s,
+                            std::string label) {
+  MEMO_CHECK_GE(duration_s, 0.0) << "op " << label;
+  Stream& s = GetStream(stream);
+  const double ready = s.frontier_s;
+  const double start = std::max(ready, s.next_start_floor_s);
+  const double end = start + duration_s;
+  const double stall = start - ready;
+  s.frontier_s = end;
+  s.busy_s += duration_s;
+  s.stall_s += stall;
+  // The wait floor only delays the first op enqueued after the wait;
+  // subsequent ops are ordered behind it via the frontier.
+  s.next_start_floor_s = 0.0;
+  timeline_.push_back(
+      OpRecord{stream.value, std::move(label), start, end, stall});
+  return end;
+}
+
+void SimEngine::RecordEvent(StreamId stream, EventId event) {
+  MEMO_CHECK_GE(event.value, 0);
+  MEMO_CHECK_LT(event.value, static_cast<int>(events_.size()));
+  events_[event.value].fire_time_s = GetStream(stream).frontier_s;
+}
+
+void SimEngine::WaitEvent(StreamId stream, EventId event) {
+  MEMO_CHECK_GE(event.value, 0);
+  MEMO_CHECK_LT(event.value, static_cast<int>(events_.size()));
+  Stream& s = GetStream(stream);
+  s.next_start_floor_s =
+      std::max(s.next_start_floor_s, events_[event.value].fire_time_s);
+}
+
+double SimEngine::StreamFrontier(StreamId stream) const {
+  return GetStream(stream).frontier_s;
+}
+
+double SimEngine::Makespan() const {
+  double makespan = 0.0;
+  for (const Stream& s : streams_) makespan = std::max(makespan, s.frontier_s);
+  return makespan;
+}
+
+double SimEngine::BusySeconds(StreamId stream) const {
+  return GetStream(stream).busy_s;
+}
+
+double SimEngine::StallSeconds(StreamId stream) const {
+  return GetStream(stream).stall_s;
+}
+
+double SimEngine::EventTime(EventId event) const {
+  MEMO_CHECK_GE(event.value, 0);
+  MEMO_CHECK_LT(event.value, static_cast<int>(events_.size()));
+  return events_[event.value].fire_time_s;
+}
+
+std::string SimEngine::DumpTimeline() const {
+  std::ostringstream out;
+  for (const OpRecord& op : timeline_) {
+    out << "[" << streams_[op.stream].name << "] " << op.label << ": "
+        << FormatSeconds(op.start_s) << " -> " << FormatSeconds(op.end_s);
+    if (op.stall_s > 0.0) out << " (stalled " << FormatSeconds(op.stall_s) << ")";
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace memo::sim

@@ -1,0 +1,131 @@
+#ifndef MEMO_SIM_ENGINE_H_
+#define MEMO_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace memo::sim {
+
+/// Opaque handle to a simulated CUDA stream.
+struct StreamId {
+  int value = -1;
+  friend bool operator==(StreamId a, StreamId b) { return a.value == b.value; }
+};
+
+/// Opaque handle to a simulated CUDA event.
+struct EventId {
+  int value = -1;
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+/// One executed operation in the timeline (for reporting and tests).
+struct OpRecord {
+  int stream = 0;
+  std::string label;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  /// Seconds this op's start was delayed past the end of the previous op on
+  /// the same stream (i.e. exposed waiting caused by event dependencies).
+  double stall_s = 0.0;
+};
+
+/// Deterministic discrete-event engine with CUDA stream/event semantics.
+///
+/// The MEMO runtime executor (paper §4.3.4) schedules GPU compute, device-to-
+/// host offloading, and host-to-device prefetching on three CUDA streams,
+/// synchronized with CUDA events. This engine reproduces exactly those
+/// semantics:
+///   * operations on one stream run in enqueue order, back to back;
+///   * `RecordEvent` marks an event as fired when all work previously
+///     enqueued on the stream has finished;
+///   * `WaitEvent` blocks all *later* work on a stream until the event (as
+///     recorded at the time of the wait call) has fired.
+///
+/// Because the executors build their schedules in program order, every op's
+/// start time is resolvable immediately; no priority queue is needed and the
+/// resulting timeline is exact, not sampled.
+class SimEngine {
+ public:
+  SimEngine() = default;
+
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  /// Creates a stream. `name` appears in timeline dumps.
+  StreamId CreateStream(std::string name);
+
+  /// Creates an event. Unrecorded events are treated as already fired at
+  /// t = 0, matching cudaStreamWaitEvent on a never-recorded event.
+  EventId CreateEvent(std::string name);
+
+  /// Enqueues an operation of `duration_s` seconds on `stream`. Returns the
+  /// completion time. `label` is kept in the timeline for inspection.
+  double EnqueueOp(StreamId stream, double duration_s, std::string label);
+
+  /// Records `event` on `stream`: the event fires when everything enqueued on
+  /// the stream so far has completed. Re-recording overwrites the fire time.
+  void RecordEvent(StreamId stream, EventId event);
+
+  /// Makes all later work on `stream` wait for `event`'s recorded fire time.
+  void WaitEvent(StreamId stream, EventId event);
+
+  /// Time at which all currently enqueued work on `stream` completes.
+  double StreamFrontier(StreamId stream) const;
+
+  /// Completion time of the latest op across all streams.
+  double Makespan() const;
+
+  /// Total busy (executing) seconds on `stream`.
+  double BusySeconds(StreamId stream) const;
+
+  /// Total seconds ops on `stream` spent stalled on event waits.
+  double StallSeconds(StreamId stream) const;
+
+  /// Fire time of `event` (0 if never recorded).
+  double EventTime(EventId event) const;
+
+  /// Full executed-op timeline in enqueue order.
+  const std::vector<OpRecord>& timeline() const { return timeline_; }
+
+  int num_streams() const { return static_cast<int>(streams_.size()); }
+
+  /// Name of the stream with the given index (OpRecord::stream).
+  const std::string& stream_name(int index) const {
+    MEMO_CHECK_GE(index, 0);
+    MEMO_CHECK_LT(index, static_cast<int>(streams_.size()));
+    return streams_[index].name;
+  }
+
+  /// Human-readable dump of the timeline (for debugging and examples).
+  std::string DumpTimeline() const;
+
+ private:
+  struct Stream {
+    std::string name;
+    /// Completion time of the last op enqueued on this stream.
+    double frontier_s = 0.0;
+    /// Earliest time the next op may start (raised by WaitEvent).
+    double next_start_floor_s = 0.0;
+    double busy_s = 0.0;
+    double stall_s = 0.0;
+  };
+  struct Event {
+    std::string name;
+    double fire_time_s = 0.0;
+  };
+
+  Stream& GetStream(StreamId id);
+  const Stream& GetStream(StreamId id) const;
+
+  std::vector<Stream> streams_;
+  std::vector<Event> events_;
+  std::vector<OpRecord> timeline_;
+};
+
+}  // namespace memo::sim
+
+#endif  // MEMO_SIM_ENGINE_H_

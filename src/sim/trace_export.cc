@@ -1,0 +1,81 @@
+#include "sim/trace_export.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace memo::sim {
+
+namespace {
+
+/// Minimal JSON string escaping for op labels and stream names.
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TimelineToChromeTrace(const SimEngine& engine) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&]() {
+    if (!first) out << ",";
+    first = false;
+  };
+  // Thread-name metadata so streams render with their names.
+  for (int s = 0; s < engine.num_streams(); ++s) {
+    comma();
+    out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
+        << ",\"args\":{\"name\":\"" << Escape(engine.stream_name(s))
+        << "\"}}";
+  }
+  char buf[64];
+  for (const OpRecord& op : engine.timeline()) {
+    comma();
+    std::snprintf(buf, sizeof(buf), "%.3f", op.start_s * 1e6);
+    const std::string ts = buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", (op.end_s - op.start_s) * 1e6);
+    const std::string dur = buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", op.stall_s * 1e6);
+    const std::string stall = buf;
+    out << "{\"name\":\"" << Escape(op.label)
+        << "\",\"ph\":\"X\",\"pid\":0,\"tid\":" << op.stream << ",\"ts\":"
+        << ts << ",\"dur\":" << dur << ",\"args\":{\"stall_us\":" << stall
+        << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status WriteChromeTrace(const SimEngine& engine, const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return InvalidArgumentError("cannot open " + path + " for writing");
+  }
+  const std::string json = TimelineToChromeTrace(engine);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return InternalError("short write to " + path);
+  }
+  return OkStatus();
+}
+
+}  // namespace memo::sim

@@ -1,0 +1,22 @@
+#ifndef MEMO_SIM_TRACE_EXPORT_H_
+#define MEMO_SIM_TRACE_EXPORT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sim/engine.h"
+
+namespace memo::sim {
+
+/// Serializes a SimEngine timeline to the Chrome tracing JSON format
+/// (loadable in chrome://tracing or Perfetto). Each stream becomes a
+/// "thread"; each op becomes a complete ("X") event with its label, start
+/// and duration in microseconds; stalls are annotated as event arguments.
+std::string TimelineToChromeTrace(const SimEngine& engine);
+
+/// Writes TimelineToChromeTrace(engine) to `path`.
+Status WriteChromeTrace(const SimEngine& engine, const std::string& path);
+
+}  // namespace memo::sim
+
+#endif  // MEMO_SIM_TRACE_EXPORT_H_

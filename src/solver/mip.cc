@@ -1,0 +1,117 @@
+#include "solver/mip.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace memo::solver {
+
+namespace {
+
+constexpr double kIntTol = 1e-6;
+
+/// A branching decision: variable `var` bounded above by `bound` (kLe) or
+/// below (kGe).
+struct Branch {
+  int var = 0;
+  LpProblem::Relation relation = LpProblem::Relation::kLe;
+  double bound = 0.0;
+};
+
+/// Returns the integer variable with the most fractional relaxation value,
+/// or -1 if all are integral.
+int PickBranchVar(const std::vector<double>& x,
+                  const std::vector<int>& integer_vars) {
+  int best = -1;
+  double best_score = kIntTol;
+  for (int v : integer_vars) {
+    const double frac = x[v] - std::floor(x[v]);
+    const double score = std::min(frac, 1.0 - frac);
+    if (score > best_score) {
+      best_score = score;
+      best = v;
+    }
+  }
+  return best;
+}
+
+LpProblem WithBranches(const LpProblem& base, const std::vector<Branch>& path) {
+  LpProblem lp = base;
+  for (const Branch& b : path) {
+    std::vector<double> coeffs(lp.num_vars, 0.0);
+    coeffs[b.var] = 1.0;
+    lp.AddConstraint(std::move(coeffs), b.relation, b.bound);
+  }
+  return lp;
+}
+
+}  // namespace
+
+MipSolution SolveMip(const MipProblem& problem, const MipOptions& options) {
+  MipSolution best;
+  best.objective = -std::numeric_limits<double>::infinity();
+
+  // Depth-first stack of branch paths. Starting node: no branches.
+  std::vector<std::vector<Branch>> stack;
+  stack.push_back({});
+
+  while (!stack.empty() && best.nodes_explored < options.max_nodes) {
+    std::vector<Branch> path = std::move(stack.back());
+    stack.pop_back();
+    ++best.nodes_explored;
+
+    const LpSolution relaxed = SolveLp(WithBranches(problem.lp, path));
+    if (relaxed.outcome == LpSolution::Outcome::kInfeasible) continue;
+    if (relaxed.outcome == LpSolution::Outcome::kUnbounded) {
+      // An unbounded relaxation at the root means the MIP is unbounded;
+      // surface it as "no finite incumbent can be proved optimal".
+      MEMO_CHECK(!path.empty()) << "unbounded MIP relaxation";
+      continue;
+    }
+    if (best.outcome != MipSolution::Outcome::kInfeasible &&
+        relaxed.objective <= best.objective + options.absolute_gap) {
+      continue;  // bound: cannot beat incumbent
+    }
+
+    const int branch_var = PickBranchVar(relaxed.x, problem.integer_vars);
+    if (branch_var < 0) {
+      // Integer feasible: new incumbent.
+      if (relaxed.objective > best.objective) {
+        best.objective = relaxed.objective;
+        best.x = relaxed.x;
+        // Snap integer variables exactly.
+        for (int v : problem.integer_vars) {
+          best.x[v] = std::round(best.x[v]);
+        }
+        best.outcome = MipSolution::Outcome::kOptimal;  // provisional
+      }
+      continue;
+    }
+
+    const double value = relaxed.x[branch_var];
+    // Explore the "round toward the relaxation" child last so DFS pops it
+    // first (better incumbents earlier).
+    std::vector<Branch> up = path;
+    up.push_back(Branch{branch_var, LpProblem::Relation::kGe,
+                        std::ceil(value - kIntTol)});
+    std::vector<Branch> down = std::move(path);
+    down.push_back(Branch{branch_var, LpProblem::Relation::kLe,
+                          std::floor(value + kIntTol)});
+    if (value - std::floor(value) > 0.5) {
+      stack.push_back(std::move(down));
+      stack.push_back(std::move(up));
+    } else {
+      stack.push_back(std::move(up));
+      stack.push_back(std::move(down));
+    }
+  }
+
+  if (best.outcome != MipSolution::Outcome::kInfeasible && !stack.empty()) {
+    best.outcome = MipSolution::Outcome::kFeasible;  // budget exhausted
+  }
+  return best;
+}
+
+}  // namespace memo::solver

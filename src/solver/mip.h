@@ -1,0 +1,45 @@
+#ifndef MEMO_SOLVER_MIP_H_
+#define MEMO_SOLVER_MIP_H_
+
+#include <vector>
+
+#include "solver/simplex.h"
+
+namespace memo::solver {
+
+/// Mixed Integer Program: an LpProblem plus integrality requirements on a
+/// subset of variables. Binary variables should carry an explicit x <= 1
+/// constraint in the LP (branching handles the rest).
+struct MipProblem {
+  LpProblem lp;
+  std::vector<int> integer_vars;
+};
+
+struct MipOptions {
+  /// Branch-and-bound node budget; exceeded => best incumbent returned with
+  /// outcome kFeasible instead of kOptimal.
+  int max_nodes = 20000;
+  /// Prune nodes whose relaxation cannot beat the incumbent by more than
+  /// this (absolute, in objective units).
+  double absolute_gap = 1e-6;
+};
+
+struct MipSolution {
+  enum class Outcome {
+    kOptimal,     // proved optimal
+    kFeasible,    // integer-feasible incumbent, node budget exhausted
+    kInfeasible,  // no integer-feasible point exists
+  };
+  Outcome outcome = Outcome::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+  int nodes_explored = 0;
+};
+
+/// Solves `problem` (maximization) by LP-relaxation branch and bound with
+/// most-fractional branching and depth-first search. Deterministic.
+MipSolution SolveMip(const MipProblem& problem, const MipOptions& options = {});
+
+}  // namespace memo::solver
+
+#endif  // MEMO_SOLVER_MIP_H_

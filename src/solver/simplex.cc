@@ -1,0 +1,242 @@
+#include "solver/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace memo::solver {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Dense simplex tableau with an objective row, solved with Bland's rule
+/// (anti-cycling; instance sizes here make its slowness irrelevant).
+class Tableau {
+ public:
+  Tableau(int rows, int cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  double& At(int r, int c) { return data_[r * cols_ + c]; }
+  double At(int r, int c) const { return data_[r * cols_ + c]; }
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  void Pivot(int pivot_row, int pivot_col) {
+    const double p = At(pivot_row, pivot_col);
+    MEMO_CHECK_GT(std::abs(p), kEps);
+    for (int c = 0; c < cols_; ++c) At(pivot_row, c) /= p;
+    for (int r = 0; r < rows_; ++r) {
+      if (r == pivot_row) continue;
+      const double factor = At(r, pivot_col);
+      if (std::abs(factor) < kEps) continue;
+      for (int c = 0; c < cols_; ++c) {
+        At(r, c) -= factor * At(pivot_row, c);
+      }
+    }
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+enum class IterateResult { kOptimal, kUnbounded };
+
+/// Runs simplex iterations on `t` (last row = objective, last column = rhs)
+/// until optimal or unbounded. `allowed` masks columns that may enter the
+/// basis. `basis[i]` is the basic column of constraint row i.
+IterateResult Iterate(Tableau& t, std::vector<int>& basis,
+                      const std::vector<bool>& allowed) {
+  const int m = t.rows() - 1;
+  const int n = t.cols() - 1;
+  const int obj = m;
+  while (true) {
+    // Bland: smallest-index column with negative reduced cost.
+    int col = -1;
+    for (int j = 0; j < n; ++j) {
+      if (allowed[j] && t.At(obj, j) < -kEps) {
+        col = j;
+        break;
+      }
+    }
+    if (col < 0) return IterateResult::kOptimal;
+
+    // Ratio test, Bland tie-break on the basic variable index.
+    int row = -1;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (int i = 0; i < m; ++i) {
+      const double a = t.At(i, col);
+      if (a <= kEps) continue;
+      const double ratio = t.At(i, n) / a;
+      if (ratio < best_ratio - kEps ||
+          (ratio < best_ratio + kEps &&
+           (row < 0 || basis[i] < basis[row]))) {
+        best_ratio = ratio;
+        row = i;
+      }
+    }
+    if (row < 0) return IterateResult::kUnbounded;
+
+    t.Pivot(row, col);
+    basis[row] = col;
+  }
+}
+
+}  // namespace
+
+int LpProblem::AddConstraint(std::vector<double> coeffs, Relation relation,
+                             double rhs) {
+  MEMO_CHECK_EQ(static_cast<int>(coeffs.size()), num_vars);
+  constraints.push_back(Constraint{std::move(coeffs), relation, rhs});
+  return static_cast<int>(constraints.size()) - 1;
+}
+
+LpSolution SolveLp(const LpProblem& problem) {
+  MEMO_CHECK_EQ(static_cast<int>(problem.objective.size()), problem.num_vars);
+  const int n = problem.num_vars;
+  const int m = static_cast<int>(problem.constraints.size());
+
+  // Normalize rows to rhs >= 0 and count auxiliary columns.
+  struct Row {
+    std::vector<double> a;
+    LpProblem::Relation rel;
+    double b;
+  };
+  std::vector<Row> rows(m);
+  for (int i = 0; i < m; ++i) {
+    const auto& c = problem.constraints[i];
+    MEMO_CHECK_EQ(static_cast<int>(c.coeffs.size()), n);
+    rows[i] = Row{c.coeffs, c.relation, c.rhs};
+    if (rows[i].b < 0) {
+      for (double& v : rows[i].a) v = -v;
+      rows[i].b = -rows[i].b;
+      if (rows[i].rel == LpProblem::Relation::kLe) {
+        rows[i].rel = LpProblem::Relation::kGe;
+      } else if (rows[i].rel == LpProblem::Relation::kGe) {
+        rows[i].rel = LpProblem::Relation::kLe;
+      }
+    }
+  }
+
+  int num_slack = 0;
+  int num_artificial = 0;
+  for (const Row& r : rows) {
+    switch (r.rel) {
+      case LpProblem::Relation::kLe:
+        ++num_slack;
+        break;
+      case LpProblem::Relation::kGe:
+        ++num_slack;
+        ++num_artificial;
+        break;
+      case LpProblem::Relation::kEq:
+        ++num_artificial;
+        break;
+    }
+  }
+
+  const int total = n + num_slack + num_artificial;
+  Tableau t(m + 1, total + 1);
+  std::vector<int> basis(m, -1);
+  std::vector<bool> is_artificial(total, false);
+
+  int slack_cursor = n;
+  int artificial_cursor = n + num_slack;
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) t.At(i, j) = rows[i].a[j];
+    t.At(i, total) = rows[i].b;
+    switch (rows[i].rel) {
+      case LpProblem::Relation::kLe:
+        t.At(i, slack_cursor) = 1.0;
+        basis[i] = slack_cursor++;
+        break;
+      case LpProblem::Relation::kGe:
+        t.At(i, slack_cursor) = -1.0;
+        ++slack_cursor;
+        t.At(i, artificial_cursor) = 1.0;
+        is_artificial[artificial_cursor] = true;
+        basis[i] = artificial_cursor++;
+        break;
+      case LpProblem::Relation::kEq:
+        t.At(i, artificial_cursor) = 1.0;
+        is_artificial[artificial_cursor] = true;
+        basis[i] = artificial_cursor++;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  // Phase 1: minimize the artificial sum (maximize its negation). The
+  // objective row starts as +1 on artificials and is canonicalized against
+  // the artificial basis.
+  if (num_artificial > 0) {
+    for (int j = 0; j < total; ++j) {
+      t.At(m, j) = is_artificial[j] ? 1.0 : 0.0;
+    }
+    t.At(m, total) = 0.0;
+    for (int i = 0; i < m; ++i) {
+      if (is_artificial[basis[i]]) {
+        for (int c = 0; c <= total; ++c) t.At(m, c) -= t.At(i, c);
+      }
+    }
+    std::vector<bool> allowed(total, true);
+    const IterateResult r = Iterate(t, basis, allowed);
+    MEMO_CHECK(r == IterateResult::kOptimal);  // phase 1 is always bounded
+    if (t.At(m, total) < -1e-7) {
+      solution.outcome = LpSolution::Outcome::kInfeasible;
+      return solution;
+    }
+    // Pivot any artificial still basic (at zero) out of the basis.
+    for (int i = 0; i < m; ++i) {
+      if (!is_artificial[basis[i]]) continue;
+      int col = -1;
+      for (int j = 0; j < n + num_slack; ++j) {
+        if (std::abs(t.At(i, j)) > kEps) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) {
+        t.Pivot(i, col);
+        basis[i] = col;
+      }
+      // Otherwise the row is redundant; the artificial stays basic at 0,
+      // harmless because artificial columns are barred from re-entering.
+    }
+  }
+
+  // Phase 2: the real objective. Reduced-cost row = -c, canonicalized.
+  for (int j = 0; j <= total; ++j) t.At(m, j) = 0.0;
+  for (int j = 0; j < n; ++j) t.At(m, j) = -problem.objective[j];
+  for (int i = 0; i < m; ++i) {
+    const int b = basis[i];
+    const double cost = b < n ? problem.objective[b] : 0.0;
+    if (std::abs(cost) < kEps) continue;
+    for (int c = 0; c <= total; ++c) t.At(m, c) += cost * t.At(i, c);
+  }
+  std::vector<bool> allowed(total, true);
+  for (int j = 0; j < total; ++j) {
+    if (is_artificial[j]) allowed[j] = false;
+  }
+  const IterateResult r = Iterate(t, basis, allowed);
+  if (r == IterateResult::kUnbounded) {
+    solution.outcome = LpSolution::Outcome::kUnbounded;
+    return solution;
+  }
+
+  solution.outcome = LpSolution::Outcome::kOptimal;
+  solution.objective = t.At(m, total);
+  solution.x.assign(n, 0.0);
+  for (int i = 0; i < m; ++i) {
+    if (basis[i] < n) solution.x[basis[i]] = t.At(i, total);
+  }
+  return solution;
+}
+
+}  // namespace memo::solver

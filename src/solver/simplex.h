@@ -1,0 +1,47 @@
+#ifndef MEMO_SOLVER_SIMPLEX_H_
+#define MEMO_SOLVER_SIMPLEX_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace memo::solver {
+
+/// Linear program in the form
+///   maximize  c^T x
+///   subject to  a_i^T x {<=,>=,==} b_i,   x >= 0.
+/// Variables are continuous and non-negative; bounded variables are encoded
+/// with explicit constraints. This is the substrate under the bi-level MIP
+/// memory planner (§4.2) and the swap-fraction LP (§4.1).
+struct LpProblem {
+  enum class Relation { kLe, kGe, kEq };
+  struct Constraint {
+    std::vector<double> coeffs;  // dense, length num_vars
+    Relation relation = Relation::kLe;
+    double rhs = 0.0;
+  };
+
+  int num_vars = 0;
+  std::vector<double> objective;  // length num_vars, maximized
+  std::vector<Constraint> constraints;
+
+  /// Adds a constraint and returns its index.
+  int AddConstraint(std::vector<double> coeffs, Relation relation, double rhs);
+};
+
+/// Result of an LP solve.
+struct LpSolution {
+  enum class Outcome { kOptimal, kInfeasible, kUnbounded };
+  Outcome outcome = Outcome::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves `problem` with a dense two-phase primal simplex (Bland's rule on
+/// degeneracy, 1e-9 tolerances). Deterministic; suitable for the planner's
+/// instance sizes (hundreds of variables/constraints).
+LpSolution SolveLp(const LpProblem& problem);
+
+}  // namespace memo::solver
+
+#endif  // MEMO_SOLVER_SIMPLEX_H_

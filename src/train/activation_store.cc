@@ -1,0 +1,127 @@
+#include "train/activation_store.h"
+
+#include <cmath>
+#include <algorithm>
+#include <utility>
+
+#include "train/ops.h"
+
+namespace memo::train {
+
+namespace {
+
+/// Truncates `t` to its first `rows` rows (keeping column count).
+Tensor KeepRows(const Tensor& t, std::int64_t rows) {
+  return t.SliceRows(0, rows);
+}
+
+std::int64_t BytesOf(const LayerActivations& a) {
+  return 4 * (a.input.size() + a.ln1_out.size() + a.ln1_rstd.size() +
+              a.q.size() + a.k.size() + a.v.size() + a.attn_out.size() +
+              a.proj_out.size() + a.ln2_out.size() + a.ln2_rstd.size() +
+              a.fc1_out.size() + a.gelu_out.size());
+}
+
+}  // namespace
+
+ActivationStore::ActivationStore(ActivationPolicy policy, double alpha)
+    : policy_(policy), alpha_(alpha) {
+  MEMO_CHECK_GE(alpha, 0.0);
+  MEMO_CHECK_LE(alpha, 1.0);
+}
+
+std::int64_t ActivationStore::CutRow(std::int64_t rows) const {
+  return static_cast<std::int64_t>(
+      std::llround(alpha_ * static_cast<double>(rows)));
+}
+
+void ActivationStore::Stash(int layer, LayerActivations&& acts) {
+  const std::int64_t full_bytes = BytesOf(acts);
+  if (policy_ == ActivationPolicy::kRetainAll) {
+    // Everything stays on the accelerator.
+    device_peak_bytes_ =
+        std::max(device_peak_bytes_, stored_bytes_ + full_bytes);
+  } else {
+    // Token-wise: two rounding buffers, each holding one full layer.
+    device_peak_bytes_ = std::max(device_peak_bytes_, 2 * full_bytes);
+  }
+  if (policy_ == ActivationPolicy::kTokenWise) {
+    const std::int64_t cut = CutRow(acts.input.rows());
+    acts.ln1_out = KeepRows(acts.ln1_out, cut);
+    acts.ln1_rstd = KeepRows(acts.ln1_rstd, cut);
+    acts.q = KeepRows(acts.q, cut);
+    acts.k = KeepRows(acts.k, cut);
+    acts.v = KeepRows(acts.v, cut);
+    acts.proj_out = KeepRows(acts.proj_out, cut);
+    acts.ln2_out = KeepRows(acts.ln2_out, cut);
+    acts.ln2_rstd = KeepRows(acts.ln2_rstd, cut);
+    acts.fc1_out = KeepRows(acts.fc1_out, cut);
+    acts.gelu_out = KeepRows(acts.gelu_out, cut);
+  }
+  stored_bytes_ += BytesOf(acts);
+  peak_stored_bytes_ = std::max(peak_stored_bytes_, stored_bytes_);
+  MEMO_CHECK(stash_.emplace(layer, std::move(acts)).second)
+      << "layer " << layer << " stashed twice";
+}
+
+LayerActivations ActivationStore::Restore(int layer,
+                                          const LayerParams& params) {
+  auto it = stash_.find(layer);
+  MEMO_CHECK(it != stash_.end()) << "layer " << layer << " not stashed";
+  LayerActivations acts = std::move(it->second);
+  stash_.erase(it);
+  stored_bytes_ -= BytesOf(acts);
+
+  if (policy_ == ActivationPolicy::kRetainAll) return acts;
+
+  const std::int64_t s = acts.input.rows();
+  const std::int64_t h = acts.input.cols();
+  const std::int64_t cut = CutRow(s);
+  if (cut == s) return acts;  // alpha == 1: everything was kept
+  recomputed_rows_ += s - cut;
+
+  // Re-materialize rows [cut, s) by replaying the token-parallel forward
+  // ops, exactly as the runtime executor schedules recomputation before the
+  // layer's backward pass (Fig. 11). The attention output is available in
+  // full, so the O(s^2) attention is never recomputed.
+  auto widen = [&](Tensor& partial, std::int64_t cols) {
+    Tensor full(s, cols);
+    full.CopyRowsFrom(partial, 0, cut);
+    partial = std::move(full);
+  };
+  widen(acts.ln1_out, h);
+  widen(acts.ln1_rstd, 1);
+  widen(acts.q, h);
+  widen(acts.k, h);
+  widen(acts.v, h);
+  widen(acts.proj_out, h);
+  widen(acts.ln2_out, h);
+  widen(acts.ln2_rstd, 1);
+  widen(acts.fc1_out, params.w1.cols());
+  widen(acts.gelu_out, params.w1.cols());
+
+  const Tensor kNoBias;
+  LayerNormForwardRows(acts.input, params.ln1_g, params.ln1_b, cut, s,
+                       &acts.ln1_out, &acts.ln1_rstd);
+  LinearForwardRows(acts.ln1_out, params.wq, kNoBias, cut, s, &acts.q);
+  LinearForwardRows(acts.ln1_out, params.wk, kNoBias, cut, s, &acts.k);
+  LinearForwardRows(acts.ln1_out, params.wv, kNoBias, cut, s, &acts.v);
+  LinearForwardRows(acts.attn_out, params.wo, kNoBias, cut, s,
+                    &acts.proj_out);
+  // resid1 rows = input + proj_out (recomputed on the fly for ln2).
+  Tensor resid1(s, h);
+  for (std::int64_t r = cut; r < s; ++r) {
+    const float* xi = acts.input.row(r);
+    const float* pi = acts.proj_out.row(r);
+    float* ri = resid1.row(r);
+    for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
+  }
+  LayerNormForwardRows(resid1, params.ln2_g, params.ln2_b, cut, s,
+                       &acts.ln2_out, &acts.ln2_rstd);
+  LinearForwardRows(acts.ln2_out, params.w1, params.b1, cut, s,
+                    &acts.fc1_out);
+  GeluForwardRows(acts.fc1_out, cut, s, &acts.gelu_out);
+  return acts;
+}
+
+}  // namespace memo::train

@@ -1,0 +1,97 @@
+#ifndef MEMO_TRAIN_ACTIVATION_STORE_H_
+#define MEMO_TRAIN_ACTIVATION_STORE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "train/tensor.h"
+
+namespace memo::train {
+
+/// The skeletal activations of one transformer layer of the mini-GPT
+/// (the numeric counterpart of Fig. 5).
+struct LayerActivations {
+  Tensor input;      // always offloaded in full (tensor-level rule, §4.1)
+  Tensor ln1_out;    // token-wise
+  Tensor ln1_rstd;   // token-wise (per-row statistic)
+  Tensor q, k, v;    // token-wise
+  Tensor attn_out;   // always offloaded in full (tensor-level rule, §4.1)
+  Tensor proj_out;   // token-wise
+  Tensor ln2_out;    // token-wise
+  Tensor ln2_rstd;   // token-wise
+  Tensor fc1_out;    // token-wise
+  Tensor gelu_out;   // token-wise
+};
+
+/// Per-layer parameters needed to recompute discarded token rows.
+struct LayerParams {
+  Tensor ln1_g, ln1_b;
+  Tensor wq, wk, wv;   // [h, h]
+  Tensor wo;           // [h, h]
+  Tensor ln2_g, ln2_b;
+  Tensor w1, b1;       // [h, ffn], [1, ffn]
+  Tensor w2, b2;       // [ffn, h], [1, h]
+};
+
+/// How skeletal activations are managed between a layer's forward and
+/// backward passes.
+enum class ActivationPolicy {
+  /// Baseline (Megatron-like retention): keep every tensor as produced.
+  kRetainAll,
+  /// MEMO §4.1: the layer input and attention output are kept ("offloaded")
+  /// in full; of every other tensor only the first round(alpha * s) token
+  /// rows are kept, and the remaining rows are recomputed from the stored
+  /// input and attention output before the backward pass.
+  kTokenWise,
+};
+
+/// Implements the token-wise stash/restore cycle on real numbers. In the
+/// full system the stash is a PCIe transfer into host memory; here the
+/// "host" is a separate map, and the restore runs the same row-wise forward
+/// kernels as the original pass, so the reconstruction is bit-identical —
+/// the property behind the aligned loss curves of Fig. 12d.
+class ActivationStore {
+ public:
+  ActivationStore(ActivationPolicy policy, double alpha);
+
+  /// Records layer `layer`'s activations after its forward pass, discarding
+  /// token rows according to the policy. Consumes `acts`.
+  void Stash(int layer, LayerActivations&& acts);
+
+  /// Reconstructs the full activation set for the backward pass of `layer`,
+  /// recomputing discarded rows with `params`. Removes the stash entry.
+  LayerActivations Restore(int layer, const LayerParams& params);
+
+  /// Bytes currently held by the store ("CPU side" in the real system).
+  std::int64_t stored_bytes() const { return stored_bytes_; }
+  /// High-water mark of stored_bytes() (reached at the end of the forward
+  /// pass, before backward drains the stash).
+  std::int64_t peak_stored_bytes() const { return peak_stored_bytes_; }
+
+  /// Peak DEVICE-side activation residency implied by the policy:
+  /// kRetainAll keeps every stashed tensor on the accelerator, so this is
+  /// peak_stored_bytes(); kTokenWise keeps only the two rounding buffers
+  /// (one full layer's activations each), so this is 2x the largest layer.
+  /// The ratio between the two policies is the numeric counterpart of the
+  /// paper's device-memory saving.
+  std::int64_t device_peak_bytes() const { return device_peak_bytes_; }
+  /// Token rows recomputed across all Restore calls so far.
+  std::int64_t recomputed_rows() const { return recomputed_rows_; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  std::int64_t CutRow(std::int64_t rows) const;
+
+  ActivationPolicy policy_;
+  double alpha_;
+  std::unordered_map<int, LayerActivations> stash_;
+  std::int64_t stored_bytes_ = 0;
+  std::int64_t peak_stored_bytes_ = 0;
+  std::int64_t device_peak_bytes_ = 0;
+  std::int64_t recomputed_rows_ = 0;
+};
+
+}  // namespace memo::train
+
+#endif  // MEMO_TRAIN_ACTIVATION_STORE_H_

@@ -1,0 +1,40 @@
+#include "train/adam.h"
+
+#include <cmath>
+
+namespace memo::train {
+
+void Adam::Step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  MEMO_CHECK_EQ(params.size(), grads.size());
+  if (m_.empty()) {
+    for (const Tensor* p : params) {
+      m_.emplace_back(p->rows(), p->cols());
+      v_.emplace_back(p->rows(), p->cols());
+    }
+  }
+  MEMO_CHECK_EQ(params.size(), m_.size());
+  ++step_;
+  const double bias1 = 1.0 - std::pow(options_.beta1, step_);
+  const double bias2 = 1.0 - std::pow(options_.beta2, step_);
+  for (std::size_t t = 0; t < params.size(); ++t) {
+    Tensor& p = *params[t];
+    const Tensor& g = *grads[t];
+    MEMO_CHECK_EQ(p.size(), g.size());
+    Tensor& m = m_[t];
+    Tensor& v = v_[t];
+    for (std::int64_t i = 0; i < p.size(); ++i) {
+      const float gi = g.data()[i];
+      m.data()[i] = static_cast<float>(options_.beta1 * m.data()[i] +
+                                       (1.0 - options_.beta1) * gi);
+      v.data()[i] = static_cast<float>(options_.beta2 * v.data()[i] +
+                                       (1.0 - options_.beta2) * gi * gi);
+      const double m_hat = m.data()[i] / bias1;
+      const double v_hat = v.data()[i] / bias2;
+      p.data()[i] -= static_cast<float>(options_.lr * m_hat /
+                                        (std::sqrt(v_hat) + options_.eps));
+    }
+  }
+}
+
+}  // namespace memo::train

@@ -1,0 +1,44 @@
+#ifndef MEMO_TRAIN_ADAM_H_
+#define MEMO_TRAIN_ADAM_H_
+
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace memo::train {
+
+/// Standard Adam optimizer over a flat list of parameter tensors.
+class Adam {
+ public:
+  struct Options {
+    double lr = 1e-3;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+  };
+
+  explicit Adam(const Options& options) : options_(options) {}
+
+  /// Replaces the hyper-parameters (used by learning-rate schedules; moment
+  /// buffers and the step count are preserved).
+  void set_options(const Options& options) { options_ = options; }
+  const Options& options() const { return options_; }
+
+  /// Applies one step: params[i] -= lr * m_hat / (sqrt(v_hat) + eps).
+  /// Moment buffers are created lazily on the first call; the tensor list
+  /// must have a stable order and stable shapes across calls.
+  void Step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+  int step_count() const { return step_; }
+
+ private:
+  Options options_;
+  int step_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace memo::train
+
+#endif  // MEMO_TRAIN_ADAM_H_

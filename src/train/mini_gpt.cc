@@ -1,0 +1,233 @@
+#include "train/mini_gpt.h"
+
+#include <cmath>
+
+namespace memo::train {
+
+MiniGptParams MiniGptParams::Init(const MiniGptConfig& config,
+                                  std::uint64_t seed) {
+  Rng rng(seed);
+  const double wstd = 0.08;
+  const int h = config.hidden;
+  MiniGptParams p;
+  p.embedding = Tensor::Randn(config.vocab, h, wstd, rng);
+  p.layers.resize(config.layers);
+  for (LayerParams& l : p.layers) {
+    l.ln1_g = Tensor(1, h);
+    l.ln1_g.Fill(1.0f);
+    l.ln1_b = Tensor(1, h);
+    l.wq = Tensor::Randn(h, h, wstd, rng);
+    l.wk = Tensor::Randn(h, h, wstd, rng);
+    l.wv = Tensor::Randn(h, h, wstd, rng);
+    l.wo = Tensor::Randn(h, h, wstd, rng);
+    l.ln2_g = Tensor(1, h);
+    l.ln2_g.Fill(1.0f);
+    l.ln2_b = Tensor(1, h);
+    l.w1 = Tensor::Randn(h, config.ffn, wstd, rng);
+    l.b1 = Tensor(1, config.ffn);
+    l.w2 = Tensor::Randn(config.ffn, h, wstd, rng);
+    l.b2 = Tensor(1, h);
+  }
+  p.lnf_g = Tensor(1, h);
+  p.lnf_g.Fill(1.0f);
+  p.lnf_b = Tensor(1, h);
+  p.w_cls = Tensor::Randn(h, config.vocab, wstd, rng);
+  return p;
+}
+
+std::vector<Tensor*> MiniGptParams::Flat() {
+  std::vector<Tensor*> out = {&embedding};
+  for (LayerParams& l : layers) {
+    for (Tensor* t : {&l.ln1_g, &l.ln1_b, &l.wq, &l.wk, &l.wv, &l.wo,
+                      &l.ln2_g, &l.ln2_b, &l.w1, &l.b1, &l.w2, &l.b2}) {
+      out.push_back(t);
+    }
+  }
+  out.push_back(&lnf_g);
+  out.push_back(&lnf_b);
+  out.push_back(&w_cls);
+  return out;
+}
+
+namespace {
+
+/// Forward of one transformer layer; fills `acts` and returns the layer
+/// output (input of the next layer).
+Tensor LayerForward(const LayerParams& l, int heads, const Tensor& x,
+                    LayerActivations* acts) {
+  const std::int64_t s = x.rows();
+  const std::int64_t h = x.cols();
+  const Tensor kNoBias;
+
+  acts->input = x;
+  acts->ln1_out = Tensor(s, h);
+  acts->ln1_rstd = Tensor(s, 1);
+  LayerNormForward(x, l.ln1_g, l.ln1_b, &acts->ln1_out, &acts->ln1_rstd);
+  acts->q = Tensor(s, h);
+  acts->k = Tensor(s, h);
+  acts->v = Tensor(s, h);
+  LinearForward(acts->ln1_out, l.wq, kNoBias, &acts->q);
+  LinearForward(acts->ln1_out, l.wk, kNoBias, &acts->k);
+  LinearForward(acts->ln1_out, l.wv, kNoBias, &acts->v);
+  acts->attn_out = Tensor(s, h);
+  AttentionForward(acts->q, acts->k, acts->v, heads, &acts->attn_out);
+  acts->proj_out = Tensor(s, h);
+  LinearForward(acts->attn_out, l.wo, kNoBias, &acts->proj_out);
+
+  Tensor resid1(s, h);
+  for (std::int64_t r = 0; r < s; ++r) {
+    const float* xi = x.row(r);
+    const float* pi = acts->proj_out.row(r);
+    float* ri = resid1.row(r);
+    for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
+  }
+  acts->ln2_out = Tensor(s, h);
+  acts->ln2_rstd = Tensor(s, 1);
+  LayerNormForward(resid1, l.ln2_g, l.ln2_b, &acts->ln2_out,
+                   &acts->ln2_rstd);
+  acts->fc1_out = Tensor(s, l.w1.cols());
+  LinearForward(acts->ln2_out, l.w1, l.b1, &acts->fc1_out);
+  acts->gelu_out = Tensor(s, l.w1.cols());
+  GeluForward(acts->fc1_out, &acts->gelu_out);
+  Tensor fc2_out(s, h);
+  LinearForward(acts->gelu_out, l.w2, l.b2, &fc2_out);
+
+  Tensor out(s, h);
+  for (std::int64_t r = 0; r < s; ++r) {
+    const float* ri = resid1.row(r);
+    const float* fi = fc2_out.row(r);
+    float* oi = out.row(r);
+    for (std::int64_t i = 0; i < h; ++i) oi[i] = ri[i] + fi[i];
+  }
+  return out;
+}
+
+/// Backward of one transformer layer given the restored activations and the
+/// gradient of the layer output; returns the gradient of the layer input
+/// and accumulates parameter gradients.
+Tensor LayerBackward(const LayerParams& l, int heads,
+                     const LayerActivations& acts, const Tensor& dout,
+                     LayerParams* g) {
+  const std::int64_t s = acts.input.rows();
+  const std::int64_t h = acts.input.cols();
+  const std::int64_t ffn = l.w1.cols();
+
+  // Recompute resid1 = input + proj_out (transient, Fig. 4's tensor 15-like
+  // recompute-by-add).
+  Tensor resid1(s, h);
+  for (std::int64_t r = 0; r < s; ++r) {
+    const float* xi = acts.input.row(r);
+    const float* pi = acts.proj_out.row(r);
+    float* ri = resid1.row(r);
+    for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
+  }
+
+  // out = resid1 + fc2(gelu(fc1(ln2(resid1)))): dout flows to both branches.
+  Tensor d_gelu(s, ffn);
+  LinearBackward(acts.gelu_out, l.w2, dout, &d_gelu, &g->w2, &g->b2);
+  Tensor d_fc1(s, ffn);
+  GeluBackward(acts.fc1_out, d_gelu, &d_fc1);
+  Tensor d_ln2(s, h);
+  LinearBackward(acts.ln2_out, l.w1, d_fc1, &d_ln2, &g->w1, &g->b1);
+  Tensor d_resid1(s, h);
+  LayerNormBackward(resid1, l.ln2_g, acts.ln2_rstd, d_ln2, &d_resid1,
+                    &g->ln2_g, &g->ln2_b);
+  for (std::int64_t r = 0; r < s; ++r) {
+    const float* doi = dout.row(r);
+    float* dri = d_resid1.row(r);
+    for (std::int64_t i = 0; i < h; ++i) dri[i] += doi[i];
+  }
+
+  // resid1 = input + proj(attn(qkv(ln1(input)))).
+  Tensor d_attn(s, h);
+  LinearBackward(acts.attn_out, l.wo, d_resid1, &d_attn, &g->wo, nullptr);
+  Tensor dq(s, h);
+  Tensor dk(s, h);
+  Tensor dv(s, h);
+  AttentionBackward(acts.q, acts.k, acts.v, heads, d_attn, &dq, &dk, &dv);
+  Tensor d_ln1(s, h);
+  Tensor d_ln1_partial(s, h);
+  LinearBackward(acts.ln1_out, l.wq, dq, &d_ln1, &g->wq, nullptr);
+  LinearBackward(acts.ln1_out, l.wk, dk, &d_ln1_partial, &g->wk, nullptr);
+  for (std::int64_t i = 0; i < d_ln1.size(); ++i) {
+    d_ln1.data()[i] += d_ln1_partial.data()[i];
+  }
+  LinearBackward(acts.ln1_out, l.wv, dv, &d_ln1_partial, &g->wv, nullptr);
+  for (std::int64_t i = 0; i < d_ln1.size(); ++i) {
+    d_ln1.data()[i] += d_ln1_partial.data()[i];
+  }
+  Tensor d_input(s, h);
+  LayerNormBackward(acts.input, l.ln1_g, acts.ln1_rstd, d_ln1, &d_input,
+                    &g->ln1_g, &g->ln1_b);
+  for (std::int64_t i = 0; i < d_input.size(); ++i) {
+    d_input.data()[i] += d_resid1.data()[i];  // residual path
+  }
+  return d_input;
+}
+
+}  // namespace
+
+double MiniGpt::ForwardBackward(const MiniGptParams& params,
+                                const std::vector<int>& tokens,
+                                const std::vector<int>& targets,
+                                ActivationStore* store,
+                                MiniGptParams* grads) const {
+  const std::int64_t s = static_cast<std::int64_t>(tokens.size());
+  const int h = config_.hidden;
+
+  // ---- Forward.
+  Tensor x(s, h);
+  EmbeddingForward(params.embedding, tokens, &x);
+  for (int layer = 0; layer < config_.layers; ++layer) {
+    LayerActivations acts;
+    Tensor out = LayerForward(params.layers[layer], config_.heads, x, &acts);
+    store->Stash(layer, std::move(acts));
+    x = std::move(out);
+  }
+  Tensor lnf_out(s, h);
+  Tensor lnf_rstd(s, 1);
+  LayerNormForward(x, params.lnf_g, params.lnf_b, &lnf_out, &lnf_rstd);
+  Tensor logits(s, config_.vocab);
+  const Tensor kNoBias;
+  LinearForward(lnf_out, params.w_cls, kNoBias, &logits);
+  Tensor d_logits(s, config_.vocab);
+  const double loss = CrossEntropy(logits, targets, &d_logits);
+
+  // ---- Backward.
+  Tensor d_lnf(s, h);
+  LinearBackward(lnf_out, params.w_cls, d_logits, &d_lnf, &grads->w_cls,
+                 nullptr);
+  Tensor d_x(s, h);
+  LayerNormBackward(x, params.lnf_g, lnf_rstd, d_lnf, &d_x, &grads->lnf_g,
+                    &grads->lnf_b);
+  for (int layer = config_.layers - 1; layer >= 0; --layer) {
+    const LayerActivations acts =
+        store->Restore(layer, params.layers[layer]);
+    d_x = LayerBackward(params.layers[layer], config_.heads, acts, d_x,
+                        &grads->layers[layer]);
+  }
+  EmbeddingBackward(tokens, d_x, &grads->embedding);
+  return loss;
+}
+
+double MiniGpt::Loss(const MiniGptParams& params,
+                     const std::vector<int>& tokens,
+                     const std::vector<int>& targets) const {
+  const std::int64_t s = static_cast<std::int64_t>(tokens.size());
+  const int h = config_.hidden;
+  Tensor x(s, h);
+  EmbeddingForward(params.embedding, tokens, &x);
+  for (int layer = 0; layer < config_.layers; ++layer) {
+    LayerActivations acts;
+    x = LayerForward(params.layers[layer], config_.heads, x, &acts);
+  }
+  Tensor lnf_out(s, h);
+  Tensor lnf_rstd(s, 1);
+  LayerNormForward(x, params.lnf_g, params.lnf_b, &lnf_out, &lnf_rstd);
+  Tensor logits(s, config_.vocab);
+  const Tensor kNoBias;
+  LinearForward(lnf_out, params.w_cls, kNoBias, &logits);
+  return CrossEntropy(logits, targets, nullptr);
+}
+
+}  // namespace memo::train

@@ -1,0 +1,72 @@
+#ifndef MEMO_TRAIN_OPS_H_
+#define MEMO_TRAIN_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "train/tensor.h"
+
+namespace memo::train {
+
+/// Hand-written forward/backward primitives for the mini-GPT. Every forward
+/// computes each output row independently of which other rows are being
+/// computed (pure row-wise data flow for the token-parallel ops), which is
+/// the property MEMO's token-wise recomputation relies on: recomputing a
+/// row slice reproduces bit-identical values.
+
+/// y[r] = x[r] * W + b, for rows [row_begin, row_end) only.
+/// W is [in, out]; b is [1, out] (may be empty for no bias).
+void LinearForwardRows(const Tensor& x, const Tensor& w, const Tensor& b,
+                       std::int64_t row_begin, std::int64_t row_end,
+                       Tensor* y);
+
+/// Full-matrix convenience wrapper.
+void LinearForward(const Tensor& x, const Tensor& w, const Tensor& b,
+                   Tensor* y);
+
+/// Backward of y = x W + b: accumulates into dw/db, writes dx.
+void LinearBackward(const Tensor& x, const Tensor& w, const Tensor& dy,
+                    Tensor* dx, Tensor* dw, Tensor* db);
+
+/// LayerNorm with scale g and bias bta over the last dimension; stores the
+/// per-row inverse stddev in `rstd` ([rows, 1]) for backward.
+void LayerNormForwardRows(const Tensor& x, const Tensor& g, const Tensor& b,
+                          std::int64_t row_begin, std::int64_t row_end,
+                          Tensor* y, Tensor* rstd);
+void LayerNormForward(const Tensor& x, const Tensor& g, const Tensor& b,
+                      Tensor* y, Tensor* rstd);
+
+/// LayerNorm backward; needs the forward input x, scale g and stored rstd.
+void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
+                       const Tensor& dy, Tensor* dx, Tensor* dg, Tensor* db);
+
+/// Exact (tanh-free) GELU: x * 0.5 * (1 + erf(x / sqrt(2))).
+void GeluForwardRows(const Tensor& x, std::int64_t row_begin,
+                     std::int64_t row_end, Tensor* y);
+void GeluForward(const Tensor& x, Tensor* y);
+void GeluBackward(const Tensor& x, const Tensor& dy, Tensor* dx);
+
+/// Causal multi-head attention over one sequence: q, k, v are [s, h] with
+/// `heads` heads of dimension h/heads. Probabilities are NOT stored —
+/// backward recomputes them from q and k, exactly like FlashAttention.
+void AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
+                      int heads, Tensor* out);
+void AttentionBackward(const Tensor& q, const Tensor& k, const Tensor& v,
+                       int heads, const Tensor& dout, Tensor* dq, Tensor* dk,
+                       Tensor* dv);
+
+/// Softmax cross entropy against integer targets; returns mean loss and
+/// writes d_logits (already divided by the row count).
+double CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
+                    Tensor* d_logits);
+
+/// Embedding lookup: rows of `table` selected by `tokens`.
+void EmbeddingForward(const Tensor& table, const std::vector<int>& tokens,
+                      Tensor* out);
+/// Scatter-add of dy into the embedding gradient.
+void EmbeddingBackward(const std::vector<int>& tokens, const Tensor& dy,
+                       Tensor* dtable);
+
+}  // namespace memo::train
+
+#endif  // MEMO_TRAIN_OPS_H_

@@ -1,0 +1,78 @@
+#ifndef MEMO_TRAIN_TENSOR_H_
+#define MEMO_TRAIN_TENSOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace memo::train {
+
+/// A minimal dense float32 matrix/vector for the numeric training substrate.
+/// Row-major [rows, cols]; a vector is [1, cols] or [rows, 1] as convenient.
+/// Deliberately simple: the convergence experiment (Fig. 12d) needs exact,
+/// reproducible arithmetic, not speed.
+class Tensor {
+ public:
+  Tensor() = default;
+  Tensor(std::int64_t rows, std::int64_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
+    MEMO_CHECK_GE(rows, 0);
+    MEMO_CHECK_GE(cols, 0);
+  }
+
+  static Tensor Zeros(std::int64_t rows, std::int64_t cols) {
+    return Tensor(rows, cols);
+  }
+
+  /// Gaussian init scaled by `stddev` from a deterministic RNG.
+  static Tensor Randn(std::int64_t rows, std::int64_t cols, double stddev,
+                      Rng& rng) {
+    Tensor t(rows, cols);
+    for (float& v : t.data_) {
+      v = static_cast<float>(rng.NextGaussian() * stddev);
+    }
+    return t;
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+  std::int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::int64_t r, std::int64_t c) { return data_[r * cols_ + c]; }
+  float at(std::int64_t r, std::int64_t c) const {
+    return data_[r * cols_ + c];
+  }
+  float* row(std::int64_t r) { return data_.data() + r * cols_; }
+  const float* row(std::int64_t r) const { return data_.data() + r * cols_; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  void Fill(float value) { data_.assign(data_.size(), value); }
+
+  /// Copies rows [row_begin, row_end) of `src` into the same rows of this.
+  void CopyRowsFrom(const Tensor& src, std::int64_t row_begin,
+                    std::int64_t row_end);
+
+  /// Returns rows [row_begin, row_end) as a new tensor.
+  Tensor SliceRows(std::int64_t row_begin, std::int64_t row_end) const;
+
+  /// Exact element-wise equality (the convergence experiment asserts
+  /// bit-identical losses across alpha values).
+  bool ExactlyEquals(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace memo::train
+
+#endif  // MEMO_TRAIN_TENSOR_H_

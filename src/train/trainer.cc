@@ -1,0 +1,113 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace memo::train {
+
+SyntheticData::SyntheticData(int vocab, double fidelity, std::uint64_t seed)
+    : fidelity_(fidelity), rng_(seed) {
+  permutation_.resize(vocab);
+  for (int i = 0; i < vocab; ++i) permutation_[i] = i;
+  // Fisher-Yates with the deterministic RNG.
+  for (int i = vocab - 1; i > 0; --i) {
+    const int j = static_cast<int>(rng_.NextBounded(i + 1));
+    std::swap(permutation_[i], permutation_[j]);
+  }
+  last_token_ = static_cast<int>(rng_.NextBounded(vocab));
+}
+
+void SyntheticData::NextSequence(int len, std::vector<int>* tokens,
+                                 std::vector<int>* targets) {
+  const int vocab = static_cast<int>(permutation_.size());
+  tokens->resize(len);
+  targets->resize(len);
+  int current = last_token_;
+  for (int i = 0; i < len; ++i) {
+    (*tokens)[i] = current;
+    const int next = rng_.NextDouble() < fidelity_
+                         ? permutation_[current]
+                         : static_cast<int>(rng_.NextBounded(vocab));
+    (*targets)[i] = next;
+    current = next;
+  }
+  last_token_ = current;
+}
+
+double LrSchedule::Multiplier(int iter, int total) const {
+  MEMO_CHECK_GT(total, 0);
+  const double progress = static_cast<double>(iter) / total;
+  if (warmup_fraction > 0.0 && progress < warmup_fraction) {
+    return progress / warmup_fraction;
+  }
+  if (!cosine_decay) return 1.0;
+  const double decay_progress =
+      (progress - warmup_fraction) / std::max(1e-12, 1.0 - warmup_fraction);
+  const double cosine = 0.5 * (1.0 + std::cos(M_PI * decay_progress));
+  return min_lr_fraction + (1.0 - min_lr_fraction) * cosine;
+}
+
+TrainRunResult RunTraining(const TrainRunOptions& options) {
+  MEMO_CHECK_GE(options.batch, 1);
+  const MiniGpt model(options.model);
+  MiniGptParams params = MiniGptParams::Init(options.model, options.seed);
+  MiniGptParams grads = MiniGptParams::Init(options.model, options.seed);
+  for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+  Adam adam(options.adam);
+  SyntheticData data(options.model.vocab, options.data_fidelity,
+                     options.seed ^ 0x5EEDDA7AULL);
+
+  TrainRunResult result;
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+    double loss_sum = 0.0;
+    // Gradients accumulate across the batch (sequential micro-steps, one
+    // fresh ActivationStore per sequence — one "replica" each).
+    for (int b = 0; b < options.batch; ++b) {
+      data.NextSequence(options.model.seq, &tokens, &targets);
+      ActivationStore store(options.policy, options.alpha);
+      loss_sum +=
+          model.ForwardBackward(params, tokens, targets, &store, &grads);
+      result.peak_stored_bytes =
+          std::max(result.peak_stored_bytes, store.peak_stored_bytes());
+      result.recomputed_rows += store.recomputed_rows();
+    }
+    if (options.batch > 1) {
+      const float scale = 1.0f / static_cast<float>(options.batch);
+      for (Tensor* g : grads.Flat()) {
+        for (std::int64_t i = 0; i < g->size(); ++i) g->data()[i] *= scale;
+      }
+    }
+
+    if (options.grad_clip > 0.0) {
+      double norm_sq = 0.0;
+      for (Tensor* g : grads.Flat()) {
+        for (std::int64_t i = 0; i < g->size(); ++i) {
+          norm_sq += static_cast<double>(g->data()[i]) * g->data()[i];
+        }
+      }
+      const double norm = std::sqrt(norm_sq);
+      result.grad_norms.push_back(norm);
+      if (norm > options.grad_clip) {
+        const float scale = static_cast<float>(options.grad_clip / norm);
+        for (Tensor* g : grads.Flat()) {
+          for (std::int64_t i = 0; i < g->size(); ++i) {
+            g->data()[i] *= scale;
+          }
+        }
+      }
+    }
+
+    Adam::Options step_options = options.adam;
+    step_options.lr *=
+        options.lr_schedule.Multiplier(iter, options.iterations);
+    adam.set_options(step_options);
+    adam.Step(params.Flat(), grads.Flat());
+    result.losses.push_back(loss_sum / options.batch);
+  }
+  return result;
+}
+
+}  // namespace memo::train

@@ -1,0 +1,75 @@
+#ifndef MEMO_TRAIN_TRAINER_H_
+#define MEMO_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "train/adam.h"
+#include "train/mini_gpt.h"
+
+namespace memo::train {
+
+/// Deterministic synthetic language: the next token follows a fixed random
+/// permutation of the vocabulary with probability `fidelity`, else is
+/// uniform noise. A transformer learns the permutation quickly, giving a
+/// cleanly decreasing loss curve for the Fig. 12d reproduction.
+class SyntheticData {
+ public:
+  SyntheticData(int vocab, double fidelity, std::uint64_t seed);
+
+  /// Generates one sequence of `len + 1` tokens and splits it into inputs
+  /// [0, len) and next-token targets [1, len].
+  void NextSequence(int len, std::vector<int>* tokens,
+                    std::vector<int>* targets);
+
+ private:
+  std::vector<int> permutation_;
+  double fidelity_;
+  Rng rng_;
+  int last_token_ = 0;
+};
+
+/// Learning-rate schedule: linear warmup over `warmup_fraction` of the run,
+/// then (optionally) cosine decay to `min_lr_fraction` of the base rate.
+struct LrSchedule {
+  double warmup_fraction = 0.0;
+  bool cosine_decay = false;
+  double min_lr_fraction = 0.1;
+
+  /// Multiplier applied to the base learning rate at `iter` of `total`.
+  double Multiplier(int iter, int total) const;
+};
+
+struct TrainRunOptions {
+  MiniGptConfig model;
+  ActivationPolicy policy = ActivationPolicy::kRetainAll;
+  double alpha = 1.0;  // used by kTokenWise only
+  int iterations = 200;
+  /// Sequences per iteration; gradients are averaged over the batch
+  /// (a fresh ActivationStore per sequence, like one stream per replica).
+  int batch = 1;
+  /// Global gradient-norm clip; 0 disables clipping.
+  double grad_clip = 0.0;
+  LrSchedule lr_schedule;
+  std::uint64_t seed = 1234;  // weights AND data (shared across runs)
+  Adam::Options adam;
+  double data_fidelity = 0.9;
+};
+
+struct TrainRunResult {
+  std::vector<double> losses;  // per-iteration mean training loss
+  std::int64_t recomputed_rows = 0;
+  std::int64_t peak_stored_bytes = 0;
+  /// Pre-clip global gradient norms per iteration (empty if clip disabled).
+  std::vector<double> grad_norms;
+};
+
+/// Trains the mini-GPT for `options.iterations` steps. Runs with the same
+/// seed but different activation policies / alphas see exactly the same
+/// weights and data stream, so their loss curves are comparable point by
+/// point — and, because token-wise recomputation is bit-exact, identical.
+TrainRunResult RunTraining(const TrainRunOptions& options);
+
+}  // namespace memo::train
+
+#endif  // MEMO_TRAIN_TRAINER_H_

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "model/activation_spec.h"
+
+namespace memo::model {
+namespace {
+
+TEST(ActivationSpecTest, InventoryTotals16BshUnits) {
+  // Fig. 5: all skeletal activations of one layer sum to 16 b*s*h elements.
+  double total_units = 0;
+  for (const SkeletalTensor& t : SkeletalInventory(Gpt7B())) {
+    total_units += t.bsh_units;
+  }
+  EXPECT_DOUBLE_EQ(total_units, 16.0);
+}
+
+TEST(ActivationSpecTest, AttentionOutputIsOneSixteenth) {
+  // §4.1: "the output of FlashAttention only accounts for 6.25% of total
+  // skeletal activation size".
+  const SkeletalLayout layout =
+      ComputeSkeletalLayout(Gpt7B(), /*batch=*/1, /*seq_local=*/64 * kSeqK,
+                            /*tensor_parallel=*/1);
+  const double frac = static_cast<double>(layout.attn_out_bytes) /
+                      static_cast<double>(layout.total_bytes());
+  EXPECT_NEAR(frac, 0.0625, 0.002);  // small LSE overhead allowed
+  const double input_frac = static_cast<double>(layout.input_bytes) /
+                            static_cast<double>(layout.total_bytes());
+  EXPECT_NEAR(input_frac, 0.0625, 0.002);
+}
+
+TEST(ActivationSpecTest, PaperHeadlineExample4096GiB) {
+  // Abstract / §3.2: 7B model (32 layers, h=4096), s = 1M, b = 1, fp16
+  // => skeletal activations total 4096 GiB across all layers.
+  const ModelConfig m = Gpt7B();
+  const SkeletalLayout layout = ComputeSkeletalLayout(
+      m, /*batch=*/1, /*seq_local=*/1024 * kSeqK, /*tensor_parallel=*/1);
+  const double total_gib = static_cast<double>(layout.total_bytes()) *
+                           m.num_layers / static_cast<double>(kGiB);
+  EXPECT_NEAR(total_gib, 4096.0, 8.0);  // +LSE rounding
+}
+
+TEST(ActivationSpecTest, ScalesLinearlyWithSequenceLength) {
+  const ModelConfig m = Gpt7B();
+  const auto at = [&](std::int64_t s) {
+    return ComputeSkeletalLayout(m, 1, s, 1).total_bytes();
+  };
+  EXPECT_EQ(at(256 * kSeqK), 2 * at(128 * kSeqK));
+  EXPECT_EQ(at(512 * kSeqK), 8 * at(64 * kSeqK));
+}
+
+TEST(ActivationSpecTest, TensorParallelShardsEverything) {
+  const ModelConfig m = Gpt7B();
+  const SkeletalLayout full = ComputeSkeletalLayout(m, 1, 128 * kSeqK, 1);
+  const SkeletalLayout tp8 = ComputeSkeletalLayout(m, 1, 128 * kSeqK, 8);
+  EXPECT_EQ(tp8.total_bytes(), full.total_bytes() / 8);
+  EXPECT_EQ(tp8.input_bytes, full.input_bytes / 8);
+  EXPECT_EQ(tp8.others_bytes, full.others_bytes / 8);
+}
+
+TEST(ActivationSpecTest, OthersBytesAre14SixteenthsOfTotal) {
+  const SkeletalLayout layout = ComputeSkeletalLayout(Gpt7B(), 1, 64 * kSeqK, 4);
+  const double frac = static_cast<double>(layout.others_bytes) /
+                      static_cast<double>(layout.total_bytes());
+  EXPECT_NEAR(frac, 14.0 / 16.0, 0.005);
+}
+
+TEST(ActivationSpecTest, FfnUnitsFollowFfnRatio) {
+  ModelConfig m = Gpt7B();
+  m.ffn_hidden = 2 * m.hidden;  // non-standard ratio
+  double total_units = 0;
+  for (const SkeletalTensor& t : SkeletalInventory(m)) {
+    total_units += t.bsh_units;
+  }
+  EXPECT_DOUBLE_EQ(total_units, 12.0);  // 8 fixed + 2*2 FFN
+}
+
+TEST(ActivationSpecTest, GroupedQueryAttentionShrinksKv) {
+  // Llama-3-8B shape: 8 KV heads of 32 => K and V are 0.25 units each; the
+  // FFN ratio is 3.5x. Total = 6 + 2*0.25 + 2*3.5 = 13.5 units.
+  const ModelConfig m = Llama8BGqa();
+  double total_units = 0;
+  double kv_units = 0;
+  for (const SkeletalTensor& t : SkeletalInventory(m)) {
+    total_units += t.bsh_units;
+    if (t.name == "k" || t.name == "v") kv_units += t.bsh_units;
+  }
+  EXPECT_DOUBLE_EQ(kv_units, 0.5);
+  EXPECT_DOUBLE_EQ(total_units, 13.5);
+
+  // Byte accounting shrinks proportionally vs an MHA model of equal shape.
+  ModelConfig mha = m;
+  mha.num_kv_heads = 0;
+  const SkeletalLayout gqa_layout = ComputeSkeletalLayout(m, 1, 64 * kSeqK, 1);
+  const SkeletalLayout mha_layout =
+      ComputeSkeletalLayout(mha, 1, 64 * kSeqK, 1);
+  EXPECT_LT(gqa_layout.others_bytes, mha_layout.others_bytes);
+  EXPECT_EQ(gqa_layout.input_bytes, mha_layout.input_bytes);
+}
+
+}  // namespace
+}  // namespace memo::model

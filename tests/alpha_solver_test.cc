@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/alpha_solver.h"
+
+namespace memo::core {
+namespace {
+
+AlphaInputs BaseInputs() {
+  AlphaInputs in;
+  in.s_input_bytes = 1 * kGiB;
+  in.s_attn_bytes = 1 * kGiB;
+  in.s_others_bytes = 14 * kGiB;
+  in.pcie_bytes_per_second = 27.2 * kGBps;  // 32 GB/s * 0.85
+  in.layer_forward_seconds = 1.0;
+  in.num_layers = 32;
+  in.host_bytes_per_gpu = 2 * kTiB;  // ample: overlap constraint dominates
+  return in;
+}
+
+// Closed-form reference for the Eq. 1-3 optimum.
+double ClosedForm(const AlphaInputs& in) {
+  const double base =
+      static_cast<double>(in.s_input_bytes + in.s_attn_bytes);
+  const double others = static_cast<double>(in.s_others_bytes);
+  const double a_overlap =
+      (in.pcie_bytes_per_second * in.layer_forward_seconds - base) / others;
+  const double a_host =
+      (static_cast<double>(in.host_bytes_per_gpu) / (in.num_layers - 2) -
+       base) /
+      others;
+  return std::clamp(std::min(a_overlap, a_host), 0.0, 1.0);
+}
+
+TEST(AlphaSolverTest, MatchesClosedFormOverlapBound) {
+  AlphaInputs in = BaseInputs();
+  // Overlap budget: 27.2 GB in 1 s; base 2 GiB => alpha ≈ (25.3-2)/14 > 1?
+  // 27.2 GB ≈ 25.33 GiB; (25.33 - 2) / 14 = 1.67 -> clamped to 1... make the
+  // layer faster so the bound bites.
+  in.layer_forward_seconds = 0.4;  // 10.13 GiB budget
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->alpha, ClosedForm(in), 1e-6);
+  EXPECT_TRUE(result->overlap_bound);
+  EXPECT_LT(result->alpha, 1.0);
+  EXPECT_GT(result->alpha, 0.0);
+}
+
+TEST(AlphaSolverTest, FullSwapWhenEverythingFits) {
+  AlphaInputs in = BaseInputs();
+  in.layer_forward_seconds = 2.0;  // plenty of transfer budget
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->alpha, 1.0);
+  EXPECT_FALSE(result->overlap_bound);
+  EXPECT_FALSE(result->host_memory_bound);
+}
+
+TEST(AlphaSolverTest, HostMemoryBound) {
+  AlphaInputs in = BaseInputs();
+  in.layer_forward_seconds = 10.0;         // overlap never binds
+  in.host_bytes_per_gpu = 90 * kGiB;       // 90/30 = 3 GiB per layer budget
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok());
+  // (3 - 2) / 14 = 1/14.
+  EXPECT_NEAR(result->alpha, 1.0 / 14.0, 1e-6);
+  EXPECT_TRUE(result->host_memory_bound);
+  EXPECT_FALSE(result->overlap_bound);
+  EXPECT_NEAR(result->alpha, ClosedForm(in), 1e-6);
+}
+
+TEST(AlphaSolverTest, ZeroAlphaWhenTransfersAlreadySaturated) {
+  AlphaInputs in = BaseInputs();
+  // Short sequences: even input+attn can't fully hide — alpha = 0, valid.
+  in.layer_forward_seconds = 0.01;
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->alpha, 0.0);
+  EXPECT_TRUE(result->overlap_bound);
+}
+
+TEST(AlphaSolverTest, HostOomWhenBaseAloneExceedsHost) {
+  AlphaInputs in = BaseInputs();
+  in.host_bytes_per_gpu = 30 * kGiB;  // 1 GiB/layer < 2 GiB base
+  auto result = SolveAlpha(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfHostMemory());
+}
+
+TEST(AlphaSolverTest, FewLayersTriviallyFullSwap) {
+  AlphaInputs in = BaseInputs();
+  in.num_layers = 2;  // last two layers never swap
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->alpha, 1.0);
+}
+
+TEST(AlphaSolverTest, RejectsBadInputs) {
+  AlphaInputs in = BaseInputs();
+  in.pcie_bytes_per_second = 0.0;
+  EXPECT_FALSE(SolveAlpha(in).ok());
+  in = BaseInputs();
+  in.s_others_bytes = -1;
+  EXPECT_FALSE(SolveAlpha(in).ok());
+}
+
+TEST(AlphaSolverTest, QuantizeRoundsDown) {
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(1.0, 8), 1.0);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(0.49, 8), 0.375);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(0.51, 8), 0.5);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(0.1, 8), 0.0);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(0.7, 0), 0.7);  // disabled
+}
+
+// Property: the solved alpha always satisfies both constraints, and
+// alpha + 1/8 violates at least one (maximality) unless alpha == 1.
+class AlphaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlphaPropertyTest, FeasibleAndMaximal) {
+  const int seed = GetParam();
+  AlphaInputs in = BaseInputs();
+  in.layer_forward_seconds = 0.05 + 0.11 * seed;
+  in.host_bytes_per_gpu = (64 + 23 * seed) * kGiB;
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok());
+  const double a = result->alpha;
+  const double base = static_cast<double>(in.s_input_bytes + in.s_attn_bytes);
+  const double others = static_cast<double>(in.s_others_bytes);
+  const double used = base + a * others;
+  EXPECT_LE(used / in.pcie_bytes_per_second,
+            in.layer_forward_seconds * (1 + 1e-9));
+  EXPECT_LE((in.num_layers - 2) * used,
+            static_cast<double>(in.host_bytes_per_gpu) * (1 + 1e-9));
+  if (a < 1.0) {
+    const double used_more = base + std::min(1.0, a + 0.125) * others;
+    const bool violates =
+        used_more / in.pcie_bytes_per_second > in.layer_forward_seconds ||
+        (in.num_layers - 2) * used_more >
+            static_cast<double>(in.host_bytes_per_gpu);
+    EXPECT_TRUE(violates) << "alpha " << a << " is not maximal";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AlphaPropertyTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace memo::core

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "cost/comm_cost.h"
+#include "cost/flops.h"
+#include "cost/kernel_cost.h"
+#include "cost/metrics.h"
+#include "common/units.h"
+
+namespace memo::cost {
+namespace {
+
+const model::ModelConfig k7B = model::Gpt7B();
+
+TEST(FlopsTest, LayerForwardComponents) {
+  // One layer at b=1: gemm = 8bsh^2 + 4bs*h*ffn; attn = 2bs^2h (causal).
+  const std::int64_t s = 1024;
+  const LayerFlops f = LayerForwardFlops(k7B, 1, s);
+  const double h = 4096.0;
+  EXPECT_DOUBLE_EQ(f.gemm, 8.0 * s * h * h + 4.0 * s * h * 16384.0);
+  EXPECT_DOUBLE_EQ(f.attn, 2.0 * s * s * h);
+  EXPECT_DOUBLE_EQ(f.total(), f.gemm + f.attn);
+}
+
+TEST(FlopsTest, BackwardIsTwiceForward) {
+  const LayerFlops fwd = LayerForwardFlops(k7B, 1, 4096);
+  const LayerFlops bwd = LayerBackwardFlops(k7B, 1, 4096);
+  EXPECT_DOUBLE_EQ(bwd.gemm, 2.0 * fwd.gemm);
+  EXPECT_DOUBLE_EQ(bwd.attn, 2.0 * fwd.attn);
+}
+
+TEST(FlopsTest, PaperFormulaConsistency) {
+  // The §5.1 MFU numerator 6sP + 6nhs^2 must match 3x the summed forward
+  // FLOPs of all components to within the small LN/bias terms.
+  const std::int64_t s = 256 * kSeqK;
+  const double model_flops = ModelFlopsPerSample(k7B, s);
+  double forward = ClassifierForwardFlops(k7B, 1, s);
+  // Embedding lookup is not a matmul; the 6sP formula counts its parameters
+  // anyway. Include one vocab-GEMM-equivalent for it.
+  forward += ClassifierForwardFlops(k7B, 1, s);
+  for (int layer = 0; layer < k7B.num_layers; ++layer) {
+    forward += LayerForwardFlops(k7B, 1, s).total();
+  }
+  EXPECT_NEAR(model_flops / (3.0 * forward), 1.0, 0.01);
+}
+
+TEST(FlopsTest, AttentionDominatesAtLongSequences) {
+  const LayerFlops at64k = LayerForwardFlops(k7B, 1, 64 * kSeqK);
+  const LayerFlops at1m = LayerForwardFlops(k7B, 1, 1024 * kSeqK);
+  EXPECT_LT(at64k.attn / at64k.total(), 0.65);
+  EXPECT_GT(at1m.attn / at1m.total(), 0.9);
+}
+
+TEST(KernelCostTest, SecondsScaleWithEfficiency) {
+  hw::Calibration cal;
+  const cost::KernelCostModel kernel(hw::A800(), cal);
+  const double flops = 1e15;
+  EXPECT_NEAR(kernel.GemmSeconds(flops),
+              flops / (312e12 * cal.gemm_efficiency), 1e-9);
+  EXPECT_GT(kernel.FlashBwdSeconds(flops), kernel.FlashFwdSeconds(flops));
+  EXPECT_NEAR(kernel.PcieSeconds(32 * 1000 * 1000 * 1000LL),
+              1.0 / cal.pcie_efficiency, 1e-6);
+}
+
+TEST(CommCostTest, IntraNodeUsesNvlink) {
+  const CommCostModel comm(hw::PaperCluster(8), hw::Calibration{});
+  // 8-rank group fits a node: NVLink-class bandwidth.
+  EXPECT_GT(comm.RingBandwidth(8), 200e9);
+  // 16-rank group spans nodes: NIC/8-class bandwidth.
+  const CommCostModel comm16(hw::PaperCluster(16), hw::Calibration{});
+  EXPECT_LT(comm16.RingBandwidth(16), 30e9);
+}
+
+TEST(CommCostTest, RingVolumeFormulas) {
+  const CommCostModel comm(hw::PaperCluster(8), hw::Calibration{});
+  const std::int64_t bytes = kGiB;
+  const double ag = comm.AllGatherSeconds(bytes, 4);
+  const double ar = comm.AllReduceSeconds(bytes, 4);
+  // AllReduce moves twice the AllGather ring volume.
+  EXPECT_NEAR(ar / ag, 2.0, 0.05);
+  EXPECT_DOUBLE_EQ(comm.ReduceScatterSeconds(bytes, 4), ag);
+  // Trivial group or empty payload costs nothing.
+  EXPECT_DOUBLE_EQ(comm.AllGatherSeconds(bytes, 1), 0.0);
+  EXPECT_DOUBLE_EQ(comm.AllReduceSeconds(0, 8), 0.0);
+}
+
+TEST(CommCostTest, BiggerGroupsMoveMoreOfTheBuffer) {
+  const CommCostModel comm(hw::PaperCluster(8), hw::Calibration{});
+  EXPECT_LT(comm.AllGatherSeconds(kGiB, 2), comm.AllGatherSeconds(kGiB, 8));
+}
+
+TEST(MetricsTest, MfuAndTgs) {
+  // One sample, known time: MFU = modelflops/(t * peak * gpus).
+  const std::int64_t seq = 64 * kSeqK;
+  const TrainingMetrics m =
+      ComputeMetrics(k7B, seq, /*num_samples=*/1, /*num_gpus=*/8,
+                     /*peak=*/312e12, /*iteration_seconds=*/10.0);
+  EXPECT_NEAR(m.mfu, ModelFlopsPerSample(k7B, seq) / (10.0 * 312e12 * 8),
+              1e-12);
+  EXPECT_NEAR(m.tgs, seq / (10.0 * 8.0), 1e-9);
+  EXPECT_DOUBLE_EQ(m.iteration_seconds, 10.0);
+}
+
+TEST(MetricsTest, MoreSamplesScaleBothMetrics) {
+  const std::int64_t seq = 64 * kSeqK;
+  const TrainingMetrics one = ComputeMetrics(k7B, seq, 1, 8, 312e12, 10.0);
+  const TrainingMetrics four = ComputeMetrics(k7B, seq, 4, 8, 312e12, 10.0);
+  EXPECT_NEAR(four.mfu / one.mfu, 4.0, 1e-9);
+  EXPECT_NEAR(four.tgs / one.tgs, 4.0, 1e-9);
+}
+
+TEST(GpuSpecTest, PaperClusterShapes) {
+  const hw::ClusterSpec c8 = hw::PaperCluster(8);
+  EXPECT_EQ(c8.total_gpus(), 8);
+  EXPECT_EQ(c8.num_nodes, 1);
+  EXPECT_EQ(c8.host_bytes_per_gpu(), 256 * kGiB);
+  const hw::ClusterSpec c64 = hw::PaperCluster(64);
+  EXPECT_EQ(c64.num_nodes, 8);
+  EXPECT_EQ(c64.total_gpus(), 64);
+  EXPECT_DOUBLE_EQ(hw::A800().peak_flops, 312e12);
+  EXPECT_GT(hw::H100().peak_flops, hw::A100().peak_flops * 2);
+}
+
+}  // namespace
+}  // namespace memo::cost

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "model/trace_gen.h"
+#include "solver/dsa.h"
+
+namespace memo::solver {
+namespace {
+
+DsaTensor T(std::int64_t id, std::int64_t size, int start, int end) {
+  return DsaTensor{id, size, start, end};
+}
+
+TEST(DsaInstanceTest, FromRequestsComputesLifetimes) {
+  std::vector<model::MemoryRequest> requests = {
+      {model::MemoryRequest::Kind::kMalloc, 1, 1024, false, "a"},
+      {model::MemoryRequest::Kind::kMalloc, 2, 2048, false, "b"},
+      {model::MemoryRequest::Kind::kFree, 1, 1024, false, "a"},
+      {model::MemoryRequest::Kind::kMalloc, 3, 512, false, "c"},
+      {model::MemoryRequest::Kind::kFree, 2, 2048, false, "b"},
+      {model::MemoryRequest::Kind::kFree, 3, 512, false, "c"},
+  };
+  auto instance = DsaInstance::FromRequests(requests);
+  ASSERT_TRUE(instance.ok());
+  ASSERT_EQ(instance->tensors.size(), 3u);
+  EXPECT_EQ(instance->tensors[0].start, 0);
+  EXPECT_EQ(instance->tensors[0].end, 2);
+  EXPECT_EQ(instance->tensors[2].start, 3);
+  EXPECT_EQ(instance->tensors[2].end, 5);
+  // a and c never overlap; a and b do.
+  EXPECT_FALSE(instance->tensors[0].Overlaps(instance->tensors[2]));
+  EXPECT_TRUE(instance->tensors[0].Overlaps(instance->tensors[1]));
+  // max live = a + b = 1024 + 2048 (c comes after a's free, 2048+512 less).
+  EXPECT_EQ(instance->MaxLiveLowerBound(), 3072);
+}
+
+TEST(DsaInstanceTest, RejectsUnmatchedByDefault) {
+  std::vector<model::MemoryRequest> requests = {
+      {model::MemoryRequest::Kind::kFree, 7, 100, false, "ghost"},
+  };
+  EXPECT_FALSE(DsaInstance::FromRequests(requests).ok());
+  EXPECT_TRUE(DsaInstance::FromRequests(requests, true).ok());
+}
+
+TEST(DsaInstanceTest, UnmatchedMallocExtendsToWindowEnd) {
+  std::vector<model::MemoryRequest> requests = {
+      {model::MemoryRequest::Kind::kMalloc, 1, 100, false, "x"},
+      {model::MemoryRequest::Kind::kMalloc, 2, 100, false, "y"},
+      {model::MemoryRequest::Kind::kFree, 2, 100, false, "y"},
+  };
+  auto instance = DsaInstance::FromRequests(requests, true);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->tensors[0].end, 3);
+}
+
+TEST(DsaBestFitTest, DisjointLifetimesShareAddresses) {
+  DsaInstance instance;
+  instance.tensors = {T(1, 1024, 0, 2), T(2, 1024, 2, 4), T(3, 1024, 4, 6)};
+  const DsaAssignment a = SolveDsaBestFit(instance);
+  EXPECT_TRUE(ValidateDsaAssignment(instance, a).ok());
+  EXPECT_EQ(a.peak, 1024);
+  EXPECT_TRUE(a.proved_optimal);
+  EXPECT_EQ(a.address.at(1), a.address.at(2));
+}
+
+TEST(DsaBestFitTest, OverlappingTensorsStack) {
+  DsaInstance instance;
+  instance.tensors = {T(1, 1024, 0, 10), T(2, 2048, 0, 10), T(3, 512, 0, 10)};
+  const DsaAssignment a = SolveDsaBestFit(instance);
+  EXPECT_TRUE(ValidateDsaAssignment(instance, a).ok());
+  EXPECT_EQ(a.peak, 1024 + 2048 + 512);
+  EXPECT_TRUE(a.proved_optimal);
+}
+
+TEST(DsaExactTest, BeatsGreedyOnAdversarialInstance) {
+  // Classic first-fit trap: a big tensor arrives after fragmented small
+  // ones. sizes in 512-multiples. Layout (time ->):
+  //   A[0,4) 512   B[0,2) 512   C[2,6) 1024  D[4,6) 512
+  // Max-live = A+B at t<2: 1024; at t in [2,4): A+C = 1536; [4,6): C+D=1536.
+  DsaInstance instance;
+  instance.tensors = {T(1, 512, 0, 4), T(2, 512, 0, 2), T(3, 1024, 2, 6),
+                      T(4, 512, 4, 6)};
+  auto exact = SolveDsaExact(instance);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(ValidateDsaAssignment(instance, *exact).ok());
+  EXPECT_EQ(exact->peak, instance.MaxLiveLowerBound());
+  EXPECT_TRUE(exact->proved_optimal);
+}
+
+TEST(DsaExactTest, RespectsCapacity) {
+  DsaInstance instance;
+  instance.tensors = {T(1, 1024, 0, 2), T(2, 1024, 0, 2)};
+  instance.capacity = 1536;
+  auto exact = SolveDsaExact(instance);
+  EXPECT_FALSE(exact.ok());
+  EXPECT_TRUE(exact.status().IsInfeasible());
+}
+
+TEST(DsaSolveTest, PaperFig4Trace) {
+  // The exact request sequence from the paper's Fig. 4 (forward half).
+  auto mk = [](std::int64_t id, std::int64_t mib) {
+    return model::MemoryRequest{model::MemoryRequest::Kind::kMalloc, id,
+                                mib * kMiB, false, std::to_string(id)};
+  };
+  auto fr = [](std::int64_t id, std::int64_t mib) {
+    return model::MemoryRequest{model::MemoryRequest::Kind::kFree, id,
+                                mib * kMiB, false, std::to_string(id)};
+  };
+  std::vector<model::MemoryRequest> requests = {
+      mk(13, 128), mk(14, 128), fr(14, 128), mk(15, 256), fr(13, 128),
+      mk(16, 512), mk(17, 128), mk(18, 128), mk(19, 256), fr(17, 128),
+      fr(19, 256), fr(18, 128), fr(15, 256), fr(16, 512),
+  };
+  auto instance = DsaInstance::FromRequests(requests);
+  ASSERT_TRUE(instance.ok());
+  const DsaAssignment a = SolveDsa(*instance);
+  EXPECT_TRUE(ValidateDsaAssignment(*instance, a).ok());
+  // Max live: after index 8: 15+16+17+18+19 = 256+512+128+128+256 = 1280MiB.
+  EXPECT_EQ(a.lower_bound, 1280 * kMiB);
+  EXPECT_EQ(a.peak, a.lower_bound);
+  EXPECT_TRUE(a.proved_optimal);
+}
+
+TEST(DsaSolveTest, RealLayerForwardTraceIsPlannedTightly) {
+  model::TraceGenOptions options;
+  options.seq_local = 8 * kSeqK;
+  options.tensor_parallel = 4;
+  options.mode = model::ActivationMode::kMemoBuffers;
+  const auto fwd = model::GenerateLayerForwardTrace(model::Gpt7B(), options);
+  auto instance = DsaInstance::FromRequests(fwd, /*allow_unmatched=*/true);
+  ASSERT_TRUE(instance.ok());
+  const DsaAssignment a = SolveDsa(*instance);
+  EXPECT_TRUE(ValidateDsaAssignment(*instance, a).ok());
+  // Within 25% of the information-theoretic lower bound.
+  EXPECT_LE(a.peak, a.lower_bound * 5 / 4);
+}
+
+// Property: on random instances the production solver always returns a valid
+// placement with lower_bound <= peak, and when it claims optimality the peak
+// equals the true optimum (checked by exhaustive orientation search on tiny
+// instances via the exact solver with a generous node budget).
+class DsaPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DsaPropertyTest, RandomInstancesValidAndBounded) {
+  Rng rng(GetParam() * 31337);
+  DsaInstance instance;
+  const int n = 3 + static_cast<int>(rng.NextBounded(8));
+  const int horizon = 12;
+  for (int i = 0; i < n; ++i) {
+    const int start = static_cast<int>(rng.NextBounded(horizon - 1));
+    const int end =
+        start + 1 + static_cast<int>(rng.NextBounded(horizon - start));
+    instance.tensors.push_back(
+        T(i + 1, rng.NextInRange(1, 8) * 512, start, end));
+  }
+  const DsaAssignment a = SolveDsa(instance);
+  ASSERT_TRUE(ValidateDsaAssignment(instance, a).ok());
+  EXPECT_GE(a.peak, a.lower_bound);
+
+  auto exact = SolveDsaExact(instance, MipOptions{.max_nodes = 200000});
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(ValidateDsaAssignment(instance, *exact).ok());
+  EXPECT_LE(a.peak, exact->peak + 0);  // production never worse than exact?
+  // Production may be worse only when it skipped the exact solve; but for
+  // these sizes (< exact_tensor_limit) it must match.
+  EXPECT_EQ(a.peak, exact->peak);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsaPropertyTest, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace memo::solver

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+#include <set>
+
+#include <cmath>
+
+#include "train/mini_gpt.h"
+#include "train/trainer.h"
+
+namespace memo::train {
+namespace {
+
+MiniGptConfig GradcheckModel() {
+  MiniGptConfig c;
+  c.layers = 2;
+  c.hidden = 8;
+  c.heads = 2;
+  c.ffn = 16;
+  c.vocab = 11;
+  c.seq = 7;
+  return c;
+}
+
+TEST(MiniGptTest, FullModelGradientCheck) {
+  // Central-difference check of dLoss/dParam through the ENTIRE network
+  // (embedding -> 2 transformer layers -> final LN -> classifier -> CE),
+  // including the attention backward that recomputes probabilities.
+  const MiniGptConfig cfg = GradcheckModel();
+  const MiniGpt model(cfg);
+  MiniGptParams params = MiniGptParams::Init(cfg, 31);
+  MiniGptParams grads = MiniGptParams::Init(cfg, 31);
+  for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+
+  SyntheticData data(cfg.vocab, 0.9, 17);
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  data.NextSequence(cfg.seq, &tokens, &targets);
+
+  ActivationStore store(ActivationPolicy::kTokenWise, 0.5);
+  model.ForwardBackward(params, tokens, targets, &store, &grads);
+
+  auto flat_params = params.Flat();
+  auto flat_grads = grads.Flat();
+  const double eps = 1e-3;
+  int checked = 0;
+  for (std::size_t t = 0; t < flat_params.size(); ++t) {
+    Tensor* p = flat_params[t];
+    const Tensor* g = flat_grads[t];
+    // Probe a few entries per tensor.
+    const std::int64_t stride = std::max<std::int64_t>(1, p->size() / 3);
+    for (std::int64_t i = 0; i < p->size(); i += stride) {
+      const float original = p->data()[i];
+      p->data()[i] = original + static_cast<float>(eps);
+      const double up = model.Loss(params, tokens, targets);
+      p->data()[i] = original - static_cast<float>(eps);
+      const double down = model.Loss(params, tokens, targets);
+      p->data()[i] = original;
+      const double numeric = (up - down) / (2 * eps);
+      EXPECT_NEAR(numeric, g->data()[i], 5e-3)
+          << "param tensor " << t << " index " << i;
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 50);
+}
+
+TEST(MiniGptTest, LossMatchesForwardBackwardLoss) {
+  const MiniGptConfig cfg = GradcheckModel();
+  const MiniGpt model(cfg);
+  const MiniGptParams params = MiniGptParams::Init(cfg, 5);
+  MiniGptParams grads = MiniGptParams::Init(cfg, 5);
+  for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+  SyntheticData data(cfg.vocab, 0.9, 2);
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  data.NextSequence(cfg.seq, &tokens, &targets);
+  ActivationStore store(ActivationPolicy::kRetainAll, 1.0);
+  const double a = model.ForwardBackward(params, tokens, targets, &store,
+                                         &grads);
+  const double b = model.Loss(params, tokens, targets);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MiniGptTest, ParamsFlatCoversEveryTensorOnce) {
+  MiniGptParams params = MiniGptParams::Init(GradcheckModel(), 1);
+  const auto flat = params.Flat();
+  // 1 embedding + 12 per layer x 2 layers + 2 final LN + 1 classifier.
+  EXPECT_EQ(flat.size(), 1u + 12u * 2 + 2 + 1);
+  std::set<const Tensor*> unique(flat.begin(), flat.end());
+  EXPECT_EQ(unique.size(), flat.size());
+  for (const Tensor* t : flat) EXPECT_GT(t->size(), 0);
+}
+
+TEST(MiniGptTest, InitIsSeedDeterministic) {
+  const MiniGptConfig cfg = GradcheckModel();
+  MiniGptParams a = MiniGptParams::Init(cfg, 9);
+  MiniGptParams b = MiniGptParams::Init(cfg, 9);
+  MiniGptParams c = MiniGptParams::Init(cfg, 10);
+  EXPECT_TRUE(a.embedding.ExactlyEquals(b.embedding));
+  EXPECT_TRUE(a.layers[0].wq.ExactlyEquals(b.layers[0].wq));
+  EXPECT_FALSE(a.embedding.ExactlyEquals(c.embedding));
+}
+
+}  // namespace
+}  // namespace memo::train

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "solver/mip.h"
+
+namespace memo::solver {
+namespace {
+
+MipProblem Knapsack(const std::vector<double>& values,
+                    const std::vector<double>& weights, double capacity) {
+  MipProblem mip;
+  const int n = static_cast<int>(values.size());
+  mip.lp.num_vars = n;
+  mip.lp.objective = values;
+  mip.lp.AddConstraint(weights, LpProblem::Relation::kLe, capacity);
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> box(n, 0.0);
+    box[j] = 1.0;
+    mip.lp.AddConstraint(std::move(box), LpProblem::Relation::kLe, 1.0);
+    mip.integer_vars.push_back(j);
+  }
+  return mip;
+}
+
+TEST(MipTest, SolvesKnapsackExactly) {
+  // values {10, 6, 4}, weights {5, 4, 3}, cap 7: best = {item1} = 10? No:
+  // {6 + 4} weighs 7 and scores 10 too; LP relaxation scores 12.4.
+  const MipSolution s =
+      SolveMip(Knapsack({10, 6, 4}, {5, 4, 3}, 7.0));
+  ASSERT_EQ(s.outcome, MipSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-6);
+}
+
+TEST(MipTest, IntegerSolutionDiffersFromRelaxation) {
+  // max x s.t. 2x <= 3, x integer => x = 1 (relaxation 1.5).
+  MipProblem mip;
+  mip.lp.num_vars = 1;
+  mip.lp.objective = {1.0};
+  mip.lp.AddConstraint({2.0}, LpProblem::Relation::kLe, 3.0);
+  mip.integer_vars = {0};
+  const MipSolution s = SolveMip(mip);
+  ASSERT_EQ(s.outcome, MipSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-9);
+}
+
+TEST(MipTest, DetectsInfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6 has no integer point.
+  MipProblem mip;
+  mip.lp.num_vars = 1;
+  mip.lp.objective = {1.0};
+  mip.lp.AddConstraint({1.0}, LpProblem::Relation::kLe, 0.6);
+  mip.lp.AddConstraint({1.0}, LpProblem::Relation::kGe, 0.4);
+  mip.integer_vars = {0};
+  EXPECT_EQ(SolveMip(mip).outcome, MipSolution::Outcome::kInfeasible);
+}
+
+TEST(MipTest, MixedIntegerContinuous) {
+  // max 2x + y, x integer, x <= 2.5, y <= 0.7, x + y <= 3 => x=2, y=0.7.
+  MipProblem mip;
+  mip.lp.num_vars = 2;
+  mip.lp.objective = {2.0, 1.0};
+  mip.lp.AddConstraint({1.0, 0.0}, LpProblem::Relation::kLe, 2.5);
+  mip.lp.AddConstraint({0.0, 1.0}, LpProblem::Relation::kLe, 0.7);
+  mip.lp.AddConstraint({1.0, 1.0}, LpProblem::Relation::kLe, 3.0);
+  mip.integer_vars = {0};
+  const MipSolution s = SolveMip(mip);
+  ASSERT_EQ(s.outcome, MipSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.7, 1e-6);
+  EXPECT_NEAR(s.objective, 4.7, 1e-6);
+}
+
+// Property sweep: random 0/1 knapsacks vs exhaustive enumeration.
+class MipKnapsackPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MipKnapsackPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam() * 977);
+  const int n = 3 + static_cast<int>(rng.NextBounded(6));  // up to 8 items
+  std::vector<double> values;
+  std::vector<double> weights;
+  double total_weight = 0.0;
+  for (int i = 0; i < n; ++i) {
+    values.push_back(static_cast<double>(rng.NextInRange(1, 20)));
+    weights.push_back(static_cast<double>(rng.NextInRange(1, 15)));
+    total_weight += weights.back();
+  }
+  const double capacity = std::floor(total_weight / 2.0);
+
+  double brute = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0.0;
+    double w = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += values[i];
+        w += weights[i];
+      }
+    }
+    if (w <= capacity) brute = std::max(brute, v);
+  }
+
+  const MipSolution s = SolveMip(Knapsack(values, weights, capacity));
+  ASSERT_EQ(s.outcome, MipSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, brute, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MipKnapsackPropertyTest,
+                         ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace memo::solver

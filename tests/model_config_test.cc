@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "model/model_config.h"
+
+namespace memo::model {
+namespace {
+
+TEST(ModelConfigTest, Table2Presets) {
+  const ModelConfig m7 = Gpt7B();
+  EXPECT_EQ(m7.num_layers, 32);
+  EXPECT_EQ(m7.hidden, 4096);
+  EXPECT_EQ(m7.ffn_hidden, 16384);
+  EXPECT_EQ(m7.num_heads, 32);
+  EXPECT_EQ(m7.vocab, 50257);
+
+  const ModelConfig m13 = Gpt13B();
+  EXPECT_EQ(m13.num_layers, 40);
+  EXPECT_EQ(m13.hidden, 5120);
+
+  const ModelConfig m30 = Gpt30B();
+  EXPECT_EQ(m30.num_layers, 48);
+  EXPECT_EQ(m30.num_heads, 56);
+
+  const ModelConfig m65 = Gpt65B();
+  EXPECT_EQ(m65.num_layers, 80);
+  EXPECT_EQ(m65.hidden, 8192);
+}
+
+TEST(ModelConfigTest, ParameterCountsMatchNominalSizes) {
+  // Each preset's parameter count should land within 10% of its nameplate.
+  EXPECT_NEAR(Gpt7B().num_parameters() / 1e9, 7.0, 0.7);
+  EXPECT_NEAR(Gpt13B().num_parameters() / 1e9, 13.0, 1.3);
+  EXPECT_NEAR(Gpt30B().num_parameters() / 1e9, 30.0, 3.0);
+  EXPECT_NEAR(Gpt65B().num_parameters() / 1e9, 65.0, 6.5);
+}
+
+TEST(ModelConfigTest, LayerParametersAre12HSquaredForStandardRatio) {
+  // 4h^2 attention + 8h^2 FFN (h_ffn = 4h) + small LN terms.
+  const ModelConfig m = Gpt7B();
+  const double expected = 12.0 * static_cast<double>(m.hidden) * m.hidden;
+  EXPECT_NEAR(m.layer_parameters() / expected, 1.0, 0.001);
+}
+
+TEST(ModelConfigTest, HeadDim) {
+  EXPECT_EQ(Gpt7B().head_dim(), 128);
+  EXPECT_EQ(Gpt30B().head_dim(), 128);
+}
+
+TEST(ModelConfigTest, ValidateRejectsBadConfigs) {
+  ModelConfig bad = Gpt7B();
+  bad.num_heads = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = Gpt7B();
+  bad.hidden = 100;  // not divisible by 32 heads
+  EXPECT_FALSE(bad.Validate().ok());
+  bad = Gpt7B();
+  bad.num_layers = -1;
+  EXPECT_FALSE(bad.Validate().ok());
+  EXPECT_TRUE(Gpt7B().Validate().ok());
+}
+
+TEST(ModelConfigTest, ModelByName) {
+  EXPECT_TRUE(ModelByName("7B").ok());
+  EXPECT_TRUE(ModelByName("65B").ok());
+  EXPECT_EQ(ModelByName("13B")->num_layers, 40);
+  EXPECT_FALSE(ModelByName("175B").ok());
+}
+
+}  // namespace
+}  // namespace memo::model

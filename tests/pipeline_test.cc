@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "parallel/pipeline.h"
+
+namespace memo::parallel {
+namespace {
+
+TEST(PipelineTest, SingleStageHasNoBubble) {
+  PipelineSchedule s;
+  s.stages = 1;
+  s.microbatches = 4;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  const PipelineResult r = Simulate1F1B(s);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 12.0);
+  EXPECT_DOUBLE_EQ(r.bubble_fraction, 0.0);
+}
+
+TEST(PipelineTest, TextbookBubbleFraction) {
+  // Uniform stage times, zero p2p: bubble = (p-1)/(m+p-1).
+  for (int stages : {2, 4}) {
+    for (int m : {1, 4, 8}) {
+      PipelineSchedule s;
+      s.stages = stages;
+      s.microbatches = m;
+      s.fwd_seconds = 1.0;
+      s.bwd_seconds = 2.0;
+      const PipelineResult r = Simulate1F1B(s);
+      const double expected =
+          static_cast<double>(stages - 1) / (m + stages - 1);
+      EXPECT_NEAR(r.bubble_fraction, expected, 1e-9)
+          << stages << " stages, " << m << " microbatches";
+      // Makespan = (m + p - 1) * (fwd + bwd) for uniform 1F1B.
+      EXPECT_NEAR(r.makespan_seconds, (m + stages - 1) * 3.0, 1e-9);
+    }
+  }
+}
+
+TEST(PipelineTest, MoreMicrobatchesShrinkTheBubble) {
+  PipelineSchedule s;
+  s.stages = 4;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  s.microbatches = 2;
+  const double bubble2 = Simulate1F1B(s).bubble_fraction;
+  s.microbatches = 16;
+  const double bubble16 = Simulate1F1B(s).bubble_fraction;
+  EXPECT_LT(bubble16, bubble2);
+  EXPECT_LT(bubble16, 0.2);
+}
+
+TEST(PipelineTest, P2PExtendsMakespan) {
+  PipelineSchedule s;
+  s.stages = 2;
+  s.microbatches = 4;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  const double base = Simulate1F1B(s).makespan_seconds;
+  s.p2p_seconds = 0.25;
+  EXPECT_GT(Simulate1F1B(s).makespan_seconds, base);
+}
+
+TEST(InterleavedPipelineTest, OneChunkFallsBackToPlain1F1B) {
+  PipelineSchedule s;
+  s.stages = 4;
+  s.microbatches = 8;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  const PipelineResult plain = Simulate1F1B(s);
+  const PipelineResult interleaved = SimulateInterleaved1F1B(s, 1);
+  EXPECT_DOUBLE_EQ(plain.makespan_seconds, interleaved.makespan_seconds);
+}
+
+TEST(InterleavedPipelineTest, VirtualChunksShrinkTheBubble) {
+  PipelineSchedule s;
+  s.stages = 4;
+  s.microbatches = 8;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  const double plain = Simulate1F1B(s).bubble_fraction;
+  const double v2 = SimulateInterleaved1F1B(s, 2).bubble_fraction;
+  const double v4 = SimulateInterleaved1F1B(s, 4).bubble_fraction;
+  EXPECT_LT(v2, plain);
+  EXPECT_LE(v4, v2 + 1e-9);
+  // Textbook: interleaving divides the warmup/cooldown bubble by ~v.
+  EXPECT_NEAR(v2, plain / 2.0, plain / 3.0);
+}
+
+TEST(InterleavedPipelineTest, TotalWorkIsConserved) {
+  PipelineSchedule s;
+  s.stages = 2;
+  s.microbatches = 4;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  // Makespan is at least one stage's total work regardless of chunking.
+  for (int v : {2, 4}) {
+    const PipelineResult r = SimulateInterleaved1F1B(s, v);
+    EXPECT_GE(r.makespan_seconds, 4 * 3.0 - 1e-9);
+    EXPECT_LE(r.makespan_seconds, Simulate1F1B(s).makespan_seconds + 1e-9);
+  }
+}
+
+TEST(InterleavedPipelineTest, P2PCostGrowsWithChunks) {
+  // Interleaving trades bubble for boundary traffic: with nonzero p2p the
+  // advantage shrinks.
+  PipelineSchedule s;
+  s.stages = 4;
+  s.microbatches = 8;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  const double free_comm = SimulateInterleaved1F1B(s, 2).makespan_seconds;
+  s.p2p_seconds = 0.2;
+  const double with_comm = SimulateInterleaved1F1B(s, 2).makespan_seconds;
+  EXPECT_GT(with_comm, free_comm);
+}
+
+TEST(PipelineTest, OneMicrobatchDegeneratesToSerial) {
+  // m = 1: stages run strictly one after another, twice (fwd + bwd chain).
+  PipelineSchedule s;
+  s.stages = 3;
+  s.microbatches = 1;
+  s.fwd_seconds = 1.0;
+  s.bwd_seconds = 2.0;
+  const PipelineResult r = Simulate1F1B(s);
+  EXPECT_DOUBLE_EQ(r.makespan_seconds, 3 * 1.0 + 3 * 2.0);
+  EXPECT_NEAR(r.bubble_fraction, 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace memo::parallel

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "alloc/plan_allocator.h"
+#include "common/units.h"
+
+namespace memo::alloc {
+namespace {
+
+TEST(PlanAllocatorTest, BindAllocateFreeRoundTrip) {
+  PlanAllocator a(100);
+  ASSERT_TRUE(a.Bind(1, 0, 40).ok());
+  ASSERT_TRUE(a.Bind(2, 40, 60).ok());
+  EXPECT_TRUE(a.Allocate(1).ok());
+  EXPECT_TRUE(a.Allocate(2).ok());
+  EXPECT_EQ(a.live_bytes(), 100);
+  EXPECT_EQ(a.num_live(), 2);
+  EXPECT_TRUE(a.Free(1).ok());
+  EXPECT_EQ(a.live_bytes(), 60);
+  EXPECT_TRUE(a.Free(2).ok());
+  EXPECT_EQ(a.peak_live_bytes(), 100);
+}
+
+TEST(PlanAllocatorTest, RejectsPlacementsOutsideArena) {
+  PlanAllocator a(100);
+  EXPECT_FALSE(a.Bind(1, 90, 20).ok());
+  EXPECT_FALSE(a.Bind(2, -1, 10).ok());
+  EXPECT_FALSE(a.Bind(3, 0, 0).ok());
+  EXPECT_TRUE(a.Bind(4, 0, 100).ok());
+}
+
+TEST(PlanAllocatorTest, RejectsDoubleBind) {
+  PlanAllocator a(100);
+  ASSERT_TRUE(a.Bind(1, 0, 10).ok());
+  EXPECT_FALSE(a.Bind(1, 20, 10).ok());
+}
+
+TEST(PlanAllocatorTest, DetectsOverlapWithLiveTensor) {
+  PlanAllocator a(100);
+  ASSERT_TRUE(a.Bind(1, 0, 50).ok());
+  ASSERT_TRUE(a.Bind(2, 25, 50).ok());  // overlaps tensor 1 when both live
+  ASSERT_TRUE(a.Allocate(1).ok());
+  const Status s = a.Allocate(2);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  // After freeing 1, the region is available.
+  ASSERT_TRUE(a.Free(1).ok());
+  EXPECT_TRUE(a.Allocate(2).ok());
+}
+
+TEST(PlanAllocatorTest, DetectsOverlapFromPredecessor) {
+  PlanAllocator a(100);
+  ASSERT_TRUE(a.Bind(1, 10, 50).ok());
+  ASSERT_TRUE(a.Bind(2, 0, 20).ok());  // tail overlaps tensor 1's head
+  ASSERT_TRUE(a.Allocate(1).ok());
+  EXPECT_FALSE(a.Allocate(2).ok());
+}
+
+TEST(PlanAllocatorTest, AdjacentPlacementsDoNotConflict) {
+  PlanAllocator a(100);
+  ASSERT_TRUE(a.Bind(1, 0, 50).ok());
+  ASSERT_TRUE(a.Bind(2, 50, 50).ok());
+  EXPECT_TRUE(a.Allocate(1).ok());
+  EXPECT_TRUE(a.Allocate(2).ok());
+}
+
+TEST(PlanAllocatorTest, ReuseAfterFreeMirrorsLayerReuse) {
+  // The bi-level plan reuses one layer's addresses for every layer (§4.2):
+  // allocate/free the same bindings repeatedly.
+  PlanAllocator a(64);
+  ASSERT_TRUE(a.Bind(1, 0, 64).ok());
+  for (int layer = 0; layer < 10; ++layer) {
+    ASSERT_TRUE(a.Allocate(1).ok());
+    ASSERT_TRUE(a.Free(1).ok());
+  }
+  EXPECT_EQ(a.peak_live_bytes(), 64);
+}
+
+TEST(PlanAllocatorTest, ErrorsOnUnboundOrDeadTensors) {
+  PlanAllocator a(100);
+  EXPECT_FALSE(a.Allocate(9).ok());
+  EXPECT_FALSE(a.Free(9).ok());
+  ASSERT_TRUE(a.Bind(1, 0, 10).ok());
+  EXPECT_FALSE(a.Free(1).ok());  // not live yet
+  ASSERT_TRUE(a.Allocate(1).ok());
+  EXPECT_TRUE(a.Free(1).ok());
+  EXPECT_FALSE(a.Free(1).ok());  // double free
+}
+
+}  // namespace
+}  // namespace memo::alloc

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/units.h"
+#include "model/trace_gen.h"
+#include "planner/plan_io.h"
+
+namespace memo::planner {
+namespace {
+
+MemoryPlan RealPlan() {
+  model::ModelConfig m = model::Gpt7B();
+  m.num_layers = 4;
+  model::TraceGenOptions options;
+  options.seq_local = 8 * kSeqK;
+  options.tensor_parallel = 4;
+  options.mode = model::ActivationMode::kMemoBuffers;
+  auto plan = PlanMemory(model::GenerateModelTrace(m, options));
+  EXPECT_TRUE(plan.ok());
+  return *plan;
+}
+
+TEST(PlanIoTest, RoundTripPreservesEverything) {
+  const MemoryPlan plan = RealPlan();
+  const std::string text = SerializePlan(plan);
+  auto parsed = ParsePlan(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->arena_bytes, plan.arena_bytes);
+  EXPECT_EQ(parsed->addresses, plan.addresses);
+  EXPECT_EQ(parsed->sizes, plan.sizes);
+  EXPECT_EQ(parsed->layer_fwd_peak, plan.layer_fwd_peak);
+  EXPECT_EQ(parsed->layer_bwd_peak, plan.layer_bwd_peak);
+  EXPECT_EQ(parsed->lower_bound, plan.lower_bound);
+  EXPECT_EQ(parsed->level1_fwd_optimal, plan.level1_fwd_optimal);
+  EXPECT_EQ(parsed->level2_optimal, plan.level2_optimal);
+  EXPECT_EQ(parsed->level2_tensors, plan.level2_tensors);
+}
+
+TEST(PlanIoTest, SerializationIsDeterministic) {
+  const MemoryPlan plan = RealPlan();
+  EXPECT_EQ(SerializePlan(plan), SerializePlan(plan));
+}
+
+TEST(PlanIoTest, LoadedPlanStillVerifiesAgainstTheTrace) {
+  model::ModelConfig m = model::Gpt7B();
+  m.num_layers = 4;
+  model::TraceGenOptions options;
+  options.seq_local = 8 * kSeqK;
+  options.tensor_parallel = 4;
+  options.mode = model::ActivationMode::kMemoBuffers;
+  const auto trace = model::GenerateModelTrace(m, options);
+  auto plan = PlanMemory(trace);
+  ASSERT_TRUE(plan.ok());
+  auto parsed = ParsePlan(SerializePlan(*plan));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(VerifyPlan(trace, *parsed).ok());
+}
+
+TEST(PlanIoTest, FileRoundTrip) {
+  const MemoryPlan plan = RealPlan();
+  const std::string path = ::testing::TempDir() + "/plan.txt";
+  ASSERT_TRUE(SavePlan(plan, path).ok());
+  auto loaded = LoadPlan(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->addresses, plan.addresses);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadPlan(path).ok());  // gone
+}
+
+TEST(PlanIoTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParsePlan("").ok());
+  EXPECT_FALSE(ParsePlan("not-a-plan\narena 10\n").ok());
+  EXPECT_FALSE(ParsePlan("memo-plan v1\n").ok());  // no arena
+  EXPECT_FALSE(ParsePlan("memo-plan v1\narena -5\n").ok());
+  EXPECT_FALSE(
+      ParsePlan("memo-plan v1\narena 100\ntensor 1 0\n").ok());  // truncated
+  EXPECT_FALSE(
+      ParsePlan("memo-plan v1\narena 100\nfrobnicate 3 4 5\n").ok());
+  // Duplicate tensor ids.
+  EXPECT_FALSE(ParsePlan("memo-plan v1\narena 100\ntensor 1 0 10\n"
+                         "tensor 1 20 10\n")
+                   .ok());
+  // Placement exceeding the arena.
+  EXPECT_FALSE(
+      ParsePlan("memo-plan v1\narena 100\ntensor 1 96 10\n").ok());
+  // A minimal valid plan parses.
+  EXPECT_TRUE(ParsePlan("memo-plan v1\narena 100\ntensor 1 0 100\n").ok());
+}
+
+}  // namespace
+}  // namespace memo::planner

@@ -1,0 +1,157 @@
+// Property/fuzz tests for the planning stack: random-but-well-formed
+// iteration traces must always produce plans that replay without overlap,
+// stay within bounded inflation of the lower bound, and be deterministic.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "model/trace_gen.h"
+#include "planner/bilevel_planner.h"
+#include "solver/dsa.h"
+
+namespace memo::planner {
+namespace {
+
+/// Builds a random multi-"layer" trace with repeated identical segments,
+/// mimicking the transformer structure the bi-level planner exploits:
+/// `layers` segments share one malloc/free shape; a few cross-segment
+/// tensors (the "skeletal" ones) span from their forward segment to a
+/// matching reversed segment.
+model::ModelTrace RandomLayeredTrace(Rng& rng, int layers) {
+  model::ModelTrace trace;
+  std::int64_t next_id = 0;
+
+  // One random per-layer shape: a sequence of (malloc, lifetime) choices.
+  struct Shape {
+    std::vector<std::int64_t> sizes;   // per local tensor
+    std::vector<int> free_after;       // local tensor freed after k more mallocs
+  };
+  Shape shape;
+  const int locals = 3 + static_cast<int>(rng.NextBounded(6));
+  for (int i = 0; i < locals; ++i) {
+    shape.sizes.push_back(rng.NextInRange(1, 64) * 512);
+    shape.free_after.push_back(static_cast<int>(rng.NextBounded(3)));
+  }
+  const std::int64_t skeletal_size = rng.NextInRange(1, 32) * 512;
+
+  std::vector<std::int64_t> skeletal_ids(layers);
+  auto emit_segment = [&](const std::string& name, int layer, bool forward) {
+    model::TraceSegment seg;
+    seg.name = name;
+    seg.layer = layer;
+    seg.begin = static_cast<int>(trace.requests.size());
+    std::vector<std::pair<int, std::int64_t>> pending;  // (countdown, id)
+    auto tick = [&]() {
+      for (auto& [count, id] : pending) --count;
+      for (std::size_t i = 0; i < pending.size();) {
+        if (pending[i].first <= 0) {
+          const std::int64_t id = pending[i].second;
+          const std::int64_t bytes = shape.sizes[id % locals];
+          trace.requests.push_back(model::MemoryRequest{
+              model::MemoryRequest::Kind::kFree, id, bytes, false, "t"});
+          pending[i] = pending.back();
+          pending.pop_back();
+        } else {
+          ++i;
+        }
+      }
+    };
+    for (int i = 0; i < locals; ++i) {
+      const std::int64_t id = next_id * locals + i;  // deterministic per seg
+      trace.requests.push_back(model::MemoryRequest{
+          model::MemoryRequest::Kind::kMalloc, id, shape.sizes[i], false,
+          "t"});
+      pending.emplace_back(shape.free_after[i] + 1, id);
+      tick();
+    }
+    // Flush the rest.
+    for (auto& [count, id] : pending) {
+      trace.requests.push_back(model::MemoryRequest{
+          model::MemoryRequest::Kind::kFree, id, shape.sizes[id % locals],
+          false, "t"});
+    }
+    // Cross-segment skeletal tensor: malloc'd in fwd, freed in bwd.
+    if (forward) {
+      skeletal_ids[layer] = 1000000 + layer;
+      trace.requests.push_back(model::MemoryRequest{
+          model::MemoryRequest::Kind::kMalloc, skeletal_ids[layer],
+          skeletal_size, true, "skel"});
+    } else {
+      trace.requests.push_back(model::MemoryRequest{
+          model::MemoryRequest::Kind::kFree, skeletal_ids[layer],
+          skeletal_size, true, "skel"});
+    }
+    seg.end = static_cast<int>(trace.requests.size());
+    trace.segments.push_back(seg);
+    ++next_id;
+  };
+
+  for (int l = 0; l < layers; ++l) emit_segment("layer_fwd", l, true);
+  for (int l = layers - 1; l >= 0; --l) emit_segment("layer_bwd", l, false);
+  return trace;
+}
+
+class PlannerFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PlannerFuzzTest, RandomLayeredTracesPlanAndVerify) {
+  Rng rng(GetParam() * 7919);
+  const int layers = 2 + static_cast<int>(rng.NextBounded(6));
+  const model::ModelTrace trace = RandomLayeredTrace(rng, layers);
+  ASSERT_TRUE(trace.Validate().ok());
+
+  auto plan = PlanMemory(trace);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(VerifyPlan(trace, *plan).ok());
+  EXPECT_GE(plan->arena_bytes, plan->lower_bound);
+  // Bi-level inflation stays bounded on layered traces.
+  EXPECT_LE(plan->arena_bytes, plan->lower_bound * 2);
+}
+
+TEST_P(PlannerFuzzTest, PlanningIsDeterministic) {
+  Rng rng_a(GetParam() * 131);
+  Rng rng_b(GetParam() * 131);
+  const auto trace_a = RandomLayeredTrace(rng_a, 4);
+  const auto trace_b = RandomLayeredTrace(rng_b, 4);
+  auto plan_a = PlanMemory(trace_a);
+  auto plan_b = PlanMemory(trace_b);
+  ASSERT_TRUE(plan_a.ok());
+  ASSERT_TRUE(plan_b.ok());
+  EXPECT_EQ(plan_a->arena_bytes, plan_b->arena_bytes);
+  EXPECT_EQ(plan_a->addresses, plan_b->addresses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerFuzzTest, ::testing::Range(1, 17));
+
+// Fuzz the DSA production path directly against the exact solver on small
+// random instances with clustered lifetimes (harder than uniform random).
+class DsaClusteredFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DsaClusteredFuzzTest, ProductionMatchesExactOnClusteredInstances) {
+  Rng rng(GetParam() * 31 + 5);
+  solver::DsaInstance instance;
+  const int n = 4 + static_cast<int>(rng.NextBounded(6));
+  int t = 0;
+  for (int i = 0; i < n; ++i) {
+    // Clustered: tensors start in waves of 2-3 with nested lifetimes.
+    if (i % 3 == 0) t += 2;
+    const int start = t;
+    const int end = start + 1 + static_cast<int>(rng.NextBounded(6));
+    instance.tensors.push_back(solver::DsaTensor{
+        i + 1, rng.NextInRange(1, 6) * 512, start, end});
+  }
+  const auto production = solver::SolveDsa(instance);
+  ASSERT_TRUE(solver::ValidateDsaAssignment(instance, production).ok());
+  auto exact =
+      solver::SolveDsaExact(instance, solver::MipOptions{.max_nodes = 100000,
+                                                         .absolute_gap = 1e-6});
+  ASSERT_TRUE(exact.ok());
+  EXPECT_LE(production.peak, exact->peak);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DsaClusteredFuzzTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace memo::planner

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "cost/ring_attention.h"
+
+namespace memo::cost {
+namespace {
+
+TEST(RingAttentionTest, SingleStepIsPlainAttention) {
+  const RingAttentionTiming t = SimulateRingAttention(1, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(t.elapsed_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(t.exposed_comm_seconds, 0.0);
+}
+
+TEST(RingAttentionTest, ComputeBoundRingHidesAllCommunication) {
+  // compute 1.0s/step, comm 0.5s/step: block k arrives at 0.5k, chunk k
+  // starts at k >= 0.5k — never waits.
+  const RingAttentionTiming t = SimulateRingAttention(4, 1.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.elapsed_seconds, 4.0);
+  EXPECT_DOUBLE_EQ(t.exposed_comm_seconds, 0.0);
+}
+
+TEST(RingAttentionTest, CommBoundRingExposesTheDifference) {
+  // comm 2.0s/step, compute 1.0s/step: chunk k starts at 2k (k>0);
+  // elapsed = 2*(steps-1) + 1; exposure = elapsed - steps*compute.
+  const int steps = 4;
+  const RingAttentionTiming t = SimulateRingAttention(steps, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.elapsed_seconds, 2.0 * (steps - 1) + 1.0);
+  EXPECT_DOUBLE_EQ(t.exposed_comm_seconds,
+                   t.elapsed_seconds - steps * 1.0);
+}
+
+TEST(RingAttentionTest, ExposureShrinksAsComputeGrows) {
+  double previous = 1e9;
+  for (double compute : {0.5, 1.0, 2.0, 4.0}) {
+    const RingAttentionTiming t = SimulateRingAttention(8, compute, 2.0);
+    EXPECT_LE(t.exposed_comm_seconds, previous);
+    previous = t.exposed_comm_seconds;
+  }
+  // Fully hidden once compute/step >= comm/step.
+  EXPECT_DOUBLE_EQ(SimulateRingAttention(8, 2.0, 2.0).exposed_comm_seconds,
+                   0.0);
+}
+
+TEST(RingAttentionTest, ElapsedIsAtLeastBothBounds) {
+  for (int steps : {2, 3, 8}) {
+    for (double compute : {0.3, 1.0, 2.7}) {
+      for (double comm : {0.1, 1.0, 3.2}) {
+        const RingAttentionTiming t =
+            SimulateRingAttention(steps, compute, comm);
+        EXPECT_GE(t.elapsed_seconds, steps * compute - 1e-12);
+        EXPECT_GE(t.elapsed_seconds, (steps - 1) * comm - 1e-12);
+        EXPECT_GE(t.exposed_comm_seconds, -1e-12);
+        EXPECT_NEAR(t.elapsed_seconds - t.exposed_comm_seconds,
+                    steps * compute, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(PrefetchPipelineTest, FirstTransferIsAlwaysExposed) {
+  // Unlike the ring (block 0 local), the prefetch pipeline pays for the
+  // first gather even when compute dominates.
+  const RingAttentionTiming t = SimulatePrefetchPipeline(8, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(t.exposed_comm_seconds, 0.5);
+  EXPECT_DOUBLE_EQ(t.elapsed_seconds, 0.5 + 8 * 2.0);
+}
+
+TEST(PrefetchPipelineTest, CommBoundPipelineSerializesOnTransfers) {
+  const RingAttentionTiming t = SimulatePrefetchPipeline(4, 1.0, 3.0);
+  // Layer k starts at 3(k+1): elapsed = 3*4 + 1.
+  EXPECT_DOUBLE_EQ(t.elapsed_seconds, 13.0);
+  EXPECT_DOUBLE_EQ(t.exposed_comm_seconds, 13.0 - 4.0);
+}
+
+TEST(PrefetchPipelineTest, SingleStepExposesTheWholeTransfer) {
+  const RingAttentionTiming t = SimulatePrefetchPipeline(1, 2.0, 0.7);
+  EXPECT_DOUBLE_EQ(t.exposed_comm_seconds, 0.7);
+  EXPECT_DOUBLE_EQ(t.elapsed_seconds, 2.7);
+}
+
+}  // namespace
+}  // namespace memo::cost

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "sim/engine.h"
+
+namespace memo::sim {
+namespace {
+
+TEST(SimEngineTest, OpsOnOneStreamRunBackToBack) {
+  SimEngine engine;
+  StreamId s = engine.CreateStream("compute");
+  EXPECT_DOUBLE_EQ(engine.EnqueueOp(s, 1.0, "a"), 1.0);
+  EXPECT_DOUBLE_EQ(engine.EnqueueOp(s, 2.0, "b"), 3.0);
+  EXPECT_DOUBLE_EQ(engine.StreamFrontier(s), 3.0);
+  EXPECT_DOUBLE_EQ(engine.BusySeconds(s), 3.0);
+  EXPECT_DOUBLE_EQ(engine.StallSeconds(s), 0.0);
+}
+
+TEST(SimEngineTest, IndependentStreamsOverlap) {
+  SimEngine engine;
+  StreamId a = engine.CreateStream("a");
+  StreamId b = engine.CreateStream("b");
+  engine.EnqueueOp(a, 5.0, "compute");
+  engine.EnqueueOp(b, 3.0, "copy");
+  EXPECT_DOUBLE_EQ(engine.Makespan(), 5.0);
+}
+
+TEST(SimEngineTest, EventMakesStreamWait) {
+  SimEngine engine;
+  StreamId compute = engine.CreateStream("compute");
+  StreamId copy = engine.CreateStream("copy");
+  EventId done = engine.CreateEvent("copy_done");
+
+  engine.EnqueueOp(copy, 4.0, "offload");
+  engine.RecordEvent(copy, done);
+  engine.EnqueueOp(compute, 1.0, "layer0");
+  engine.WaitEvent(compute, done);
+  const double end = engine.EnqueueOp(compute, 1.0, "layer1");
+
+  // layer1 cannot start before the offload completes at t=4.
+  EXPECT_DOUBLE_EQ(end, 5.0);
+  EXPECT_DOUBLE_EQ(engine.StallSeconds(compute), 3.0);
+}
+
+TEST(SimEngineTest, WaitOnNeverRecordedEventIsNoop) {
+  SimEngine engine;
+  StreamId s = engine.CreateStream("s");
+  EventId e = engine.CreateEvent("e");
+  engine.WaitEvent(s, e);
+  EXPECT_DOUBLE_EQ(engine.EnqueueOp(s, 1.0, "op"), 1.0);
+}
+
+TEST(SimEngineTest, WaitOnlyDelaysSubsequentOps) {
+  SimEngine engine;
+  StreamId a = engine.CreateStream("a");
+  StreamId b = engine.CreateStream("b");
+  EventId e = engine.CreateEvent("e");
+  engine.EnqueueOp(a, 10.0, "slow");
+  engine.RecordEvent(a, e);
+
+  engine.EnqueueOp(b, 1.0, "before_wait");
+  engine.WaitEvent(b, e);
+  engine.EnqueueOp(b, 1.0, "after_wait");   // starts at t=10
+  const double end = engine.EnqueueOp(b, 1.0, "next");  // back-to-back
+
+  EXPECT_DOUBLE_EQ(engine.EventTime(e), 10.0);
+  EXPECT_DOUBLE_EQ(end, 12.0);
+}
+
+TEST(SimEngineTest, ReRecordingOverwritesFireTime) {
+  SimEngine engine;
+  StreamId s = engine.CreateStream("s");
+  EventId e = engine.CreateEvent("e");
+  engine.EnqueueOp(s, 1.0, "a");
+  engine.RecordEvent(s, e);
+  EXPECT_DOUBLE_EQ(engine.EventTime(e), 1.0);
+  engine.EnqueueOp(s, 1.0, "b");
+  engine.RecordEvent(s, e);
+  EXPECT_DOUBLE_EQ(engine.EventTime(e), 2.0);
+}
+
+TEST(SimEngineTest, TimelineRecordsStalls) {
+  SimEngine engine;
+  StreamId a = engine.CreateStream("a");
+  StreamId b = engine.CreateStream("b");
+  EventId e = engine.CreateEvent("e");
+  engine.EnqueueOp(a, 2.0, "x");
+  engine.RecordEvent(a, e);
+  engine.WaitEvent(b, e);
+  engine.EnqueueOp(b, 1.0, "y");
+
+  ASSERT_EQ(engine.timeline().size(), 2u);
+  const OpRecord& y = engine.timeline()[1];
+  EXPECT_EQ(y.label, "y");
+  EXPECT_DOUBLE_EQ(y.start_s, 2.0);
+  EXPECT_DOUBLE_EQ(y.stall_s, 2.0);
+  EXPECT_NE(engine.DumpTimeline().find("stalled"), std::string::npos);
+}
+
+TEST(SimEngineTest, PipelinedDoubleBufferPattern) {
+  // The MEMO §4.1 pattern: layer i+2's compute waits on layer i's offload
+  // (shared rounding buffer). With offload shorter than compute, no stall.
+  SimEngine engine;
+  StreamId compute = engine.CreateStream("compute");
+  StreamId d2h = engine.CreateStream("d2h");
+  std::vector<EventId> offload_done;
+  std::vector<EventId> layer_done;
+  const int n = 8;
+  for (int i = 0; i < n; ++i) {
+    offload_done.push_back(engine.CreateEvent("off" + std::to_string(i)));
+    layer_done.push_back(engine.CreateEvent("fwd" + std::to_string(i)));
+  }
+  const double layer_time = 1.0;
+  const double offload_time = 0.8;
+  for (int i = 0; i < n; ++i) {
+    if (i >= 2) engine.WaitEvent(compute, offload_done[i - 2]);
+    engine.EnqueueOp(compute, layer_time, "fwd" + std::to_string(i));
+    engine.RecordEvent(compute, layer_done[i]);
+    engine.WaitEvent(d2h, layer_done[i]);
+    engine.EnqueueOp(d2h, offload_time, "offload" + std::to_string(i));
+    engine.RecordEvent(d2h, offload_done[i]);
+  }
+  // Perfect overlap: compute never stalls.
+  EXPECT_DOUBLE_EQ(engine.StallSeconds(compute), 0.0);
+  EXPECT_DOUBLE_EQ(engine.StreamFrontier(compute), n * layer_time);
+}
+
+TEST(SimEngineTest, PipelinedDoubleBufferStallsWhenOffloadSlow) {
+  SimEngine engine;
+  StreamId compute = engine.CreateStream("compute");
+  StreamId d2h = engine.CreateStream("d2h");
+  const int n = 6;
+  std::vector<EventId> offload_done;
+  std::vector<EventId> layer_done;
+  for (int i = 0; i < n; ++i) {
+    offload_done.push_back(engine.CreateEvent(""));
+    layer_done.push_back(engine.CreateEvent(""));
+  }
+  const double layer_time = 1.0;
+  const double offload_time = 2.5;  // transfers dominate: short sequences
+  for (int i = 0; i < n; ++i) {
+    if (i >= 2) engine.WaitEvent(compute, offload_done[i - 2]);
+    engine.EnqueueOp(compute, layer_time, "fwd");
+    engine.RecordEvent(compute, layer_done[i]);
+    engine.WaitEvent(d2h, layer_done[i]);
+    engine.EnqueueOp(d2h, offload_time, "offload");
+    engine.RecordEvent(d2h, offload_done[i]);
+  }
+  EXPECT_GT(engine.StallSeconds(compute), 0.0);
+  // Steady state is transfer-bound: one layer per offload_time.
+  EXPECT_GT(engine.StreamFrontier(compute), n * layer_time);
+}
+
+}  // namespace
+}  // namespace memo::sim

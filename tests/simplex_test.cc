@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "solver/simplex.h"
+
+namespace memo::solver {
+namespace {
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6  => x=4, y=0, obj=12.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {3.0, 2.0};
+  lp.AddConstraint({1.0, 1.0}, LpProblem::Relation::kLe, 4.0);
+  lp.AddConstraint({1.0, 3.0}, LpProblem::Relation::kLe, 6.0);
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 4.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-7);
+}
+
+TEST(SimplexTest, InteriorOptimum) {
+  // max x + y  s.t. 2x + y <= 4, x + 2y <= 4  => x=y=4/3, obj=8/3.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 1.0};
+  lp.AddConstraint({2.0, 1.0}, LpProblem::Relation::kLe, 4.0);
+  lp.AddConstraint({1.0, 2.0}, LpProblem::Relation::kLe, 4.0);
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, 8.0 / 3.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 4.0 / 3.0, 1e-7);
+}
+
+TEST(SimplexTest, GreaterEqualAndEqualityConstraints) {
+  // min x + 2y (=> max -x -2y) s.t. x + y >= 3, x == 1  => y=2, obj=-5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {-1.0, -2.0};
+  lp.AddConstraint({1.0, 1.0}, LpProblem::Relation::kGe, 3.0);
+  lp.AddConstraint({1.0, 0.0}, LpProblem::Relation::kEq, 1.0);
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, -5.0, 1e-7);
+  EXPECT_NEAR(s.x[0], 1.0, 1e-7);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, DetectsInfeasible) {
+  LpProblem lp;
+  lp.num_vars = 1;
+  lp.objective = {1.0};
+  lp.AddConstraint({1.0}, LpProblem::Relation::kLe, 1.0);
+  lp.AddConstraint({1.0}, LpProblem::Relation::kGe, 2.0);
+  EXPECT_EQ(SolveLp(lp).outcome, LpSolution::Outcome::kInfeasible);
+}
+
+TEST(SimplexTest, DetectsUnbounded) {
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  lp.AddConstraint({0.0, 1.0}, LpProblem::Relation::kLe, 1.0);
+  EXPECT_EQ(SolveLp(lp).outcome, LpSolution::Outcome::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeRhsNormalization) {
+  // x - y <= -2 with max x + 0y, x,y>=0, y <= 5 => x = 3 at y = 5.
+  LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0, 0.0};
+  lp.AddConstraint({1.0, -1.0}, LpProblem::Relation::kLe, -2.0);
+  lp.AddConstraint({0.0, 1.0}, LpProblem::Relation::kLe, 5.0);
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Klee-Minty-flavoured degeneracy; Bland's rule must terminate.
+  LpProblem lp;
+  lp.num_vars = 3;
+  lp.objective = {100.0, 10.0, 1.0};
+  lp.AddConstraint({1.0, 0.0, 0.0}, LpProblem::Relation::kLe, 1.0);
+  lp.AddConstraint({20.0, 1.0, 0.0}, LpProblem::Relation::kLe, 100.0);
+  lp.AddConstraint({200.0, 20.0, 1.0}, LpProblem::Relation::kLe, 10000.0);
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.outcome, LpSolution::Outcome::kOptimal);
+  EXPECT_NEAR(s.objective, 10000.0, 1e-5);
+}
+
+// Property sweep: random feasible LPs where x=0 is feasible; the solver's
+// optimum must (a) satisfy all constraints and (b) weakly beat a random
+// feasible point's objective.
+class SimplexPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexPropertyTest, OptimumIsFeasibleAndDominant) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.NextBounded(4));
+  const int m = 2 + static_cast<int>(rng.NextBounded(4));
+  LpProblem lp;
+  lp.num_vars = n;
+  for (int j = 0; j < n; ++j) {
+    lp.objective.push_back(rng.NextInRange(-3, 5));
+  }
+  for (int i = 0; i < m; ++i) {
+    std::vector<double> coeffs;
+    for (int j = 0; j < n; ++j) {
+      coeffs.push_back(rng.NextInRange(0, 4));  // non-negative => bounded
+    }
+    lp.AddConstraint(std::move(coeffs), LpProblem::Relation::kLe,
+                     rng.NextInRange(1, 20));
+  }
+  // Add a box to guarantee boundedness even if some columns are all-zero.
+  for (int j = 0; j < n; ++j) {
+    std::vector<double> box(n, 0.0);
+    box[j] = 1.0;
+    lp.AddConstraint(std::move(box), LpProblem::Relation::kLe, 50.0);
+  }
+  const LpSolution s = SolveLp(lp);
+  ASSERT_EQ(s.outcome, LpSolution::Outcome::kOptimal);
+  // Feasibility of the returned point.
+  for (const auto& c : lp.constraints) {
+    double lhs = 0.0;
+    for (int j = 0; j < n; ++j) lhs += c.coeffs[j] * s.x[j];
+    EXPECT_LE(lhs, c.rhs + 1e-6);
+  }
+  for (double v : s.x) EXPECT_GE(v, -1e-9);
+  // x = 0 is feasible, so the optimum is at least 0 when any objective
+  // coefficient is positive, and at least the value at 0 (which is 0).
+  EXPECT_GE(s.objective, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace memo::solver

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/units.h"
+#include "core/memo_executor.h"
+#include "sim/trace_export.h"
+
+namespace memo::sim {
+namespace {
+
+TEST(TraceExportTest, EmitsChromeTraceEvents) {
+  SimEngine engine;
+  const StreamId compute = engine.CreateStream("compute");
+  const StreamId copy = engine.CreateStream("copy \"d2h\"");  // needs escaping
+  const EventId done = engine.CreateEvent("done");
+  engine.EnqueueOp(compute, 1.0, "layer_fwd");
+  engine.RecordEvent(compute, done);
+  engine.WaitEvent(copy, done);
+  engine.EnqueueOp(copy, 0.5, "offload");
+
+  const std::string json = TimelineToChromeTrace(engine);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"layer_fwd\""), std::string::npos);
+  EXPECT_NE(json.find("\"offload\""), std::string::npos);
+  EXPECT_NE(json.find("copy \\\"d2h\\\""), std::string::npos);
+  // The offload starts at t=1s = 1e6 us and stalled 1s on the event.
+  EXPECT_NE(json.find("\"ts\":1000000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"stall_us\":1000000.000"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TraceExportTest, WritesFile) {
+  SimEngine engine;
+  const StreamId s = engine.CreateStream("s");
+  engine.EnqueueOp(s, 1.0, "op");
+  const std::string path = ::testing::TempDir() + "/timeline.json";
+  ASSERT_TRUE(WriteChromeTrace(engine, path).ok());
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"op\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, MemoExecutorExportsItsSchedule) {
+  const std::string path = ::testing::TempDir() + "/memo_timeline.json";
+  core::MemoOptions options;
+  options.timeline_path = path;
+  parallel::ParallelStrategy strategy;
+  strategy.tp = 4;
+  strategy.cp = 2;
+  auto r = core::RunMemoIteration(
+      core::Workload{model::Gpt7B(), 256 * kSeqK}, strategy,
+      hw::PaperCluster(8), options);
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_NE(content.str().find("\"offload\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"prefetch\""), std::string::npos);
+  EXPECT_NE(content.str().find("\"layer_bwd\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace memo::sim

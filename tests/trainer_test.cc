@@ -1,0 +1,270 @@
+#include <gtest/gtest.h>
+
+#include "train/trainer.h"
+
+namespace memo::train {
+namespace {
+
+MiniGptConfig TinyModel() {
+  MiniGptConfig c;
+  c.layers = 2;
+  c.hidden = 16;
+  c.heads = 2;
+  c.ffn = 32;
+  c.vocab = 24;
+  c.seq = 24;
+  return c;
+}
+
+TrainRunOptions BaseRun() {
+  TrainRunOptions o;
+  o.model = TinyModel();
+  o.iterations = 60;
+  o.seed = 99;
+  return o;
+}
+
+TEST(ActivationStoreTest, TokenWiseRestoreIsBitExact) {
+  // Stash with alpha = 0.25, restore, and compare against retain-all.
+  const MiniGptConfig cfg = TinyModel();
+  const MiniGptParams params = MiniGptParams::Init(cfg, 7);
+  const MiniGpt model(cfg);
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  SyntheticData data(cfg.vocab, 0.9, 3);
+  data.NextSequence(cfg.seq, &tokens, &targets);
+
+  // Run the forward through both stores by exercising ForwardBackward and
+  // capturing gradients: identical gradients <=> identical restored
+  // activations everywhere they matter.
+  MiniGptParams grads_a = MiniGptParams::Init(cfg, 7);
+  MiniGptParams grads_b = MiniGptParams::Init(cfg, 7);
+  for (Tensor* g : grads_a.Flat()) g->Fill(0.0f);
+  for (Tensor* g : grads_b.Flat()) g->Fill(0.0f);
+
+  ActivationStore retain(ActivationPolicy::kRetainAll, 1.0);
+  ActivationStore tokenwise(ActivationPolicy::kTokenWise, 0.25);
+  const double loss_a =
+      model.ForwardBackward(params, tokens, targets, &retain, &grads_a);
+  const double loss_b =
+      model.ForwardBackward(params, tokens, targets, &tokenwise, &grads_b);
+
+  EXPECT_EQ(loss_a, loss_b);  // exact
+  const auto flat_a = grads_a.Flat();
+  const auto flat_b = grads_b.Flat();
+  for (std::size_t i = 0; i < flat_a.size(); ++i) {
+    EXPECT_TRUE(flat_a[i]->ExactlyEquals(*flat_b[i])) << "tensor " << i;
+  }
+  EXPECT_GT(tokenwise.recomputed_rows(), 0);
+  EXPECT_EQ(retain.recomputed_rows(), 0);
+}
+
+TEST(ActivationStoreTest, AlphaControlsStoredBytes) {
+  const MiniGptConfig cfg = TinyModel();
+  const MiniGptParams params = MiniGptParams::Init(cfg, 7);
+  const MiniGpt model(cfg);
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  SyntheticData data(cfg.vocab, 0.9, 3);
+  data.NextSequence(cfg.seq, &tokens, &targets);
+  MiniGptParams grads = MiniGptParams::Init(cfg, 7);
+
+  std::int64_t previous = 0;
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+    ActivationStore store(ActivationPolicy::kTokenWise, alpha);
+    model.ForwardBackward(params, tokens, targets, &store, &grads);
+    EXPECT_GT(store.peak_stored_bytes(), previous);
+    previous = store.peak_stored_bytes();
+  }
+}
+
+TEST(ActivationStoreTest, TokenWiseShrinksDeviceResidency) {
+  // The numeric counterpart of the paper's device-memory claim: retain-all
+  // keeps all L layers' activations resident; token-wise keeps two rounding
+  // buffers regardless of depth, so the ratio approaches L/2.
+  const MiniGptConfig cfg = [] {
+    MiniGptConfig c = TinyModel();
+    c.layers = 6;
+    return c;
+  }();
+  const MiniGptParams params = MiniGptParams::Init(cfg, 7);
+  const MiniGpt model(cfg);
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  SyntheticData data(cfg.vocab, 0.9, 3);
+  data.NextSequence(cfg.seq, &tokens, &targets);
+  MiniGptParams grads = MiniGptParams::Init(cfg, 7);
+  for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+
+  ActivationStore retain(ActivationPolicy::kRetainAll, 1.0);
+  model.ForwardBackward(params, tokens, targets, &retain, &grads);
+  for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+  ActivationStore tokenwise(ActivationPolicy::kTokenWise, 0.25);
+  model.ForwardBackward(params, tokens, targets, &tokenwise, &grads);
+
+  EXPECT_NEAR(static_cast<double>(retain.device_peak_bytes()) /
+                  static_cast<double>(tokenwise.device_peak_bytes()),
+              cfg.layers / 2.0, 0.2);
+}
+
+TEST(TrainerTest, LossDecreasesOnSyntheticLanguage) {
+  TrainRunOptions o = BaseRun();
+  o.iterations = 150;
+  const TrainRunResult r = RunTraining(o);
+  ASSERT_EQ(r.losses.size(), 150u);
+  double head = 0.0;
+  double tail = 0.0;
+  for (int i = 0; i < 10; ++i) head += r.losses[i];
+  for (int i = 140; i < 150; ++i) tail += r.losses[i];
+  EXPECT_LT(tail, head * 0.75) << "model failed to learn";
+}
+
+TEST(TrainerTest, Fig12dLossCurvesAlignAcrossAlpha) {
+  // The paper's convergence experiment (§5.5): MEMO with alpha in
+  // {0, 0.125, 0.25, 0.5, 1} matches the Megatron-style baseline. Our
+  // reproduction is stronger: the curves are exactly equal.
+  TrainRunOptions baseline = BaseRun();
+  baseline.policy = ActivationPolicy::kRetainAll;
+  const TrainRunResult reference = RunTraining(baseline);
+
+  for (double alpha : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    TrainRunOptions memo_run = BaseRun();
+    memo_run.policy = ActivationPolicy::kTokenWise;
+    memo_run.alpha = alpha;
+    const TrainRunResult r = RunTraining(memo_run);
+    ASSERT_EQ(r.losses.size(), reference.losses.size());
+    for (std::size_t i = 0; i < r.losses.size(); ++i) {
+      EXPECT_EQ(r.losses[i], reference.losses[i])
+          << "alpha " << alpha << " iteration " << i;
+    }
+  }
+}
+
+TEST(TrainerTest, RecomputedRowsMatchAlpha) {
+  TrainRunOptions o = BaseRun();
+  o.iterations = 4;
+  o.policy = ActivationPolicy::kTokenWise;
+  o.alpha = 0.25;
+  const TrainRunResult r = RunTraining(o);
+  // 75% of s rows per layer per iteration.
+  const std::int64_t expected = static_cast<std::int64_t>(
+      (1.0 - 0.25) * o.model.seq * o.model.layers * o.iterations);
+  EXPECT_EQ(r.recomputed_rows, expected);
+}
+
+TEST(TrainerTest, BatchedTrainingAveragesGradients) {
+  TrainRunOptions o = BaseRun();
+  o.iterations = 40;
+  o.batch = 4;
+  const TrainRunResult r = RunTraining(o);
+  ASSERT_EQ(r.losses.size(), 40u);
+  // Batched runs still learn, and the averaged loss is finite/positive.
+  double head = 0.0;
+  double tail = 0.0;
+  for (int i = 0; i < 5; ++i) head += r.losses[i];
+  for (int i = 35; i < 40; ++i) tail += r.losses[i];
+  EXPECT_LT(tail, head);
+}
+
+TEST(TrainerTest, BatchedCurvesStayAlignedAcrossAlpha) {
+  // The Fig 12(d) property must survive batching and clipping.
+  TrainRunOptions base = BaseRun();
+  base.iterations = 25;
+  base.batch = 3;
+  base.grad_clip = 1.0;
+  base.policy = ActivationPolicy::kRetainAll;
+  const TrainRunResult reference = RunTraining(base);
+  TrainRunOptions memo_run = base;
+  memo_run.policy = ActivationPolicy::kTokenWise;
+  memo_run.alpha = 0.125;
+  const TrainRunResult r = RunTraining(memo_run);
+  EXPECT_EQ(r.losses, reference.losses);
+}
+
+TEST(TrainerTest, GradientClippingBoundsTheRecordedNorms) {
+  TrainRunOptions o = BaseRun();
+  o.iterations = 20;
+  o.grad_clip = 0.5;
+  const TrainRunResult r = RunTraining(o);
+  ASSERT_EQ(r.grad_norms.size(), 20u);
+  for (double n : r.grad_norms) EXPECT_GT(n, 0.0);
+  // Clipping changes the trajectory versus an unclipped run.
+  TrainRunOptions unclipped = BaseRun();
+  unclipped.iterations = 20;
+  const TrainRunResult u = RunTraining(unclipped);
+  EXPECT_TRUE(u.grad_norms.empty());
+  EXPECT_NE(u.losses, r.losses);
+}
+
+TEST(LrScheduleTest, WarmupAndCosineShape) {
+  LrSchedule schedule;
+  schedule.warmup_fraction = 0.1;
+  schedule.cosine_decay = true;
+  schedule.min_lr_fraction = 0.1;
+  const int total = 100;
+  // Ramps up during warmup.
+  EXPECT_NEAR(schedule.Multiplier(0, total), 0.0, 1e-9);
+  EXPECT_NEAR(schedule.Multiplier(5, total), 0.5, 1e-9);
+  // Peak right after warmup.
+  EXPECT_NEAR(schedule.Multiplier(10, total), 1.0, 1e-6);
+  // Monotone decay afterwards, floored at min_lr_fraction.
+  double previous = 1.1;
+  for (int i = 10; i < 100; i += 10) {
+    const double m = schedule.Multiplier(i, total);
+    EXPECT_LT(m, previous);
+    EXPECT_GE(m, 0.1 - 1e-9);
+    previous = m;
+  }
+  // Constant schedule is the default.
+  LrSchedule constant;
+  EXPECT_DOUBLE_EQ(constant.Multiplier(50, total), 1.0);
+}
+
+TEST(LrScheduleTest, ScheduledRunDiffersFromConstant) {
+  TrainRunOptions o = BaseRun();
+  o.iterations = 30;
+  const TrainRunResult constant = RunTraining(o);
+  o.lr_schedule.warmup_fraction = 0.2;
+  o.lr_schedule.cosine_decay = true;
+  const TrainRunResult scheduled = RunTraining(o);
+  EXPECT_NE(constant.losses, scheduled.losses);
+  // First iteration uses ~zero LR, so its loss matches (update happens
+  // after the loss is measured) but the second iteration diverges less.
+  EXPECT_EQ(constant.losses[0], scheduled.losses[0]);
+}
+
+TEST(TrainerTest, DeterministicAcrossRuns) {
+  const TrainRunResult a = RunTraining(BaseRun());
+  const TrainRunResult b = RunTraining(BaseRun());
+  EXPECT_EQ(a.losses, b.losses);
+}
+
+TEST(SyntheticDataTest, FollowsPermutationMostly) {
+  SyntheticData data(16, 0.9, 42);
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  data.NextSequence(4000, &tokens, &targets);
+  // Learnable: the same current token maps to the same next token >= 80%
+  // of the time.
+  std::vector<std::vector<int>> counts(16, std::vector<int>(16, 0));
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    counts[tokens[i]][targets[i]]++;
+  }
+  int dominant = 0;
+  int total = 0;
+  for (int t = 0; t < 16; ++t) {
+    int best = 0;
+    int sum = 0;
+    for (int n = 0; n < 16; ++n) {
+      best = std::max(best, counts[t][n]);
+      sum += counts[t][n];
+    }
+    dominant += best;
+    total += sum;
+  }
+  EXPECT_GT(static_cast<double>(dominant) / total, 0.8);
+}
+
+}  // namespace
+}  // namespace memo::train

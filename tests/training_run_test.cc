@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/training_run.h"
+#include "common/units.h"
+
+namespace memo::core {
+namespace {
+
+const hw::ClusterSpec kCluster8 = hw::PaperCluster(8);
+const model::ModelConfig k7B = model::Gpt7B();
+
+parallel::ParallelStrategy MemoStrategy() {
+  parallel::ParallelStrategy s;
+  s.tp = 4;
+  s.cp = 2;
+  return s;
+}
+
+parallel::ParallelStrategy MegatronStrategy() {
+  parallel::ParallelStrategy s = MemoStrategy();
+  s.full_recompute = true;
+  return s;
+}
+
+TEST(TrainingRunTest, FixedLengthRunMatchesPerIterationResult) {
+  TrainingRunOptions options;
+  options.iterations = 4;
+  options.seq_lengths = {256 * kSeqK};
+  auto run = SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                 MemoStrategy(), kCluster8, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  auto one = RunMemoIteration(Workload{k7B, 256 * kSeqK}, MemoStrategy(),
+                              kCluster8);
+  ASSERT_TRUE(one.ok());
+  EXPECT_NEAR(run->total_seconds, 4 * one->iteration_seconds, 1e-6);
+  EXPECT_NEAR(run->avg_mfu, one->metrics.mfu, 1e-9);
+  EXPECT_NEAR(run->avg_tgs, one->metrics.tgs, 1e-6);
+  EXPECT_EQ(run->distinct_shapes, 1);
+  EXPECT_EQ(run->reorg_events, 0);  // MEMO never reorganizes
+}
+
+TEST(TrainingRunTest, VariableLengthsAggregateTokenWeighted) {
+  TrainingRunOptions options;
+  options.iterations = 4;
+  options.seq_lengths = {128 * kSeqK, 256 * kSeqK};
+  auto run = SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                 MemoStrategy(), kCluster8, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->distinct_shapes, 2);
+  // Aggregate MFU sits between the per-shape MFUs.
+  auto a = RunMemoIteration(Workload{k7B, 128 * kSeqK}, MemoStrategy(),
+                            kCluster8);
+  auto b = RunMemoIteration(Workload{k7B, 256 * kSeqK}, MemoStrategy(),
+                            kCluster8);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const double lo = std::min(a->metrics.mfu, b->metrics.mfu);
+  const double hi = std::max(a->metrics.mfu, b->metrics.mfu);
+  EXPECT_GE(run->avg_mfu, lo - 1e-9);
+  EXPECT_LE(run->avg_mfu, hi + 1e-9);
+}
+
+TEST(TrainingRunTest, BaselineSharedAllocatorPersistsAcrossIterations) {
+  TrainingRunOptions options;
+  options.iterations = 6;
+  options.seq_lengths = {512 * kSeqK, 384 * kSeqK, 256 * kSeqK};
+  auto run = SimulateTrainingRun(parallel::SystemKind::kMegatron, k7B,
+                                 MegatronStrategy(), kCluster8, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->distinct_shapes, 3);
+  EXPECT_GT(run->total_seconds, 0.0);
+  // The shared pool's peak covers the largest shape and stays within the
+  // device.
+  EXPECT_LE(run->peak_device_bytes, kCluster8.node.gpu.memory_bytes);
+  EXPECT_GT(run->peak_device_bytes, 30 * kGiB);
+}
+
+TEST(TrainingRunTest, FailsCleanlyWhenAShapeDoesNotFit) {
+  TrainingRunOptions options;
+  options.iterations = 2;
+  options.seq_lengths = {256 * kSeqK, 4096 * kSeqK};  // second shape OOMs
+  auto run = SimulateTrainingRun(parallel::SystemKind::kMegatron, k7B,
+                                 MegatronStrategy(), kCluster8, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_TRUE(run.status().IsOutOfMemory());
+}
+
+TEST(TrainingRunTest, ValidatesInputs) {
+  TrainingRunOptions options;
+  options.iterations = 0;
+  options.seq_lengths = {256 * kSeqK};
+  EXPECT_FALSE(SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                   MemoStrategy(), kCluster8, options)
+                   .ok());
+  options.iterations = 2;
+  options.seq_lengths.clear();
+  EXPECT_FALSE(SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                   MemoStrategy(), kCluster8, options)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace memo::core

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "alloc/unified_memory.h"
+#include "common/units.h"
+
+namespace memo::alloc {
+namespace {
+
+UnifiedMemoryAllocator::Options Small() {
+  UnifiedMemoryAllocator::Options options;
+  options.device_bytes = 100;
+  options.host_bytes = 300;
+  return options;
+}
+
+TEST(UnifiedMemoryTest, OversubscribesDeviceWithoutFailing) {
+  UnifiedMemoryAllocator a(Small());
+  // 4x the device capacity fits thanks to host backing.
+  std::vector<std::uint64_t> handles;
+  for (int i = 0; i < 4; ++i) {
+    auto h = a.Allocate(100);
+    ASSERT_TRUE(h.ok()) << i;
+    handles.push_back(h.value());
+  }
+  EXPECT_EQ(a.allocated_bytes(), 400);
+  EXPECT_LE(a.device_resident_bytes(), 100);
+  // Three blocks were evicted to make room.
+  EXPECT_EQ(a.migrated_out_bytes(), 300);
+}
+
+TEST(UnifiedMemoryTest, FailsOnlyWhenHostExhausted) {
+  UnifiedMemoryAllocator a(Small());
+  ASSERT_TRUE(a.Allocate(100).ok());
+  ASSERT_TRUE(a.Allocate(100).ok());
+  ASSERT_TRUE(a.Allocate(100).ok());
+  ASSERT_TRUE(a.Allocate(100).ok());
+  auto fifth = a.Allocate(100);
+  EXPECT_FALSE(fifth.ok());
+  EXPECT_TRUE(fifth.status().IsOutOfHostMemory());
+}
+
+TEST(UnifiedMemoryTest, TouchMigratesLruBlocksOut) {
+  UnifiedMemoryAllocator a(Small());
+  auto h1 = a.Allocate(60);
+  auto h2 = a.Allocate(60);  // evicts h1
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(a.device_resident_bytes(), 60);
+  const std::int64_t in_before = a.migrated_in_bytes();
+  // Touching h1 brings it back (evicting h2).
+  ASSERT_TRUE(a.Touch(h1.value()).ok());
+  EXPECT_EQ(a.migrated_in_bytes(), in_before + 60);
+  // Touching h1 again is free (already resident).
+  ASSERT_TRUE(a.Touch(h1.value()).ok());
+  EXPECT_EQ(a.migrated_in_bytes(), in_before + 60);
+}
+
+TEST(UnifiedMemoryTest, LruOrderRespectsTouches) {
+  UnifiedMemoryAllocator a(Small());
+  auto h1 = a.Allocate(40);
+  auto h2 = a.Allocate(40);
+  ASSERT_TRUE(h1.ok());
+  ASSERT_TRUE(h2.ok());
+  // Refresh h1 so h2 is the LRU victim.
+  ASSERT_TRUE(a.Touch(h1.value()).ok());
+  auto h3 = a.Allocate(40);
+  ASSERT_TRUE(h3.ok());
+  // h1 stays resident: touching it adds no migration.
+  const std::int64_t in_before = a.migrated_in_bytes();
+  ASSERT_TRUE(a.Touch(h1.value()).ok());
+  EXPECT_EQ(a.migrated_in_bytes(), in_before);
+  // h2 was evicted: touching it migrates.
+  ASSERT_TRUE(a.Touch(h2.value()).ok());
+  EXPECT_EQ(a.migrated_in_bytes(), in_before + 40);
+}
+
+TEST(UnifiedMemoryTest, FreesReleaseBothPools) {
+  UnifiedMemoryAllocator a(Small());
+  auto h = a.Allocate(80);
+  ASSERT_TRUE(h.ok());
+  ASSERT_TRUE(a.Free(h.value()).ok());
+  EXPECT_EQ(a.allocated_bytes(), 0);
+  EXPECT_EQ(a.device_resident_bytes(), 0);
+  EXPECT_FALSE(a.Free(h.value()).ok());  // double free
+}
+
+TEST(UnifiedMemoryTest, RejectsBlocksLargerThanDevice) {
+  UnifiedMemoryAllocator a(Small());
+  EXPECT_FALSE(a.Allocate(150).ok());
+  EXPECT_FALSE(a.Allocate(0).ok());
+}
+
+}  // namespace
+}  // namespace memo::alloc

@@ -1,0 +1,280 @@
+// memo_cli — command-line front end for the MEMO library.
+//
+//   memo_cli run    --model 7B --seq 1024K --gpus 8 [--system memo]
+//                   [--tp N --cp N --pp N --dp N --sp N] [--alpha X]
+//                   [--timeline out.json]
+//   memo_cli plan   --model 7B --seq 512K --gpus 8 --tp 4 --cp 2
+//                   [--out plan.txt]
+//   memo_cli maxseq --model 7B --gpus 8 [--system memo] [--step 128K]
+//   memo_cli alpha  --model 7B --seq 512K --gpus 8 --tp 4 --cp 2
+//
+// `run` auto-tunes the parallelism strategy unless explicit degrees are
+// given. Sequence lengths accept a K suffix (1024-token units).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/job_profiler.h"
+#include "core/report.h"
+#include "core/session.h"
+#include "planner/plan_io.h"
+
+namespace {
+
+using memo::core::IterationResult;
+using memo::core::SessionOptions;
+using memo::core::Workload;
+using memo::parallel::ParallelStrategy;
+using memo::parallel::SystemKind;
+
+/// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        std::fprintf(stderr, "expected a --flag, got %s\n", argv[i]);
+        std::exit(2);
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? it->second : fallback;
+  }
+
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? std::atoi(it->second.c_str()) : fallback;
+  }
+
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it != values_.end() ? std::atof(it->second.c_str()) : fallback;
+  }
+
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+
+  /// "512K" -> 512 * 1024 tokens; plain numbers pass through.
+  std::int64_t GetSeq(const std::string& key, std::int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& v = it->second;
+    std::int64_t value = std::atoll(v.c_str());
+    if (!v.empty() && (v.back() == 'K' || v.back() == 'k')) {
+      value *= memo::kSeqK;
+    }
+    return value;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+SystemKind ParseSystem(const std::string& name) {
+  if (name == "memo") return SystemKind::kMemo;
+  if (name == "megatron") return SystemKind::kMegatron;
+  if (name == "deepspeed") return SystemKind::kDeepSpeed;
+  std::fprintf(stderr, "unknown system %s (memo|megatron|deepspeed)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+void PrintResult(const IterationResult& it, const memo::model::ModelConfig& m) {
+  memo::core::IterationReportTable(it, m).Print(std::cout);
+}
+
+int CmdRun(const Flags& flags) {
+  const auto model = memo::model::ModelByName(flags.Get("model", "7B"));
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const Workload workload{*model, flags.GetSeq("seq", 512 * memo::kSeqK)};
+  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const SystemKind system = ParseSystem(flags.Get("system", "memo"));
+
+  SessionOptions options;
+  options.memo.timeline_path = flags.Get("timeline", "");
+  if (flags.Has("alpha")) {
+    options.memo.forced_alpha = flags.GetDouble("alpha", -1.0);
+  }
+
+  const bool explicit_strategy = flags.Has("tp") || flags.Has("cp") ||
+                                 flags.Has("pp") || flags.Has("dp") ||
+                                 flags.Has("sp");
+  if (explicit_strategy) {
+    ParallelStrategy s;
+    s.tp = flags.GetInt("tp", 1);
+    s.cp = flags.GetInt("cp", 1);
+    s.pp = flags.GetInt("pp", 1);
+    s.dp = flags.GetInt("dp", 1);
+    s.ulysses_sp = flags.GetInt("sp", 1);
+    if (system == SystemKind::kDeepSpeed) {
+      s.zero_stage = 3;
+      s.full_recompute = true;
+    } else if (system == SystemKind::kMegatron) {
+      s.full_recompute = true;
+    }
+    auto run =
+        memo::core::RunStrategy(system, workload, s, cluster, options);
+    if (!run.ok()) {
+      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(*run, *model);
+    return 0;
+  }
+
+  const auto best =
+      memo::core::RunBestStrategy(system, workload, cluster, options);
+  if (!best.status.ok()) {
+    std::fprintf(stderr, "%s (tried %d strategies)\n",
+                 best.status.ToString().c_str(), best.strategies_tried);
+    return 1;
+  }
+  std::printf("auto-tuned over %d strategies (%d feasible)\n\n",
+              best.strategies_tried, best.strategies_feasible);
+  PrintResult(best.best, *model);
+  return 0;
+}
+
+int CmdPlan(const Flags& flags) {
+  const auto model = memo::model::ModelByName(flags.Get("model", "7B"));
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  ParallelStrategy s;
+  s.tp = flags.GetInt("tp", 1);
+  s.cp = flags.GetInt("cp", 1);
+  s.pp = flags.GetInt("pp", 1);
+  s.dp = flags.GetInt("dp", 1);
+  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const Workload workload{*model, flags.GetSeq("seq", 512 * memo::kSeqK)};
+
+  auto profile = memo::core::ProfileJob(workload, s, cluster);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  auto plan = memo::planner::PlanMemory(profile->trace);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("arena %s (lower bound %s); layer fwd/bwd peaks %s / %s\n",
+              memo::FormatBytes(plan->arena_bytes).c_str(),
+              memo::FormatBytes(plan->lower_bound).c_str(),
+              memo::FormatBytes(plan->layer_fwd_peak).c_str(),
+              memo::FormatBytes(plan->layer_bwd_peak).c_str());
+  std::printf("alpha %.3f; offload %s per layer; profiling needs UM: %s\n",
+              profile->alpha.alpha,
+              memo::FormatBytes(profile->offload_bytes_per_layer).c_str(),
+              profile->profiling_needs_unified_memory ? "yes" : "no");
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    const memo::Status saved = memo::planner::SavePlan(*plan, out);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("plan written to %s (%zu tensors)\n", out.c_str(),
+                plan->addresses.size());
+  }
+  return 0;
+}
+
+int CmdMaxSeq(const Flags& flags) {
+  const auto model = memo::model::ModelByName(flags.Get("model", "7B"));
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const SystemKind system = ParseSystem(flags.Get("system", "memo"));
+  const std::int64_t step = flags.GetSeq("step", 128 * memo::kSeqK);
+  const std::int64_t cap = flags.GetSeq(
+      "cap", static_cast<std::int64_t>(cluster.total_gpus()) * 256 *
+                 memo::kSeqK);
+  const std::int64_t max_seq =
+      memo::core::MaxSupportedSeqLen(system, *model, cluster, step, cap);
+  std::printf("%s on %d GPUs: max sequence %s\n",
+              memo::parallel::SystemKindToString(system),
+              cluster.total_gpus(), memo::FormatSeqLen(max_seq).c_str());
+  return max_seq > 0 ? 0 : 1;
+}
+
+int CmdAlpha(const Flags& flags) {
+  const auto model = memo::model::ModelByName(flags.Get("model", "7B"));
+  if (!model.ok()) {
+    std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+    return 1;
+  }
+  ParallelStrategy s;
+  s.tp = flags.GetInt("tp", 1);
+  s.cp = flags.GetInt("cp", 1);
+  s.pp = flags.GetInt("pp", 1);
+  s.dp = flags.GetInt("dp", 1);
+  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const Workload workload{*model, flags.GetSeq("seq", 512 * memo::kSeqK)};
+  auto profile = memo::core::ProfileJob(workload, s, cluster);
+  if (!profile.ok()) {
+    std::fprintf(stderr, "%s\n", profile.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "alpha = %.3f (%s); per-layer skeletal %s = input %s + attn %s "
+      "+ others %s; offload %s/layer -> host total %s\n",
+      profile->alpha.alpha,
+      profile->alpha.overlap_bound
+          ? "overlap"
+          : (profile->alpha.host_memory_bound ? "host-memory"
+                                              : "unconstrained"),
+      memo::FormatBytes(profile->skeletal.total_bytes()).c_str(),
+      memo::FormatBytes(profile->skeletal.input_bytes).c_str(),
+      memo::FormatBytes(profile->skeletal.attn_out_bytes).c_str(),
+      memo::FormatBytes(profile->skeletal.others_bytes).c_str(),
+      memo::FormatBytes(profile->offload_bytes_per_layer).c_str(),
+      memo::FormatBytes(profile->offload_bytes_per_layer *
+                        std::max(0, profile->timings.layers_per_stage - 2))
+          .c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: memo_cli <run|plan|maxseq|alpha> [--flag value]...\n"
+               "  run    --model 7B --seq 1024K --gpus 8 [--system memo]\n"
+               "         [--tp N --cp N --pp N --dp N --sp N] [--alpha X]\n"
+               "         [--timeline out.json]\n"
+               "  plan   --model 7B --seq 512K --gpus 8 --tp 4 --cp 2\n"
+               "         [--out plan.txt]\n"
+               "  maxseq --model 7B --gpus 8 [--system memo] [--step 128K]\n"
+               "  alpha  --model 7B --seq 512K --gpus 8 --tp 4 --cp 2\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (command == "run") return CmdRun(flags);
+  if (command == "plan") return CmdPlan(flags);
+  if (command == "maxseq") return CmdMaxSeq(flags);
+  if (command == "alpha") return CmdAlpha(flags);
+  Usage();
+  return 2;
+}
