@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_allocators.dir/bench_ablation_allocators.cc.o"
+  "CMakeFiles/bench_ablation_allocators.dir/bench_ablation_allocators.cc.o.d"
+  "bench_ablation_allocators"
+  "bench_ablation_allocators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_allocators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

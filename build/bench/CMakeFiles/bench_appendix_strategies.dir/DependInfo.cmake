@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_appendix_strategies.cc" "bench/CMakeFiles/bench_appendix_strategies.dir/bench_appendix_strategies.cc.o" "gcc" "bench/CMakeFiles/bench_appendix_strategies.dir/bench_appendix_strategies.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/memo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/memo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/memo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/memo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/memo_planner.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/memo_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/memo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendix_strategies.dir/bench_appendix_strategies.cc.o"
+  "CMakeFiles/bench_appendix_strategies.dir/bench_appendix_strategies.cc.o.d"
+  "bench_appendix_strategies"
+  "bench_appendix_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

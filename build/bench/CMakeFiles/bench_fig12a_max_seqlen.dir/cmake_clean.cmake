@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12a_max_seqlen.dir/bench_fig12a_max_seqlen.cc.o"
+  "CMakeFiles/bench_fig12a_max_seqlen.dir/bench_fig12a_max_seqlen.cc.o.d"
+  "bench_fig12a_max_seqlen"
+  "bench_fig12a_max_seqlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12a_max_seqlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12c_mfu_64gpu.dir/bench_fig12c_mfu_64gpu.cc.o"
+  "CMakeFiles/bench_fig12c_mfu_64gpu.dir/bench_fig12c_mfu_64gpu.cc.o.d"
+  "bench_fig12c_mfu_64gpu"
+  "bench_fig12c_mfu_64gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12c_mfu_64gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

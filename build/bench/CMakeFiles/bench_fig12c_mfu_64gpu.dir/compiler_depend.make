@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig12c_mfu_64gpu.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_skeletal.dir/bench_fig5_skeletal.cc.o"
+  "CMakeFiles/bench_fig5_skeletal.dir/bench_fig5_skeletal.cc.o.d"
+  "bench_fig5_skeletal"
+  "bench_fig5_skeletal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_skeletal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_train.dir/bench_micro_train.cc.o"
+  "CMakeFiles/bench_micro_train.dir/bench_micro_train.cc.o.d"
+  "bench_micro_train"
+  "bench_micro_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_training_run.dir/bench_training_run.cc.o"
+  "CMakeFiles/bench_training_run.dir/bench_training_run.cc.o.d"
+  "bench_training_run"
+  "bench_training_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_training_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

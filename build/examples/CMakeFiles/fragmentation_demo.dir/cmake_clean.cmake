@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragmentation_demo.dir/fragmentation_demo.cpp.o"
+  "CMakeFiles/fragmentation_demo.dir/fragmentation_demo.cpp.o.d"
+  "fragmentation_demo"
+  "fragmentation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragmentation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

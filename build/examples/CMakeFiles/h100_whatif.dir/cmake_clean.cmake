@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h100_whatif.dir/h100_whatif.cpp.o"
+  "CMakeFiles/h100_whatif.dir/h100_whatif.cpp.o.d"
+  "h100_whatif"
+  "h100_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h100_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alloc/caching_allocator.cc" "src/alloc/CMakeFiles/memo_alloc.dir/caching_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/memo_alloc.dir/caching_allocator.cc.o.d"
+  "/root/repo/src/alloc/plan_allocator.cc" "src/alloc/CMakeFiles/memo_alloc.dir/plan_allocator.cc.o" "gcc" "src/alloc/CMakeFiles/memo_alloc.dir/plan_allocator.cc.o.d"
+  "/root/repo/src/alloc/trace_replay.cc" "src/alloc/CMakeFiles/memo_alloc.dir/trace_replay.cc.o" "gcc" "src/alloc/CMakeFiles/memo_alloc.dir/trace_replay.cc.o.d"
+  "/root/repo/src/alloc/unified_memory.cc" "src/alloc/CMakeFiles/memo_alloc.dir/unified_memory.cc.o" "gcc" "src/alloc/CMakeFiles/memo_alloc.dir/unified_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memo_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

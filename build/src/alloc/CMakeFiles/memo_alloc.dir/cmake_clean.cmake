@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_alloc.dir/caching_allocator.cc.o"
+  "CMakeFiles/memo_alloc.dir/caching_allocator.cc.o.d"
+  "CMakeFiles/memo_alloc.dir/plan_allocator.cc.o"
+  "CMakeFiles/memo_alloc.dir/plan_allocator.cc.o.d"
+  "CMakeFiles/memo_alloc.dir/trace_replay.cc.o"
+  "CMakeFiles/memo_alloc.dir/trace_replay.cc.o.d"
+  "CMakeFiles/memo_alloc.dir/unified_memory.cc.o"
+  "CMakeFiles/memo_alloc.dir/unified_memory.cc.o.d"
+  "libmemo_alloc.a"
+  "libmemo_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_common.dir/logging.cc.o"
+  "CMakeFiles/memo_common.dir/logging.cc.o.d"
+  "CMakeFiles/memo_common.dir/rng.cc.o"
+  "CMakeFiles/memo_common.dir/rng.cc.o.d"
+  "CMakeFiles/memo_common.dir/status.cc.o"
+  "CMakeFiles/memo_common.dir/status.cc.o.d"
+  "CMakeFiles/memo_common.dir/table_printer.cc.o"
+  "CMakeFiles/memo_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/memo_common.dir/units.cc.o"
+  "CMakeFiles/memo_common.dir/units.cc.o.d"
+  "libmemo_common.a"
+  "libmemo_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alpha_solver.cc" "src/core/CMakeFiles/memo_core.dir/alpha_solver.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/alpha_solver.cc.o.d"
+  "/root/repo/src/core/baseline_executors.cc" "src/core/CMakeFiles/memo_core.dir/baseline_executors.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/baseline_executors.cc.o.d"
+  "/root/repo/src/core/job_profiler.cc" "src/core/CMakeFiles/memo_core.dir/job_profiler.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/job_profiler.cc.o.d"
+  "/root/repo/src/core/memo_executor.cc" "src/core/CMakeFiles/memo_core.dir/memo_executor.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/memo_executor.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/memo_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/report.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/memo_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/session.cc.o.d"
+  "/root/repo/src/core/timings.cc" "src/core/CMakeFiles/memo_core.dir/timings.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/timings.cc.o.d"
+  "/root/repo/src/core/training_run.cc" "src/core/CMakeFiles/memo_core.dir/training_run.cc.o" "gcc" "src/core/CMakeFiles/memo_core.dir/training_run.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/memo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/alloc/CMakeFiles/memo_alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/memo_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/memo_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/memo_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/planner/CMakeFiles/memo_planner.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

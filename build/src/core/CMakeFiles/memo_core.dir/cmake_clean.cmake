@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_core.dir/alpha_solver.cc.o"
+  "CMakeFiles/memo_core.dir/alpha_solver.cc.o.d"
+  "CMakeFiles/memo_core.dir/baseline_executors.cc.o"
+  "CMakeFiles/memo_core.dir/baseline_executors.cc.o.d"
+  "CMakeFiles/memo_core.dir/job_profiler.cc.o"
+  "CMakeFiles/memo_core.dir/job_profiler.cc.o.d"
+  "CMakeFiles/memo_core.dir/memo_executor.cc.o"
+  "CMakeFiles/memo_core.dir/memo_executor.cc.o.d"
+  "CMakeFiles/memo_core.dir/report.cc.o"
+  "CMakeFiles/memo_core.dir/report.cc.o.d"
+  "CMakeFiles/memo_core.dir/session.cc.o"
+  "CMakeFiles/memo_core.dir/session.cc.o.d"
+  "CMakeFiles/memo_core.dir/timings.cc.o"
+  "CMakeFiles/memo_core.dir/timings.cc.o.d"
+  "CMakeFiles/memo_core.dir/training_run.cc.o"
+  "CMakeFiles/memo_core.dir/training_run.cc.o.d"
+  "libmemo_core.a"
+  "libmemo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

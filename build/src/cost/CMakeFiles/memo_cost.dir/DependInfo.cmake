@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/comm_cost.cc" "src/cost/CMakeFiles/memo_cost.dir/comm_cost.cc.o" "gcc" "src/cost/CMakeFiles/memo_cost.dir/comm_cost.cc.o.d"
+  "/root/repo/src/cost/flops.cc" "src/cost/CMakeFiles/memo_cost.dir/flops.cc.o" "gcc" "src/cost/CMakeFiles/memo_cost.dir/flops.cc.o.d"
+  "/root/repo/src/cost/metrics.cc" "src/cost/CMakeFiles/memo_cost.dir/metrics.cc.o" "gcc" "src/cost/CMakeFiles/memo_cost.dir/metrics.cc.o.d"
+  "/root/repo/src/cost/ring_attention.cc" "src/cost/CMakeFiles/memo_cost.dir/ring_attention.cc.o" "gcc" "src/cost/CMakeFiles/memo_cost.dir/ring_attention.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/memo_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memo_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_cost.dir/comm_cost.cc.o"
+  "CMakeFiles/memo_cost.dir/comm_cost.cc.o.d"
+  "CMakeFiles/memo_cost.dir/flops.cc.o"
+  "CMakeFiles/memo_cost.dir/flops.cc.o.d"
+  "CMakeFiles/memo_cost.dir/metrics.cc.o"
+  "CMakeFiles/memo_cost.dir/metrics.cc.o.d"
+  "CMakeFiles/memo_cost.dir/ring_attention.cc.o"
+  "CMakeFiles/memo_cost.dir/ring_attention.cc.o.d"
+  "libmemo_cost.a"
+  "libmemo_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

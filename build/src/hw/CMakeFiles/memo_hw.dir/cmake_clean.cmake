@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_hw.dir/gpu_spec.cc.o"
+  "CMakeFiles/memo_hw.dir/gpu_spec.cc.o.d"
+  "libmemo_hw.a"
+  "libmemo_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_model.dir/activation_spec.cc.o"
+  "CMakeFiles/memo_model.dir/activation_spec.cc.o.d"
+  "CMakeFiles/memo_model.dir/model_config.cc.o"
+  "CMakeFiles/memo_model.dir/model_config.cc.o.d"
+  "CMakeFiles/memo_model.dir/trace_gen.cc.o"
+  "CMakeFiles/memo_model.dir/trace_gen.cc.o.d"
+  "libmemo_model.a"
+  "libmemo_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

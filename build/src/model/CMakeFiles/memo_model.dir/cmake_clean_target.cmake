@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemo_model.a"
+)

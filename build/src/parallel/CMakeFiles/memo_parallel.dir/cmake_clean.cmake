@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_parallel.dir/memory_model.cc.o"
+  "CMakeFiles/memo_parallel.dir/memory_model.cc.o.d"
+  "CMakeFiles/memo_parallel.dir/pipeline.cc.o"
+  "CMakeFiles/memo_parallel.dir/pipeline.cc.o.d"
+  "CMakeFiles/memo_parallel.dir/strategy.cc.o"
+  "CMakeFiles/memo_parallel.dir/strategy.cc.o.d"
+  "libmemo_parallel.a"
+  "libmemo_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

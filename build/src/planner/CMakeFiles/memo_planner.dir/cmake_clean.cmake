@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_planner.dir/bilevel_planner.cc.o"
+  "CMakeFiles/memo_planner.dir/bilevel_planner.cc.o.d"
+  "CMakeFiles/memo_planner.dir/plan_io.cc.o"
+  "CMakeFiles/memo_planner.dir/plan_io.cc.o.d"
+  "libmemo_planner.a"
+  "libmemo_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

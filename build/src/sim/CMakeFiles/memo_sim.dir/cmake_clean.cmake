@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_sim.dir/engine.cc.o"
+  "CMakeFiles/memo_sim.dir/engine.cc.o.d"
+  "CMakeFiles/memo_sim.dir/trace_export.cc.o"
+  "CMakeFiles/memo_sim.dir/trace_export.cc.o.d"
+  "libmemo_sim.a"
+  "libmemo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/dsa.cc" "src/solver/CMakeFiles/memo_solver.dir/dsa.cc.o" "gcc" "src/solver/CMakeFiles/memo_solver.dir/dsa.cc.o.d"
+  "/root/repo/src/solver/mip.cc" "src/solver/CMakeFiles/memo_solver.dir/mip.cc.o" "gcc" "src/solver/CMakeFiles/memo_solver.dir/mip.cc.o.d"
+  "/root/repo/src/solver/simplex.cc" "src/solver/CMakeFiles/memo_solver.dir/simplex.cc.o" "gcc" "src/solver/CMakeFiles/memo_solver.dir/simplex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memo_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/memo_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_solver.dir/dsa.cc.o"
+  "CMakeFiles/memo_solver.dir/dsa.cc.o.d"
+  "CMakeFiles/memo_solver.dir/mip.cc.o"
+  "CMakeFiles/memo_solver.dir/mip.cc.o.d"
+  "CMakeFiles/memo_solver.dir/simplex.cc.o"
+  "CMakeFiles/memo_solver.dir/simplex.cc.o.d"
+  "libmemo_solver.a"
+  "libmemo_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

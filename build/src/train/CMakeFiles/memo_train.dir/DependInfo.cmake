@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/train/activation_store.cc" "src/train/CMakeFiles/memo_train.dir/activation_store.cc.o" "gcc" "src/train/CMakeFiles/memo_train.dir/activation_store.cc.o.d"
+  "/root/repo/src/train/adam.cc" "src/train/CMakeFiles/memo_train.dir/adam.cc.o" "gcc" "src/train/CMakeFiles/memo_train.dir/adam.cc.o.d"
+  "/root/repo/src/train/mini_gpt.cc" "src/train/CMakeFiles/memo_train.dir/mini_gpt.cc.o" "gcc" "src/train/CMakeFiles/memo_train.dir/mini_gpt.cc.o.d"
+  "/root/repo/src/train/ops.cc" "src/train/CMakeFiles/memo_train.dir/ops.cc.o" "gcc" "src/train/CMakeFiles/memo_train.dir/ops.cc.o.d"
+  "/root/repo/src/train/tensor.cc" "src/train/CMakeFiles/memo_train.dir/tensor.cc.o" "gcc" "src/train/CMakeFiles/memo_train.dir/tensor.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/train/CMakeFiles/memo_train.dir/trainer.cc.o" "gcc" "src/train/CMakeFiles/memo_train.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memo_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_train.dir/activation_store.cc.o"
+  "CMakeFiles/memo_train.dir/activation_store.cc.o.d"
+  "CMakeFiles/memo_train.dir/adam.cc.o"
+  "CMakeFiles/memo_train.dir/adam.cc.o.d"
+  "CMakeFiles/memo_train.dir/mini_gpt.cc.o"
+  "CMakeFiles/memo_train.dir/mini_gpt.cc.o.d"
+  "CMakeFiles/memo_train.dir/ops.cc.o"
+  "CMakeFiles/memo_train.dir/ops.cc.o.d"
+  "CMakeFiles/memo_train.dir/tensor.cc.o"
+  "CMakeFiles/memo_train.dir/tensor.cc.o.d"
+  "CMakeFiles/memo_train.dir/trainer.cc.o"
+  "CMakeFiles/memo_train.dir/trainer.cc.o.d"
+  "libmemo_train.a"
+  "libmemo_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activation_spec_test.dir/activation_spec_test.cc.o"
+  "CMakeFiles/activation_spec_test.dir/activation_spec_test.cc.o.d"
+  "activation_spec_test"
+  "activation_spec_test.pdb"
+  "activation_spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activation_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_solver_test.dir/alpha_solver_test.cc.o"
+  "CMakeFiles/alpha_solver_test.dir/alpha_solver_test.cc.o.d"
+  "alpha_solver_test"
+  "alpha_solver_test.pdb"
+  "alpha_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_gpt_test.dir/mini_gpt_test.cc.o"
+  "CMakeFiles/mini_gpt_test.dir/mini_gpt_test.cc.o.d"
+  "mini_gpt_test"
+  "mini_gpt_test.pdb"
+  "mini_gpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_gpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/planner_fuzz_test.dir/planner_fuzz_test.cc.o"
+  "CMakeFiles/planner_fuzz_test.dir/planner_fuzz_test.cc.o.d"
+  "planner_fuzz_test"
+  "planner_fuzz_test.pdb"
+  "planner_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/planner_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_attention_test.dir/ring_attention_test.cc.o"
+  "CMakeFiles/ring_attention_test.dir/ring_attention_test.cc.o.d"
+  "ring_attention_test"
+  "ring_attention_test.pdb"
+  "ring_attention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_attention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timings_test.dir/timings_test.cc.o"
+  "CMakeFiles/timings_test.dir/timings_test.cc.o.d"
+  "timings_test"
+  "timings_test.pdb"
+  "timings_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timings_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_ops_test.dir/train_ops_test.cc.o"
+  "CMakeFiles/train_ops_test.dir/train_ops_test.cc.o.d"
+  "train_ops_test"
+  "train_ops_test.pdb"
+  "train_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

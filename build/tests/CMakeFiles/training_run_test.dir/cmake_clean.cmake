@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_run_test.dir/training_run_test.cc.o"
+  "CMakeFiles/training_run_test.dir/training_run_test.cc.o.d"
+  "training_run_test"
+  "training_run_test.pdb"
+  "training_run_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_run_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/model_config_test[1]_include.cmake")
+include("/root/repo/build/tests/activation_spec_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_gen_test[1]_include.cmake")
+include("/root/repo/build/tests/caching_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_allocator_test[1]_include.cmake")
+include("/root/repo/build/tests/simplex_test[1]_include.cmake")
+include("/root/repo/build/tests/mip_test[1]_include.cmake")
+include("/root/repo/build/tests/dsa_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/alpha_solver_test[1]_include.cmake")
+include("/root/repo/build/tests/strategy_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/train_ops_test[1]_include.cmake")
+include("/root/repo/build/tests/trainer_test[1]_include.cmake")
+include("/root/repo/build/tests/cost_test[1]_include.cmake")
+include("/root/repo/build/tests/timings_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/unified_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/mini_gpt_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_export_test[1]_include.cmake")
+include("/root/repo/build/tests/plan_io_test[1]_include.cmake")
+include("/root/repo/build/tests/ring_attention_test[1]_include.cmake")
+include("/root/repo/build/tests/training_run_test[1]_include.cmake")
+include("/root/repo/build/tests/report_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memo_cli.dir/memo_cli.cc.o"
+  "CMakeFiles/memo_cli.dir/memo_cli.cc.o.d"
+  "memo_cli"
+  "memo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
