@@ -1,0 +1,58 @@
+#ifndef MEMO_BENCH_BENCH_JSON_H_
+#define MEMO_BENCH_BENCH_JSON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace memo::bench {
+
+/// One machine-readable benchmark measurement. `speedup_vs_serial` is the
+/// serial-baseline wall time of the same op divided by this record's wall
+/// time (1.0 for the baseline itself).
+struct BenchRecord {
+  std::string op;
+  int threads = 1;
+  double wall_ms = 0.0;
+  double speedup_vs_serial = 1.0;
+};
+
+/// Writes records as a JSON array (BENCH_*.json, consumed by the driver).
+inline bool WriteBenchJson(const std::string& path,
+                           const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "[\n");
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
+                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 r.op.c_str(), r.threads, r.wall_ms, r.speedup_vs_serial,
+                 i + 1 == records.size() ? "" : ",");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Best-of-`reps` wall time of `fn` in milliseconds (min filters scheduler
+/// noise, which matters on small shared machines).
+template <typename Fn>
+double BestWallMs(int reps, Fn&& fn) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace memo::bench
+
+#endif  // MEMO_BENCH_BENCH_JSON_H_

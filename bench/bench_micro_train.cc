@@ -1,11 +1,18 @@
 // Microbenchmarks of the numeric training substrate: attention forward and
 // backward, one full mini-GPT iteration under both activation policies, and
 // the token-wise restore path in isolation (the recomputation MEMO pays
-// when alpha < 1).
+// when alpha < 1). After the google-benchmark suite the binary times the
+// full train step and key kernels against the preserved naive serial
+// kernels and writes the results to BENCH_micro_train.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
+#include "bench_json.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "train/reference_ops.h"
 #include "train/trainer.h"
 
 namespace {
@@ -13,12 +20,15 @@ namespace {
 using memo::train::ActivationPolicy;
 
 memo::train::MiniGptConfig BenchModel() {
+  // Large enough that the weight matrices (h*ffn floats = 1 MiB) overflow
+  // L1/L2 — the regime where the cache-blocked GEMMs matter, and the same
+  // compute profile (GEMM-dominated) as the paper's real models.
   memo::train::MiniGptConfig c;
   c.layers = 2;
-  c.hidden = 32;
-  c.heads = 4;
-  c.ffn = 128;
-  c.vocab = 64;
+  c.hidden = 256;
+  c.heads = 8;
+  c.ffn = 1024;
+  c.vocab = 256;
   c.seq = 128;
   return c;
 }
@@ -89,6 +99,91 @@ void BM_IterationTokenWiseAlpha1(benchmark::State& state) {
 }
 BENCHMARK(BM_IterationTokenWiseAlpha1);
 
+// ---- Speedup study: optimized kernels (tiled + thread-pool) against the
+// naive serial baseline in train/reference_ops.cc, written as JSON.
+
+double TimeTrainStepMs() {
+  const auto config = BenchModel();
+  const memo::train::MiniGpt model(config);
+  const auto params = memo::train::MiniGptParams::Init(config, 5);
+  auto grads = memo::train::MiniGptParams::Init(config, 5);
+  std::vector<int> tokens;
+  std::vector<int> targets;
+  memo::train::SyntheticData data(config.vocab, 0.9, 5);
+  data.NextSequence(config.seq, &tokens, &targets);
+  return memo::bench::BestWallMs(8, [&] {
+    for (memo::train::Tensor* g : grads.Flat()) g->Fill(0.0f);
+    memo::train::ActivationStore store(ActivationPolicy::kRetainAll, 1.0);
+    benchmark::DoNotOptimize(
+        model.ForwardBackward(params, tokens, targets, &store, &grads));
+  });
+}
+
+double TimeLinearForwardMs() {
+  memo::Rng rng(3);
+  const auto x = memo::train::Tensor::Randn(256, 256, 0.5, rng);
+  const auto w = memo::train::Tensor::Randn(256, 256, 0.5, rng);
+  const auto b = memo::train::Tensor::Randn(1, 256, 0.5, rng);
+  memo::train::Tensor y(256, 256);
+  return memo::bench::BestWallMs(20, [&] {
+    memo::train::LinearForward(x, w, b, &y);
+    benchmark::DoNotOptimize(y.data());
+  });
+}
+
+double TimeAttentionForwardMs() {
+  memo::Rng rng(4);
+  const auto q = memo::train::Tensor::Randn(256, 32, 0.5, rng);
+  const auto k = memo::train::Tensor::Randn(256, 32, 0.5, rng);
+  const auto v = memo::train::Tensor::Randn(256, 32, 0.5, rng);
+  memo::train::Tensor out(256, 32);
+  return memo::bench::BestWallMs(20, [&] {
+    memo::train::AttentionForward(q, k, v, 4, &out);
+    benchmark::DoNotOptimize(out.data());
+  });
+}
+
+void RunSpeedupStudy() {
+  using memo::ThreadPool;
+  using memo::train::KernelMode;
+  struct Case {
+    const char* op;
+    double (*time_ms)();
+  };
+  const Case cases[] = {{"train_step", &TimeTrainStepMs},
+                        {"linear_forward", &TimeLinearForwardMs},
+                        {"attention_forward", &TimeAttentionForwardMs}};
+  std::vector<memo::bench::BenchRecord> records;
+  for (const Case& c : cases) {
+    ThreadPool::SetGlobalThreads(1);
+    memo::train::SetKernelMode(KernelMode::kReference);
+    const double serial_ms = c.time_ms();
+    records.push_back({c.op, 1, serial_ms, 1.0});
+    memo::train::SetKernelMode(KernelMode::kOptimized);
+    for (int threads : {1, 4}) {
+      ThreadPool::SetGlobalThreads(threads);
+      const double ms = c.time_ms();
+      records.push_back({c.op, threads, ms, serial_ms / ms});
+      std::printf("%-18s threads=%d  %8.3f ms  (%.2fx vs serial)\n", c.op,
+                  threads, ms, serial_ms / ms);
+    }
+  }
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreadCount());
+  const char* path = "BENCH_micro_train.json";
+  if (memo::bench::WriteBenchJson(path, records)) {
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  RunSpeedupStudy();
+  return 0;
+}

@@ -7,8 +7,11 @@
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
+#include "bench_json.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/training_run.h"
 
@@ -46,9 +49,27 @@ int main() {
   ours.tp = 4;
   ours.cp = 2;
 
+  std::vector<memo::bench::BenchRecord> records;
   for (const Case& c : {Case{memo::parallel::SystemKind::kDeepSpeed, ds},
                         Case{memo::parallel::SystemKind::kMegatron, mega},
                         Case{memo::parallel::SystemKind::kMemo, ours}}) {
+    // Planner wall time per system, serial vs 4-lane pool (the concurrent
+    // per-layer DSA solves are the threaded part of this path).
+    const std::string op =
+        std::string("simulate_run_") +
+        memo::parallel::SystemKindToString(c.system);
+    memo::ThreadPool::SetGlobalThreads(1);
+    const double serial_ms = memo::bench::BestWallMs(3, [&] {
+      (void)memo::core::SimulateTrainingRun(c.system, model, c.strategy,
+                                            cluster, options);
+    });
+    records.push_back({op, 1, serial_ms, 1.0});
+    memo::ThreadPool::SetGlobalThreads(4);
+    const double parallel_ms = memo::bench::BestWallMs(3, [&] {
+      (void)memo::core::SimulateTrainingRun(c.system, model, c.strategy,
+                                            cluster, options);
+    });
+    records.push_back({op, 4, parallel_ms, serial_ms / parallel_ms});
     auto run = memo::core::SimulateTrainingRun(c.system, model, c.strategy,
                                                cluster, options);
     if (!run.ok()) {
@@ -72,5 +93,12 @@ int main() {
       "and keeps zero allocator activity at runtime; the baselines share one\n"
       "caching pool whose blocks outlive shape changes.\n",
       options.seq_lengths.size());
+  const char* path = "BENCH_training_run.json";
+  if (memo::bench::WriteBenchJson(path, records)) {
+    std::printf("wrote %s\n", path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", path);
+    return 1;
+  }
   return 0;
 }

@@ -41,6 +41,12 @@ int main(int argc, char** argv) {
   options.alpha = alpha;
   const auto tokenwise = memo::train::RunTraining(options);
 
+  // Same policy again with the copier thread doing the offload/prefetch
+  // copies concurrently with compute — the copies are exact, so this run
+  // must land on the same curve bit for bit.
+  options.async_offload = true;
+  const auto async_run = memo::train::RunTraining(options);
+
   memo::TablePrinter table({"iter", "baseline loss", "token-wise loss",
                             "difference"});
   for (int i = 0; i < iterations; i += std::max(1, iterations / 20)) {
@@ -52,12 +58,20 @@ int main(int argc, char** argv) {
   }
   table.Print(std::cout);
 
-  bool identical = baseline.losses == tokenwise.losses;
+  bool identical = baseline.losses == tokenwise.losses &&
+                   baseline.losses == async_run.losses;
   std::printf("\ncurves bit-identical: %s\n", identical ? "yes" : "NO");
   std::printf("token rows recomputed: %lld; activation bytes stored: %s "
               "(vs %s retained by the baseline)\n",
               static_cast<long long>(tokenwise.recomputed_rows),
               memo::FormatBytes(tokenwise.peak_stored_bytes).c_str(),
               memo::FormatBytes(baseline.peak_stored_bytes).c_str());
+  const auto& st = async_run.offload_stats;
+  std::printf("async copier: %s offloaded, %s prefetched, %.1fms busy, "
+              "%.1f%% overlapped with compute\n",
+              memo::FormatBytes(st.offloaded_bytes).c_str(),
+              memo::FormatBytes(st.prefetched_bytes).c_str(),
+              st.copier_busy_seconds * 1e3,
+              st.overlap_efficiency() * 100.0);
   return identical ? 0 : 1;
 }

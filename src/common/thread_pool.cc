@@ -1,0 +1,204 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace memo {
+
+namespace {
+
+/// Set while a thread is executing chunks of some loop; a ParallelFor
+/// issued from inside a chunk would need a second pass over the shared
+/// queue while its outer loop still holds the caller — run it inline
+/// instead (the reentrancy guard of the determinism contract).
+thread_local bool t_inside_parallel_region = false;
+
+}  // namespace
+
+/// One blocking ParallelFor/RunTasks invocation. Shared between the caller
+/// and any workers that joined in; `fn` points at the caller's stack and is
+/// only invoked for chunks claimed before the caller saw `done == chunks`.
+struct ThreadPool::LoopState {
+  std::int64_t begin = 0;
+  std::int64_t grain = 1;
+  std::int64_t end = 0;
+  std::int64_t chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t, std::int64_t)>* fn =
+      nullptr;
+
+  std::atomic<std::int64_t> next{0};  // next unclaimed chunk ordinal
+  std::atomic<std::int64_t> done{0};  // chunks finished (or skipped)
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mu;
+  std::condition_variable all_done;
+  std::exception_ptr error;  // first exception, under mu
+};
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(threads - 1);
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<LoopState> loop;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
+      if (shutdown_ && pending_.empty()) return;
+      loop = pending_.front();
+      // A loop whose chunks are all claimed is spent — drop it and look for
+      // the next one. Otherwise keep it queued so other idle workers can
+      // also join in; RunChunks drops out once nothing is unclaimed.
+      if (loop->next.load(std::memory_order_relaxed) >= loop->chunks) {
+        pending_.pop_front();
+        continue;
+      }
+    }
+    t_inside_parallel_region = true;
+    RunChunks(loop.get());
+    t_inside_parallel_region = false;
+  }
+}
+
+void ThreadPool::RunChunks(LoopState* state) {
+  for (;;) {
+    const std::int64_t chunk =
+        state->next.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= state->chunks) return;
+    if (!state->cancelled.load(std::memory_order_relaxed)) {
+      const std::int64_t lo = state->begin + chunk * state->grain;
+      const std::int64_t hi = std::min(state->end, lo + state->grain);
+      try {
+        (*state->fn)(chunk, lo, hi);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          if (!state->error) state->error = std::current_exception();
+        }
+        state->cancelled.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        state->chunks) {
+      std::lock_guard<std::mutex> lock(state->mu);
+      state->all_done.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelForChunks(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  MEMO_CHECK_GE(grain, 1);
+  const std::int64_t chunks = (end - begin + grain - 1) / grain;
+
+  // Serial fallback, single chunk, and nested calls all run inline: same
+  // chunk boundaries, same floating-point behaviour, no queue round-trip.
+  if (workers_.empty() || chunks == 1 || t_inside_parallel_region) {
+    for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+      const std::int64_t lo = begin + chunk * grain;
+      fn(chunk, lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  auto state = std::make_shared<LoopState>();
+  state->begin = begin;
+  state->grain = grain;
+  state->end = end;
+  state->chunks = chunks;
+  state->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.push_back(state);
+  }
+  wake_.notify_all();
+
+  // The caller is a full participant — with N-1 workers this yields N lanes.
+  t_inside_parallel_region = true;
+  RunChunks(state.get());
+  t_inside_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->all_done.wait(lock, [&state] {
+      return state->done.load(std::memory_order_acquire) == state->chunks;
+    });
+  }
+  {
+    // Unlink the spent loop if no worker got to it first; stragglers that
+    // still hold a reference only probe `next` and immediately drop out.
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      if (it->get() == state.get()) {
+        pending_.erase(it);
+        break;
+      }
+    }
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  ParallelForChunks(begin, end, grain,
+                    [&fn](std::int64_t, std::int64_t lo, std::int64_t hi) {
+                      fn(lo, hi);
+                    });
+}
+
+void ThreadPool::RunTasks(const std::vector<std::function<void()>>& tasks) {
+  ParallelFor(0, static_cast<std::int64_t>(tasks.size()), 1,
+              [&tasks](std::int64_t lo, std::int64_t hi) {
+                for (std::int64_t i = lo; i < hi; ++i) tasks[i]();
+              });
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("MEMO_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed >= 1) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  auto& slot = GlobalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  return *slot;
+}
+
+void ThreadPool::SetGlobalThreads(int threads) {
+  GlobalPoolSlot() = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace memo

@@ -1,0 +1,93 @@
+#ifndef MEMO_COMMON_THREAD_POOL_H_
+#define MEMO_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace memo {
+
+/// Shared threading runtime backing every parallel path in the system: the
+/// mini-GPT training kernels (row-chunked), the bi-level planner's
+/// independent level-1 DSA solves, and the benchmark harnesses. It is the
+/// CPU counterpart of the paper's multi-stream design: a fixed worker set
+/// that compute-heavy call sites hand deterministic chunked loops to.
+///
+/// Determinism contract (required by MEMO's bit-exact token-wise
+/// recomputation): chunk boundaries of ParallelFor depend only on
+/// (begin, end, grain) — never on the worker count — and callers accumulate
+/// either into disjoint output ranges or with a per-element floating-point
+/// order that is independent of which thread ran the chunk. Under that
+/// contract every result is bit-identical for any pool size, including the
+/// serial fallback (pool size 1), which runs chunks inline on the caller.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs work on `threads` threads total, including
+  /// the calling thread (so `threads - 1` workers are spawned). `threads`
+  /// is clamped to at least 1; 1 means fully serial inline execution.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total execution lanes, caller included (>= 1).
+  int threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn(chunk_begin, chunk_end)` over [begin, end) split into fixed
+  /// chunks of `grain` elements (the last chunk may be short). Blocks until
+  /// every chunk finished; the first exception thrown by any chunk is
+  /// rethrown on the calling thread (remaining chunks are skipped). Nested
+  /// calls from inside a chunk degrade to inline serial execution
+  /// (reentrancy guard) instead of deadlocking on the shared queue.
+  void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// ParallelFor variant that also passes the chunk ordinal (0-based, in
+  /// deterministic [begin, end) order) so callers can stage per-chunk
+  /// partials and reduce them in chunk order afterwards.
+  void ParallelForChunks(
+      std::int64_t begin, std::int64_t end, std::int64_t grain,
+      const std::function<void(std::int64_t, std::int64_t, std::int64_t)>&
+          fn);
+
+  /// Runs every task (independent closures, e.g. one per-layer DSA solve)
+  /// and blocks until all completed; exceptions propagate like ParallelFor.
+  void RunTasks(const std::vector<std::function<void()>>& tasks);
+
+  /// The process-wide pool used by ops/planner call sites. Sized from the
+  /// MEMO_THREADS environment variable on first use (values < 1 and unset
+  /// fall back to std::thread::hardware_concurrency()).
+  static ThreadPool& Global();
+
+  /// Replaces the global pool with one of `threads` lanes. Test and
+  /// benchmark hook; must not race with in-flight parallel work.
+  static void SetGlobalThreads(int threads);
+
+  /// Pool size the environment requests: MEMO_THREADS if set and >= 1,
+  /// otherwise hardware_concurrency (at least 1). Re-read on every call.
+  static int DefaultThreadCount();
+
+ private:
+  struct LoopState;
+
+  void WorkerMain();
+  /// Caller-side + worker-side chunk runner; returns when no chunks remain.
+  static void RunChunks(LoopState* state);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::shared_ptr<LoopState>> pending_;  // unclaimed-chunk loops
+  bool shutdown_ = false;
+};
+
+}  // namespace memo
+
+#endif  // MEMO_COMMON_THREAD_POOL_H_

@@ -37,6 +37,12 @@ struct IterationResult {
   double reorg_stall_seconds = 0.0;    // allocator cache-flush stalls
   std::int64_t reorg_events = 0;
 
+  // Copy/compute overlap: total busy time of the offload + prefetch streams
+  // and the fraction of it hidden behind compute (1 - stall / busy, clamped
+  // to [0, 1]; 1.0 when nothing is swapped).
+  double copy_busy_seconds = 0.0;
+  double overlap_efficiency = 1.0;
+
   // Memory accounting (bytes, per GPU).
   std::int64_t model_state_bytes = 0;
   std::int64_t activation_peak_bytes = 0;  // dynamic (allocator or arena)

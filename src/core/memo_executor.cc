@@ -215,6 +215,13 @@ StatusOr<IterationResult> RunMemoIteration(
                 cp_bwd_exposed) +
       t.grad_sync;
   result.swap_stall_seconds = engine.StallSeconds(compute);
+  result.copy_busy_seconds = engine.BusySeconds(d2h) + engine.BusySeconds(h2d);
+  result.overlap_efficiency =
+      result.copy_busy_seconds > 0.0
+          ? std::clamp(1.0 - result.swap_stall_seconds /
+                                 result.copy_busy_seconds,
+                       0.0, 1.0)
+          : 1.0;
   result.reorg_stall_seconds = 0.0;  // static plan: no reorganizations
   result.reorg_events = 0;
   result.model_state_bytes = model_state.total();

@@ -27,6 +27,10 @@ TablePrinter IterationReportTable(const IterationResult& result,
       {"exposed communication", FormatSeconds(result.exposed_comm_seconds)});
   table.AddRow(
       {"compute stalled on PCIe", FormatSeconds(result.swap_stall_seconds)});
+  table.AddRow({"copy/compute overlap",
+                StrFormat("%.1f%% of %s hidden",
+                          result.overlap_efficiency * 100.0,
+                          FormatSeconds(result.copy_busy_seconds).c_str())});
   table.AddRow({"allocator reorganizations",
                 std::to_string(result.reorg_events) + " (" +
                     FormatSeconds(result.reorg_stall_seconds) + ")"});

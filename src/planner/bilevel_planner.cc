@@ -6,6 +6,7 @@
 
 #include "alloc/plan_allocator.h"
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 
 namespace memo::planner {
@@ -85,17 +86,35 @@ StatusOr<MemoryPlan> PlanMemory(const model::ModelTrace& trace,
     }
   }
 
+  // The per-layer level-1 instances are independent MIPs, so solve them
+  // concurrently on the shared pool (the paper solves its per-layer DSA
+  // instances the same way); results are consumed in a fixed order below,
+  // so the plan is identical for any pool size.
+  StatusOr<SegmentPlan> fwd_result = SegmentPlan{};
+  StatusOr<SegmentPlan> bwd_result = SegmentPlan{};
+  {
+    std::vector<std::function<void()>> solves;
+    if (fwd_template != nullptr) {
+      solves.push_back([&] {
+        fwd_result = PlanSegment(trace, *fwd_template, options.level1);
+      });
+    }
+    if (bwd_template != nullptr) {
+      solves.push_back([&] {
+        bwd_result = PlanSegment(trace, *bwd_template, options.level1);
+      });
+    }
+    ThreadPool::Global().RunTasks(solves);
+  }
   SegmentPlan fwd_plan;
   SegmentPlan bwd_plan;
   if (fwd_template != nullptr) {
-    MEMO_ASSIGN_OR_RETURN(fwd_plan,
-                          PlanSegment(trace, *fwd_template, options.level1));
+    MEMO_ASSIGN_OR_RETURN(fwd_plan, std::move(fwd_result));
     plan.layer_fwd_peak = fwd_plan.peak;
     plan.level1_fwd_optimal = fwd_plan.optimal;
   }
   if (bwd_template != nullptr) {
-    MEMO_ASSIGN_OR_RETURN(bwd_plan,
-                          PlanSegment(trace, *bwd_template, options.level1));
+    MEMO_ASSIGN_OR_RETURN(bwd_plan, std::move(bwd_result));
     plan.layer_bwd_peak = bwd_plan.peak;
     plan.level1_bwd_optimal = bwd_plan.optimal;
   }

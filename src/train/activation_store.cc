@@ -1,7 +1,7 @@
 #include "train/activation_store.h"
 
+#include <chrono>
 #include <cmath>
-#include <algorithm>
 #include <utility>
 
 #include "train/ops.h"
@@ -9,6 +9,12 @@
 namespace memo::train {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
 
 /// Truncates `t` to its first `rows` rows (keeping column count).
 Tensor KeepRows(const Tensor& t, std::int64_t rows) {
@@ -22,12 +28,58 @@ std::int64_t BytesOf(const LayerActivations& a) {
               a.fc1_out.size() + a.gelu_out.size());
 }
 
+/// Replays the token-parallel forward ops for rows [cut, s) of a widened
+/// activation set, exactly as the runtime executor schedules recomputation
+/// before the layer's backward pass (Fig. 11). The attention output is
+/// available in full, so the O(s^2) attention is never recomputed.
+void RecomputeRows(const LayerParams& params, std::int64_t cut,
+                   std::int64_t s, LayerActivations* acts) {
+  const std::int64_t h = acts->input.cols();
+  const Tensor kNoBias;
+  LayerNormForwardRows(acts->input, params.ln1_g, params.ln1_b, cut, s,
+                       &acts->ln1_out, &acts->ln1_rstd);
+  LinearForwardRows(acts->ln1_out, params.wq, kNoBias, cut, s, &acts->q);
+  LinearForwardRows(acts->ln1_out, params.wk, kNoBias, cut, s, &acts->k);
+  LinearForwardRows(acts->ln1_out, params.wv, kNoBias, cut, s, &acts->v);
+  LinearForwardRows(acts->attn_out, params.wo, kNoBias, cut, s,
+                    &acts->proj_out);
+  // resid1 rows = input + proj_out (recomputed on the fly for ln2).
+  Tensor resid1(s, h);
+  for (std::int64_t r = cut; r < s; ++r) {
+    const float* xi = acts->input.row(r);
+    const float* pi = acts->proj_out.row(r);
+    float* ri = resid1.row(r);
+    for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
+  }
+  LayerNormForwardRows(resid1, params.ln2_g, params.ln2_b, cut, s,
+                       &acts->ln2_out, &acts->ln2_rstd);
+  LinearForwardRows(acts->ln2_out, params.w1, params.b1, cut, s,
+                    &acts->fc1_out);
+  GeluForwardRows(acts->fc1_out, cut, s, &acts->gelu_out);
+}
+
 }  // namespace
 
-ActivationStore::ActivationStore(ActivationPolicy policy, double alpha)
+ActivationStore::ActivationStore(ActivationPolicy policy, double alpha,
+                                 bool async_offload)
     : policy_(policy), alpha_(alpha) {
   MEMO_CHECK_GE(alpha, 0.0);
   MEMO_CHECK_LE(alpha, 1.0);
+  // Retain-all keeps everything on the accelerator — there is no transfer
+  // to overlap, so the copier only spins up for the token-wise policy.
+  async_ = async_offload && policy == ActivationPolicy::kTokenWise;
+  if (async_) copier_ = std::thread([this] { CopierMain(); });
+}
+
+ActivationStore::~ActivationStore() {
+  if (copier_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    copier_wake_.notify_all();
+    copier_.join();
+  }
 }
 
 std::int64_t ActivationStore::CutRow(std::int64_t rows) const {
@@ -37,14 +89,37 @@ std::int64_t ActivationStore::CutRow(std::int64_t rows) const {
 
 void ActivationStore::Stash(int layer, LayerActivations&& acts) {
   const std::int64_t full_bytes = BytesOf(acts);
-  if (policy_ == ActivationPolicy::kRetainAll) {
-    // Everything stays on the accelerator.
-    device_peak_bytes_ =
-        std::max(device_peak_bytes_, stored_bytes_ + full_bytes);
-  } else {
-    // Token-wise: two rounding buffers, each holding one full layer.
-    device_peak_bytes_ = std::max(device_peak_bytes_, 2 * full_bytes);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (policy_ == ActivationPolicy::kRetainAll) {
+      // Everything stays on the accelerator.
+      device_peak_bytes_ =
+          std::max(device_peak_bytes_, stored_bytes_ + full_bytes);
+    } else {
+      // Token-wise: two rounding buffers, each holding one full layer.
+      device_peak_bytes_ = std::max(device_peak_bytes_, 2 * full_bytes);
+    }
   }
+  if (!async_) {
+    OffloadIntoStash(layer, std::move(acts));
+    return;
+  }
+  // Double-buffer handoff: with both rounding buffers still draining to the
+  // "host", the compute thread must wait for one to free — the analog of
+  // WaitEvent(compute, offload_done[i-2]) in the three-stream schedule.
+  const Clock::time_point start = Clock::now();
+  std::unique_lock<std::mutex> lock(mu_);
+  buffer_free_.wait(lock, [this] { return inflight_offloads_ < 2; });
+  stats_.stash_wait_seconds += SecondsSince(start);
+  ++inflight_offloads_;
+  jobs_.push_back(CopierJob{CopierJob::Kind::kOffload, layer,
+                            std::move(acts)});
+  lock.unlock();
+  copier_wake_.notify_all();
+}
+
+void ActivationStore::OffloadIntoStash(int layer, LayerActivations&& acts) {
+  std::int64_t copied = 0;
   if (policy_ == ActivationPolicy::kTokenWise) {
     const std::int64_t cut = CutRow(acts.input.rows());
     acts.ln1_out = KeepRows(acts.ln1_out, cut);
@@ -57,36 +132,53 @@ void ActivationStore::Stash(int layer, LayerActivations&& acts) {
     acts.ln2_rstd = KeepRows(acts.ln2_rstd, cut);
     acts.fc1_out = KeepRows(acts.fc1_out, cut);
     acts.gelu_out = KeepRows(acts.gelu_out, cut);
+    if (async_) {
+      // The full-tensor rule (§4.1): input and attention output leave the
+      // device entirely. Copy them into fresh "host" storage so the work is
+      // a real memcpy like the row cuts above.
+      acts.input = Tensor(acts.input);
+      acts.attn_out = Tensor(acts.attn_out);
+      copied = BytesOf(acts);
+    }
   }
-  stored_bytes_ += BytesOf(acts);
+  const std::int64_t kept_bytes = BytesOf(acts);
+  std::lock_guard<std::mutex> lock(mu_);
+  stored_bytes_ += kept_bytes;
   peak_stored_bytes_ = std::max(peak_stored_bytes_, stored_bytes_);
+  stats_.offloaded_bytes += copied;
   MEMO_CHECK(stash_.emplace(layer, std::move(acts)).second)
       << "layer " << layer << " stashed twice";
+  stash_ready_.notify_all();
 }
 
-LayerActivations ActivationStore::Restore(int layer,
-                                          const LayerParams& params) {
-  auto it = stash_.find(layer);
-  MEMO_CHECK(it != stash_.end()) << "layer " << layer << " not stashed";
-  LayerActivations acts = std::move(it->second);
-  stash_.erase(it);
-  stored_bytes_ -= BytesOf(acts);
-
+LayerActivations ActivationStore::FetchAndWiden(int layer,
+                                                std::int64_t* copied_bytes) {
+  LayerActivations acts;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = stash_.find(layer);
+    MEMO_CHECK(it != stash_.end()) << "layer " << layer << " not stashed";
+    acts = std::move(it->second);
+    stash_.erase(it);
+    stored_bytes_ -= BytesOf(acts);
+  }
+  *copied_bytes = 0;
   if (policy_ == ActivationPolicy::kRetainAll) return acts;
 
   const std::int64_t s = acts.input.rows();
   const std::int64_t h = acts.input.cols();
   const std::int64_t cut = CutRow(s);
-  if (cut == s) return acts;  // alpha == 1: everything was kept
-  recomputed_rows_ += s - cut;
+  if (cut == s && !async_) return acts;  // alpha == 1, inline: nothing moved
 
-  // Re-materialize rows [cut, s) by replaying the token-parallel forward
-  // ops, exactly as the runtime executor schedules recomputation before the
-  // layer's backward pass (Fig. 11). The attention output is available in
-  // full, so the O(s^2) attention is never recomputed.
+  // Re-materialize full-size tensors with the kept rows copied back in —
+  // the H2D-analog transfer into the rounding buffer. Inline mode skips it
+  // when nothing was discarded; async mode always copies (pure swapping
+  // moves every byte through the prefetch stream).
+  const std::int64_t ffn = acts.fc1_out.cols();
   auto widen = [&](Tensor& partial, std::int64_t cols) {
     Tensor full(s, cols);
-    full.CopyRowsFrom(partial, 0, cut);
+    full.CopyRowsFrom(partial, 0, std::min(cut, partial.rows()));
+    *copied_bytes += 4 * partial.size();
     partial = std::move(full);
   };
   widen(acts.ln1_out, h);
@@ -97,31 +189,122 @@ LayerActivations ActivationStore::Restore(int layer,
   widen(acts.proj_out, h);
   widen(acts.ln2_out, h);
   widen(acts.ln2_rstd, 1);
-  widen(acts.fc1_out, params.w1.cols());
-  widen(acts.gelu_out, params.w1.cols());
-
-  const Tensor kNoBias;
-  LayerNormForwardRows(acts.input, params.ln1_g, params.ln1_b, cut, s,
-                       &acts.ln1_out, &acts.ln1_rstd);
-  LinearForwardRows(acts.ln1_out, params.wq, kNoBias, cut, s, &acts.q);
-  LinearForwardRows(acts.ln1_out, params.wk, kNoBias, cut, s, &acts.k);
-  LinearForwardRows(acts.ln1_out, params.wv, kNoBias, cut, s, &acts.v);
-  LinearForwardRows(acts.attn_out, params.wo, kNoBias, cut, s,
-                    &acts.proj_out);
-  // resid1 rows = input + proj_out (recomputed on the fly for ln2).
-  Tensor resid1(s, h);
-  for (std::int64_t r = cut; r < s; ++r) {
-    const float* xi = acts.input.row(r);
-    const float* pi = acts.proj_out.row(r);
-    float* ri = resid1.row(r);
-    for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
-  }
-  LayerNormForwardRows(resid1, params.ln2_g, params.ln2_b, cut, s,
-                       &acts.ln2_out, &acts.ln2_rstd);
-  LinearForwardRows(acts.ln2_out, params.w1, params.b1, cut, s,
-                    &acts.fc1_out);
-  GeluForwardRows(acts.fc1_out, cut, s, &acts.gelu_out);
+  widen(acts.fc1_out, ffn);
+  widen(acts.gelu_out, ffn);
   return acts;
+}
+
+LayerActivations ActivationStore::Restore(int layer,
+                                          const LayerParams& params) {
+  if (policy_ == ActivationPolicy::kRetainAll || !async_) {
+    std::int64_t copied = 0;
+    LayerActivations acts = FetchAndWiden(layer, &copied);
+    if (policy_ == ActivationPolicy::kRetainAll) return acts;
+    const std::int64_t s = acts.input.rows();
+    const std::int64_t cut = CutRow(s);
+    if (cut < s) {
+      recomputed_rows_ += s - cut;
+      RecomputeRows(params, cut, s, &acts);
+    }
+    return acts;
+  }
+
+  // Async path: take the prefetched copy if the copier staged (or is
+  // staging) one, otherwise wait for the offload to land and fetch
+  // synchronously. Either way, queue the prefetch of the next layer so its
+  // H2D-analog copies run under this layer's recomputation and backward.
+  LayerActivations acts;
+  {
+    const Clock::time_point start = Clock::now();
+    std::unique_lock<std::mutex> lock(mu_);
+    if (prefetch_ready_layer_ == layer) {
+      acts = std::move(prefetch_slot_);
+      prefetch_ready_layer_ = -1;
+    } else if (prefetch_inflight_layer_ == layer) {
+      stash_ready_.wait(lock,
+                        [&] { return prefetch_ready_layer_ == layer; });
+      stats_.restore_wait_seconds += SecondsSince(start);
+      acts = std::move(prefetch_slot_);
+      prefetch_ready_layer_ = -1;
+    } else {
+      stash_ready_.wait(lock, [&] { return stash_.count(layer) > 0; });
+      stats_.restore_wait_seconds += SecondsSince(start);
+      lock.unlock();
+      std::int64_t copied = 0;
+      acts = FetchAndWiden(layer, &copied);
+      lock.lock();
+      stats_.prefetched_bytes += copied;
+    }
+    if (layer - 1 >= 0 && prefetch_inflight_layer_ < 0 &&
+        prefetch_ready_layer_ < 0) {
+      prefetch_inflight_layer_ = layer - 1;
+      jobs_.push_back(CopierJob{CopierJob::Kind::kPrefetch, layer - 1, {}});
+      lock.unlock();
+      copier_wake_.notify_all();
+    }
+  }
+  const std::int64_t s = acts.input.rows();
+  const std::int64_t cut = CutRow(s);
+  if (cut < s) {
+    recomputed_rows_ += s - cut;
+    RecomputeRows(params, cut, s, &acts);
+  }
+  return acts;
+}
+
+void ActivationStore::CopierMain() {
+  for (;;) {
+    CopierJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      copier_wake_.wait(lock,
+                        [this] { return shutdown_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    const Clock::time_point start = Clock::now();
+    if (job.kind == CopierJob::Kind::kOffload) {
+      OffloadIntoStash(job.layer, std::move(job.acts));
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.copier_busy_seconds += SecondsSince(start);
+      --inflight_offloads_;
+      buffer_free_.notify_all();
+    } else {
+      std::int64_t copied = 0;
+      LayerActivations acts = FetchAndWiden(job.layer, &copied);
+      std::lock_guard<std::mutex> lock(mu_);
+      prefetch_slot_ = std::move(acts);
+      prefetch_ready_layer_ = job.layer;
+      prefetch_inflight_layer_ = -1;
+      stats_.prefetched_bytes += copied;
+      stats_.copier_busy_seconds += SecondsSince(start);
+      stash_ready_.notify_all();
+    }
+  }
+}
+
+std::int64_t ActivationStore::stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stored_bytes_;
+}
+
+std::int64_t ActivationStore::peak_stored_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_stored_bytes_;
+}
+
+std::int64_t ActivationStore::device_peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return device_peak_bytes_;
+}
+
+OffloadStats ActivationStore::offload_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 }  // namespace memo::train

@@ -1,7 +1,12 @@
 #ifndef MEMO_TRAIN_ACTIVATION_STORE_H_
 #define MEMO_TRAIN_ACTIVATION_STORE_H_
 
+#include <algorithm>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "train/tensor.h"
@@ -45,14 +50,58 @@ enum class ActivationPolicy {
   kTokenWise,
 };
 
+/// Copier-thread measurements: how much transfer work ran, and how long the
+/// compute thread was blocked on it. The CPU counterpart of the paper's
+/// offload/prefetch stream utilisation.
+struct OffloadStats {
+  double copier_busy_seconds = 0.0;   // wall time the copier spent copying
+  double stash_wait_seconds = 0.0;    // compute blocked on a full buffer pair
+  double restore_wait_seconds = 0.0;  // compute blocked on offload/prefetch
+  std::int64_t offloaded_bytes = 0;   // D2H-analog bytes copied to the stash
+  std::int64_t prefetched_bytes = 0;  // H2D-analog bytes copied back
+
+  /// Fraction of the copier's transfer time hidden behind compute: 1.0 when
+  /// the compute thread never waited, 0.0 when every copied second stalled
+  /// it. With no transfers at all there is nothing to hide, so 1.0.
+  double overlap_efficiency() const {
+    if (copier_busy_seconds <= 0.0) return 1.0;
+    const double waits = stash_wait_seconds + restore_wait_seconds;
+    return std::max(0.0, 1.0 - waits / copier_busy_seconds);
+  }
+
+  OffloadStats& operator+=(const OffloadStats& o) {
+    copier_busy_seconds += o.copier_busy_seconds;
+    stash_wait_seconds += o.stash_wait_seconds;
+    restore_wait_seconds += o.restore_wait_seconds;
+    offloaded_bytes += o.offloaded_bytes;
+    prefetched_bytes += o.prefetched_bytes;
+    return *this;
+  }
+};
+
 /// Implements the token-wise stash/restore cycle on real numbers. In the
 /// full system the stash is a PCIe transfer into host memory; here the
 /// "host" is a separate map, and the restore runs the same row-wise forward
 /// kernels as the original pass, so the reconstruction is bit-identical —
 /// the property behind the aligned loss curves of Fig. 12d.
+///
+/// With `async_offload` (token-wise policy only) a dedicated copier thread
+/// mirrors the paper's offload/prefetch streams: Stash hands the layer to
+/// the copier, which performs the D2H-analog copies while the compute
+/// thread runs the next layer; at most two stashes may be in flight (the
+/// two rounding buffers), so a third Stash blocks exactly like the
+/// `WaitEvent(compute, offload_done[i-2])` of the three-stream schedule.
+/// During backward the copier prefetches the next layer's rows (H2D-analog)
+/// while the compute thread recomputes the current one. The handoff copies
+/// are exact, so async results are bit-identical to the inline path.
 class ActivationStore {
  public:
-  ActivationStore(ActivationPolicy policy, double alpha);
+  ActivationStore(ActivationPolicy policy, double alpha,
+                  bool async_offload = false);
+  ~ActivationStore();
+
+  ActivationStore(const ActivationStore&) = delete;
+  ActivationStore& operator=(const ActivationStore&) = delete;
 
   /// Records layer `layer`'s activations after its forward pass, discarding
   /// token rows according to the policy. Consumes `acts`.
@@ -63,10 +112,10 @@ class ActivationStore {
   LayerActivations Restore(int layer, const LayerParams& params);
 
   /// Bytes currently held by the store ("CPU side" in the real system).
-  std::int64_t stored_bytes() const { return stored_bytes_; }
+  std::int64_t stored_bytes() const;
   /// High-water mark of stored_bytes() (reached at the end of the forward
   /// pass, before backward drains the stash).
-  std::int64_t peak_stored_bytes() const { return peak_stored_bytes_; }
+  std::int64_t peak_stored_bytes() const;
 
   /// Peak DEVICE-side activation residency implied by the policy:
   /// kRetainAll keeps every stashed tensor on the accelerator, so this is
@@ -74,22 +123,60 @@ class ActivationStore {
   /// (one full layer's activations each), so this is 2x the largest layer.
   /// The ratio between the two policies is the numeric counterpart of the
   /// paper's device-memory saving.
-  std::int64_t device_peak_bytes() const { return device_peak_bytes_; }
+  std::int64_t device_peak_bytes() const;
   /// Token rows recomputed across all Restore calls so far.
   std::int64_t recomputed_rows() const { return recomputed_rows_; }
 
+  /// Copier-thread measurements (all zero in inline mode).
+  OffloadStats offload_stats() const;
+
   double alpha() const { return alpha_; }
+  bool async_offload() const { return copier_.joinable(); }
 
  private:
+  struct CopierJob {
+    enum class Kind { kOffload, kPrefetch } kind;
+    int layer = 0;
+    LayerActivations acts;  // kOffload only
+  };
+
   std::int64_t CutRow(std::int64_t rows) const;
+  void CopierMain();
+  /// Performs the token-wise cut (D2H-analog copies) and inserts the layer
+  /// into the stash. Runs on the copier thread in async mode, inline
+  /// otherwise.
+  void OffloadIntoStash(int layer, LayerActivations&& acts);
+  /// Takes `layer` out of the stash and widens the kept rows into
+  /// full-size tensors (H2D-analog copies). Caller must hold no locks.
+  LayerActivations FetchAndWiden(int layer, std::int64_t* copied_bytes);
 
   ActivationPolicy policy_;
   double alpha_;
+  bool async_ = false;
+
+  // Guards stash_, byte counters and stats; both threads take it briefly
+  // around handoffs, never while copying.
+  mutable std::mutex mu_;
+  std::condition_variable stash_ready_;    // copier -> compute: layer landed
+  std::condition_variable buffer_free_;    // copier -> compute: slot freed
+  std::condition_variable copier_wake_;    // compute -> copier: job queued
+  std::deque<CopierJob> jobs_;
+  int inflight_offloads_ = 0;  // queued + in-copy stashes (<= 2 buffers)
+  bool shutdown_ = false;
+
+  // Prefetch handoff: at most one widened layer staged ahead of Restore.
+  int prefetch_inflight_layer_ = -1;  // queued or copying; -1 = none
+  int prefetch_ready_layer_ = -1;     // slot below is valid; -1 = empty
+  LayerActivations prefetch_slot_;
+
   std::unordered_map<int, LayerActivations> stash_;
   std::int64_t stored_bytes_ = 0;
   std::int64_t peak_stored_bytes_ = 0;
   std::int64_t device_peak_bytes_ = 0;
-  std::int64_t recomputed_rows_ = 0;
+  std::int64_t recomputed_rows_ = 0;  // compute thread only
+  OffloadStats stats_;
+
+  std::thread copier_;
 };
 
 }  // namespace memo::train

@@ -13,6 +13,20 @@ namespace memo::train {
 /// computed (pure row-wise data flow for the token-parallel ops), which is
 /// the property MEMO's token-wise recomputation relies on: recomputing a
 /// row slice reproduces bit-identical values.
+///
+/// All ops run on the shared ThreadPool (common/thread_pool.h) with fixed
+/// chunk boundaries and a per-element floating-point accumulation order
+/// that matches the single-threaded reference kernels
+/// (train/reference_ops.h) exactly — outputs are bit-identical for every
+/// pool size, including MEMO_THREADS=1.
+
+/// Which kernel implementations the public ops dispatch to. kReference
+/// selects the original naive serial loops (benchmark baseline and
+/// bit-exactness oracle); kOptimized (default) selects the tiled,
+/// thread-pool-parallel kernels.
+enum class KernelMode { kOptimized, kReference };
+void SetKernelMode(KernelMode mode);
+KernelMode GetKernelMode();
 
 /// y[r] = x[r] * W + b, for rows [row_begin, row_end) only.
 /// W is [in, out]; b is [1, out] (may be empty for no bias).

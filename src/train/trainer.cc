@@ -67,12 +67,14 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
     // fresh ActivationStore per sequence — one "replica" each).
     for (int b = 0; b < options.batch; ++b) {
       data.NextSequence(options.model.seq, &tokens, &targets);
-      ActivationStore store(options.policy, options.alpha);
+      ActivationStore store(options.policy, options.alpha,
+                            options.async_offload);
       loss_sum +=
           model.ForwardBackward(params, tokens, targets, &store, &grads);
       result.peak_stored_bytes =
           std::max(result.peak_stored_bytes, store.peak_stored_bytes());
       result.recomputed_rows += store.recomputed_rows();
+      result.offload_stats += store.offload_stats();
     }
     if (options.batch > 1) {
       const float scale = 1.0f / static_cast<float>(options.batch);

@@ -54,6 +54,9 @@ struct TrainRunOptions {
   std::uint64_t seed = 1234;  // weights AND data (shared across runs)
   Adam::Options adam;
   double data_fidelity = 0.9;
+  /// Run stash/restore copies on a dedicated copier thread (token-wise
+  /// policy only); bit-identical to the inline path, see ActivationStore.
+  bool async_offload = false;
 };
 
 struct TrainRunResult {
@@ -62,6 +65,8 @@ struct TrainRunResult {
   std::int64_t peak_stored_bytes = 0;
   /// Pre-clip global gradient norms per iteration (empty if clip disabled).
   std::vector<double> grad_norms;
+  /// Aggregated copier-thread measurements (all zero unless async_offload).
+  OffloadStats offload_stats;
 };
 
 /// Trains the mini-GPT for `options.iterations` steps. Runs with the same

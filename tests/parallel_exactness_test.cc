@@ -1,0 +1,289 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "model/trace_gen.h"
+#include "planner/bilevel_planner.h"
+#include "train/mini_gpt.h"
+#include "train/ops.h"
+#include "train/reference_ops.h"
+#include "train/trainer.h"
+
+namespace memo::train {
+namespace {
+
+/// Pins the global pool size and kernel mode for one scope, restoring the
+/// optimized single-thread configuration on exit so tests stay independent.
+class ScopedRuntime {
+ public:
+  ScopedRuntime(int threads, KernelMode mode) {
+    ThreadPool::SetGlobalThreads(threads);
+    SetKernelMode(mode);
+  }
+  ~ScopedRuntime() {
+    ThreadPool::SetGlobalThreads(1);
+    SetKernelMode(KernelMode::kOptimized);
+  }
+};
+
+Tensor RandomTensor(std::int64_t rows, std::int64_t cols, Rng& rng) {
+  return Tensor::Randn(rows, cols, 0.7, rng);
+}
+
+// ---- Per-op bit-exactness: optimized kernels (at 4 threads) against the
+// preserved naive reference kernels.
+
+TEST(ParallelExactnessTest, LinearForwardBitExact) {
+  Rng rng(1);
+  const Tensor x = RandomTensor(37, 24, rng);
+  const Tensor w = RandomTensor(24, 41, rng);
+  const Tensor b = RandomTensor(1, 41, rng);
+  Tensor expected(37, 41);
+  reference::LinearForward(x, w, b, &expected);
+  ScopedRuntime rt(4, KernelMode::kOptimized);
+  Tensor actual(37, 41);
+  LinearForward(x, w, b, &actual);
+  EXPECT_TRUE(actual.ExactlyEquals(expected));
+}
+
+TEST(ParallelExactnessTest, LinearBackwardGradientsBitExact) {
+  // Covers the restructured dw accumulation: the column-blocked loop must
+  // reproduce the naive row(i)-sweep gradients bit for bit.
+  Rng rng(2);
+  const Tensor x = RandomTensor(53, 32, rng);
+  const Tensor w = RandomTensor(32, 29, rng);
+  const Tensor dy = RandomTensor(53, 29, rng);
+  Tensor dx_ref(53, 32), dw_ref(32, 29), db_ref(1, 29);
+  reference::LinearBackward(x, w, dy, &dx_ref, &dw_ref, &db_ref);
+  ScopedRuntime rt(4, KernelMode::kOptimized);
+  Tensor dx(53, 32), dw(32, 29), db(1, 29);
+  LinearBackward(x, w, dy, &dx, &dw, &db);
+  EXPECT_TRUE(dx.ExactlyEquals(dx_ref));
+  EXPECT_TRUE(dw.ExactlyEquals(dw_ref));
+  EXPECT_TRUE(db.ExactlyEquals(db_ref));
+}
+
+TEST(ParallelExactnessTest, LayerNormBitExact) {
+  Rng rng(3);
+  const Tensor x = RandomTensor(45, 32, rng);
+  const Tensor g = RandomTensor(1, 32, rng);
+  const Tensor b = RandomTensor(1, 32, rng);
+  const Tensor dy = RandomTensor(45, 32, rng);
+  Tensor y_ref(45, 32), rstd_ref(45, 1);
+  reference::LayerNormForward(x, g, b, &y_ref, &rstd_ref);
+  Tensor dx_ref(45, 32), dg_ref(1, 32), db_ref(1, 32);
+  reference::LayerNormBackward(x, g, rstd_ref, dy, &dx_ref, &dg_ref, &db_ref);
+
+  ScopedRuntime rt(4, KernelMode::kOptimized);
+  Tensor y(45, 32), rstd(45, 1);
+  LayerNormForward(x, g, b, &y, &rstd);
+  EXPECT_TRUE(y.ExactlyEquals(y_ref));
+  EXPECT_TRUE(rstd.ExactlyEquals(rstd_ref));
+  Tensor dx(45, 32), dg(1, 32), db(1, 32);
+  LayerNormBackward(x, g, rstd, dy, &dx, &dg, &db);
+  EXPECT_TRUE(dx.ExactlyEquals(dx_ref));
+  EXPECT_TRUE(dg.ExactlyEquals(dg_ref));
+  EXPECT_TRUE(db.ExactlyEquals(db_ref));
+}
+
+TEST(ParallelExactnessTest, GeluBitExact) {
+  Rng rng(4);
+  const Tensor x = RandomTensor(40, 33, rng);
+  const Tensor dy = RandomTensor(40, 33, rng);
+  Tensor y_ref(40, 33), dx_ref(40, 33);
+  reference::GeluForward(x, &y_ref);
+  reference::GeluBackward(x, dy, &dx_ref);
+  ScopedRuntime rt(4, KernelMode::kOptimized);
+  Tensor y(40, 33), dx(40, 33);
+  GeluForward(x, &y);
+  GeluBackward(x, dy, &dx);
+  EXPECT_TRUE(y.ExactlyEquals(y_ref));
+  EXPECT_TRUE(dx.ExactlyEquals(dx_ref));
+}
+
+TEST(ParallelExactnessTest, AttentionBitExact) {
+  Rng rng(5);
+  const int heads = 4;
+  const Tensor q = RandomTensor(48, 32, rng);
+  const Tensor k = RandomTensor(48, 32, rng);
+  const Tensor v = RandomTensor(48, 32, rng);
+  const Tensor dout = RandomTensor(48, 32, rng);
+  Tensor out_ref(48, 32);
+  reference::AttentionForward(q, k, v, heads, &out_ref);
+  Tensor dq_ref(48, 32), dk_ref(48, 32), dv_ref(48, 32);
+  reference::AttentionBackward(q, k, v, heads, dout, &dq_ref, &dk_ref,
+                               &dv_ref);
+  ScopedRuntime rt(4, KernelMode::kOptimized);
+  Tensor out(48, 32);
+  AttentionForward(q, k, v, heads, &out);
+  EXPECT_TRUE(out.ExactlyEquals(out_ref));
+  Tensor dq(48, 32), dk(48, 32), dv(48, 32);
+  AttentionBackward(q, k, v, heads, dout, &dq, &dk, &dv);
+  EXPECT_TRUE(dq.ExactlyEquals(dq_ref));
+  EXPECT_TRUE(dk.ExactlyEquals(dk_ref));
+  EXPECT_TRUE(dv.ExactlyEquals(dv_ref));
+}
+
+TEST(ParallelExactnessTest, CrossEntropyAndEmbeddingBitExact) {
+  Rng rng(6);
+  const Tensor logits = RandomTensor(50, 31, rng);
+  const Tensor table = RandomTensor(31, 16, rng);
+  std::vector<int> targets(50);
+  std::vector<int> tokens(50);
+  for (int i = 0; i < 50; ++i) {
+    targets[i] = static_cast<int>(rng.NextBounded(31));
+    tokens[i] = static_cast<int>(rng.NextBounded(31));
+  }
+  const Tensor dy = RandomTensor(50, 16, rng);
+
+  Tensor dlogits_ref(50, 31);
+  const double loss_ref =
+      reference::CrossEntropy(logits, targets, &dlogits_ref);
+  Tensor emb_ref(50, 16);
+  reference::EmbeddingForward(table, tokens, &emb_ref);
+  Tensor dtable_ref(31, 16);
+  reference::EmbeddingBackward(tokens, dy, &dtable_ref);
+
+  ScopedRuntime rt(4, KernelMode::kOptimized);
+  Tensor dlogits(50, 31);
+  const double loss = CrossEntropy(logits, targets, &dlogits);
+  EXPECT_EQ(loss, loss_ref);
+  EXPECT_TRUE(dlogits.ExactlyEquals(dlogits_ref));
+  Tensor emb(50, 16);
+  EmbeddingForward(table, tokens, &emb);
+  EXPECT_TRUE(emb.ExactlyEquals(emb_ref));
+  Tensor dtable(31, 16);
+  EmbeddingBackward(tokens, dy, &dtable);
+  EXPECT_TRUE(dtable.ExactlyEquals(dtable_ref));
+}
+
+// ---- Whole-model bit-exactness across kernel modes, pool sizes and the
+// async copier.
+
+struct StepResult {
+  double loss = 0.0;
+  MiniGptParams grads;
+};
+
+StepResult OneStep(const MiniGptConfig& config, ActivationPolicy policy,
+                   double alpha, bool async) {
+  const MiniGpt model(config);
+  const MiniGptParams params = MiniGptParams::Init(config, 99);
+  StepResult r;
+  r.grads = MiniGptParams::Init(config, 99);
+  for (Tensor* g : r.grads.Flat()) g->Fill(0.0f);
+  std::vector<int> tokens(config.seq);
+  std::vector<int> targets(config.seq);
+  Rng rng(7);
+  for (int i = 0; i < config.seq; ++i) {
+    tokens[i] = static_cast<int>(rng.NextBounded(config.vocab));
+    targets[i] = static_cast<int>(rng.NextBounded(config.vocab));
+  }
+  ActivationStore store(policy, alpha, async);
+  r.loss = model.ForwardBackward(params, tokens, targets, &store, &r.grads);
+  return r;
+}
+
+void ExpectSameStep(StepResult& a, StepResult& b) {
+  EXPECT_EQ(a.loss, b.loss);
+  std::vector<Tensor*> ga = a.grads.Flat();
+  std::vector<Tensor*> gb = b.grads.Flat();
+  ASSERT_EQ(ga.size(), gb.size());
+  for (std::size_t i = 0; i < ga.size(); ++i) {
+    EXPECT_TRUE(ga[i]->ExactlyEquals(*gb[i])) << "grad tensor " << i;
+  }
+}
+
+TEST(ParallelExactnessTest, ForwardBackwardMatchesReferenceAtAnyPoolSize) {
+  MiniGptConfig config;
+  config.seq = 48;
+  StepResult ref;
+  {
+    ScopedRuntime rt(1, KernelMode::kReference);
+    ref = OneStep(config, ActivationPolicy::kTokenWise, 0.5, false);
+  }
+  {
+    ScopedRuntime rt(1, KernelMode::kOptimized);
+    StepResult serial =
+        OneStep(config, ActivationPolicy::kTokenWise, 0.5, false);
+    ExpectSameStep(serial, ref);
+  }
+  {
+    ScopedRuntime rt(4, KernelMode::kOptimized);
+    StepResult parallel =
+        OneStep(config, ActivationPolicy::kTokenWise, 0.5, false);
+    ExpectSameStep(parallel, ref);
+  }
+}
+
+TEST(ParallelExactnessTest, AsyncOffloadBitIdenticalToInline) {
+  MiniGptConfig config;
+  config.layers = 4;
+  config.seq = 48;
+  for (double alpha : {0.0, 0.5, 1.0}) {
+    ScopedRuntime rt(4, KernelMode::kOptimized);
+    StepResult inline_result =
+        OneStep(config, ActivationPolicy::kTokenWise, alpha, false);
+    StepResult async_result =
+        OneStep(config, ActivationPolicy::kTokenWise, alpha, true);
+    ExpectSameStep(async_result, inline_result);
+  }
+}
+
+TEST(ParallelExactnessTest, AsyncOffloadReportsCopierActivity) {
+  MiniGptConfig config;
+  config.layers = 4;
+  config.seq = 48;
+  TrainRunOptions options;
+  options.model = config;
+  options.policy = ActivationPolicy::kTokenWise;
+  options.alpha = 0.5;
+  options.iterations = 2;
+  options.async_offload = true;
+  ScopedRuntime rt(2, KernelMode::kOptimized);
+  const TrainRunResult result = RunTraining(options);
+  EXPECT_GT(result.offload_stats.offloaded_bytes, 0);
+  EXPECT_GT(result.offload_stats.prefetched_bytes, 0);
+  EXPECT_GT(result.offload_stats.copier_busy_seconds, 0.0);
+  EXPECT_GE(result.offload_stats.overlap_efficiency(), 0.0);
+  EXPECT_LE(result.offload_stats.overlap_efficiency(), 1.0);
+
+  // And the losses match a sync run exactly.
+  options.async_offload = false;
+  const TrainRunResult sync_result = RunTraining(options);
+  EXPECT_EQ(result.losses, sync_result.losses);
+  EXPECT_EQ(sync_result.offload_stats.offloaded_bytes, 0);
+}
+
+TEST(ParallelExactnessTest, BilevelPlanIdenticalAcrossPoolSizes) {
+  model::ModelConfig m = model::Gpt7B();
+  m.num_layers = 4;
+  model::TraceGenOptions options;
+  options.seq_local = 8192;
+  options.tensor_parallel = 4;
+  options.mode = model::ActivationMode::kMemoBuffers;
+  const model::ModelTrace trace = model::GenerateModelTrace(m, options);
+
+  ThreadPool::SetGlobalThreads(1);
+  const auto serial = planner::PlanMemory(trace);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ThreadPool::SetGlobalThreads(4);
+  const auto parallel = planner::PlanMemory(trace);
+  ThreadPool::SetGlobalThreads(1);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  EXPECT_EQ(serial->arena_bytes, parallel->arena_bytes);
+  EXPECT_EQ(serial->layer_fwd_peak, parallel->layer_fwd_peak);
+  EXPECT_EQ(serial->layer_bwd_peak, parallel->layer_bwd_peak);
+  EXPECT_EQ(serial->addresses.size(), parallel->addresses.size());
+  for (const auto& [id, address] : serial->addresses) {
+    auto it = parallel->addresses.find(id);
+    ASSERT_TRUE(it != parallel->addresses.end()) << "tensor " << id;
+    EXPECT_EQ(it->second, address) << "tensor " << id;
+  }
+}
+
+}  // namespace
+}  // namespace memo::train

@@ -1,0 +1,146 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace memo {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryChunkExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ChunkBoundariesAreIndependentOfThreadCount) {
+  // The determinism contract: chunk [lo, hi) pairs depend only on
+  // (begin, end, grain), so every pool size observes the same set.
+  auto boundaries = [](int threads) {
+    ThreadPool pool(threads);
+    std::mutex mu;
+    std::vector<std::pair<std::int64_t, std::int64_t>> seen;
+    pool.ParallelFor(3, 250, 16, [&](std::int64_t lo, std::int64_t hi) {
+      std::lock_guard<std::mutex> lock(mu);
+      seen.emplace_back(lo, hi);
+    });
+    std::sort(seen.begin(), seen.end());
+    return seen;
+  };
+  const auto serial = boundaries(1);
+  EXPECT_EQ(boundaries(2), serial);
+  EXPECT_EQ(boundaries(5), serial);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial.front().first, 3);
+  EXPECT_EQ(serial.back().second, 250);
+}
+
+TEST(ThreadPoolTest, SerialPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.threads(), 1);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.ParallelFor(0, 100, 10, [&](std::int64_t, std::int64_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ThreadPoolTest, PropagatesFirstExceptionToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 64, 1,
+                       [](std::int64_t lo, std::int64_t) {
+                         if (lo == 13) throw std::runtime_error("chunk 13");
+                       }),
+      std::runtime_error);
+  // The pool survives the exception and keeps running work.
+  std::atomic<int> count{0};
+  pool.ParallelFor(0, 64, 1, [&](std::int64_t lo, std::int64_t hi) {
+    count += static_cast<int>(hi - lo);
+  });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  pool.ParallelFor(0, 8, 1, [&](std::int64_t, std::int64_t) {
+    // Reentrancy guard: the inner loop must degrade to inline execution on
+    // this thread instead of waiting on the shared queue.
+    const std::thread::id self = std::this_thread::get_id();
+    pool.ParallelFor(0, 10, 2, [&](std::int64_t lo, std::int64_t hi) {
+      EXPECT_EQ(std::this_thread::get_id(), self);
+      total += hi - lo;
+    });
+  });
+  EXPECT_EQ(total.load(), 80);
+}
+
+TEST(ThreadPoolTest, RunTasksExecutesAllTasks) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> ran(17);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 17; ++i) {
+    tasks.push_back([&ran, i] { ran[i].fetch_add(1); });
+  }
+  pool.RunTasks(tasks);
+  for (const auto& r : ran) EXPECT_EQ(r.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForChunksReportsDeterministicOrdinals) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<std::int64_t>> chunk_lo(7);
+  pool.ParallelForChunks(
+      0, 70, 10, [&](std::int64_t chunk, std::int64_t lo, std::int64_t) {
+        chunk_lo[chunk].store(lo);
+      });
+  for (std::int64_t c = 0; c < 7; ++c) EXPECT_EQ(chunk_lo[c].load(), c * 10);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonoursMemoThreadsEnv) {
+  setenv("MEMO_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3);
+  setenv("MEMO_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 1);
+  // Invalid / unset values fall back to the hardware count (>= 1).
+  setenv("MEMO_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  setenv("MEMO_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+  unsetenv("MEMO_THREADS");
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1);
+}
+
+TEST(ThreadPoolTest, SetGlobalThreadsReplacesTheGlobalPool) {
+  ThreadPool::SetGlobalThreads(2);
+  EXPECT_EQ(ThreadPool::Global().threads(), 2);
+  ThreadPool::SetGlobalThreads(1);
+  EXPECT_EQ(ThreadPool::Global().threads(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleChunkRanges) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, 10,
+                   [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(5, 9, 10, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 5);
+    EXPECT_EQ(hi, 9);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace memo
