@@ -67,8 +67,121 @@ StatusOr<AlphaResult> SolveAlpha(const AlphaInputs& inputs) {
 }
 
 double QuantizeAlpha(double alpha, int steps) {
+  alpha = std::clamp(alpha, 0.0, 1.0);
   if (steps <= 0) return alpha;
   return std::floor(alpha * steps + 1e-9) / steps;
+}
+
+StatusOr<TieredAlphaResult> SolveAlphaTiered(const TieredAlphaInputs& inputs) {
+  if (inputs.disk_bytes_per_gpu < 0) {
+    return InvalidArgumentError("negative disk capacity");
+  }
+  if (inputs.disk_bytes_per_gpu == 0) {
+    // No disk tier: the problem is exactly the single-tier §4.1 LP,
+    // including its kOutOfHostMemory failure mode.
+    MEMO_ASSIGN_OR_RETURN(const AlphaResult single, SolveAlpha(inputs.ram));
+    TieredAlphaResult result;
+    result.alpha = single.alpha;
+    result.alpha_ram = single.alpha;
+    result.overlap_bound = single.overlap_bound;
+    result.host_memory_bound = single.host_memory_bound;
+    return result;
+  }
+  if (inputs.disk_bytes_per_second <= 0.0) {
+    return InvalidArgumentError(
+        "disk bandwidth must be positive when the disk tier has capacity");
+  }
+  const AlphaInputs& ram = inputs.ram;
+  if (ram.s_others_bytes < 0 || ram.s_input_bytes < 0 ||
+      ram.s_attn_bytes < 0) {
+    return InvalidArgumentError("negative tensor sizes");
+  }
+  if (ram.pcie_bytes_per_second <= 0.0 || ram.layer_forward_seconds <= 0.0) {
+    return InvalidArgumentError("bandwidth and layer time must be positive");
+  }
+  if (ram.num_layers < 3) {
+    TieredAlphaResult trivial;
+    trivial.alpha = 1.0;
+    trivial.alpha_ram = 1.0;
+    return trivial;
+  }
+
+  const double base = static_cast<double>(ram.s_input_bytes) +
+                      static_cast<double>(ram.s_attn_bytes);
+  const double others = static_cast<double>(ram.s_others_bytes);
+  const int swapped_layers = ram.num_layers - 2;
+  const double budget_overlap =
+      ram.pcie_bytes_per_second * ram.layer_forward_seconds;
+  const double budget_disk_time =
+      inputs.disk_bytes_per_second * ram.layer_forward_seconds;
+  const double budget_ram =
+      static_cast<double>(ram.host_bytes_per_gpu) / swapped_layers;
+  const double budget_disk =
+      static_cast<double>(inputs.disk_bytes_per_gpu) / swapped_layers;
+
+  // The always-offloaded bytes fill RAM first; the remainder spills. Only
+  // when RAM *and* disk together cannot hold them is the run infeasible.
+  const double base_ram = std::min(base, budget_ram);
+  const double base_disk = base - base_ram;
+  if (base_disk > budget_disk) {
+    return OutOfHostMemoryError(
+        "layer inputs and attention outputs exceed host RAM and disk "
+        "capacity combined");
+  }
+
+  TieredAlphaResult result;
+  result.base_ram_fraction = base > 0.0 ? base_ram / base : 1.0;
+
+  // Two-variable LP over (a_r, a_d); simplex keeps both non-negative. The
+  // tiny objective skew prefers the RAM tier when totals tie.
+  solver::LpProblem lp;
+  lp.num_vars = 2;
+  lp.objective = {1.0 + 1e-9, 1.0};
+  lp.AddConstraint({others, others}, solver::LpProblem::Relation::kLe,
+                   budget_overlap - base);
+  lp.AddConstraint({0.0, others}, solver::LpProblem::Relation::kLe,
+                   budget_disk_time - base_disk);
+  lp.AddConstraint({others, 0.0}, solver::LpProblem::Relation::kLe,
+                   budget_ram - base_ram);
+  lp.AddConstraint({0.0, others}, solver::LpProblem::Relation::kLe,
+                   budget_disk - base_disk);
+  lp.AddConstraint({1.0, 1.0}, solver::LpProblem::Relation::kLe, 1.0);
+  const solver::LpSolution solution = solver::SolveLp(lp);
+  if (solution.outcome != solver::LpSolution::Outcome::kOptimal) {
+    // A negative transfer budget (base bytes alone exceed what a layer time
+    // can move) makes even alpha = 0 infeasible for the *overlap* goal.
+    // Like SolveAlpha, treat it as a legal full-recompute outcome.
+    result.alpha = 0.0;
+    result.overlap_bound = true;
+    return result;
+  }
+
+  result.alpha_ram = std::clamp(solution.x[0], 0.0, 1.0);
+  result.alpha_disk = std::clamp(solution.x[1], 0.0, 1.0);
+  result.alpha = std::min(1.0, result.alpha_ram + result.alpha_disk);
+  const auto binding = [](double used, double budget) {
+    return used >= budget - 1e-6 * std::max(1.0, budget);
+  };
+  result.overlap_bound =
+      binding(base + result.alpha * others, budget_overlap);
+  result.host_memory_bound =
+      binding(base_ram + result.alpha_ram * others, budget_ram);
+  result.disk_memory_bound =
+      binding(base_disk + result.alpha_disk * others, budget_disk);
+  result.disk_bandwidth_bound =
+      binding(base_disk + result.alpha_disk * others, budget_disk_time);
+  return result;
+}
+
+TieredAlphaResult QuantizeTieredAlpha(const TieredAlphaResult& result,
+                                      int steps) {
+  TieredAlphaResult quantized = result;
+  quantized.alpha = QuantizeAlpha(result.alpha, steps);
+  // RAM-first re-split: neither share can grow past its solved value, so
+  // the quantized split satisfies every constraint the LP optimum did.
+  quantized.alpha_ram = std::min(result.alpha_ram, quantized.alpha);
+  quantized.alpha_disk = quantized.alpha - quantized.alpha_ram;
+  return quantized;
 }
 
 }  // namespace memo::core

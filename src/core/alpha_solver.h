@@ -41,8 +41,56 @@ StatusOr<AlphaResult> SolveAlpha(const AlphaInputs& inputs);
 
 /// Rounds alpha DOWN to a multiple of 1/`steps` (token groups must be
 /// discrete; the paper's Table 7 uses eighths). Never rounds a feasible
-/// alpha up, so constraints stay satisfied.
+/// alpha up, so constraints stay satisfied. Non-positive `steps` disables
+/// quantization; the input is clamped to [0, 1] either way.
 double QuantizeAlpha(double alpha, int steps = 8);
+
+/// Inputs of the two-tier swap-fraction problem: the §4.1 LP extended with
+/// an NVMe-analog spill tier below host RAM (SSDTrain-style hierarchy).
+/// Swapped bytes split into a RAM share a_r and a disk share a_d; the disk
+/// share crosses PCIe *and* the (slower) storage link, and the
+/// always-offloaded base bytes fill RAM first, spilling the remainder.
+struct TieredAlphaInputs {
+  /// PCIe + host-RAM tier parameters (host_bytes_per_gpu = M_CPU share).
+  AlphaInputs ram;
+  /// Disk tier capacity share of this GPU; 0 disables the tier, making the
+  /// problem identical to SolveAlpha.
+  std::int64_t disk_bytes_per_gpu = 0;
+  /// Sustained disk bandwidth in bytes/s; must be > 0 when the tier exists.
+  double disk_bytes_per_second = 0.0;
+};
+
+struct TieredAlphaResult {
+  double alpha = 0.0;       // total swapped fraction, = alpha_ram + alpha_disk
+  double alpha_ram = 0.0;   // share of `others` rows landing in host RAM
+  double alpha_disk = 0.0;  // share of `others` rows spilling to disk
+  /// Fraction of the always-offloaded (input + attention output) bytes that
+  /// fits in RAM; the remainder spills to disk. 1.0 when RAM suffices.
+  double base_ram_fraction = 1.0;
+  bool overlap_bound = false;        // PCIe transfer time binding
+  bool host_memory_bound = false;    // RAM tier capacity binding
+  bool disk_memory_bound = false;    // disk tier capacity binding
+  bool disk_bandwidth_bound = false; // storage link time binding
+};
+
+/// Solves the two-tier swap-fraction LP:
+///   max  a_r + a_d            (RAM preferred at equal totals)
+///   s.t. others*(a_r + a_d) <= B_pcie*T - base          (PCIe overlap)
+///        others*a_d         <= B_disk*T - base_disk     (disk overlap)
+///        others*a_r         <= M_ram/(n-2)  - base_ram  (RAM capacity)
+///        others*a_d         <= M_disk/(n-2) - base_disk (disk capacity)
+///        a_r + a_d <= 1,  a_r, a_d >= 0
+/// where base_ram = min(base, M_ram/(n-2)) and base_disk is the spilled
+/// remainder. Where SolveAlpha aborts with kOutOfHostMemory the moment the
+/// base bytes exceed M_CPU, this variant degrades gracefully into the disk
+/// tier and only fails when RAM *and* disk together cannot hold them.
+StatusOr<TieredAlphaResult> SolveAlphaTiered(const TieredAlphaInputs& inputs);
+
+/// Quantizes the *total* swapped fraction down to a multiple of 1/`steps`
+/// and re-splits it RAM-first, so both tier shares shrink or stay equal and
+/// every constraint of the solved LP remains satisfied.
+TieredAlphaResult QuantizeTieredAlpha(const TieredAlphaResult& result,
+                                      int steps = 8);
 
 }  // namespace memo::core
 

@@ -50,8 +50,18 @@ struct IterationResult {
   std::int64_t peak_device_bytes = 0;
   std::int64_t host_offload_bytes = 0;     // per GPU, CPU side
 
+  // Tier split of the offloaded bytes (RAM + disk == host_offload_bytes;
+  // disk stays 0 unless the cluster configures an NVMe spill tier).
+  std::int64_t host_ram_bytes = 0;
+  std::int64_t host_disk_bytes = 0;
+  // Busy time of the NVMe-analog spill stream (0 without a disk tier).
+  double disk_busy_seconds = 0.0;
+
   // MEMO-specific.
   double alpha = 0.0;
+  // Tier split of the swapped fraction (alpha_ram + alpha_disk == alpha).
+  double alpha_ram = 0.0;
+  double alpha_disk = 0.0;
 };
 
 /// Device bytes held back from the allocator for CUDA context, NCCL buffers

@@ -28,31 +28,40 @@ StatusOr<IterationResult> RunMemoIteration(
   const int layers = t.layers_per_stage;
   const model::SkeletalLayout& skeletal = t.skeletal;
 
-  // ---- Swap fraction (Eq. 1-3).
+  // ---- Swap fraction (Eq. 1-3, tiered: host RAM + optional NVMe spill).
   const double pcie_bps =
       cluster.node.gpu.pcie_bandwidth * cal.pcie_efficiency;
+  const std::int64_t disk_capacity = cluster.disk_bytes_per_gpu();
+  const double disk_bps =
+      cluster.disk_bandwidth_per_gpu() * cal.disk_efficiency;
   const double cp_fwd_exposed = t.layer.cp_fwd_exposed;
   const double layer_fwd_total =
       t.layer.fwd_compute + t.layer.fwd_comm + cp_fwd_exposed;
+  const double base_bytes = static_cast<double>(skeletal.input_bytes +
+                                                skeletal.attn_out_bytes);
+  const double others_bytes = static_cast<double>(skeletal.others_bytes);
   double alpha = options.forced_alpha;
   if (alpha < 0.0) {
-    AlphaInputs inputs;
-    inputs.s_input_bytes = skeletal.input_bytes;
-    inputs.s_attn_bytes = skeletal.attn_out_bytes;
-    inputs.s_others_bytes = skeletal.others_bytes;
-    inputs.pcie_bytes_per_second = pcie_bps;
-    inputs.layer_forward_seconds = layer_fwd_total;
-    inputs.num_layers = layers;
-    inputs.host_bytes_per_gpu = cluster.host_bytes_per_gpu();
-    MEMO_ASSIGN_OR_RETURN(AlphaResult solved, SolveAlpha(inputs));
-    alpha = QuantizeAlpha(solved.alpha, options.alpha_steps);
+    TieredAlphaInputs inputs;
+    inputs.ram.s_input_bytes = skeletal.input_bytes;
+    inputs.ram.s_attn_bytes = skeletal.attn_out_bytes;
+    inputs.ram.s_others_bytes = skeletal.others_bytes;
+    inputs.ram.pcie_bytes_per_second = pcie_bps;
+    inputs.ram.layer_forward_seconds = layer_fwd_total;
+    inputs.ram.num_layers = layers;
+    inputs.ram.host_bytes_per_gpu = cluster.host_bytes_per_gpu();
+    inputs.disk_bytes_per_gpu = disk_capacity;
+    inputs.disk_bytes_per_second = disk_bps;
+    MEMO_ASSIGN_OR_RETURN(TieredAlphaResult solved,
+                          SolveAlphaTiered(inputs));
+    alpha = QuantizeTieredAlpha(solved, options.alpha_steps).alpha;
   } else {
-    // Forced alphas (ablations) must still respect host capacity.
+    // Forced alphas (ablations) must still fit the tiers: RAM first, any
+    // remainder on disk, X_oohm only when both are exhausted.
     const double per_layer =
-        static_cast<double>(skeletal.input_bytes + skeletal.attn_out_bytes) +
-        alpha * static_cast<double>(skeletal.others_bytes);
+        base_bytes + alpha * others_bytes;
     if ((layers - 2) * per_layer >
-        static_cast<double>(cluster.host_bytes_per_gpu())) {
+        static_cast<double>(cluster.host_bytes_per_gpu() + disk_capacity)) {
       return OutOfHostMemoryError(
           StrFormat("offloading %.1f GiB/GPU exceeds the host share",
                     (layers - 2) * per_layer / static_cast<double>(kGiB)));
@@ -63,6 +72,28 @@ StatusOr<IterationResult> RunMemoIteration(
       skeletal.input_bytes + skeletal.attn_out_bytes +
       static_cast<std::int64_t>(alpha *
                                 static_cast<double>(skeletal.others_bytes));
+
+  // ---- Greedy RAM-first tier split of the per-layer offload bytes (the LP
+  // prefers RAM at equal totals, so this matches its optimal split).
+  const int swapped_layers = std::max(0, layers - 2);
+  const double ram_budget_per_layer =
+      swapped_layers > 0
+          ? static_cast<double>(cluster.host_bytes_per_gpu()) / swapped_layers
+          : static_cast<double>(cluster.host_bytes_per_gpu());
+  const std::int64_t ram_bytes_per_layer = static_cast<std::int64_t>(
+      std::min(static_cast<double>(offload_bytes_per_layer),
+               ram_budget_per_layer));
+  const std::int64_t disk_bytes_per_layer =
+      offload_bytes_per_layer - ram_bytes_per_layer;
+  double alpha_ram = alpha;
+  double alpha_disk = 0.0;
+  if (others_bytes > 0.0 && alpha > 0.0) {
+    const double others_ram =
+        std::max(0.0, std::min(alpha * others_bytes,
+                               ram_budget_per_layer - base_bytes));
+    alpha_ram = others_ram / others_bytes;
+    alpha_disk = alpha - alpha_ram;
+  }
 
   // ---- Memory plan for transient tensors.
   model::ModelConfig stage_model = workload.model;
@@ -103,25 +134,39 @@ StatusOr<IterationResult> RunMemoIteration(
   const std::int64_t host_bytes =
       static_cast<std::int64_t>(std::max(0, layers - 2)) *
       offload_bytes_per_layer;
+  const std::int64_t host_ram_bytes =
+      static_cast<std::int64_t>(std::max(0, layers - 2)) *
+      ram_bytes_per_layer;
+  const std::int64_t host_disk_bytes = host_bytes - host_ram_bytes;
 
-  // ---- Schedule one iteration on three streams (Fig. 11).
+  // ---- Schedule one iteration: the three streams of Fig. 11 plus an
+  // NVMe-analog spill stream when the disk tier takes part of each layer.
   sim::SimEngine engine;
   const sim::StreamId compute = engine.CreateStream("compute");
   const sim::StreamId d2h = engine.CreateStream("offload");
   const sim::StreamId h2d = engine.CreateStream("prefetch");
+  const bool spills = disk_bytes_per_layer > 0;
+  const sim::StreamId spill =
+      spills ? engine.CreateStream("spill") : compute;
 
   std::vector<sim::EventId> fwd_done(layers);
   std::vector<sim::EventId> offload_done(layers);
   std::vector<sim::EventId> bwd_done(layers);
   std::vector<sim::EventId> prefetch_done(layers);
+  std::vector<sim::EventId> spill_write_done(layers);
+  std::vector<sim::EventId> spill_read_done(layers);
   for (int i = 0; i < layers; ++i) {
     fwd_done[i] = engine.CreateEvent("fwd_done");
     offload_done[i] = engine.CreateEvent("offload_done");
     bwd_done[i] = engine.CreateEvent("bwd_done");
     prefetch_done[i] = engine.CreateEvent("prefetch_done");
+    spill_write_done[i] = engine.CreateEvent("spill_write_done");
+    spill_read_done[i] = engine.CreateEvent("spill_read_done");
   }
   const double offload_seconds =
       static_cast<double>(offload_bytes_per_layer) / pcie_bps;
+  const double spill_seconds =
+      spills ? static_cast<double>(disk_bytes_per_layer) / disk_bps : 0.0;
   // The last two layers start backward right after forward and skip
   // swapping entirely (§4.1).
   const auto swaps = [&](int i) { return i < layers - 2; };
@@ -138,6 +183,14 @@ StatusOr<IterationResult> RunMemoIteration(
       engine.WaitEvent(d2h, fwd_done[i]);
       engine.EnqueueOp(d2h, offload_seconds, "offload");
       engine.RecordEvent(d2h, offload_done[i]);
+      if (spills) {
+        // Disk-bound bytes continue from host RAM staging to the spill
+        // file; the device buffer frees at offload_done, so this write
+        // never blocks compute directly.
+        engine.WaitEvent(spill, offload_done[i]);
+        engine.EnqueueOp(spill, spill_seconds, "spill_write");
+        engine.RecordEvent(spill, spill_write_done[i]);
+      }
     }
   }
   engine.EnqueueOp(compute, t.classifier_fwd, "classifier_fwd");
@@ -155,8 +208,16 @@ StatusOr<IterationResult> RunMemoIteration(
   // data on device and need no prefetch.
   for (int i = layers - 1; i >= 0; --i) {
     if (swaps(i)) {
+      if (spills) {
+        // Read the spilled share back into host RAM ahead of the PCIe
+        // prefetch (the disk tier's read-ahead).
+        engine.WaitEvent(spill, spill_write_done[i]);
+        engine.EnqueueOp(spill, spill_seconds, "spill_read");
+        engine.RecordEvent(spill, spill_read_done[i]);
+      }
       if (i + 2 < layers) engine.WaitEvent(h2d, bwd_done[i + 2]);
       engine.WaitEvent(h2d, offload_done[i]);  // data must be on the host
+      if (spills) engine.WaitEvent(h2d, spill_read_done[i]);
       engine.EnqueueOp(h2d, offload_seconds, "prefetch");
       engine.RecordEvent(h2d, prefetch_done[i]);
       engine.WaitEvent(compute, prefetch_done[i]);
@@ -229,6 +290,11 @@ StatusOr<IterationResult> RunMemoIteration(
   result.buffer_bytes = buffers;
   result.peak_device_bytes = device_total;
   result.host_offload_bytes = host_bytes;
+  result.host_ram_bytes = host_ram_bytes;
+  result.host_disk_bytes = host_disk_bytes;
+  result.disk_busy_seconds = spills ? engine.BusySeconds(spill) : 0.0;
+  result.alpha_ram = alpha_ram;
+  result.alpha_disk = alpha_disk;
   return result;
 }
 

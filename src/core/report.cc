@@ -21,6 +21,18 @@ TablePrinter IterationReportTable(const IterationResult& result,
   table.AddRow({"peak device memory", FormatBytes(result.peak_device_bytes)});
   table.AddRow(
       {"host offload / GPU", FormatBytes(result.host_offload_bytes)});
+  table.AddRow({"host RAM tier / GPU",
+                StrFormat("%s (alpha %.3f)",
+                          FormatBytes(result.host_ram_bytes).c_str(),
+                          result.alpha_ram)});
+  table.AddRow({"disk spill tier / GPU",
+                StrFormat("%s (alpha %.3f)",
+                          FormatBytes(result.host_disk_bytes).c_str(),
+                          result.alpha_disk)});
+  if (result.disk_busy_seconds > 0.0) {
+    table.AddRow(
+        {"disk spill stream busy", FormatSeconds(result.disk_busy_seconds)});
+  }
   table.AddRow(
       {"redundant recompute time", FormatSeconds(result.recompute_seconds)});
   table.AddRow(

@@ -101,6 +101,10 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
         std::max(stats.peak_device_bytes,
                  shares_allocator ? shared.stats().peak_reserved_bytes
                                   : shape.peak_device_bytes);
+    stats.peak_host_ram_bytes =
+        std::max(stats.peak_host_ram_bytes, shape.host_ram_bytes);
+    stats.peak_host_disk_bytes =
+        std::max(stats.peak_host_disk_bytes, shape.host_disk_bytes);
   }
 
   stats.avg_mfu = total_model_flops /

@@ -35,6 +35,10 @@ struct TrainingRunStats {
   /// Peak reserved bytes of the shared allocator (baselines) or the largest
   /// per-shape static footprint (MEMO).
   std::int64_t peak_device_bytes = 0;
+  /// Largest per-shape host-tier offload footprints (MEMO; zero for
+  /// baselines, disk zero unless the cluster has an NVMe spill tier).
+  std::int64_t peak_host_ram_bytes = 0;
+  std::int64_t peak_host_disk_bytes = 0;
 };
 
 /// Simulates `options.iterations` training iterations of `system` under a

@@ -28,6 +28,9 @@ struct Calibration {
   double collective_efficiency = 0.75;
   /// Fraction of nominal PCIe bandwidth achieved by pinned-memory cudaMemcpyAsync.
   double pcie_efficiency = 0.85;
+  /// Fraction of nominal NVMe bandwidth achieved by the O_DIRECT-style
+  /// paged spill writes of the disk tier (sequential large-block I/O).
+  double disk_efficiency = 0.90;
   /// Per-collective launch/latency cost in seconds.
   double collective_latency_s = 20e-6;
 

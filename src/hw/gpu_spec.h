@@ -43,6 +43,12 @@ struct NodeSpec {
   double nvlink_bandwidth = 400.0 * kGBps;
   /// Inter-node InfiniBand bandwidth per node, bytes/s (200 GB/s).
   double ib_bandwidth = 200.0 * kGBps;
+  /// Local NVMe capacity usable as an activation spill tier below host RAM
+  /// (SSDTrain-style hierarchy); 0 = no disk tier, the paper's baseline.
+  std::int64_t nvme_bytes = 0;
+  /// Sustained NVMe bandwidth shared by the node's GPUs, bytes/s. A modern
+  /// datacenter NVMe sustains ~6 GB/s sequential.
+  double nvme_bandwidth = 6.0 * kGBps;
 };
 
 /// A homogeneous cluster of `num_nodes` identical nodes.
@@ -57,6 +63,17 @@ struct ClusterSpec {
   /// we account per GPU for per-rank planning).
   std::int64_t host_bytes_per_gpu() const {
     return node.host_memory_bytes / node.gpus_per_node;
+  }
+
+  /// NVMe spill capacity available per GPU (0 when the node has no disk
+  /// tier configured).
+  std::int64_t disk_bytes_per_gpu() const {
+    return node.nvme_bytes / node.gpus_per_node;
+  }
+
+  /// NVMe bandwidth share per GPU, bytes/s.
+  double disk_bandwidth_per_gpu() const {
+    return node.nvme_bandwidth / node.gpus_per_node;
   }
 };
 

@@ -1,0 +1,81 @@
+#include "offload/ram_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace memo::offload {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+RamBackend::RamBackend(std::int64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {}
+
+bool RamBackend::Fits(std::int64_t blob_bytes) const {
+  if (capacity_bytes_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.resident_bytes + blob_bytes <= capacity_bytes_;
+}
+
+Status RamBackend::Put(std::int64_t key, std::string&& blob) {
+  const Clock::time_point start = Clock::now();
+  const std::int64_t bytes = static_cast<std::int64_t>(blob.size());
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_bytes_ > 0 &&
+      stats_.resident_bytes + bytes > capacity_bytes_) {
+    return OutOfHostMemoryError(
+        "RAM stash tier full: " + std::to_string(stats_.resident_bytes) +
+        " + " + std::to_string(bytes) + " bytes exceeds capacity " +
+        std::to_string(capacity_bytes_));
+  }
+  if (!blobs_.emplace(key, std::move(blob)).second) {
+    return InvalidArgumentError("key " + std::to_string(key) +
+                                " already stashed in RAM tier");
+  }
+  stats_.put_bytes += bytes;
+  stats_.resident_bytes += bytes;
+  stats_.peak_resident_bytes =
+      std::max(stats_.peak_resident_bytes, stats_.resident_bytes);
+  stats_.write_seconds += SecondsSince(start);
+  return OkStatus();
+}
+
+StatusOr<std::string> RamBackend::Take(std::int64_t key) {
+  const Clock::time_point start = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = blobs_.find(key);
+  if (it == blobs_.end()) {
+    return NotFoundError("key " + std::to_string(key) +
+                         " not present in RAM tier");
+  }
+  std::string blob = std::move(it->second);
+  blobs_.erase(it);
+  const std::int64_t bytes = static_cast<std::int64_t>(blob.size());
+  stats_.take_bytes += bytes;
+  stats_.resident_bytes -= bytes;
+  stats_.read_seconds += SecondsSince(start);
+  return blob;
+}
+
+bool RamBackend::Contains(std::int64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return blobs_.count(key) > 0;
+}
+
+std::int64_t RamBackend::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.resident_bytes;
+}
+
+TierStats RamBackend::ram_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace memo::offload

@@ -1,0 +1,101 @@
+#include "offload/tiered_backend.h"
+
+#include <utility>
+
+namespace memo::offload {
+
+TieredBackend::TieredBackend(std::int64_t ram_capacity_bytes,
+                             const DiskBackendOptions& disk)
+    : ram_(ram_capacity_bytes), disk_options_(disk) {}
+
+DiskBackend* TieredBackend::Disk() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (disk_ == nullptr) disk_ = std::make_unique<DiskBackend>(disk_options_);
+  return disk_.get();
+}
+
+Status TieredBackend::Put(std::int64_t key, std::string&& blob) {
+  const std::int64_t bytes = static_cast<std::int64_t>(blob.size());
+  if (ram_.Fits(bytes)) {
+    const Status st = ram_.Put(key, std::move(blob));
+    // A concurrent Put may have claimed the remaining RAM between Fits and
+    // Put; only a capacity failure falls through to the disk tier.
+    if (!st.IsOutOfHostMemory()) {
+      if (st.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        on_disk_[key] = false;
+      }
+      return st;
+    }
+  }
+  MEMO_RETURN_IF_ERROR(Disk()->Put(key, std::move(blob)));
+  std::lock_guard<std::mutex> lock(mu_);
+  on_disk_[key] = true;
+  ++spilled_blobs_;
+  return OkStatus();
+}
+
+StatusOr<std::string> TieredBackend::Take(std::int64_t key) {
+  bool on_disk = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = on_disk_.find(key);
+    if (it == on_disk_.end()) {
+      return NotFoundError("key " + std::to_string(key) +
+                           " not present in tiered stash");
+    }
+    on_disk = it->second;
+    on_disk_.erase(it);
+  }
+  return on_disk ? Disk()->Take(key) : ram_.Take(key);
+}
+
+bool TieredBackend::Contains(std::int64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return on_disk_.count(key) > 0;
+}
+
+void TieredBackend::Prefetch(std::int64_t key) {
+  bool on_disk = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = on_disk_.find(key);
+    if (it == on_disk_.end()) return;
+    on_disk = it->second;
+  }
+  if (on_disk) Disk()->Prefetch(key);
+}
+
+std::int64_t TieredBackend::resident_bytes() const {
+  std::int64_t disk_bytes = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (disk_ != nullptr) disk_bytes = disk_->resident_bytes();
+  }
+  return ram_.resident_bytes() + disk_bytes;
+}
+
+TierStats TieredBackend::disk_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_ != nullptr ? disk_->disk_stats() : TierStats{};
+}
+
+std::int64_t TieredBackend::spilled_blobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spilled_blobs_;
+}
+
+std::unique_ptr<StashBackend> CreateBackend(const BackendOptions& options) {
+  switch (options.kind) {
+    case BackendKind::kRam:
+      return std::make_unique<RamBackend>(options.ram_capacity_bytes);
+    case BackendKind::kDisk:
+      return std::make_unique<DiskBackend>(options.disk);
+    case BackendKind::kTiered:
+      return std::make_unique<TieredBackend>(options.ram_capacity_bytes,
+                                             options.disk);
+  }
+  return std::make_unique<RamBackend>(0);
+}
+
+}  // namespace memo::offload

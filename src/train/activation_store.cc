@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 #include "train/ops.h"
@@ -26,6 +27,66 @@ std::int64_t BytesOf(const LayerActivations& a) {
               a.q.size() + a.k.size() + a.v.size() + a.attn_out.size() +
               a.proj_out.size() + a.ln2_out.size() + a.ln2_rstd.size() +
               a.fc1_out.size() + a.gelu_out.size());
+}
+
+/// Applies `fn` to the twelve activation tensors in a fixed order — the wire
+/// order of the serialized stash blob.
+template <typename Acts, typename Fn>
+void ForEachTensor(Acts& a, Fn&& fn) {
+  fn(a.input);
+  fn(a.ln1_out);
+  fn(a.ln1_rstd);
+  fn(a.q);
+  fn(a.k);
+  fn(a.v);
+  fn(a.attn_out);
+  fn(a.proj_out);
+  fn(a.ln2_out);
+  fn(a.ln2_rstd);
+  fn(a.fc1_out);
+  fn(a.gelu_out);
+}
+
+/// Stash wire format: for each tensor, two int64 dims followed by the raw
+/// float32 payload. A straight memcpy both ways, so the backend round trip
+/// is bit-exact by construction — the property Fig. 12d depends on.
+std::string SerializeActs(const LayerActivations& a) {
+  std::int64_t total = 0;
+  ForEachTensor(a, [&](const Tensor& t) {
+    total += 2 * static_cast<std::int64_t>(sizeof(std::int64_t)) +
+             4 * t.size();
+  });
+  std::string blob;
+  blob.reserve(static_cast<std::size_t>(total));
+  ForEachTensor(a, [&](const Tensor& t) {
+    const std::int64_t dims[2] = {t.rows(), t.cols()};
+    blob.append(reinterpret_cast<const char*>(dims), sizeof(dims));
+    blob.append(reinterpret_cast<const char*>(t.data()),
+                static_cast<std::size_t>(4 * t.size()));
+  });
+  return blob;
+}
+
+LayerActivations DeserializeActs(const std::string& blob) {
+  LayerActivations acts;
+  const char* p = blob.data();
+  const char* end = blob.data() + blob.size();
+  ForEachTensor(acts, [&](Tensor& t) {
+    std::int64_t dims[2];
+    MEMO_CHECK_GE(end - p, static_cast<std::ptrdiff_t>(sizeof(dims)))
+        << "truncated stash blob";
+    std::memcpy(dims, p, sizeof(dims));
+    p += sizeof(dims);
+    Tensor full(dims[0], dims[1]);
+    const std::int64_t bytes = 4 * full.size();
+    MEMO_CHECK_GE(end - p, static_cast<std::ptrdiff_t>(bytes))
+        << "truncated stash blob";
+    std::memcpy(full.data(), p, static_cast<std::size_t>(bytes));
+    p += bytes;
+    t = std::move(full);
+  });
+  MEMO_CHECK(p == end) << "trailing bytes in stash blob";
+  return acts;
 }
 
 /// Replays the token-parallel forward ops for rows [cut, s) of a widened
@@ -61,8 +122,9 @@ void RecomputeRows(const LayerParams& params, std::int64_t cut,
 }  // namespace
 
 ActivationStore::ActivationStore(ActivationPolicy policy, double alpha,
-                                 bool async_offload)
-    : policy_(policy), alpha_(alpha) {
+                                 bool async_offload,
+                                 const offload::BackendOptions& backend)
+    : policy_(policy), alpha_(alpha), backend_(offload::CreateBackend(backend)) {
   MEMO_CHECK_GE(alpha, 0.0);
   MEMO_CHECK_LE(alpha, 1.0);
   // Retain-all keeps everything on the accelerator — there is no transfer
@@ -119,51 +181,79 @@ void ActivationStore::Stash(int layer, LayerActivations&& acts) {
 }
 
 void ActivationStore::OffloadIntoStash(int layer, LayerActivations&& acts) {
-  std::int64_t copied = 0;
-  if (policy_ == ActivationPolicy::kTokenWise) {
-    const std::int64_t cut = CutRow(acts.input.rows());
-    acts.ln1_out = KeepRows(acts.ln1_out, cut);
-    acts.ln1_rstd = KeepRows(acts.ln1_rstd, cut);
-    acts.q = KeepRows(acts.q, cut);
-    acts.k = KeepRows(acts.k, cut);
-    acts.v = KeepRows(acts.v, cut);
-    acts.proj_out = KeepRows(acts.proj_out, cut);
-    acts.ln2_out = KeepRows(acts.ln2_out, cut);
-    acts.ln2_rstd = KeepRows(acts.ln2_rstd, cut);
-    acts.fc1_out = KeepRows(acts.fc1_out, cut);
-    acts.gelu_out = KeepRows(acts.gelu_out, cut);
-    if (async_) {
-      // The full-tensor rule (§4.1): input and attention output leave the
-      // device entirely. Copy them into fresh "host" storage so the work is
-      // a real memcpy like the row cuts above.
-      acts.input = Tensor(acts.input);
-      acts.attn_out = Tensor(acts.attn_out);
-      copied = BytesOf(acts);
-    }
+  if (policy_ == ActivationPolicy::kRetainAll) {
+    const std::int64_t full_bytes = BytesOf(acts);
+    std::lock_guard<std::mutex> lock(mu_);
+    stored_bytes_ += full_bytes;
+    peak_stored_bytes_ = std::max(peak_stored_bytes_, stored_bytes_);
+    MEMO_CHECK(retained_.emplace(layer, std::move(acts)).second)
+        << "layer " << layer << " stashed twice";
+    stash_ready_.notify_all();
+    return;
   }
+
+  const std::int64_t cut = CutRow(acts.input.rows());
+  acts.ln1_out = KeepRows(acts.ln1_out, cut);
+  acts.ln1_rstd = KeepRows(acts.ln1_rstd, cut);
+  acts.q = KeepRows(acts.q, cut);
+  acts.k = KeepRows(acts.k, cut);
+  acts.v = KeepRows(acts.v, cut);
+  acts.proj_out = KeepRows(acts.proj_out, cut);
+  acts.ln2_out = KeepRows(acts.ln2_out, cut);
+  acts.ln2_rstd = KeepRows(acts.ln2_rstd, cut);
+  acts.fc1_out = KeepRows(acts.fc1_out, cut);
+  acts.gelu_out = KeepRows(acts.gelu_out, cut);
   const std::int64_t kept_bytes = BytesOf(acts);
+  // Serializing IS the D2H-analog copy: every kept byte (including the
+  // full-tensor input and attention output, §4.1) leaves "device" tensors
+  // for the backend's host/disk storage. The copied-bytes stat counts only
+  // the async path, where the copy really runs on the copier thread.
+  std::string blob = SerializeActs(acts);
+  const Status st = backend_->Put(layer, std::move(blob));
+  MEMO_CHECK(st.ok()) << "stash backend '" << backend_->name()
+                      << "' rejected layer " << layer << ": "
+                      << st.ToString()
+                      << " (host capacity below the solver's minimum? use "
+                         "the tiered backend to spill to disk)";
   std::lock_guard<std::mutex> lock(mu_);
   stored_bytes_ += kept_bytes;
   peak_stored_bytes_ = std::max(peak_stored_bytes_, stored_bytes_);
-  stats_.offloaded_bytes += copied;
-  MEMO_CHECK(stash_.emplace(layer, std::move(acts)).second)
+  if (async_) stats_.offloaded_bytes += kept_bytes;
+  MEMO_CHECK(stashed_.insert(layer).second)
       << "layer " << layer << " stashed twice";
   stash_ready_.notify_all();
 }
 
 LayerActivations ActivationStore::FetchAndWiden(int layer,
                                                 std::int64_t* copied_bytes) {
+  *copied_bytes = 0;
   LayerActivations acts;
+  if (policy_ == ActivationPolicy::kRetainAll) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = retained_.find(layer);
+    MEMO_CHECK(it != retained_.end()) << "layer " << layer << " not stashed";
+    acts = std::move(it->second);
+    retained_.erase(it);
+    stored_bytes_ -= BytesOf(acts);
+    return acts;
+  }
+
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = stash_.find(layer);
-    MEMO_CHECK(it != stash_.end()) << "layer " << layer << " not stashed";
-    acts = std::move(it->second);
-    stash_.erase(it);
+    MEMO_CHECK(stashed_.erase(layer) == 1)
+        << "layer " << layer << " not stashed";
+  }
+  // The backend read (RAM move or spill-page read-back + checksum verify)
+  // runs outside mu_ so the other thread is never blocked on disk I/O.
+  StatusOr<std::string> blob = backend_->Take(layer);
+  MEMO_CHECK(blob.ok()) << "stash backend '" << backend_->name()
+                        << "' failed to restore layer " << layer << ": "
+                        << blob.status().ToString();
+  acts = DeserializeActs(blob.value());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     stored_bytes_ -= BytesOf(acts);
   }
-  *copied_bytes = 0;
-  if (policy_ == ActivationPolicy::kRetainAll) return acts;
 
   const std::int64_t s = acts.input.rows();
   const std::int64_t h = acts.input.cols();
@@ -227,7 +317,7 @@ LayerActivations ActivationStore::Restore(int layer,
       acts = std::move(prefetch_slot_);
       prefetch_ready_layer_ = -1;
     } else {
-      stash_ready_.wait(lock, [&] { return stash_.count(layer) > 0; });
+      stash_ready_.wait(lock, [&] { return stashed_.count(layer) > 0; });
       stats_.restore_wait_seconds += SecondsSince(start);
       lock.unlock();
       std::int64_t copied = 0;
@@ -274,6 +364,9 @@ void ActivationStore::CopierMain() {
       --inflight_offloads_;
       buffer_free_.notify_all();
     } else {
+      // Read-ahead hint first: the disk tier stages + verifies the spill
+      // pages so the Take inside FetchAndWiden is a memory move.
+      backend_->Prefetch(job.layer);
       std::int64_t copied = 0;
       LayerActivations acts = FetchAndWiden(job.layer, &copied);
       std::lock_guard<std::mutex> lock(mu_);
@@ -303,8 +396,14 @@ std::int64_t ActivationStore::device_peak_bytes() const {
 }
 
 OffloadStats ActivationStore::offload_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  OffloadStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats = stats_;
+  }
+  stats.ram_tier = backend_->ram_stats();
+  stats.disk_tier = backend_->disk_stats();
+  return stats;
 }
 
 }  // namespace memo::train

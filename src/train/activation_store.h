@@ -5,10 +5,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
+#include "offload/stash_backend.h"
 #include "train/tensor.h"
 
 namespace memo::train {
@@ -52,13 +55,19 @@ enum class ActivationPolicy {
 
 /// Copier-thread measurements: how much transfer work ran, and how long the
 /// compute thread was blocked on it. The CPU counterpart of the paper's
-/// offload/prefetch stream utilisation.
+/// offload/prefetch stream utilisation, extended with per-tier counters of
+/// the stash backend (RAM tier and NVMe-analog disk tier).
 struct OffloadStats {
   double copier_busy_seconds = 0.0;   // wall time the copier spent copying
   double stash_wait_seconds = 0.0;    // compute blocked on a full buffer pair
   double restore_wait_seconds = 0.0;  // compute blocked on offload/prefetch
   std::int64_t offloaded_bytes = 0;   // D2H-analog bytes copied to the stash
   std::int64_t prefetched_bytes = 0;  // H2D-analog bytes copied back
+
+  /// Where the stashed bytes landed: host RAM vs the disk spill tier
+  /// (both zero for retain-all, disk zero for the pure-RAM backend).
+  offload::TierStats ram_tier;
+  offload::TierStats disk_tier;
 
   /// Fraction of the copier's transfer time hidden behind compute: 1.0 when
   /// the compute thread never waited, 0.0 when every copied second stalled
@@ -75,36 +84,45 @@ struct OffloadStats {
     restore_wait_seconds += o.restore_wait_seconds;
     offloaded_bytes += o.offloaded_bytes;
     prefetched_bytes += o.prefetched_bytes;
+    ram_tier += o.ram_tier;
+    disk_tier += o.disk_tier;
     return *this;
   }
 };
 
 /// Implements the token-wise stash/restore cycle on real numbers. In the
 /// full system the stash is a PCIe transfer into host memory; here the
-/// "host" is a separate map, and the restore runs the same row-wise forward
-/// kernels as the original pass, so the reconstruction is bit-identical —
-/// the property behind the aligned loss curves of Fig. 12d.
+/// "host" is a pluggable offload::StashBackend — RAM map, disk spill file,
+/// or the tiered RAM-then-disk combination — and the restore runs the same
+/// row-wise forward kernels as the original pass, so the reconstruction is
+/// bit-identical regardless of the tier the bytes travelled through — the
+/// property behind the aligned loss curves of Fig. 12d.
 ///
 /// With `async_offload` (token-wise policy only) a dedicated copier thread
 /// mirrors the paper's offload/prefetch streams: Stash hands the layer to
-/// the copier, which performs the D2H-analog copies while the compute
-/// thread runs the next layer; at most two stashes may be in flight (the
-/// two rounding buffers), so a third Stash blocks exactly like the
-/// `WaitEvent(compute, offload_done[i-2])` of the three-stream schedule.
-/// During backward the copier prefetches the next layer's rows (H2D-analog)
-/// while the compute thread recomputes the current one. The handoff copies
-/// are exact, so async results are bit-identical to the inline path.
+/// the copier, which performs the D2H-analog copies (and any disk spill)
+/// while the compute thread runs the next layer; at most two stashes may be
+/// in flight (the two rounding buffers), so a third Stash blocks exactly
+/// like the `WaitEvent(compute, offload_done[i-2])` of the three-stream
+/// schedule. During backward the copier prefetches the next layer's rows
+/// (H2D-analog, reading spilled pages back ahead of use) while the compute
+/// thread recomputes the current one. The handoff copies are exact, so
+/// async results are bit-identical to the inline path.
 class ActivationStore {
  public:
   ActivationStore(ActivationPolicy policy, double alpha,
-                  bool async_offload = false);
+                  bool async_offload = false,
+                  const offload::BackendOptions& backend = {});
   ~ActivationStore();
 
   ActivationStore(const ActivationStore&) = delete;
   ActivationStore& operator=(const ActivationStore&) = delete;
 
   /// Records layer `layer`'s activations after its forward pass, discarding
-  /// token rows according to the policy. Consumes `acts`.
+  /// token rows according to the policy. Consumes `acts`. Aborts when the
+  /// stash backend rejects the bytes (RAM tier full with no disk tier to
+  /// spill to) — capacity planning is SolveAlphaTiered's job, the runtime
+  /// store treats overflow as a programming error.
   void Stash(int layer, LayerActivations&& acts);
 
   /// Reconstructs the full activation set for the backward pass of `layer`,
@@ -127,11 +145,13 @@ class ActivationStore {
   /// Token rows recomputed across all Restore calls so far.
   std::int64_t recomputed_rows() const { return recomputed_rows_; }
 
-  /// Copier-thread measurements (all zero in inline mode).
+  /// Copier-thread measurements plus the backend's per-tier counters.
   OffloadStats offload_stats() const;
 
   double alpha() const { return alpha_; }
   bool async_offload() const { return copier_.joinable(); }
+  /// The stash backend holding token-wise offloaded bytes (never null).
+  const offload::StashBackend& backend() const { return *backend_; }
 
  private:
   struct CopierJob {
@@ -142,11 +162,11 @@ class ActivationStore {
 
   std::int64_t CutRow(std::int64_t rows) const;
   void CopierMain();
-  /// Performs the token-wise cut (D2H-analog copies) and inserts the layer
-  /// into the stash. Runs on the copier thread in async mode, inline
-  /// otherwise.
+  /// Performs the token-wise cut, serializes the kept rows and hands the
+  /// blob to the stash backend (D2H-analog copies + optional disk spill).
+  /// Runs on the copier thread in async mode, inline otherwise.
   void OffloadIntoStash(int layer, LayerActivations&& acts);
-  /// Takes `layer` out of the stash and widens the kept rows into
+  /// Takes `layer` out of the stash backend and widens the kept rows into
   /// full-size tensors (H2D-analog copies). Caller must hold no locks.
   LayerActivations FetchAndWiden(int layer, std::int64_t* copied_bytes);
 
@@ -154,8 +174,11 @@ class ActivationStore {
   double alpha_;
   bool async_ = false;
 
-  // Guards stash_, byte counters and stats; both threads take it briefly
-  // around handoffs, never while copying.
+  /// Token-wise stash storage: RAM, disk, or tiered (see BackendOptions).
+  std::unique_ptr<offload::StashBackend> backend_;
+
+  // Guards bookkeeping and stats; both threads take it briefly around
+  // handoffs, never while copying.
   mutable std::mutex mu_;
   std::condition_variable stash_ready_;    // copier -> compute: layer landed
   std::condition_variable buffer_free_;    // copier -> compute: slot freed
@@ -169,7 +192,11 @@ class ActivationStore {
   int prefetch_ready_layer_ = -1;     // slot below is valid; -1 = empty
   LayerActivations prefetch_slot_;
 
-  std::unordered_map<int, LayerActivations> stash_;
+  /// Retain-all keeps whole layers on the "device": they never cross a host
+  /// tier, so they stay in this map instead of the backend.
+  std::unordered_map<int, LayerActivations> retained_;
+  /// Token-wise layers currently resident in the backend.
+  std::unordered_set<int> stashed_;
   std::int64_t stored_bytes_ = 0;
   std::int64_t peak_stored_bytes_ = 0;
   std::int64_t device_peak_bytes_ = 0;

@@ -68,7 +68,7 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
     for (int b = 0; b < options.batch; ++b) {
       data.NextSequence(options.model.seq, &tokens, &targets);
       ActivationStore store(options.policy, options.alpha,
-                            options.async_offload);
+                            options.async_offload, options.backend);
       loss_sum +=
           model.ForwardBackward(params, tokens, targets, &store, &grads);
       result.peak_stored_bytes =

@@ -57,6 +57,10 @@ struct TrainRunOptions {
   /// Run stash/restore copies on a dedicated copier thread (token-wise
   /// policy only); bit-identical to the inline path, see ActivationStore.
   bool async_offload = false;
+  /// Where the token-wise stash lives: RAM (default, unlimited), disk, or
+  /// the tiered RAM-then-disk spill. Restores are bit-identical across
+  /// backends, so the loss curve is independent of this choice.
+  offload::BackendOptions backend;
 };
 
 struct TrainRunResult {

@@ -112,6 +112,211 @@ TEST(AlphaSolverTest, QuantizeRoundsDown) {
   EXPECT_DOUBLE_EQ(QuantizeAlpha(0.7, 0), 0.7);  // disabled
 }
 
+TEST(AlphaSolverTest, QuantizeHardenedAgainstBadInputs) {
+  // Non-positive step counts disable quantization but still clamp.
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(1.7, 0), 1.0);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(-0.3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(0.5, -4), 0.5);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(-1.0, -1), 0.0);
+  // Out-of-range alphas are clamped before quantizing.
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(2.5, 8), 1.0);
+  EXPECT_DOUBLE_EQ(QuantizeAlpha(-0.5, 8), 0.0);
+}
+
+TEST(AlphaSolverTest, ExactlyAtHostCapacityIsNotAnError) {
+  // Boundary of the §4.1 host constraint: base == budget exactly must solve
+  // (alpha 0, host-memory bound), not report kOutOfHostMemory.
+  AlphaInputs in = BaseInputs();
+  in.layer_forward_seconds = 10.0;  // overlap slack everywhere
+  // base = 2 GiB per layer; 30 swapped layers -> 60 GiB hits it exactly.
+  in.host_bytes_per_gpu = 60 * kGiB;
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->alpha, 0.0);
+  EXPECT_TRUE(result->host_memory_bound);
+}
+
+TEST(AlphaSolverTest, ZeroAlphaViaOverlapStaysValidAtBoundary) {
+  AlphaInputs in = BaseInputs();
+  // Transfer budget exactly equals the base bytes: alpha 0 feasible with
+  // the overlap constraint binding — a valid result, not an error.
+  in.layer_forward_seconds =
+      static_cast<double>(in.s_input_bytes + in.s_attn_bytes) /
+      in.pcie_bytes_per_second;
+  auto result = SolveAlpha(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->alpha, 0.0, 1e-9);
+  EXPECT_TRUE(result->overlap_bound);
+}
+
+TieredAlphaInputs TieredBase() {
+  TieredAlphaInputs in;
+  in.ram = BaseInputs();
+  in.disk_bytes_per_gpu = 2 * kTiB;
+  in.disk_bytes_per_second = 6.0 * kGBps;
+  return in;
+}
+
+TEST(TieredAlphaSolverTest, ZeroDiskDelegatesToSingleTier) {
+  TieredAlphaInputs in = TieredBase();
+  in.disk_bytes_per_gpu = 0;
+  in.disk_bytes_per_second = 0.0;
+  in.ram.layer_forward_seconds = 10.0;
+  in.ram.host_bytes_per_gpu = 90 * kGiB;  // host-memory-bound single tier
+  auto tiered = SolveAlphaTiered(in);
+  auto flat = SolveAlpha(in.ram);
+  ASSERT_TRUE(tiered.ok());
+  ASSERT_TRUE(flat.ok());
+  EXPECT_NEAR(tiered->alpha, flat->alpha, 1e-9);
+  EXPECT_NEAR(tiered->alpha_ram, flat->alpha, 1e-9);
+  EXPECT_DOUBLE_EQ(tiered->alpha_disk, 0.0);
+  EXPECT_DOUBLE_EQ(tiered->base_ram_fraction, 1.0);
+  EXPECT_EQ(tiered->host_memory_bound, flat->host_memory_bound);
+  EXPECT_EQ(tiered->overlap_bound, flat->overlap_bound);
+}
+
+TEST(TieredAlphaSolverTest, ZeroDiskStillReportsHostOom) {
+  TieredAlphaInputs in = TieredBase();
+  in.disk_bytes_per_gpu = 0;
+  in.disk_bytes_per_second = 0.0;
+  in.ram.host_bytes_per_gpu = 30 * kGiB;  // base alone exceeds RAM
+  auto result = SolveAlphaTiered(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfHostMemory());
+}
+
+TEST(TieredAlphaSolverTest, SpillsGracefullyWhereSingleTierOoms) {
+  // Same inputs that make SolveAlpha abort with kOutOfHostMemory: the 2 GiB
+  // base exceeds the 1 GiB/layer RAM budget. The tiered solver spills the
+  // overflow to disk instead.
+  TieredAlphaInputs in = TieredBase();
+  in.ram.layer_forward_seconds = 10.0;  // PCIe overlap has slack
+  in.ram.host_bytes_per_gpu = 30 * kGiB;
+  ASSERT_TRUE(SolveAlpha(in.ram).status().IsOutOfHostMemory());
+  auto result = SolveAlphaTiered(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Half of the base bytes fit in RAM (1 of 2 GiB per layer).
+  EXPECT_NEAR(result->base_ram_fraction, 0.5, 1e-9);
+  // RAM is saturated by the base, so every swapped row heads to disk, and
+  // with 2 TiB of NVMe and 60 GB/s of budget the full swap fits.
+  EXPECT_DOUBLE_EQ(result->alpha_ram, 0.0);
+  EXPECT_NEAR(result->alpha, 1.0, 1e-9);
+  EXPECT_NEAR(result->alpha_disk, 1.0, 1e-9);
+}
+
+TEST(TieredAlphaSolverTest, OomOnlyWhenBothTiersExhausted) {
+  TieredAlphaInputs in = TieredBase();
+  in.ram.layer_forward_seconds = 10.0;
+  in.ram.host_bytes_per_gpu = 30 * kGiB;  // 1 GiB/layer of the 2 GiB base
+  // The spilled 1 GiB/layer needs 30 GiB of disk; 20 GiB is not enough.
+  in.disk_bytes_per_gpu = 20 * kGiB;
+  auto result = SolveAlphaTiered(in);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfHostMemory());
+}
+
+TEST(TieredAlphaSolverTest, ExactlyAtCombinedCapacityIsNotAnError) {
+  TieredAlphaInputs in = TieredBase();
+  in.ram.layer_forward_seconds = 10.0;
+  in.ram.host_bytes_per_gpu = 30 * kGiB;
+  in.disk_bytes_per_gpu = 30 * kGiB;  // spilled base fits disk exactly
+  auto result = SolveAlphaTiered(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->alpha, 0.0);
+  EXPECT_NEAR(result->base_ram_fraction, 0.5, 1e-9);
+}
+
+TEST(TieredAlphaSolverTest, DiskBandwidthBindsTheDiskShare) {
+  TieredAlphaInputs in = TieredBase();
+  in.ram.layer_forward_seconds = 10.0;
+  in.ram.host_bytes_per_gpu = 90 * kGiB;  // RAM holds base + 1 GiB of others
+  // others * a_d <= B_disk * T: 14 GiB * a_d <= 0.7 GiB/s * 10 s -> a_d 0.5.
+  in.disk_bytes_per_second = 0.7 * static_cast<double>(kGiB);
+  auto result = SolveAlphaTiered(in);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->base_ram_fraction, 1.0);
+  EXPECT_NEAR(result->alpha_ram, 1.0 / 14.0, 1e-6);
+  EXPECT_NEAR(result->alpha_disk, 0.5, 1e-6);
+  EXPECT_NEAR(result->alpha, 1.0 / 14.0 + 0.5, 1e-6);
+  EXPECT_TRUE(result->disk_bandwidth_bound);
+  EXPECT_LT(result->alpha, 1.0);
+}
+
+TEST(TieredAlphaSolverTest, RejectsMalformedDiskTier) {
+  TieredAlphaInputs in = TieredBase();
+  in.disk_bytes_per_gpu = -1;
+  EXPECT_FALSE(SolveAlphaTiered(in).ok());
+  in = TieredBase();
+  in.disk_bytes_per_second = 0.0;  // capacity present but no bandwidth
+  EXPECT_FALSE(SolveAlphaTiered(in).ok());
+  in = TieredBase();
+  in.ram.pcie_bytes_per_second = 0.0;  // bad single-tier inputs still caught
+  EXPECT_FALSE(SolveAlphaTiered(in).ok());
+}
+
+TEST(TieredAlphaSolverTest, SharesAlwaysSumToAlphaAndStayFeasible) {
+  for (int seed = 1; seed <= 12; ++seed) {
+    TieredAlphaInputs in = TieredBase();
+    in.ram.layer_forward_seconds = 0.05 + 0.11 * seed;
+    in.ram.host_bytes_per_gpu = (48 + 19 * seed) * kGiB;
+    in.disk_bytes_per_gpu = (16 + 40 * seed) * kGiB;
+    auto result = SolveAlphaTiered(in);
+    ASSERT_TRUE(result.ok()) << "seed " << seed;
+    EXPECT_NEAR(result->alpha, result->alpha_ram + result->alpha_disk, 1e-9);
+    EXPECT_GE(result->alpha_ram, -1e-12);
+    EXPECT_GE(result->alpha_disk, -1e-12);
+    EXPECT_LE(result->alpha, 1.0 + 1e-9);
+    const double others = static_cast<double>(in.ram.s_others_bytes);
+    const double base =
+        static_cast<double>(in.ram.s_input_bytes + in.ram.s_attn_bytes);
+    const double slack = 1e-6 * base;
+    // PCIe overlap on the total.
+    EXPECT_LE(base + result->alpha * others,
+              in.ram.pcie_bytes_per_second * in.ram.layer_forward_seconds +
+                  slack)
+        << "seed " << seed;
+    // Tier capacities on each share (greedy base split: RAM first).
+    const double ram_budget = static_cast<double>(in.ram.host_bytes_per_gpu) /
+                              (in.ram.num_layers - 2);
+    const double base_ram = std::min(base, ram_budget);
+    EXPECT_LE(base_ram + result->alpha_ram * others, ram_budget + slack)
+        << "seed " << seed;
+    const double disk_budget = static_cast<double>(in.disk_bytes_per_gpu) /
+                               (in.ram.num_layers - 2);
+    EXPECT_LE((base - base_ram) + result->alpha_disk * others,
+              disk_budget + slack)
+        << "seed " << seed;
+  }
+}
+
+TEST(TieredAlphaSolverTest, QuantizeResplitsRamFirst) {
+  TieredAlphaResult r;
+  r.alpha = 0.63;
+  r.alpha_ram = 0.2;
+  r.alpha_disk = 0.43;
+  TieredAlphaResult q = QuantizeTieredAlpha(r, 8);
+  EXPECT_DOUBLE_EQ(q.alpha, 0.625);
+  EXPECT_NEAR(q.alpha_ram + q.alpha_disk, q.alpha, 1e-12);
+  EXPECT_LE(q.alpha_ram, r.alpha_ram + 1e-12);  // shares never grow
+  EXPECT_LE(q.alpha_disk, r.alpha_disk + 1e-12);
+
+  // When the quantized total undercuts the RAM share, disk drops to zero.
+  TieredAlphaResult ram_only;
+  ram_only.alpha = 0.3;
+  ram_only.alpha_ram = 0.3;
+  ram_only.alpha_disk = 0.0;
+  TieredAlphaResult q2 = QuantizeTieredAlpha(ram_only, 8);
+  EXPECT_DOUBLE_EQ(q2.alpha, 0.25);
+  EXPECT_DOUBLE_EQ(q2.alpha_ram, 0.25);
+  EXPECT_DOUBLE_EQ(q2.alpha_disk, 0.0);
+
+  // steps <= 0 passes the split through unchanged.
+  TieredAlphaResult q3 = QuantizeTieredAlpha(r, 0);
+  EXPECT_DOUBLE_EQ(q3.alpha, r.alpha);
+  EXPECT_DOUBLE_EQ(q3.alpha_ram, r.alpha_ram);
+  EXPECT_DOUBLE_EQ(q3.alpha_disk, r.alpha_disk);
+}
+
 // Property: the solved alpha always satisfies both constraints, and
 // alpha + 1/8 violates at least one (maximality) unless alpha == 1.
 class AlphaPropertyTest : public ::testing::TestWithParam<int> {};

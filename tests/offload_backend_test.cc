@@ -1,0 +1,274 @@
+// Tests of the pluggable stash backends (src/offload/): RAM capacity
+// accounting, disk paging with checksummed read-back, and the tiered
+// RAM-then-disk spill routing. The failure paths matter most here — a
+// corrupted spill page must surface a Status error, never a crash, and the
+// spill file must not outlive its backend.
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "offload/disk_backend.h"
+#include "offload/ram_backend.h"
+#include "offload/tiered_backend.h"
+
+namespace memo::offload {
+namespace {
+
+/// A deterministic pseudo-random blob of `bytes` bytes (value patterns vary
+/// with the seed so cross-key mixups would be caught by content checks).
+std::string MakeBlob(std::size_t bytes, unsigned seed) {
+  std::string blob(bytes, '\0');
+  unsigned state = seed * 2654435761u + 1u;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    state = state * 1664525u + 1013904223u;
+    blob[i] = static_cast<char>(state >> 24);
+  }
+  return blob;
+}
+
+TEST(RamBackendTest, RoundTripAndByteAccounting) {
+  RamBackend ram(/*capacity_bytes=*/0);
+  const std::string blob = MakeBlob(1000, 1);
+  std::string copy = blob;
+  ASSERT_TRUE(ram.Put(7, std::move(copy)).ok());
+  EXPECT_TRUE(ram.Contains(7));
+  EXPECT_EQ(ram.resident_bytes(), 1000);
+
+  const TierStats mid = ram.ram_stats();
+  EXPECT_EQ(mid.put_bytes, 1000);
+  EXPECT_EQ(mid.peak_resident_bytes, 1000);
+
+  auto taken = ram.Take(7);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value(), blob);
+  EXPECT_FALSE(ram.Contains(7));
+  EXPECT_EQ(ram.resident_bytes(), 0);
+  EXPECT_EQ(ram.ram_stats().take_bytes, 1000);
+}
+
+TEST(RamBackendTest, CapacityEnforced) {
+  RamBackend ram(/*capacity_bytes=*/1024);
+  ASSERT_TRUE(ram.Put(1, MakeBlob(512, 1)).ok());
+  const Status overflow = ram.Put(2, MakeBlob(513, 2));
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_TRUE(overflow.IsOutOfHostMemory());
+  // The failed Put must not leak into the accounting.
+  EXPECT_EQ(ram.resident_bytes(), 512);
+  EXPECT_EQ(ram.ram_stats().put_bytes, 512);
+}
+
+TEST(RamBackendTest, ExactlyAtCapacityIsNotAnError) {
+  RamBackend ram(/*capacity_bytes=*/1024);
+  ASSERT_TRUE(ram.Put(1, MakeBlob(1024, 1)).ok());
+  EXPECT_EQ(ram.resident_bytes(), 1024);
+  // Freeing makes room again.
+  ASSERT_TRUE(ram.Take(1).ok());
+  EXPECT_TRUE(ram.Put(2, MakeBlob(1024, 2)).ok());
+}
+
+TEST(RamBackendTest, DuplicateAndMissingKeys) {
+  RamBackend ram(0);
+  ASSERT_TRUE(ram.Put(3, MakeBlob(8, 1)).ok());
+  const Status dup = ram.Put(3, MakeBlob(8, 2));
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), StatusCode::kInvalidArgument);
+  const auto missing = ram.Take(99);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+DiskBackendOptions SmallPages() {
+  DiskBackendOptions options;
+  options.page_bytes = 256;  // force multi-page blobs with tiny payloads
+  return options;
+}
+
+TEST(DiskBackendTest, MultiPageRoundTripIsBitExact) {
+  DiskBackend disk(SmallPages());
+  // 1000 bytes over 256-byte pages: three full pages + one short page.
+  const std::string blob = MakeBlob(1000, 42);
+  std::string copy = blob;
+  ASSERT_TRUE(disk.Put(5, std::move(copy)).ok());
+  EXPECT_TRUE(disk.Contains(5));
+  EXPECT_EQ(disk.resident_bytes(), 1000);
+  EXPECT_EQ(disk.disk_stats().spill_pages, 4);
+
+  auto taken = disk.Take(5);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value(), blob);
+  EXPECT_EQ(disk.resident_bytes(), 0);
+  // Every page read back was verified against its stored checksum.
+  EXPECT_EQ(disk.disk_stats().checksum_verifications, 4);
+}
+
+TEST(DiskBackendTest, EmptyBlobRoundTrips) {
+  DiskBackend disk(SmallPages());
+  ASSERT_TRUE(disk.Put(1, std::string()).ok());
+  auto taken = disk.Take(1);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_TRUE(taken.value().empty());
+}
+
+TEST(DiskBackendTest, SpillFileRemovedOnDestruction) {
+  std::string path;
+  {
+    DiskBackend disk(SmallPages());
+    EXPECT_TRUE(disk.path().empty());  // created lazily
+    ASSERT_TRUE(disk.Put(1, MakeBlob(100, 7)).ok());
+    path = disk.path();
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(::access(path.c_str(), F_OK), 0);
+  }
+  EXPECT_NE(::access(path.c_str(), F_OK), 0)
+      << "spill file " << path << " outlived its backend";
+}
+
+TEST(DiskBackendTest, ChecksumMismatchSurfacesStatusError) {
+  DiskBackend disk(SmallPages());
+  const std::string blob = MakeBlob(600, 3);
+  std::string copy = blob;
+  ASSERT_TRUE(disk.Put(9, std::move(copy)).ok());
+
+  // Corrupt one byte of the second page in the spill file (raw payloads at
+  // slot * page_bytes; the first Put gets slots 0..n in order).
+  const int fd = ::open(disk.path().c_str(), O_WRONLY);
+  ASSERT_GE(fd, 0);
+  const char garbage = 'X';
+  ASSERT_EQ(::pwrite(fd, &garbage, 1, disk.page_bytes() + 17), 1);
+  ::close(fd);
+
+  auto taken = disk.Take(9);
+  ASSERT_FALSE(taken.ok());
+  EXPECT_EQ(taken.status().code(), StatusCode::kInternal);
+  EXPECT_NE(taken.status().ToString().find("checksum mismatch"),
+            std::string::npos)
+      << taken.status().ToString();
+}
+
+TEST(DiskBackendTest, CorruptionDetectedThroughPrefetchToo) {
+  DiskBackend disk(SmallPages());
+  ASSERT_TRUE(disk.Put(4, MakeBlob(300, 5)).ok());
+  const int fd = ::open(disk.path().c_str(), O_WRONLY);
+  ASSERT_GE(fd, 0);
+  const char garbage = '!';
+  ASSERT_EQ(::pwrite(fd, &garbage, 1, 0), 1);
+  ::close(fd);
+
+  disk.Prefetch(4);  // stages the (failed) read
+  auto taken = disk.Take(4);
+  ASSERT_FALSE(taken.ok());
+  EXPECT_EQ(taken.status().code(), StatusCode::kInternal);
+}
+
+TEST(DiskBackendTest, PrefetchStagesCleanRead) {
+  DiskBackend disk(SmallPages());
+  const std::string blob = MakeBlob(700, 11);
+  std::string copy = blob;
+  ASSERT_TRUE(disk.Put(2, std::move(copy)).ok());
+  disk.Prefetch(2);
+  EXPECT_TRUE(disk.Contains(2));  // staged blobs still count as present
+  disk.Prefetch(99);              // unknown keys are a silent no-op
+  auto taken = disk.Take(2);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value(), blob);
+}
+
+TEST(DiskBackendTest, FreedSlotsAreReused) {
+  DiskBackend disk(SmallPages());
+  ASSERT_TRUE(disk.Put(1, MakeBlob(1024, 1)).ok());
+  ASSERT_TRUE(disk.Take(1).ok());
+  struct stat before;
+  ASSERT_EQ(::stat(disk.path().c_str(), &before), 0);
+  // Same-size blobs land in the freed slots: the file must not grow.
+  ASSERT_TRUE(disk.Put(2, MakeBlob(1024, 2)).ok());
+  struct stat after;
+  ASSERT_EQ(::stat(disk.path().c_str(), &after), 0);
+  EXPECT_EQ(before.st_size, after.st_size);
+}
+
+TEST(DiskBackendTest, ThrottleAccountsEmulatedBandwidth) {
+  DiskBackendOptions options;
+  options.page_bytes = 64 * 1024;
+  options.bytes_per_second = 100e6;  // 100 MB/s: 1 MiB takes >= ~10 ms
+  DiskBackend disk(options);
+  ASSERT_TRUE(disk.Put(1, MakeBlob(1 << 20, 9)).ok());
+  EXPECT_GE(disk.disk_stats().write_seconds, 0.009);
+  ASSERT_TRUE(disk.Take(1).ok());
+  EXPECT_GE(disk.disk_stats().read_seconds, 0.009);
+}
+
+TEST(TieredBackendTest, SpillsToDiskWhenRamFills) {
+  TieredBackend tiered(/*ram_capacity_bytes=*/1500, SmallPages());
+  const std::string a = MakeBlob(1000, 1);
+  const std::string b = MakeBlob(1000, 2);
+  std::string copy_a = a;
+  std::string copy_b = b;
+  ASSERT_TRUE(tiered.Put(1, std::move(copy_a)).ok());  // fits in RAM
+  ASSERT_TRUE(tiered.Put(2, std::move(copy_b)).ok());  // spills
+  EXPECT_EQ(tiered.spilled_blobs(), 1);
+  EXPECT_EQ(tiered.ram_stats().put_bytes, 1000);
+  EXPECT_EQ(tiered.disk_stats().put_bytes, 1000);
+  EXPECT_EQ(tiered.resident_bytes(), 2000);
+
+  auto taken_a = tiered.Take(1);
+  auto taken_b = tiered.Take(2);
+  ASSERT_TRUE(taken_a.ok());
+  ASSERT_TRUE(taken_b.ok());
+  EXPECT_EQ(taken_a.value(), a);
+  EXPECT_EQ(taken_b.value(), b);
+  EXPECT_EQ(tiered.resident_bytes(), 0);
+}
+
+TEST(TieredBackendTest, UnlimitedRamNeverSpills) {
+  TieredBackend tiered(/*ram_capacity_bytes=*/0);
+  for (int key = 0; key < 8; ++key) {
+    ASSERT_TRUE(tiered.Put(key, MakeBlob(4096, key)).ok());
+  }
+  EXPECT_EQ(tiered.spilled_blobs(), 0);
+  EXPECT_EQ(tiered.disk_stats().put_bytes, 0);
+}
+
+TEST(TieredBackendTest, PrefetchReachesTheDiskTier) {
+  TieredBackend tiered(/*ram_capacity_bytes=*/100, SmallPages());
+  const std::string blob = MakeBlob(500, 4);
+  std::string copy = blob;
+  ASSERT_TRUE(tiered.Put(1, std::move(copy)).ok());  // too big for RAM
+  EXPECT_EQ(tiered.spilled_blobs(), 1);
+  tiered.Prefetch(1);
+  auto taken = tiered.Take(1);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value(), blob);
+}
+
+TEST(TieredBackendTest, MissingKeyIsNotFound) {
+  TieredBackend tiered(0);
+  const auto missing = tiered.Take(5);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CreateBackendTest, FactoryBuildsEachKind) {
+  BackendOptions options;
+  options.kind = BackendKind::kRam;
+  EXPECT_EQ(CreateBackend(options)->name(), "ram");
+  options.kind = BackendKind::kDisk;
+  EXPECT_EQ(CreateBackend(options)->name(), "disk");
+  options.kind = BackendKind::kTiered;
+  EXPECT_EQ(CreateBackend(options)->name(), "tiered");
+}
+
+TEST(Fnv1a64Test, MatchesReferenceVectors) {
+  // Standard FNV-1a 64 test vectors.
+  EXPECT_EQ(Fnv1a64("", 0), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a64("foobar", 6), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace memo::offload

@@ -168,7 +168,8 @@ struct StepResult {
 };
 
 StepResult OneStep(const MiniGptConfig& config, ActivationPolicy policy,
-                   double alpha, bool async) {
+                   double alpha, bool async,
+                   const offload::BackendOptions& backend = {}) {
   const MiniGpt model(config);
   const MiniGptParams params = MiniGptParams::Init(config, 99);
   StepResult r;
@@ -181,7 +182,7 @@ StepResult OneStep(const MiniGptConfig& config, ActivationPolicy policy,
     tokens[i] = static_cast<int>(rng.NextBounded(config.vocab));
     targets[i] = static_cast<int>(rng.NextBounded(config.vocab));
   }
-  ActivationStore store(policy, alpha, async);
+  ActivationStore store(policy, alpha, async, backend);
   r.loss = model.ForwardBackward(params, tokens, targets, &store, &r.grads);
   return r;
 }
@@ -255,6 +256,32 @@ TEST(ParallelExactnessTest, AsyncOffloadReportsCopierActivity) {
   const TrainRunResult sync_result = RunTraining(options);
   EXPECT_EQ(result.losses, sync_result.losses);
   EXPECT_EQ(sync_result.offload_stats.offloaded_bytes, 0);
+}
+
+TEST(ParallelExactnessTest, StashBackendsBitIdenticalSerialAndAsync) {
+  // The restore path must stay bit-exact (Fig. 12d) no matter which stash
+  // tier holds the cut rows and whether the copier thread moves them.
+  MiniGptConfig config;
+  config.layers = 4;
+  config.seq = 48;
+  ScopedRuntime rt(4, KernelMode::kOptimized);
+  StepResult ref = OneStep(config, ActivationPolicy::kTokenWise, 0.5, false);
+
+  std::vector<offload::BackendOptions> backends(3);
+  backends[0].kind = offload::BackendKind::kRam;
+  backends[1].kind = offload::BackendKind::kDisk;
+  backends[1].disk.page_bytes = 4 * 1024;  // several pages per layer blob
+  backends[2].kind = offload::BackendKind::kTiered;
+  backends[2].ram_capacity_bytes = 24 * 1024;  // force some layers to disk
+  backends[2].disk.page_bytes = 4 * 1024;
+
+  for (const offload::BackendOptions& backend : backends) {
+    for (bool async : {false, true}) {
+      StepResult result =
+          OneStep(config, ActivationPolicy::kTokenWise, 0.5, async, backend);
+      ExpectSameStep(result, ref);
+    }
+  }
 }
 
 TEST(ParallelExactnessTest, BilevelPlanIdenticalAcrossPoolSizes) {

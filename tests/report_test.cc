@@ -20,6 +20,7 @@ TEST(ReportTest, RendersAllKeyQuantities) {
   for (const char* needle :
        {"7B (6.85B params)", "TP=4 CP=2", "MFU", "tokens/GPU/s",
         "rounding buffers / GPU", "host offload / GPU",
+        "host RAM tier / GPU", "disk spill tier / GPU",
         "allocator reorganizations", "swap fraction alpha"}) {
     EXPECT_NE(report.find(needle), std::string::npos) << needle;
   }

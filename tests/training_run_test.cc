@@ -85,6 +85,30 @@ TEST(TrainingRunTest, FailsCleanlyWhenAShapeDoesNotFit) {
   EXPECT_TRUE(run.status().IsOutOfMemory());
 }
 
+TEST(TrainingRunTest, DiskTierRescuesHostOom) {
+  // Host pool far below the §4.1 minimum: the always-offloaded bytes alone
+  // overflow RAM. Without an NVMe tier the run aborts with kOutOfHostMemory;
+  // with one it completes by spilling, and the per-tier peaks prove it.
+  TrainingRunOptions options;
+  options.iterations = 2;
+  options.seq_lengths = {256 * kSeqK};
+  hw::ClusterSpec starved = kCluster8;
+  starved.node.host_memory_bytes = 64 * kGiB;  // 8 GiB per GPU
+  auto no_disk = SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                     MemoStrategy(), starved, options);
+  ASSERT_FALSE(no_disk.ok());
+  EXPECT_TRUE(no_disk.status().IsOutOfHostMemory());
+
+  starved.node.nvme_bytes = 8 * kTiB;  // 1 TiB NVMe share per GPU
+  auto spilled = SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                     MemoStrategy(), starved, options);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+  EXPECT_GT(spilled->peak_host_disk_bytes, 0);
+  EXPECT_LE(spilled->peak_host_ram_bytes,
+            starved.host_bytes_per_gpu());
+  EXPECT_LE(spilled->peak_host_disk_bytes, starved.disk_bytes_per_gpu());
+}
+
 TEST(TrainingRunTest, ValidatesInputs) {
   TrainingRunOptions options;
   options.iterations = 0;

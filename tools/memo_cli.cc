@@ -7,6 +7,7 @@
 //                   [--out plan.txt]
 //   memo_cli maxseq --model 7B --gpus 8 [--system memo] [--step 128K]
 //   memo_cli alpha  --model 7B --seq 512K --gpus 8 --tp 4 --cp 2
+//   memo_cli train  --layers 4 --seq 64 --alpha 0.5 --backend tiered
 //
 // `run` auto-tunes the parallelism strategy unless explicit degrees are
 // given. Sequence lengths accept a K suffix (1024-token units).
@@ -24,6 +25,7 @@
 #include "core/report.h"
 #include "core/session.h"
 #include "planner/plan_io.h"
+#include "train/trainer.h"
 
 namespace {
 
@@ -79,6 +81,47 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// The paper's cluster with optional memory-hierarchy overrides:
+/// --host-gib caps host RAM per node, --nvme-gib/--nvme-gbps configure the
+/// NVMe spill tier below it (absent by default, as in the paper).
+memo::hw::ClusterSpec ClusterFromFlags(const Flags& flags) {
+  auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  if (flags.Has("host-gib")) {
+    cluster.node.host_memory_bytes = static_cast<std::int64_t>(
+        flags.GetDouble("host-gib", 0.0) * static_cast<double>(memo::kGiB));
+  }
+  if (flags.Has("nvme-gib")) {
+    cluster.node.nvme_bytes = static_cast<std::int64_t>(
+        flags.GetDouble("nvme-gib", 0.0) * static_cast<double>(memo::kGiB));
+  }
+  if (flags.Has("nvme-gbps")) {
+    cluster.node.nvme_bandwidth =
+        flags.GetDouble("nvme-gbps", 6.0) * memo::kGBps;
+  }
+  return cluster;
+}
+
+memo::offload::BackendOptions ParseBackend(const Flags& flags) {
+  memo::offload::BackendOptions backend;
+  const std::string name = flags.Get("backend", "ram");
+  if (name == "ram") {
+    backend.kind = memo::offload::BackendKind::kRam;
+  } else if (name == "disk") {
+    backend.kind = memo::offload::BackendKind::kDisk;
+  } else if (name == "tiered") {
+    backend.kind = memo::offload::BackendKind::kTiered;
+  } else {
+    std::fprintf(stderr, "unknown backend %s (ram|disk|tiered)\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  backend.ram_capacity_bytes = static_cast<std::int64_t>(
+      flags.GetDouble("ram-cap-mib", 0.0) * static_cast<double>(memo::kMiB));
+  backend.disk.bytes_per_second =
+      flags.GetDouble("disk-gbps", 0.0) * memo::kGBps;
+  return backend;
+}
+
 SystemKind ParseSystem(const std::string& name) {
   if (name == "memo") return SystemKind::kMemo;
   if (name == "megatron") return SystemKind::kMegatron;
@@ -99,7 +142,7 @@ int CmdRun(const Flags& flags) {
     return 1;
   }
   const Workload workload{*model, flags.GetSeq("seq", 512 * memo::kSeqK)};
-  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const auto cluster = ClusterFromFlags(flags);
   const SystemKind system = ParseSystem(flags.Get("system", "memo"));
 
   SessionOptions options;
@@ -158,7 +201,7 @@ int CmdPlan(const Flags& flags) {
   s.cp = flags.GetInt("cp", 1);
   s.pp = flags.GetInt("pp", 1);
   s.dp = flags.GetInt("dp", 1);
-  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const auto cluster = ClusterFromFlags(flags);
   const Workload workload{*model, flags.GetSeq("seq", 512 * memo::kSeqK)};
 
   auto profile = memo::core::ProfileJob(workload, s, cluster);
@@ -199,7 +242,7 @@ int CmdMaxSeq(const Flags& flags) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
     return 1;
   }
-  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const auto cluster = ClusterFromFlags(flags);
   const SystemKind system = ParseSystem(flags.Get("system", "memo"));
   const std::int64_t step = flags.GetSeq("step", 128 * memo::kSeqK);
   const std::int64_t cap = flags.GetSeq(
@@ -224,7 +267,7 @@ int CmdAlpha(const Flags& flags) {
   s.cp = flags.GetInt("cp", 1);
   s.pp = flags.GetInt("pp", 1);
   s.dp = flags.GetInt("dp", 1);
-  const auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
+  const auto cluster = ClusterFromFlags(flags);
   const Workload workload{*model, flags.GetSeq("seq", 512 * memo::kSeqK)};
   auto profile = memo::core::ProfileJob(workload, s, cluster);
   if (!profile.ok()) {
@@ -250,16 +293,58 @@ int CmdAlpha(const Flags& flags) {
   return 0;
 }
 
+int CmdTrain(const Flags& flags) {
+  memo::train::TrainRunOptions options;
+  options.model.layers = flags.GetInt("layers", 4);
+  options.model.hidden = flags.GetInt("hidden", 32);
+  options.model.heads = flags.GetInt("heads", 4);
+  options.model.ffn = flags.GetInt("ffn", 128);
+  options.model.vocab = flags.GetInt("vocab", 64);
+  options.model.seq = static_cast<int>(flags.GetSeq("seq", 64));
+  options.iterations = flags.GetInt("iterations", 40);
+  options.policy = flags.Get("policy", "tokenwise") == "retain"
+                       ? memo::train::ActivationPolicy::kRetainAll
+                       : memo::train::ActivationPolicy::kTokenWise;
+  options.alpha = flags.GetDouble("alpha", 0.5);
+  options.async_offload = flags.GetInt("async", 0) != 0;
+  options.backend = ParseBackend(flags);
+
+  const memo::train::TrainRunResult result =
+      memo::train::RunTraining(options);
+  const auto& stats = result.offload_stats;
+  std::printf("final loss %.6f after %d iterations\n", result.losses.back(),
+              options.iterations);
+  std::printf("recomputed rows %lld; peak stash %s\n",
+              static_cast<long long>(result.recomputed_rows),
+              memo::FormatBytes(result.peak_stored_bytes).c_str());
+  std::printf(
+      "RAM tier: %s in / %s out (peak %s)\n",
+      memo::FormatBytes(stats.ram_tier.put_bytes).c_str(),
+      memo::FormatBytes(stats.ram_tier.take_bytes).c_str(),
+      memo::FormatBytes(stats.ram_tier.peak_resident_bytes).c_str());
+  std::printf(
+      "disk tier: %s in / %s out (%lld pages, %lld checksums verified)\n",
+      memo::FormatBytes(stats.disk_tier.put_bytes).c_str(),
+      memo::FormatBytes(stats.disk_tier.take_bytes).c_str(),
+      static_cast<long long>(stats.disk_tier.spill_pages),
+      static_cast<long long>(stats.disk_tier.checksum_verifications));
+  return 0;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: memo_cli <run|plan|maxseq|alpha> [--flag value]...\n"
+               "usage: memo_cli <run|plan|maxseq|alpha|train> [--flag value]...\n"
                "  run    --model 7B --seq 1024K --gpus 8 [--system memo]\n"
                "         [--tp N --cp N --pp N --dp N --sp N] [--alpha X]\n"
+               "         [--host-gib G --nvme-gib G --nvme-gbps B]\n"
                "         [--timeline out.json]\n"
                "  plan   --model 7B --seq 512K --gpus 8 --tp 4 --cp 2\n"
                "         [--out plan.txt]\n"
                "  maxseq --model 7B --gpus 8 [--system memo] [--step 128K]\n"
-               "  alpha  --model 7B --seq 512K --gpus 8 --tp 4 --cp 2\n");
+               "  alpha  --model 7B --seq 512K --gpus 8 --tp 4 --cp 2\n"
+               "  train  --layers 4 --seq 64 --alpha 0.5 [--async 1]\n"
+               "         [--backend ram|disk|tiered --ram-cap-mib M\n"
+               "          --disk-gbps B]\n");
 }
 
 }  // namespace
@@ -275,6 +360,7 @@ int main(int argc, char** argv) {
   if (command == "plan") return CmdPlan(flags);
   if (command == "maxseq") return CmdMaxSeq(flags);
   if (command == "alpha") return CmdAlpha(flags);
+  if (command == "train") return CmdTrain(flags);
   Usage();
   return 2;
 }
