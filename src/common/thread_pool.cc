@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace memo {
 
@@ -58,6 +60,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::WorkerMain() {
+  MEMO_TRACE_SET_THREAD_NAME("pool-worker");
   for (;;) {
     std::shared_ptr<LoopState> loop;
     {
@@ -74,7 +77,12 @@ void ThreadPool::WorkerMain() {
       }
     }
     t_inside_parallel_region = true;
-    RunChunks(loop.get());
+    {
+      // One span per participation (not per chunk): visible pool activity
+      // without per-chunk overhead on the GEMM hot path.
+      MEMO_TRACE_SCOPE("pool_run", "pool");
+      RunChunks(loop.get());
+    }
     t_inside_parallel_region = false;
   }
 }
@@ -114,13 +122,28 @@ void ThreadPool::ParallelForChunks(
 
   // Serial fallback, single chunk, and nested calls all run inline: same
   // chunk boundaries, same floating-point behaviour, no queue round-trip.
+  // Non-nested multi-chunk inline loops still get a pool span so
+  // single-core traces show where parallel regions would run (nested calls
+  // stay silent: their time belongs to the enclosing region's span).
   if (workers_.empty() || chunks == 1 || t_inside_parallel_region) {
+    if (chunks > 1 && !t_inside_parallel_region) {
+      MEMO_TRACE_SCOPE_ARG("pool_run", "pool", "chunks", chunks);
+      for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
+        const std::int64_t lo = begin + chunk * grain;
+        fn(chunk, lo, std::min(end, lo + grain));
+      }
+      return;
+    }
     for (std::int64_t chunk = 0; chunk < chunks; ++chunk) {
       const std::int64_t lo = begin + chunk * grain;
       fn(chunk, lo, std::min(end, lo + grain));
     }
     return;
   }
+
+  static obs::MetricCounter* loops_counter =
+      obs::MetricsRegistry::Global().counter("pool.parallel_loops");
+  loops_counter->Increment();
 
   auto state = std::make_shared<LoopState>();
   state->begin = begin;
@@ -136,7 +159,10 @@ void ThreadPool::ParallelForChunks(
 
   // The caller is a full participant — with N-1 workers this yields N lanes.
   t_inside_parallel_region = true;
-  RunChunks(state.get());
+  {
+    MEMO_TRACE_SCOPE_ARG("pool_run", "pool", "chunks", chunks);
+    RunChunks(state.get());
+  }
   t_inside_parallel_region = false;
 
   {

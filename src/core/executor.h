@@ -42,6 +42,9 @@ struct IterationResult {
   // to [0, 1]; 1.0 when nothing is swapped).
   double copy_busy_seconds = 0.0;
   double overlap_efficiency = 1.0;
+  // Seconds the copy streams sat idle within the iteration (makespan minus
+  // combined busy time, floored at 0) — headroom left on the PCIe link.
+  double copy_idle_seconds = 0.0;
 
   // Memory accounting (bytes, per GPU).
   std::int64_t model_state_bytes = 0;

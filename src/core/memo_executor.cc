@@ -7,6 +7,7 @@
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "model/trace_gen.h"
+#include "obs/trace_recorder.h"
 #include "parallel/memory_model.h"
 #include "parallel/pipeline.h"
 #include "sim/engine.h"
@@ -17,6 +18,7 @@ namespace memo::core {
 StatusOr<IterationResult> RunMemoIteration(
     const Workload& workload, const parallel::ParallelStrategy& strategy,
     const hw::ClusterSpec& cluster, const MemoOptions& options) {
+  MEMO_TRACE_SCOPE("memo_iteration", "executor");
   MEMO_RETURN_IF_ERROR(parallel::ValidateStrategy(
       parallel::SystemKind::kMemo, strategy, workload.model, cluster,
       workload.seq));
@@ -232,6 +234,9 @@ StatusOr<IterationResult> RunMemoIteration(
     MEMO_RETURN_IF_ERROR(
         sim::WriteChromeTrace(engine, options.timeline_path));
   }
+  // Mirror the four simulated streams into the unified trace (no-op while
+  // the recorder is disabled).
+  sim::MirrorTimelineToRecorder(engine);
 
   if (strategy.virtual_pipeline > 1 &&
       kPipelineMicrobatches % strategy.pp != 0) {
@@ -283,6 +288,8 @@ StatusOr<IterationResult> RunMemoIteration(
                                  result.copy_busy_seconds,
                        0.0, 1.0)
           : 1.0;
+  result.copy_idle_seconds =
+      std::max(0.0, engine.Makespan() - result.copy_busy_seconds);
   result.reorg_stall_seconds = 0.0;  // static plan: no reorganizations
   result.reorg_events = 0;
   result.model_state_bytes = model_state.total();

@@ -43,6 +43,8 @@ TablePrinter IterationReportTable(const IterationResult& result,
                 StrFormat("%.1f%% of %s hidden",
                           result.overlap_efficiency * 100.0,
                           FormatSeconds(result.copy_busy_seconds).c_str())});
+  table.AddRow(
+      {"copy streams idle", FormatSeconds(result.copy_idle_seconds)});
   table.AddRow({"allocator reorganizations",
                 std::to_string(result.reorg_events) + " (" +
                     FormatSeconds(result.reorg_stall_seconds) + ")"});

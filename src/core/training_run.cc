@@ -57,6 +57,7 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
   stats.distinct_shapes = static_cast<int>(per_shape.size());
   double total_model_flops = 0.0;
   double total_tokens = 0.0;
+  double overlap_sum = 0.0;
   std::int64_t reorgs_before = 0;
   std::int64_t flushed_before = 0;
 
@@ -105,6 +106,10 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
         std::max(stats.peak_host_ram_bytes, shape.host_ram_bytes);
     stats.peak_host_disk_bytes =
         std::max(stats.peak_host_disk_bytes, shape.host_disk_bytes);
+    stats.copy_busy_seconds += shape.copy_busy_seconds;
+    stats.swap_stall_seconds += shape.swap_stall_seconds;
+    stats.spill_bytes_total += shape.host_disk_bytes;
+    overlap_sum += shape.overlap_efficiency;
   }
 
   stats.avg_mfu = total_model_flops /
@@ -112,6 +117,7 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
                    cluster.total_gpus());
   stats.avg_tgs =
       total_tokens / (stats.total_seconds * cluster.total_gpus());
+  stats.avg_overlap_efficiency = overlap_sum / options.iterations;
   return stats;
 }
 

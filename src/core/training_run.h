@@ -39,6 +39,14 @@ struct TrainingRunStats {
   /// baselines, disk zero unless the cluster has an NVMe spill tier).
   std::int64_t peak_host_ram_bytes = 0;
   std::int64_t peak_host_disk_bytes = 0;
+  /// Copy/compute overlap aggregated over the run: iteration-weighted mean
+  /// overlap efficiency, total copy-stream busy time, total compute stall
+  /// on swaps, and total bytes spilled to the disk tier. All trivial (1.0 /
+  /// zero) for systems that do not swap.
+  double avg_overlap_efficiency = 1.0;
+  double copy_busy_seconds = 0.0;
+  double swap_stall_seconds = 0.0;
+  std::int64_t spill_bytes_total = 0;
 };
 
 /// Simulates `options.iterations` training iterations of `system` under a

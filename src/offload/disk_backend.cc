@@ -15,6 +15,8 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace memo::offload {
 
@@ -24,6 +26,18 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Armed fault, shared by every DiskBackend in the process (tests only).
+std::atomic<int> g_fail_point{0};
+
+/// True when `point` is armed; consumes (disarms) it so exactly one page
+/// I/O fails per arming.
+bool ConsumeFailPoint(DiskBackend::FailPoint point) {
+  int expected = static_cast<int>(point);
+  return expected != 0 &&
+         g_fail_point.compare_exchange_strong(expected, 0,
+                                              std::memory_order_relaxed);
 }
 
 std::string SpillDirectory(const DiskBackendOptions& options) {
@@ -39,6 +53,10 @@ std::int64_t NextFileId() {
 }
 
 }  // namespace
+
+void DiskBackend::SetGlobalFailPoint(FailPoint point) {
+  g_fail_point.store(static_cast<int>(point), std::memory_order_relaxed);
+}
 
 std::uint64_t Fnv1a64(const void* data, std::size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -83,14 +101,19 @@ void DiskBackend::Throttle(std::int64_t bytes, double elapsed_seconds) {
   const double target =
       static_cast<double>(bytes) / options_.bytes_per_second;
   if (target > elapsed_seconds) {
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(target - elapsed_seconds));
+    const double wait = target - elapsed_seconds;
+    static obs::MetricCounter* throttle_wait =
+        obs::MetricsRegistry::Global().counter("disk.throttle_wait_micros");
+    throttle_wait->Add(static_cast<std::int64_t>(wait * 1e6));
+    MEMO_TRACE_SCOPE("disk_throttle", "disk");
+    std::this_thread::sleep_for(std::chrono::duration<double>(wait));
   }
 }
 
 Status DiskBackend::Put(std::int64_t key, std::string&& blob) {
   const Clock::time_point start = Clock::now();
   const std::int64_t total = static_cast<std::int64_t>(blob.size());
+  MEMO_TRACE_SCOPE_ARG("disk_put", "disk", "bytes", total);
   const std::int64_t page = options_.page_bytes;
   const std::int64_t num_pages = std::max<std::int64_t>(
       1, (total + page - 1) / page);
@@ -129,6 +152,11 @@ Status DiskBackend::Put(std::int64_t key, std::string&& blob) {
           const char* payload = blob.data() + offset;
           p.checksum = Fnv1a64(payload, static_cast<std::size_t>(
                                             p.payload_len));
+          if (ConsumeFailPoint(FailPoint::kPutWrite)) {
+            page_status[i] = InternalError(
+                "pwrite to spill file failed: injected short write");
+            return;
+          }
           std::int64_t written = 0;
           while (written < p.payload_len) {
             const ssize_t n = ::pwrite(
@@ -152,11 +180,15 @@ Status DiskBackend::Put(std::int64_t key, std::string&& blob) {
     for (const Status& s : page_status) {
       if (!s.ok()) {
         for (const PageRef& p : pages) free_slots_.push_back(p.slot);
+        MEMO_TRACE_INSTANT("disk_io_error", "disk", s.ToString());
         return s;
       }
     }
     index_.emplace(key, std::move(pages));
     blob_bytes_.emplace(key, total);
+    static obs::MetricCounter* put_bytes_counter =
+        obs::MetricsRegistry::Global().counter("disk.put_bytes");
+    put_bytes_counter->Add(total);
     stats_.put_bytes += total;
     stats_.spill_pages += num_pages;
     stats_.resident_bytes += total;
@@ -177,6 +209,7 @@ Status DiskBackend::Put(std::int64_t key, std::string&& blob) {
 StatusOr<std::string> DiskBackend::ReadPages(
     const std::vector<PageRef>& pages, std::int64_t total) {
   const Clock::time_point start = Clock::now();
+  MEMO_TRACE_SCOPE_ARG("disk_read", "disk", "bytes", total);
   const std::int64_t page = options_.page_bytes;
   const std::int64_t num_pages = static_cast<std::int64_t>(pages.size());
   std::string blob(static_cast<std::size_t>(total), '\0');
@@ -191,6 +224,11 @@ StatusOr<std::string> DiskBackend::ReadPages(
         for (std::int64_t i = begin; i < end; ++i) {
           const PageRef& p = pages[i];
           char* payload = blob.data() + i * page;
+          if (ConsumeFailPoint(FailPoint::kTakeRead)) {
+            page_status[i] = InternalError(
+                "pread from spill file failed: injected read fault");
+            return;
+          }
           std::int64_t got = 0;
           while (got < p.payload_len) {
             const ssize_t n = ::pread(
@@ -234,6 +272,9 @@ StatusOr<std::string> DiskBackend::ReadPages(
       }
     }
     for (const PageRef& p : pages) free_slots_.push_back(p.slot);
+    static obs::MetricCounter* take_bytes_counter =
+        obs::MetricsRegistry::Global().counter("disk.take_bytes");
+    take_bytes_counter->Add(total);
     stats_.take_bytes += total;
     stats_.resident_bytes -= total;
     stats_.read_seconds += elapsed;
@@ -244,7 +285,10 @@ StatusOr<std::string> DiskBackend::ReadPages(
     }
   }
   Throttle(total, elapsed);
-  if (!failure.ok()) return failure;
+  if (!failure.ok()) {
+    MEMO_TRACE_INSTANT("disk_io_error", "disk", failure.ToString());
+    return failure;
+  }
   return blob;
 }
 

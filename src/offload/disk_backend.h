@@ -24,6 +24,18 @@ namespace memo::offload {
 /// file is removed when the backend is destroyed.
 class DiskBackend : public StashBackend {
  public:
+  /// Fault-injection points for tests: the armed fault fires on the next
+  /// matching page I/O (process-wide, one-shot — it disarms itself when it
+  /// fires), turning into the same kInternal Status a real pwrite/pread
+  /// failure would produce. kPutWrite fails a page write inside Put;
+  /// kTakeRead fails a page read inside Take/Prefetch mid-restore.
+  enum class FailPoint { kNone, kPutWrite, kTakeRead };
+
+  /// Arms `point` for the whole process (kNone disarms). Tests use this to
+  /// reach faults through layers that own their DiskBackend internally
+  /// (ActivationStore's tiered stash).
+  static void SetGlobalFailPoint(FailPoint point);
+
   explicit DiskBackend(const DiskBackendOptions& options = {});
   ~DiskBackend() override;
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace memo::offload {
 
 namespace {
@@ -38,6 +40,9 @@ Status RamBackend::Put(std::int64_t key, std::string&& blob) {
     return InvalidArgumentError("key " + std::to_string(key) +
                                 " already stashed in RAM tier");
   }
+  static obs::MetricCounter* put_bytes_counter =
+      obs::MetricsRegistry::Global().counter("ram.put_bytes");
+  put_bytes_counter->Add(bytes);
   stats_.put_bytes += bytes;
   stats_.resident_bytes += bytes;
   stats_.peak_resident_bytes =
@@ -57,6 +62,9 @@ StatusOr<std::string> RamBackend::Take(std::int64_t key) {
   std::string blob = std::move(it->second);
   blobs_.erase(it);
   const std::int64_t bytes = static_cast<std::int64_t>(blob.size());
+  static obs::MetricCounter* take_bytes_counter =
+      obs::MetricsRegistry::Global().counter("ram.take_bytes");
+  take_bytes_counter->Add(bytes);
   stats_.take_bytes += bytes;
   stats_.resident_bytes -= bytes;
   stats_.read_seconds += SecondsSince(start);

@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
+#include "obs/trace_recorder.h"
 
 namespace memo::planner {
 
@@ -96,11 +97,13 @@ StatusOr<MemoryPlan> PlanMemory(const model::ModelTrace& trace,
     std::vector<std::function<void()>> solves;
     if (fwd_template != nullptr) {
       solves.push_back([&] {
+        MEMO_TRACE_SCOPE("dsa_solve_fwd", "planner");
         fwd_result = PlanSegment(trace, *fwd_template, options.level1);
       });
     }
     if (bwd_template != nullptr) {
       solves.push_back([&] {
+        MEMO_TRACE_SCOPE("dsa_solve_bwd", "planner");
         bwd_result = PlanSegment(trace, *bwd_template, options.level1);
       });
     }
@@ -168,6 +171,8 @@ StatusOr<MemoryPlan> PlanMemory(const model::ModelTrace& trace,
   MEMO_ASSIGN_OR_RETURN(solver::DsaInstance level2_instance,
                         solver::DsaInstance::FromRequests(level2));
   plan.level2_tensors = static_cast<int>(level2_instance.tensors.size());
+  MEMO_TRACE_SCOPE_ARG("dsa_solve_level2", "planner", "tensors",
+                       plan.level2_tensors);
   const solver::DsaAssignment level2_assignment =
       solver::SolveDsa(level2_instance, options.level2);
   MEMO_RETURN_IF_ERROR(

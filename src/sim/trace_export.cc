@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "obs/trace_recorder.h"
+
 namespace memo::sim {
 
 namespace {
@@ -76,6 +78,21 @@ Status WriteChromeTrace(const SimEngine& engine, const std::string& path) {
     return InternalError("short write to " + path);
   }
   return OkStatus();
+}
+
+void MirrorTimelineToRecorder(const SimEngine& engine, int lane_offset) {
+  obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+  if (!recorder.enabled()) return;
+  for (int s = 0; s < engine.num_streams(); ++s) {
+    recorder.NameSyntheticLane(1000 + lane_offset + s,
+                               "sim:" + engine.stream_name(s));
+  }
+  for (const OpRecord& op : engine.timeline()) {
+    recorder.Complete(op.label, "sim", 1000 + lane_offset + op.stream,
+                      op.start_s * 1e6, (op.end_s - op.start_s) * 1e6,
+                      "stall_us",
+                      static_cast<std::int64_t>(op.stall_s * 1e6));
+  }
 }
 
 }  // namespace memo::sim

@@ -17,6 +17,15 @@ std::string TimelineToChromeTrace(const SimEngine& engine);
 /// Writes TimelineToChromeTrace(engine) to `path`.
 Status WriteChromeTrace(const SimEngine& engine, const std::string& path);
 
+/// Mirrors the engine's timeline into the process-wide obs::TraceRecorder
+/// as 'X' complete events on synthetic lanes (tid 1000 + stream index + the
+/// given offset), so simulated stream schedules appear alongside real
+/// wall-clock spans in one unified trace. `lane_offset` separates multiple
+/// engines (e.g. per-iteration simulations). No-op while the recorder is
+/// disabled. Sim time is its own clock: events carry the simulated
+/// timestamps, not wall-clock ones.
+void MirrorTimelineToRecorder(const SimEngine& engine, int lane_offset = 0);
+
 }  // namespace memo::sim
 
 #endif  // MEMO_SIM_TRACE_EXPORT_H_

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "train/ops.h"
 
 namespace memo::train {
@@ -149,7 +151,8 @@ std::int64_t ActivationStore::CutRow(std::int64_t rows) const {
       std::llround(alpha_ * static_cast<double>(rows)));
 }
 
-void ActivationStore::Stash(int layer, LayerActivations&& acts) {
+Status ActivationStore::Stash(int layer, LayerActivations&& acts) {
+  MEMO_TRACE_SCOPE_ARG("stash", "offload", "layer", layer);
   const std::int64_t full_bytes = BytesOf(acts);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -163,24 +166,28 @@ void ActivationStore::Stash(int layer, LayerActivations&& acts) {
     }
   }
   if (!async_) {
-    OffloadIntoStash(layer, std::move(acts));
-    return;
+    return OffloadIntoStash(layer, std::move(acts));
   }
   // Double-buffer handoff: with both rounding buffers still draining to the
   // "host", the compute thread must wait for one to free — the analog of
   // WaitEvent(compute, offload_done[i-2]) in the three-stream schedule.
   const Clock::time_point start = Clock::now();
   std::unique_lock<std::mutex> lock(mu_);
-  buffer_free_.wait(lock, [this] { return inflight_offloads_ < 2; });
+  if (!backend_error_.ok()) return backend_error_;
+  {
+    MEMO_TRACE_SCOPE("stash_wait", "offload");
+    buffer_free_.wait(lock, [this] { return inflight_offloads_ < 2; });
+  }
   stats_.stash_wait_seconds += SecondsSince(start);
   ++inflight_offloads_;
   jobs_.push_back(CopierJob{CopierJob::Kind::kOffload, layer,
                             std::move(acts)});
   lock.unlock();
   copier_wake_.notify_all();
+  return OkStatus();
 }
 
-void ActivationStore::OffloadIntoStash(int layer, LayerActivations&& acts) {
+Status ActivationStore::OffloadIntoStash(int layer, LayerActivations&& acts) {
   if (policy_ == ActivationPolicy::kRetainAll) {
     const std::int64_t full_bytes = BytesOf(acts);
     std::lock_guard<std::mutex> lock(mu_);
@@ -189,8 +196,9 @@ void ActivationStore::OffloadIntoStash(int layer, LayerActivations&& acts) {
     MEMO_CHECK(retained_.emplace(layer, std::move(acts)).second)
         << "layer " << layer << " stashed twice";
     stash_ready_.notify_all();
-    return;
+    return OkStatus();
   }
+  MEMO_TRACE_SCOPE_ARG("offload_copy", "offload", "layer", layer);
 
   const std::int64_t cut = CutRow(acts.input.rows());
   acts.ln1_out = KeepRows(acts.ln1_out, cut);
@@ -209,23 +217,33 @@ void ActivationStore::OffloadIntoStash(int layer, LayerActivations&& acts) {
   // for the backend's host/disk storage. The copied-bytes stat counts only
   // the async path, where the copy really runs on the copier thread.
   std::string blob = SerializeActs(acts);
+  const std::int64_t blob_bytes = static_cast<std::int64_t>(blob.size());
   const Status st = backend_->Put(layer, std::move(blob));
-  MEMO_CHECK(st.ok()) << "stash backend '" << backend_->name()
-                      << "' rejected layer " << layer << ": "
-                      << st.ToString()
-                      << " (host capacity below the solver's minimum? use "
-                         "the tiered backend to spill to disk)";
+  if (!st.ok()) {
+    MEMO_TRACE_INSTANT("stash_error", "offload", st.ToString());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (backend_error_.ok()) backend_error_ = st;
+    stash_ready_.notify_all();
+    return st;
+  }
+  // Counts serialized bytes (payload + per-tensor dims) so the total agrees
+  // with the tiers' own put_bytes accounting.
+  static obs::MetricCounter* stash_bytes_counter =
+      obs::MetricsRegistry::Global().counter("offload.stash_bytes");
+  stash_bytes_counter->Add(blob_bytes);
   std::lock_guard<std::mutex> lock(mu_);
   stored_bytes_ += kept_bytes;
   peak_stored_bytes_ = std::max(peak_stored_bytes_, stored_bytes_);
   if (async_) stats_.offloaded_bytes += kept_bytes;
   MEMO_CHECK(stashed_.insert(layer).second)
       << "layer " << layer << " stashed twice";
+  MEMO_TRACE_COUNTER("stash_resident_bytes", stored_bytes_);
   stash_ready_.notify_all();
+  return OkStatus();
 }
 
-LayerActivations ActivationStore::FetchAndWiden(int layer,
-                                                std::int64_t* copied_bytes) {
+StatusOr<LayerActivations> ActivationStore::FetchAndWiden(
+    int layer, std::int64_t* copied_bytes) {
   *copied_bytes = 0;
   LayerActivations acts;
   if (policy_ == ActivationPolicy::kRetainAll) {
@@ -238,6 +256,7 @@ LayerActivations ActivationStore::FetchAndWiden(int layer,
     return acts;
   }
 
+  MEMO_TRACE_SCOPE_ARG("fetch_widen", "offload", "layer", layer);
   {
     std::lock_guard<std::mutex> lock(mu_);
     MEMO_CHECK(stashed_.erase(layer) == 1)
@@ -246,13 +265,21 @@ LayerActivations ActivationStore::FetchAndWiden(int layer,
   // The backend read (RAM move or spill-page read-back + checksum verify)
   // runs outside mu_ so the other thread is never blocked on disk I/O.
   StatusOr<std::string> blob = backend_->Take(layer);
-  MEMO_CHECK(blob.ok()) << "stash backend '" << backend_->name()
-                        << "' failed to restore layer " << layer << ": "
-                        << blob.status().ToString();
+  if (!blob.ok()) {
+    MEMO_TRACE_INSTANT("restore_error", "offload", blob.status().ToString());
+    std::lock_guard<std::mutex> lock(mu_);
+    if (backend_error_.ok()) backend_error_ = blob.status();
+    stash_ready_.notify_all();
+    return blob.status();
+  }
   acts = DeserializeActs(blob.value());
+  static obs::MetricCounter* restore_bytes_counter =
+      obs::MetricsRegistry::Global().counter("offload.restore_bytes");
+  restore_bytes_counter->Add(static_cast<std::int64_t>(blob.value().size()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     stored_bytes_ -= BytesOf(acts);
+    MEMO_TRACE_COUNTER("stash_resident_bytes", stored_bytes_);
   }
 
   const std::int64_t s = acts.input.rows();
@@ -284,15 +311,18 @@ LayerActivations ActivationStore::FetchAndWiden(int layer,
   return acts;
 }
 
-LayerActivations ActivationStore::Restore(int layer,
-                                          const LayerParams& params) {
+StatusOr<LayerActivations> ActivationStore::Restore(
+    int layer, const LayerParams& params) {
+  MEMO_TRACE_SCOPE_ARG("restore", "offload", "layer", layer);
   if (policy_ == ActivationPolicy::kRetainAll || !async_) {
     std::int64_t copied = 0;
-    LayerActivations acts = FetchAndWiden(layer, &copied);
+    MEMO_ASSIGN_OR_RETURN(LayerActivations acts,
+                          FetchAndWiden(layer, &copied));
     if (policy_ == ActivationPolicy::kRetainAll) return acts;
     const std::int64_t s = acts.input.rows();
     const std::int64_t cut = CutRow(s);
     if (cut < s) {
+      MEMO_TRACE_SCOPE_ARG("recompute", "train", "layer", layer);
       recomputed_rows_ += s - cut;
       RecomputeRows(params, cut, s, &acts);
     }
@@ -308,20 +338,43 @@ LayerActivations ActivationStore::Restore(int layer,
     const Clock::time_point start = Clock::now();
     std::unique_lock<std::mutex> lock(mu_);
     if (prefetch_ready_layer_ == layer) {
+      if (!prefetch_status_.ok()) {
+        const Status st = prefetch_status_;
+        prefetch_status_ = OkStatus();
+        prefetch_ready_layer_ = -1;
+        return st;
+      }
       acts = std::move(prefetch_slot_);
       prefetch_ready_layer_ = -1;
     } else if (prefetch_inflight_layer_ == layer) {
-      stash_ready_.wait(lock,
-                        [&] { return prefetch_ready_layer_ == layer; });
+      {
+        MEMO_TRACE_SCOPE("restore_wait", "offload");
+        stash_ready_.wait(lock,
+                          [&] { return prefetch_ready_layer_ == layer; });
+      }
       stats_.restore_wait_seconds += SecondsSince(start);
+      if (!prefetch_status_.ok()) {
+        const Status st = prefetch_status_;
+        prefetch_status_ = OkStatus();
+        prefetch_ready_layer_ = -1;
+        return st;
+      }
       acts = std::move(prefetch_slot_);
       prefetch_ready_layer_ = -1;
     } else {
-      stash_ready_.wait(lock, [&] { return stashed_.count(layer) > 0; });
+      {
+        MEMO_TRACE_SCOPE("restore_wait", "offload");
+        stash_ready_.wait(lock, [&] {
+          return stashed_.count(layer) > 0 || !backend_error_.ok();
+        });
+      }
       stats_.restore_wait_seconds += SecondsSince(start);
+      if (stashed_.count(layer) == 0) return backend_error_;
       lock.unlock();
       std::int64_t copied = 0;
-      acts = FetchAndWiden(layer, &copied);
+      StatusOr<LayerActivations> fetched = FetchAndWiden(layer, &copied);
+      if (!fetched.ok()) return fetched.status();
+      acts = std::move(fetched).value();
       lock.lock();
       stats_.prefetched_bytes += copied;
     }
@@ -336,6 +389,7 @@ LayerActivations ActivationStore::Restore(int layer,
   const std::int64_t s = acts.input.rows();
   const std::int64_t cut = CutRow(s);
   if (cut < s) {
+    MEMO_TRACE_SCOPE_ARG("recompute", "train", "layer", layer);
     recomputed_rows_ += s - cut;
     RecomputeRows(params, cut, s, &acts);
   }
@@ -343,6 +397,7 @@ LayerActivations ActivationStore::Restore(int layer,
 }
 
 void ActivationStore::CopierMain() {
+  MEMO_TRACE_SET_THREAD_NAME("offload-copier");
   for (;;) {
     CopierJob job;
     {
@@ -358,19 +413,32 @@ void ActivationStore::CopierMain() {
     }
     const Clock::time_point start = Clock::now();
     if (job.kind == CopierJob::Kind::kOffload) {
-      OffloadIntoStash(job.layer, std::move(job.acts));
+      // A failure is recorded in backend_error_ inside OffloadIntoStash;
+      // the next compute-side Stash/Restore surfaces it. The buffer slot is
+      // freed either way so the compute thread never deadlocks on a fault.
+      const Status st = OffloadIntoStash(job.layer, std::move(job.acts));
+      (void)st;
       std::lock_guard<std::mutex> lock(mu_);
       stats_.copier_busy_seconds += SecondsSince(start);
       --inflight_offloads_;
       buffer_free_.notify_all();
     } else {
+      MEMO_TRACE_SCOPE_ARG("prefetch_copy", "offload", "layer", job.layer);
       // Read-ahead hint first: the disk tier stages + verifies the spill
       // pages so the Take inside FetchAndWiden is a memory move.
       backend_->Prefetch(job.layer);
       std::int64_t copied = 0;
-      LayerActivations acts = FetchAndWiden(job.layer, &copied);
+      StatusOr<LayerActivations> acts = FetchAndWiden(job.layer, &copied);
       std::lock_guard<std::mutex> lock(mu_);
-      prefetch_slot_ = std::move(acts);
+      if (acts.ok()) {
+        prefetch_slot_ = std::move(acts).value();
+        prefetch_status_ = OkStatus();
+      } else {
+        // Stage the failure: the waiting Restore wakes, sees the status and
+        // returns it instead of a garbage activation set.
+        prefetch_slot_ = LayerActivations{};
+        prefetch_status_ = acts.status();
+      }
       prefetch_ready_layer_ = job.layer;
       prefetch_inflight_layer_ = -1;
       stats_.prefetched_bytes += copied;

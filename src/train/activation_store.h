@@ -119,15 +119,20 @@ class ActivationStore {
   ActivationStore& operator=(const ActivationStore&) = delete;
 
   /// Records layer `layer`'s activations after its forward pass, discarding
-  /// token rows according to the policy. Consumes `acts`. Aborts when the
-  /// stash backend rejects the bytes (RAM tier full with no disk tier to
-  /// spill to) — capacity planning is SolveAlphaTiered's job, the runtime
-  /// store treats overflow as a programming error.
-  void Stash(int layer, LayerActivations&& acts);
+  /// token rows according to the policy. Consumes `acts`. Fails with the
+  /// backend's Status when the stash rejects the bytes — kOutOfHostMemory
+  /// when the RAM tier is full with no disk tier to spill to, kInternal on
+  /// disk I/O faults. In async mode a copier-side failure is reported by
+  /// the first Stash/Restore call after it happened. Double-stashing a
+  /// layer is still a programming error (aborts).
+  Status Stash(int layer, LayerActivations&& acts);
 
   /// Reconstructs the full activation set for the backward pass of `layer`,
   /// recomputing discarded rows with `params`. Removes the stash entry.
-  LayerActivations Restore(int layer, const LayerParams& params);
+  /// Fails with the backend's Status when the stashed bytes cannot be read
+  /// back (checksum mismatch, truncated spill file, injected I/O fault);
+  /// the store stays destructible and the spill file is still cleaned up.
+  StatusOr<LayerActivations> Restore(int layer, const LayerParams& params);
 
   /// Bytes currently held by the store ("CPU side" in the real system).
   std::int64_t stored_bytes() const;
@@ -164,11 +169,14 @@ class ActivationStore {
   void CopierMain();
   /// Performs the token-wise cut, serializes the kept rows and hands the
   /// blob to the stash backend (D2H-analog copies + optional disk spill).
-  /// Runs on the copier thread in async mode, inline otherwise.
-  void OffloadIntoStash(int layer, LayerActivations&& acts);
+  /// Runs on the copier thread in async mode, inline otherwise. A backend
+  /// failure is recorded in backend_error_ before it is returned, so
+  /// compute-side calls observe copier-side faults.
+  Status OffloadIntoStash(int layer, LayerActivations&& acts);
   /// Takes `layer` out of the stash backend and widens the kept rows into
   /// full-size tensors (H2D-analog copies). Caller must hold no locks.
-  LayerActivations FetchAndWiden(int layer, std::int64_t* copied_bytes);
+  StatusOr<LayerActivations> FetchAndWiden(int layer,
+                                           std::int64_t* copied_bytes);
 
   ActivationPolicy policy_;
   double alpha_;
@@ -191,6 +199,11 @@ class ActivationStore {
   int prefetch_inflight_layer_ = -1;  // queued or copying; -1 = none
   int prefetch_ready_layer_ = -1;     // slot below is valid; -1 = empty
   LayerActivations prefetch_slot_;
+  Status prefetch_status_;  // failure that produced an empty slot
+
+  /// First backend failure observed on either thread (sticky; surfaced by
+  /// every later Stash/Restore so the trainer can stop cleanly).
+  Status backend_error_;
 
   /// Retain-all keeps whole layers on the "device": they never cross a host
   /// tier, so they stay in this map instead of the backend.

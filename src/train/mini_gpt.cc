@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/trace_recorder.h"
+
 namespace memo::train {
 
 MiniGptParams MiniGptParams::Init(const MiniGptConfig& config,
@@ -178,22 +180,38 @@ double MiniGpt::ForwardBackward(const MiniGptParams& params,
   // ---- Forward.
   Tensor x(s, h);
   EmbeddingForward(params.embedding, tokens, &x);
-  for (int layer = 0; layer < config_.layers; ++layer) {
-    LayerActivations acts;
-    Tensor out = LayerForward(params.layers[layer], config_.heads, x, &acts);
-    store->Stash(layer, std::move(acts));
-    x = std::move(out);
+  {
+    MEMO_TRACE_SCOPE("forward", "train");
+    for (int layer = 0; layer < config_.layers; ++layer) {
+      LayerActivations acts;
+      Tensor out;
+      {
+        MEMO_TRACE_SCOPE_ARG("layer_fwd", "train", "layer", layer);
+        out = LayerForward(params.layers[layer], config_.heads, x, &acts);
+      }
+      const Status st = store->Stash(layer, std::move(acts));
+      MEMO_CHECK(st.ok()) << "stash of layer " << layer
+                          << " failed: " << st.ToString()
+                          << " (host capacity below the solver's minimum? "
+                             "use the tiered backend to spill to disk)";
+      x = std::move(out);
+    }
   }
   Tensor lnf_out(s, h);
   Tensor lnf_rstd(s, 1);
-  LayerNormForward(x, params.lnf_g, params.lnf_b, &lnf_out, &lnf_rstd);
-  Tensor logits(s, config_.vocab);
-  const Tensor kNoBias;
-  LinearForward(lnf_out, params.w_cls, kNoBias, &logits);
   Tensor d_logits(s, config_.vocab);
-  const double loss = CrossEntropy(logits, targets, &d_logits);
+  double loss = 0.0;
+  {
+    MEMO_TRACE_SCOPE("classifier", "train");
+    LayerNormForward(x, params.lnf_g, params.lnf_b, &lnf_out, &lnf_rstd);
+    Tensor logits(s, config_.vocab);
+    const Tensor kNoBias;
+    LinearForward(lnf_out, params.w_cls, kNoBias, &logits);
+    loss = CrossEntropy(logits, targets, &d_logits);
+  }
 
   // ---- Backward.
+  MEMO_TRACE_SCOPE("backward", "train");
   Tensor d_lnf(s, h);
   LinearBackward(lnf_out, params.w_cls, d_logits, &d_lnf, &grads->w_cls,
                  nullptr);
@@ -201,10 +219,13 @@ double MiniGpt::ForwardBackward(const MiniGptParams& params,
   LayerNormBackward(x, params.lnf_g, lnf_rstd, d_lnf, &d_x, &grads->lnf_g,
                     &grads->lnf_b);
   for (int layer = config_.layers - 1; layer >= 0; --layer) {
-    const LayerActivations acts =
+    StatusOr<LayerActivations> acts =
         store->Restore(layer, params.layers[layer]);
-    d_x = LayerBackward(params.layers[layer], config_.heads, acts, d_x,
-                        &grads->layers[layer]);
+    MEMO_CHECK(acts.ok()) << "restore of layer " << layer
+                          << " failed: " << acts.status().ToString();
+    MEMO_TRACE_SCOPE_ARG("layer_bwd", "train", "layer", layer);
+    d_x = LayerBackward(params.layers[layer], config_.heads, acts.value(),
+                        d_x, &grads->layers[layer]);
   }
   EmbeddingBackward(tokens, d_x, &grads->embedding);
   return loss;

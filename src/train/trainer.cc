@@ -1,7 +1,11 @@
 #include "train/trainer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 
 namespace memo::train {
 
@@ -49,6 +53,12 @@ double LrSchedule::Multiplier(int iter, int total) const {
 
 TrainRunResult RunTraining(const TrainRunOptions& options) {
   MEMO_CHECK_GE(options.batch, 1);
+  const auto run_start = std::chrono::steady_clock::now();
+  MEMO_TRACE_SCOPE("train_run", "train");
+  static obs::MetricCounter* iterations_counter =
+      obs::MetricsRegistry::Global().counter("train.iterations");
+  static obs::MetricHistogram* step_hist =
+      obs::MetricsRegistry::Global().histogram("train.step_micros");
   const MiniGpt model(options.model);
   MiniGptParams params = MiniGptParams::Init(options.model, options.seed);
   MiniGptParams grads = MiniGptParams::Init(options.model, options.seed);
@@ -61,6 +71,8 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
   std::vector<int> tokens;
   std::vector<int> targets;
   for (int iter = 0; iter < options.iterations; ++iter) {
+    MEMO_TRACE_SCOPE_ARG("iteration", "train", "iter", iter);
+    const auto step_start = std::chrono::steady_clock::now();
     for (Tensor* g : grads.Flat()) g->Fill(0.0f);
     double loss_sum = 0.0;
     // Gradients accumulate across the batch (sequential micro-steps, one
@@ -106,9 +118,19 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
     step_options.lr *=
         options.lr_schedule.Multiplier(iter, options.iterations);
     adam.set_options(step_options);
-    adam.Step(params.Flat(), grads.Flat());
+    {
+      MEMO_TRACE_SCOPE("optim_step", "train");
+      adam.Step(params.Flat(), grads.Flat());
+    }
     result.losses.push_back(loss_sum / options.batch);
+    iterations_counter->Increment();
+    step_hist->Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - step_start)
+                          .count());
   }
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - run_start)
+                            .count();
   return result;
 }
 

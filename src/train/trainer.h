@@ -71,6 +71,8 @@ struct TrainRunResult {
   std::vector<double> grad_norms;
   /// Aggregated copier-thread measurements (all zero unless async_offload).
   OffloadStats offload_stats;
+  /// Wall time of the whole RunTraining call (model init through last step).
+  double wall_seconds = 0.0;
 };
 
 /// Trains the mini-GPT for `options.iterations` steps. Runs with the same

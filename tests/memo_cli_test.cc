@@ -1,0 +1,189 @@
+// End-to-end smoke matrix for the memo_cli binary (path baked in via
+// MEMO_CLI_PATH). Each leg spawns the real executable the way a user would:
+// `train` across all three stash backends with trace + metrics capture, and
+// the planner `run` path with trace capture. Asserts exit codes, that the
+// emitted JSON parses, and that the loss curve is backend-independent —
+// the CLI-level form of the bit-identical-restores guarantee.
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_json.h"
+
+namespace {
+
+using memo::testjson::Parse;
+using memo::testjson::ParseResult;
+using memo::testjson::Value;
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+/// Runs the CLI with `args`, capturing combined output and the exit code.
+CliResult RunCli(const std::string& args) {
+  CliResult result;
+  const std::string cmd = std::string(MEMO_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    result.output.append(buf, n);
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::string content;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return content;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, n);
+  std::fclose(f);
+  return content;
+}
+
+/// The "final loss 1.234567" value as the printed string, so cross-backend
+/// comparison is exact to all printed digits.
+std::string FinalLossString(const std::string& output) {
+  const std::string key = "final loss ";
+  const std::size_t pos = output.find(key);
+  if (pos == std::string::npos) return "";
+  const std::size_t start = pos + key.size();
+  const std::size_t end = output.find(' ', start);
+  return output.substr(start, end - start);
+}
+
+/// Parses a trace file and returns its traceEvents array (empty on error).
+std::vector<Value> TraceEvents(const std::string& path,
+                               ::testing::AssertionResult* note = nullptr) {
+  (void)note;
+  const std::string json = ReadFile(path);
+  EXPECT_FALSE(json.empty()) << "trace file " << path << " missing or empty";
+  const ParseResult parsed = Parse(json);
+  EXPECT_TRUE(parsed.ok) << "trace file " << path
+                         << " is not valid JSON (offset "
+                         << parsed.error_offset << ")";
+  if (!parsed.ok) return {};
+  EXPECT_TRUE(parsed.value.at("traceEvents").is_array());
+  return parsed.value.at("traceEvents").array;
+}
+
+TEST(MemoCliTest, TrainBackendMatrixIsLossIdenticalAndObservable) {
+  const std::string train_args =
+      "train --iterations 4 --layers 2 --hidden 16 --ffn 32 --seq 24 "
+      "--vocab 17";
+  std::vector<std::string> final_losses;
+  for (const std::string backend : {"ram", "disk", "tiered"}) {
+    const std::string trace_path =
+        ::testing::TempDir() + "memo_cli_trace_" + backend + ".json";
+    const std::string metrics_path =
+        ::testing::TempDir() + "memo_cli_metrics_" + backend + ".json";
+    const CliResult run =
+        RunCli(train_args + " --backend " + backend + " --trace-out " +
+               trace_path + " --metrics-out " + metrics_path);
+    ASSERT_EQ(run.exit_code, 0) << "backend " << backend << ":\n"
+                                << run.output;
+
+    const std::string loss = FinalLossString(run.output);
+    ASSERT_FALSE(loss.empty()) << "no final-loss line for " << backend
+                               << ":\n" << run.output;
+    final_losses.push_back(loss);
+
+    // The trace must parse and actually contain events from this run.
+    const std::vector<Value> events = TraceEvents(trace_path);
+    EXPECT_GT(events.size(), 0u) << "empty trace for backend " << backend;
+
+    // The metrics snapshot must parse and carry the training counters.
+    const ParseResult metrics = Parse(ReadFile(metrics_path));
+    ASSERT_TRUE(metrics.ok) << "metrics JSON invalid for " << backend;
+    EXPECT_TRUE(metrics.value.at("counters").has("train.iterations"))
+        << "backend " << backend;
+    std::remove(trace_path.c_str());
+    std::remove(metrics_path.c_str());
+  }
+
+  // Restores are bit-exact on every backend, so the printed loss (all six
+  // decimals) must not depend on where the stash bytes lived.
+  ASSERT_EQ(final_losses.size(), 3u);
+  EXPECT_EQ(final_losses[0], final_losses[1]);
+  EXPECT_EQ(final_losses[0], final_losses[2]);
+}
+
+TEST(MemoCliTest, TieredTrainTraceCoversTheInstrumentedSubsystems) {
+  const std::string trace_path =
+      ::testing::TempDir() + "memo_cli_trace_subsystems.json";
+  // A ~1 KB RAM tier: every layer of even this tiny model spills, so the
+  // disk subsystem shows up in the trace.
+  const CliResult run = RunCli(
+      "train --iterations 3 --layers 2 --hidden 16 --ffn 32 --seq 24 "
+      "--vocab 17 --backend tiered --ram-cap-mib 0.001 --trace-out " +
+      trace_path);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+
+  // The acceptance bar for the observability layer: spans from at least
+  // four distinct instrumented subsystems in one tiered training trace.
+  std::vector<std::string> want = {"train", "offload", "disk", "pool"};
+  std::vector<std::string> missing;
+  const std::vector<Value> events = TraceEvents(trace_path);
+  for (const std::string& category : want) {
+    bool found = false;
+    for (const Value& e : events) {
+      if (e.at("cat").string == category) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) missing.push_back(category);
+  }
+  EXPECT_TRUE(missing.empty())
+      << "trace lacks spans from: " << ::testing::PrintToString(missing);
+  std::remove(trace_path.c_str());
+}
+
+TEST(MemoCliTest, RunCommandEmitsPlannerAndSimulatorSpans) {
+  const std::string trace_path =
+      ::testing::TempDir() + "memo_cli_run_trace.json";
+  const CliResult run = RunCli(
+      "run --model 7B --seq 64K --gpus 8 --tp 4 --cp 2 --trace-out " +
+      trace_path);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+
+  bool planner = false;
+  bool sim = false;
+  for (const Value& e : TraceEvents(trace_path)) {
+    if (e.at("cat").string == "planner") planner = true;
+    if (e.at("cat").string == "sim") sim = true;
+  }
+  EXPECT_TRUE(planner) << "no planner spans in the run trace";
+  EXPECT_TRUE(sim) << "no simulator-stream events in the run trace";
+  std::remove(trace_path.c_str());
+}
+
+TEST(MemoCliTest, UnwritableTracePathFailsWithNonZeroExit) {
+  const CliResult run = RunCli(
+      "train --iterations 1 --layers 1 --hidden 16 --ffn 32 --seq 16 "
+      "--vocab 17 --trace-out /nonexistent-dir/trace.json");
+  EXPECT_NE(run.exit_code, 0)
+      << "CLI claimed success despite an unwritable trace path:\n"
+      << run.output;
+}
+
+TEST(MemoCliTest, UnknownBackendIsRejected) {
+  const CliResult run = RunCli("train --iterations 1 --backend floppy");
+  EXPECT_NE(run.exit_code, 0);
+  EXPECT_NE(run.output.find("unknown backend"), std::string::npos)
+      << run.output;
+}
+
+}  // namespace

@@ -203,6 +203,50 @@ TEST(DiskBackendTest, ThrottleAccountsEmulatedBandwidth) {
   EXPECT_GE(disk.disk_stats().read_seconds, 0.009);
 }
 
+TEST(DiskBackendTest, InjectedWriteFaultFailsPutCleanly) {
+  DiskBackend disk(SmallPages());
+  DiskBackend::SetGlobalFailPoint(DiskBackend::FailPoint::kPutWrite);
+  const Status st = disk.Put(1, MakeBlob(600, 8));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("injected"), std::string::npos)
+      << st.ToString();
+  // A failed Put leaves no entry and no accounting behind.
+  EXPECT_FALSE(disk.Contains(1));
+  EXPECT_EQ(disk.resident_bytes(), 0);
+  // The fail point is one-shot: the same Put succeeds on retry.
+  ASSERT_TRUE(disk.Put(1, MakeBlob(600, 8)).ok());
+  EXPECT_TRUE(disk.Contains(1));
+}
+
+TEST(DiskBackendTest, InjectedReadFaultFailsTakeCleanly) {
+  std::string path;
+  {
+    DiskBackend disk(SmallPages());
+    const std::string blob = MakeBlob(600, 9);
+    std::string copy = blob;
+    ASSERT_TRUE(disk.Put(3, std::move(copy)).ok());
+    path = disk.path();
+    DiskBackend::SetGlobalFailPoint(DiskBackend::FailPoint::kTakeRead);
+    const auto taken = disk.Take(3);
+    ASSERT_FALSE(taken.ok());
+    EXPECT_EQ(taken.status().code(), StatusCode::kInternal);
+    EXPECT_NE(taken.status().ToString().find("injected"), std::string::npos)
+        << taken.status().ToString();
+  }
+  // The fault must not leak the spill file past the backend's lifetime.
+  EXPECT_NE(::access(path.c_str(), F_OK), 0)
+      << "spill file " << path << " outlived its backend after a read fault";
+}
+
+TEST(DiskBackendTest, InjectedFaultReachesTheTieredDiskTier) {
+  TieredBackend tiered(/*ram_capacity_bytes=*/100, SmallPages());
+  DiskBackend::SetGlobalFailPoint(DiskBackend::FailPoint::kPutWrite);
+  const Status st = tiered.Put(1, MakeBlob(500, 6));  // too big for RAM
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
 TEST(TieredBackendTest, SpillsToDiskWhenRamFills) {
   TieredBackend tiered(/*ram_capacity_bytes=*/1500, SmallPages());
   const std::string a = MakeBlob(1000, 1);

@@ -1,0 +1,231 @@
+#ifndef MEMO_TESTS_TEST_JSON_H_
+#define MEMO_TESTS_TEST_JSON_H_
+
+// Minimal recursive-descent JSON parser for validating the obs layer's
+// output in tests (Chrome trace files, metrics snapshots). Supports the full
+// JSON value grammar the serializers emit: objects, arrays, strings with
+// escapes, numbers, true/false/null. Parse failures surface as a null
+// `ok` flag with the failure offset, so tests can EXPECT on it.
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace memo::testjson {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member access; returns a static null value when absent so tests
+  /// can chain lookups without crashing.
+  const Value& at(const std::string& key) const {
+    static const Value kNullValue;
+    auto it = object.find(key);
+    return it != object.end() ? it->second : kNullValue;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+struct ParseResult {
+  bool ok = false;
+  Value value;
+  std::size_t error_offset = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  ParseResult Parse() {
+    ParseResult result;
+    SkipWs();
+    if (!ParseValue(&result.value)) {
+      result.error_offset = pos_;
+      return result;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      result.error_offset = pos_;
+      return result;  // trailing garbage
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Value* out) {
+    SkipWs();
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = Value::Kind::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = Value::Kind::kBool;
+        out->bool_value = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->kind = Value::Kind::kBool;
+        out->bool_value = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->kind = Value::Kind::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    for (const char* p = lit; *p != '\0'; ++p) {
+      if (!Consume(*p)) return false;
+    }
+    return true;
+  }
+
+  bool ParseObject(Value* out) {
+    out->kind = Value::Kind::kObject;
+    if (!Consume('{')) return false;
+    SkipWs();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWs();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWs();
+      if (!Consume(':')) return false;
+      Value member;
+      if (!ParseValue(&member)) return false;
+      out->object.emplace(std::move(key), std::move(member));
+      SkipWs();
+      if (Consume('}')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    out->kind = Value::Kind::kArray;
+    if (!Consume('[')) return false;
+    SkipWs();
+    if (Consume(']')) return true;
+    for (;;) {
+      Value element;
+      if (!ParseValue(&element)) return false;
+      out->array.push_back(std::move(element));
+      SkipWs();
+      if (Consume(']')) return true;
+      if (!Consume(',')) return false;
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            // Keep the raw escape: the serializers only emit \u for control
+            // characters, which tests never compare byte-for-byte.
+            *out += "\\u" + text_.substr(pos_, 4);
+            pos_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseNumber(Value* out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool digits = false;
+    auto eat_digits = [&] {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+        digits = true;
+      }
+    };
+    eat_digits();
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      eat_digits();
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+        ++pos_;
+      }
+      eat_digits();
+    }
+    if (!digits) return false;
+    out->kind = Value::Kind::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+inline ParseResult Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace memo::testjson
+
+#endif  // MEMO_TESTS_TEST_JSON_H_

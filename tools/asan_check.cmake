@@ -1,7 +1,8 @@
 # CTest driver for the AddressSanitizer pass: configures a nested build of
 # the repo with -DMEMO_SANITIZE=address, builds the memory-sensitive test
-# binaries (offload backends with their raw pwrite/pread paging and the
-# unified-memory substrate) and runs them. Invoked as
+# binaries (offload backends with their raw pwrite/pread paging, the
+# unified-memory substrate, and the copier-thread obs integration) and runs
+# them. Invoked as
 #   cmake -DSOURCE_DIR=... -DBINARY_DIR=... -P tools/asan_check.cmake
 # by the `asan_check` test registered in tests/CMakeLists.txt.
 
@@ -20,12 +21,14 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
           --target offload_backend_test unified_memory_test
+          obs_integration_test
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "asan build failed (${build_result})")
 endif()
 
-foreach(test_binary offload_backend_test unified_memory_test)
+foreach(test_binary offload_backend_test unified_memory_test
+        obs_integration_test)
   execute_process(
     COMMAND ${BINARY_DIR}/tests/${test_binary}
     RESULT_VARIABLE run_result)

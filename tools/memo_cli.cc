@@ -24,6 +24,8 @@
 #include "core/job_profiler.h"
 #include "core/report.h"
 #include "core/session.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
 #include "planner/plan_io.h"
 #include "train/trainer.h"
 
@@ -117,10 +119,71 @@ memo::offload::BackendOptions ParseBackend(const Flags& flags) {
   }
   backend.ram_capacity_bytes = static_cast<std::int64_t>(
       flags.GetDouble("ram-cap-mib", 0.0) * static_cast<double>(memo::kMiB));
+  // A tiered stash with unlimited RAM never spills, which makes it
+  // indistinguishable from --backend ram. Default the RAM tier to a small
+  // cap so `train --backend tiered` actually exercises the disk tier; the
+  // loss is bit-identical regardless of where the bytes land.
+  if (backend.kind == memo::offload::BackendKind::kTiered &&
+      !flags.Has("ram-cap-mib")) {
+    backend.ram_capacity_bytes = 256 * memo::kKiB;
+  }
   backend.disk.bytes_per_second =
       flags.GetDouble("disk-gbps", 0.0) * memo::kGBps;
   return backend;
 }
+
+/// Observability sinks shared by the commands: --trace-out enables the
+/// process-wide recorder for the command's duration and serializes the
+/// Chrome-trace JSON on Finish(); --metrics-out snapshots the metrics
+/// registry the same way. Both are off (and cost one atomic load per
+/// instrumented site) unless the flag is given.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const Flags& flags)
+      : trace_path_(flags.Get("trace-out", "")),
+        metrics_path_(flags.Get("metrics-out", "")) {
+    if (!trace_path_.empty()) {
+      memo::obs::TraceRecorder::Global().Clear();
+      memo::obs::TraceRecorder::Global().Enable();
+      memo::obs::TraceRecorder::Global().SetThreadName("main");
+    }
+    if (!metrics_path_.empty()) memo::obs::MetricsRegistry::Global().Reset();
+  }
+
+  /// Writes the requested outputs; returns 0 on success, 1 on I/O failure.
+  int Finish() {
+    int rc = 0;
+    if (!trace_path_.empty()) {
+      memo::obs::TraceRecorder::Global().Disable();
+      std::string error;
+      if (memo::obs::TraceRecorder::Global().WriteJson(trace_path_,
+                                                       &error)) {
+        std::printf("trace written to %s (%lld events)\n",
+                    trace_path_.c_str(),
+                    static_cast<long long>(
+                        memo::obs::TraceRecorder::Global().event_count()));
+      } else {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        rc = 1;
+      }
+    }
+    if (!metrics_path_.empty()) {
+      std::string error;
+      if (memo::obs::MetricsRegistry::Global().WriteJson(metrics_path_,
+                                                         &error)) {
+        std::printf("metrics written to %s\n", metrics_path_.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+};
 
 SystemKind ParseSystem(const std::string& name) {
   if (name == "memo") return SystemKind::kMemo;
@@ -136,6 +199,7 @@ void PrintResult(const IterationResult& it, const memo::model::ModelConfig& m) {
 }
 
 int CmdRun(const Flags& flags) {
+  ObsOutputs obs(flags);
   const auto model = memo::model::ModelByName(flags.Get("model", "7B"));
   if (!model.ok()) {
     std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
@@ -174,7 +238,7 @@ int CmdRun(const Flags& flags) {
       return 1;
     }
     PrintResult(*run, *model);
-    return 0;
+    return obs.Finish();
   }
 
   const auto best =
@@ -187,7 +251,7 @@ int CmdRun(const Flags& flags) {
   std::printf("auto-tuned over %d strategies (%d feasible)\n\n",
               best.strategies_tried, best.strategies_feasible);
   PrintResult(best.best, *model);
-  return 0;
+  return obs.Finish();
 }
 
 int CmdPlan(const Flags& flags) {
@@ -294,6 +358,7 @@ int CmdAlpha(const Flags& flags) {
 }
 
 int CmdTrain(const Flags& flags) {
+  ObsOutputs obs(flags);
   memo::train::TrainRunOptions options;
   options.model.layers = flags.GetInt("layers", 4);
   options.model.hidden = flags.GetInt("hidden", 32);
@@ -306,7 +371,9 @@ int CmdTrain(const Flags& flags) {
                        ? memo::train::ActivationPolicy::kRetainAll
                        : memo::train::ActivationPolicy::kTokenWise;
   options.alpha = flags.GetDouble("alpha", 0.5);
-  options.async_offload = flags.GetInt("async", 0) != 0;
+  // Async is the paper's configuration (and bit-identical to inline), so it
+  // is the default; --async 0 forces the inline copies.
+  options.async_offload = flags.GetInt("async", 1) != 0;
   options.backend = ParseBackend(flags);
 
   const memo::train::TrainRunResult result =
@@ -328,7 +395,10 @@ int CmdTrain(const Flags& flags) {
       memo::FormatBytes(stats.disk_tier.take_bytes).c_str(),
       static_cast<long long>(stats.disk_tier.spill_pages),
       static_cast<long long>(stats.disk_tier.checksum_verifications));
-  return 0;
+  std::printf("wall %.3fs; copier busy %.3fs; overlap %.1f%%\n",
+              result.wall_seconds, stats.copier_busy_seconds,
+              stats.overlap_efficiency() * 100.0);
+  return obs.Finish();
 }
 
 void Usage() {
@@ -338,13 +408,15 @@ void Usage() {
                "         [--tp N --cp N --pp N --dp N --sp N] [--alpha X]\n"
                "         [--host-gib G --nvme-gib G --nvme-gbps B]\n"
                "         [--timeline out.json]\n"
+               "         [--trace-out t.json --metrics-out m.json]\n"
                "  plan   --model 7B --seq 512K --gpus 8 --tp 4 --cp 2\n"
                "         [--out plan.txt]\n"
                "  maxseq --model 7B --gpus 8 [--system memo] [--step 128K]\n"
                "  alpha  --model 7B --seq 512K --gpus 8 --tp 4 --cp 2\n"
-               "  train  --layers 4 --seq 64 --alpha 0.5 [--async 1]\n"
+               "  train  --layers 4 --seq 64 --alpha 0.5 [--async 0]\n"
                "         [--backend ram|disk|tiered --ram-cap-mib M\n"
-               "          --disk-gbps B]\n");
+               "          --disk-gbps B]\n"
+               "         [--trace-out t.json --metrics-out m.json]\n");
 }
 
 }  // namespace

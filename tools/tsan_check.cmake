@@ -1,6 +1,7 @@
 # CTest driver for the ThreadSanitizer pass: configures a nested build of
-# the repo with -DMEMO_SANITIZE=thread, builds the two concurrency-sensitive
-# test binaries (thread pool, executor paths) and runs them. Invoked as
+# the repo with -DMEMO_SANITIZE=thread, builds the concurrency-sensitive
+# test binaries (thread pool, executor paths, the multi-threaded trace
+# recorder) and runs them. Invoked as
 #   cmake -DSOURCE_DIR=... -DBINARY_DIR=... -P tools/tsan_check.cmake
 # by the `tsan_check` test registered in tests/CMakeLists.txt.
 
@@ -19,12 +20,14 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
           --target thread_pool_test parallel_exactness_test executor_test
+          trace_recorder_test
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "tsan build failed (${build_result})")
 endif()
 
-foreach(test_binary thread_pool_test parallel_exactness_test executor_test)
+foreach(test_binary thread_pool_test parallel_exactness_test executor_test
+        trace_recorder_test)
   execute_process(
     COMMAND ${BINARY_DIR}/tests/${test_binary}
     RESULT_VARIABLE run_result)
