@@ -1,0 +1,215 @@
+// Fault-recovery sweep over the fault-tolerant training runtime. The same
+// mini-GPT run executes under a matrix of failure regimes and the harness
+// checks the robustness claims numerically:
+//
+//   1. checkpoint overhead — the run with periodic checkpoints must stay
+//      loss-identical to the clean run, and the per-interval wall-time
+//      overhead is reported so the checkpoint cadence can be priced;
+//   2. kill + resume — a run killed mid-way by an injected permanent stash
+//      fault (degradation disabled) is resumed from its newest checkpoint
+//      and must land on the SAME final loss, to every printed digit;
+//   3. seeded transient faults — injected pwrite/pread faults the retry
+//      layer absorbs leave the curve untouched;
+//   4. permanent disk death — the tiered run finishes on the RAM-only
+//      fallback, degraded but loss-identical.
+//
+// Emits BENCH_fault_recovery.json (wall time per regime vs the clean run).
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/fault_injector.h"
+#include "common/table_printer.h"
+#include "train/checkpoint.h"
+#include "train/trainer.h"
+
+namespace {
+
+memo::train::TrainRunOptions BaseRun() {
+  memo::train::TrainRunOptions o;
+  o.model.layers = 3;
+  o.model.hidden = 32;
+  o.model.heads = 4;
+  o.model.ffn = 128;
+  o.model.vocab = 64;
+  o.model.seq = 96;
+  o.iterations = 40;
+  o.seed = 20260807;
+  o.policy = memo::train::ActivationPolicy::kTokenWise;
+  o.alpha = 1.0;
+  return o;
+}
+
+std::string FreshDir(const char* name) {
+  std::string dir = "/tmp/";
+  const char* env = std::getenv("TMPDIR");
+  if (env != nullptr && env[0] != '\0') {
+    dir = env;
+    if (dir.back() != '/') dir += '/';
+  }
+  dir += name;
+  ::mkdir(dir.c_str(), 0755);
+  for (const std::string& f : memo::train::ListCheckpoints(dir)) {
+    std::remove(f.c_str());
+  }
+  return dir;
+}
+
+}  // namespace
+
+int main() {
+  using memo::FaultInjector;
+  using memo::FaultRule;
+  using memo::train::RunTraining;
+  using memo::train::TrainRunOptions;
+  using memo::train::TrainRunResult;
+
+  std::printf(
+      "Fault-recovery sweep: mini-GPT (3x32x4 heads, seq 96), 40 "
+      "iterations,\ntoken-wise alpha=1.0, seeded fault injection\n\n");
+  FaultInjector::Global().Reset();
+
+  // Clean baseline.
+  TrainRunOptions clean_options = BaseRun();
+  TrainRunResult clean;
+  const double clean_ms =
+      memo::bench::BestWallMs(1, [&] { clean = RunTraining(clean_options); });
+  if (!clean.status.ok()) {
+    std::fprintf(stderr, "clean run failed: %s\n",
+                 clean.status.ToString().c_str());
+    return 1;
+  }
+
+  memo::TablePrinter table({"regime", "final loss", "bit-equal", "degraded",
+                            "resumed from", "wall ms"});
+  std::vector<memo::bench::BenchRecord> records;
+  bool all_equal = true;
+  const double clean_loss = clean.losses.back();
+
+  auto add_row = [&](const char* regime, const TrainRunResult& result,
+                     double wall_ms) {
+    const bool equal = !result.losses.empty() &&
+                       result.losses.back() == clean_loss &&
+                       result.losses.size() == clean.losses.size();
+    all_equal = all_equal && equal;
+    table.AddRow({regime, memo::StrFormat("%.6f", result.losses.empty()
+                                                      ? 0.0
+                                                      : result.losses.back()),
+                  equal ? "yes" : "NO", result.degraded ? "yes" : "no",
+                  result.resumed_from_step >= 0
+                      ? std::to_string(result.resumed_from_step)
+                      : "-",
+                  memo::StrFormat("%.1f", wall_ms)});
+    memo::bench::BenchRecord record;
+    record.op = regime;
+    record.wall_ms = wall_ms;
+    record.speedup_vs_serial = wall_ms > 0.0 ? clean_ms / wall_ms : 1.0;
+    records.push_back(record);
+  };
+  add_row("clean", clean, clean_ms);
+
+  // Periodic checkpoints: loss-identical, overhead priced per cadence.
+  for (int every : {10, 5, 1}) {
+    TrainRunOptions ckpt_options = BaseRun();
+    ckpt_options.checkpoint_dir = FreshDir("bench_fault_sweep_ckpt");
+    ckpt_options.checkpoint_every = every;
+    TrainRunResult result;
+    const double ms =
+        memo::bench::BestWallMs(1, [&] { result = RunTraining(ckpt_options); });
+    const std::string regime =
+        "checkpoint_every_" + std::to_string(every);
+    add_row(regime.c_str(), result, ms);
+  }
+
+  // Kill + resume: a permanent stash fault stops the run mid-way (after
+  // the checkpoint at step 20); the resumed run must finish on the clean
+  // final loss.
+  {
+    // Probe the stash puts per iteration with a never-firing rule so the
+    // kill lands mid-run regardless of layer/batch layout.
+    FaultInjector::Global().Arm("ram.put", FaultRule{});
+    TrainRunOptions probe = BaseRun();
+    probe.iterations = 2;
+    (void)RunTraining(probe);
+    const std::int64_t puts_per_iteration =
+        FaultInjector::Global().calls("ram.put") / 2;
+    FaultInjector::Global().Reset();
+
+    const std::string dir = FreshDir("bench_fault_sweep_resume");
+    TrainRunOptions interrupted = BaseRun();
+    interrupted.checkpoint_dir = dir;
+    interrupted.checkpoint_every = 10;
+    interrupted.allow_degraded = false;
+    FaultRule kill;
+    kill.probability = 1.0;
+    kill.after = puts_per_iteration * 25;  // dies during iteration 26
+    kill.permanent = true;
+    FaultInjector::Global().Arm("ram.put", kill);
+    TrainRunResult killed;
+    const double killed_ms = memo::bench::BestWallMs(
+        1, [&] { killed = RunTraining(interrupted); });
+    FaultInjector::Global().Reset();
+    if (killed.status.ok()) {
+      std::fprintf(stderr, "injected kill did not stop the run\n");
+      return 1;
+    }
+    TrainRunOptions resumed_options = interrupted;
+    resumed_options.resume = true;
+    TrainRunResult resumed;
+    const double resumed_ms = memo::bench::BestWallMs(
+        1, [&] { resumed = RunTraining(resumed_options); });
+    add_row("kill_then_resume", resumed, killed_ms + resumed_ms);
+  }
+
+  // Seeded transient faults on the disk tier: absorbed by the retry layer.
+  {
+    TrainRunOptions flaky = BaseRun();
+    flaky.backend.kind = memo::offload::BackendKind::kDisk;
+    FaultInjector::Global().Seed(7);
+    (void)FaultInjector::Global().ArmFromSpec(
+        "disk.page_write:p=0.05;disk.page_read:p=0.02");
+    TrainRunResult result;
+    const double ms =
+        memo::bench::BestWallMs(1, [&] { result = RunTraining(flaky); });
+    FaultInjector::Global().Reset();
+    add_row("transient_disk_faults", result, ms);
+  }
+
+  // Permanent disk death under the tiered stash: finishes degraded on RAM.
+  {
+    TrainRunOptions tiered = BaseRun();
+    tiered.backend.kind = memo::offload::BackendKind::kTiered;
+    tiered.backend.ram_capacity_bytes = 4096;
+    FaultRule dead;
+    dead.nth = 1;
+    dead.permanent = true;
+    FaultInjector::Global().Arm("disk.page_write", dead);
+    TrainRunResult result;
+    const double ms =
+        memo::bench::BestWallMs(1, [&] { result = RunTraining(tiered); });
+    FaultInjector::Global().Reset();
+    add_row("permanent_disk_death", result, ms);
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  if (!all_equal) {
+    std::fprintf(stderr,
+                 "FAULT-RECOVERY VIOLATION: a regime moved the loss curve\n");
+    return 1;
+  }
+  std::printf("all regimes finished on the clean final loss %.6f\n",
+              clean_loss);
+
+  if (!memo::bench::WriteBenchJson("BENCH_fault_recovery.json", records)) {
+    std::fprintf(stderr, "cannot write BENCH_fault_recovery.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_fault_recovery.json (%zu records)\n",
+              records.size());
+  return 0;
+}

@@ -1,0 +1,179 @@
+#include "common/fault_injector.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace memo {
+
+namespace {
+
+/// splitmix64 step (same generator as common/rng.h, duplicated here so the
+/// injector owns its streams and never perturbs a caller's Rng).
+std::uint64_t NextUint64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+double NextDouble(std::uint64_t* state) {
+  return static_cast<double>(NextUint64(state) >> 11) * 0x1.0p-53;
+}
+
+/// FNV-1a 64 over the site name: each site's stream is independent of the
+/// order sites were armed in.
+std::uint64_t HashSite(const std::string& site) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr std::uint64_t kDefaultSeed = 0x5EEDFA171ULL;
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, const FaultRule& rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  SiteState state;
+  state.rule = rule;
+  state.rng_state = seed_ ^ HashSite(site);
+  const bool replaced = sites_.count(site) > 0;
+  sites_[site] = state;
+  if (!replaced) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  std::size_t begin = 0;
+  while (begin < spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string entry = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return InvalidArgumentError("fault spec entry '" + entry +
+                                  "' is not of the form site:key=value,...");
+    }
+    const std::string site = entry.substr(0, colon);
+    FaultRule rule;
+    std::size_t pos = colon + 1;
+    while (pos < entry.size()) {
+      std::size_t comma = entry.find(',', pos);
+      if (comma == std::string::npos) comma = entry.size();
+      const std::string field = entry.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (field.empty()) continue;
+      const std::size_t eq = field.find('=');
+      const std::string key = field.substr(0, eq);
+      const std::string value =
+          eq == std::string::npos ? "" : field.substr(eq + 1);
+      if (key == "permanent") {
+        rule.permanent = true;
+      } else if (key == "p") {
+        rule.probability = std::atof(value.c_str());
+        if (rule.probability < 0.0 || rule.probability > 1.0) {
+          return InvalidArgumentError("fault spec '" + site +
+                                      "': p must be in [0, 1]");
+        }
+      } else if (key == "nth") {
+        rule.nth = std::atoll(value.c_str());
+      } else if (key == "every") {
+        rule.every = std::atoll(value.c_str());
+      } else if (key == "after") {
+        rule.after = std::atoll(value.c_str());
+      } else if (key == "max") {
+        rule.max_failures = std::atoll(value.c_str());
+      } else {
+        return InvalidArgumentError("fault spec '" + site +
+                                    "': unknown key '" + key + "'");
+      }
+    }
+    if (rule.probability <= 0.0 && rule.nth <= 0 && rule.every <= 0) {
+      return InvalidArgumentError("fault spec '" + site +
+                                  "': needs one of p=, nth= or every=");
+    }
+    Arm(site, rule);
+  }
+  return OkStatus();
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sites_.clear();
+  seed_ = kDefaultSeed;
+  armed_sites_.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::Seed(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [site, state] : sites_) {
+    state.rng_state = seed ^ HashSite(site);
+  }
+}
+
+Status FaultInjector::MaybeFail(const std::string& site) {
+  if (armed_sites_.load(std::memory_order_relaxed) == 0) return OkStatus();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) return OkStatus();
+  SiteState& state = it->second;
+  const std::int64_t call = ++state.calls;
+
+  bool fire = state.tripped;
+  if (!fire && call > state.rule.after) {
+    if (state.rule.nth > 0 && call == state.rule.nth) fire = true;
+    if (state.rule.every > 0 && call % state.rule.every == 0) fire = true;
+    if (state.rule.probability > 0.0 &&
+        NextDouble(&state.rng_state) < state.rule.probability) {
+      fire = true;
+    }
+  }
+  if (fire && !state.tripped && state.rule.max_failures > 0 &&
+      state.failures >= state.rule.max_failures) {
+    fire = false;
+  }
+  if (!fire) return OkStatus();
+
+  ++state.failures;
+  if (state.rule.permanent) state.tripped = true;
+  static obs::MetricCounter* injected_counter =
+      obs::MetricsRegistry::Global().counter("fault.injected");
+  injected_counter->Add(1);
+  MEMO_TRACE_INSTANT("fault_injected", "fault", site);
+  return InternalError("injected fault at site '" + site + "' (call " +
+                       std::to_string(call) + ")");
+}
+
+std::int64_t FaultInjector::calls(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.calls : 0;
+}
+
+std::int64_t FaultInjector::failures(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it != sites_.end() ? it->second.failures : 0;
+}
+
+}  // namespace memo

@@ -1,0 +1,104 @@
+#ifndef MEMO_COMMON_FAULT_INJECTOR_H_
+#define MEMO_COMMON_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace memo {
+
+/// What an armed site does when its rule fires. Transient faults model a
+/// single failed pread/pwrite or host copy (a retry may succeed); permanent
+/// faults model a died device — once triggered every later call at the site
+/// fails, which is what drives the tier-quarantine / degradation ladder.
+struct FaultRule {
+  /// Per-call failure probability in [0, 1], rolled on the injector's
+  /// deterministic per-site RNG stream (0 = off).
+  double probability = 0.0;
+  /// Fail exactly the nth call at the site, 1-based (0 = off).
+  std::int64_t nth = 0;
+  /// Fail every nth call at the site (0 = off).
+  std::int64_t every = 0;
+  /// Calls 1..after never fail (grace period before probabilistic faults).
+  std::int64_t after = 0;
+  /// Cap on fired faults (0 = unlimited). max_failures = 1 reproduces the
+  /// old DiskBackend one-shot fail point.
+  std::int64_t max_failures = 0;
+  /// Once the rule fires, every later call at the site fails too — the
+  /// "device died" mode that exercises quarantine + degradation.
+  bool permanent = false;
+};
+
+/// Process-wide seeded fault injector. Fallible operations name a site
+/// ("disk.page_write", "ram.take", "copier.offload", ...) and ask
+/// MaybeFail(site) before doing the real work; tests and the CLI arm rules
+/// per site. The disarmed hot path is one relaxed atomic load, so the
+/// probes stay in production builds (the same contract as the tracing
+/// macros). Firing decisions are deterministic: each site draws from its
+/// own splitmix64 stream derived from the global seed and the site name,
+/// so a seeded fault schedule replays identically across runs and threads
+/// (calls at one site are serialized by the injector mutex).
+class FaultInjector {
+ public:
+  static FaultInjector& Global();
+
+  /// Arms `rule` at `site` (replacing any previous rule and resetting the
+  /// site's call/failure counters and RNG stream).
+  void Arm(const std::string& site, const FaultRule& rule);
+
+  /// Arms sites from a compact spec string (the CLI's --fault flag):
+  ///   "site:key=value,key=value;site2:..."
+  /// with keys p=<prob>, nth=<n>, every=<n>, after=<n>, max=<n> and the
+  /// bare flag "permanent". Example:
+  ///   "disk.page_read:p=0.2;disk.page_write:nth=3,permanent"
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Removes the rule at `site` (no-op when absent).
+  void Disarm(const std::string& site);
+
+  /// Removes every rule and resets the seed to the default.
+  void Reset();
+
+  /// Reseeds the per-site RNG streams (call before Arm for reproducible
+  /// probabilistic schedules; Reset() restores the default seed).
+  void Seed(std::uint64_t seed);
+
+  /// Returns a kInternal error when the armed rule at `site` fires, OK
+  /// otherwise. Cheap (one atomic load) while no site is armed.
+  Status MaybeFail(const std::string& site);
+
+  /// Calls observed / faults fired at `site` since it was armed.
+  std::int64_t calls(const std::string& site) const;
+  std::int64_t failures(const std::string& site) const;
+
+  /// True while at least one site is armed (tests use this to assert
+  /// cleanup between legs).
+  bool armed() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+ private:
+  struct SiteState {
+    FaultRule rule;
+    std::uint64_t rng_state = 0;
+    std::int64_t calls = 0;
+    std::int64_t failures = 0;
+    bool tripped = false;  // a permanent rule has fired
+  };
+
+  FaultInjector() = default;
+
+  std::atomic<std::int64_t> armed_sites_{0};
+  mutable std::mutex mu_;
+  std::uint64_t seed_ = 0x5EEDFA171ULL;
+  std::map<std::string, SiteState> sites_;
+};
+
+}  // namespace memo
+
+#endif  // MEMO_COMMON_FAULT_INJECTOR_H_

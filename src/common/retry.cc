@@ -1,0 +1,54 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace memo {
+
+Status RetryPolicy::Run(const std::string& op,
+                        const std::function<Status()>& fn) const {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point start = Clock::now();
+  const int attempts = std::max(1, max_attempts);
+  double backoff = initial_backoff_seconds;
+  Status last = OkStatus();
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = fn();
+    if (last.ok()) return last;
+    if (!IsRetryable(last.code())) return last;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const bool out_of_attempts = attempt == attempts;
+    const bool out_of_time =
+        deadline_seconds > 0.0 && elapsed + backoff >= deadline_seconds;
+    if (out_of_attempts || out_of_time) {
+      obs::MetricsRegistry::Global().counter("retry.giveups")->Add(1);
+      obs::MetricsRegistry::Global().counter("retry." + op + ".giveups")
+          ->Add(1);
+      MEMO_TRACE_INSTANT("retry_giveup", "fault",
+                         op + ": " + last.ToString());
+      return Status(last.code(),
+                    op + " failed after " + std::to_string(attempt) +
+                        (out_of_time ? " attempt(s) (deadline exceeded): "
+                                     : " attempt(s): ") +
+                        last.ToString());
+    }
+    obs::MetricsRegistry::Global().counter("retry." + op + ".retries")
+        ->Add(1);
+    obs::MetricsRegistry::Global().counter("retry.retries")->Add(1);
+    MEMO_TRACE_INSTANT("retry_attempt", "fault",
+                       op + " attempt " + std::to_string(attempt + 1));
+    if (backoff > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    backoff = std::min(max_backoff_seconds,
+                       backoff * std::max(1.0, backoff_multiplier));
+  }
+  return last;
+}
+
+}  // namespace memo

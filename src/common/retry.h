@@ -1,0 +1,72 @@
+#ifndef MEMO_COMMON_RETRY_H_
+#define MEMO_COMMON_RETRY_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+
+namespace memo {
+
+/// Bounded-retry policy with exponential backoff and a per-operation wall
+/// deadline. The swap tiers run for minutes per iteration against host RAM
+/// and the NVMe-analog spill file, so a transient pread/pwrite failure must
+/// not kill the run: retryable errors (kInternal — the code real I/O faults
+/// surface as) are re-attempted with growing sleeps; logical errors
+/// (kNotFound, kInvalidArgument) and capacity exhaustion (kOutOfHostMemory,
+/// which retrying cannot fix) surface immediately.
+///
+/// Every re-attempt increments "retry.<op>.retries" in the MetricsRegistry
+/// and emits a trace instant; an exhausted or deadline-expired operation
+/// increments "retry.<op>.giveups" before the last error is returned.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 3;
+  /// Sleep before the first re-attempt; doubles (see multiplier) per retry.
+  double initial_backoff_seconds = 0.0005;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 0.05;
+  /// Wall-clock budget for the whole operation including backoff sleeps;
+  /// 0 = unlimited. When exceeded, the last error is returned even if
+  /// attempts remain.
+  double deadline_seconds = 0.0;
+
+  /// True for codes a retry can plausibly fix.
+  static bool IsRetryable(StatusCode code) {
+    return code == StatusCode::kInternal;
+  }
+
+  /// Runs `fn` under this policy. `op` names the operation in metrics and
+  /// trace events (e.g. "disk.page_write").
+  Status Run(const std::string& op, const std::function<Status()>& fn) const;
+
+  /// StatusOr flavour of Run for fallible producers.
+  template <typename T>
+  StatusOr<T> RunOr(const std::string& op,
+                    const std::function<StatusOr<T>()>& fn) const {
+    StatusOr<T> result = fn();
+    Status last = result.ok() ? OkStatus() : result.status();
+    // Delegate the attempt/backoff loop to Run: the first call above
+    // already happened, so replay fn through a thin Status adapter that
+    // reuses the stored result on the first invocation.
+    if (result.ok() || !IsRetryable(last.code())) {
+      if (!result.ok()) return last;
+      return result;
+    }
+    bool first = true;
+    Status st = Run(op, [&]() -> Status {
+      if (first) {
+        first = false;
+        return last;
+      }
+      result = fn();
+      return result.ok() ? OkStatus() : result.status();
+    });
+    if (!st.ok()) return st;
+    return result;
+  }
+};
+
+}  // namespace memo
+
+#endif  // MEMO_COMMON_RETRY_H_

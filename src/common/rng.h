@@ -40,6 +40,12 @@ class Rng {
   /// Standard normal via Box-Muller (used for weight init).
   double NextGaussian();
 
+  /// Raw splitmix64 state, for checkpointing a stream mid-run. A stream
+  /// restored with set_state produces exactly the values the original would
+  /// have produced next — the property behind bit-exact training resume.
+  std::uint64_t state() const { return state_; }
+  void set_state(std::uint64_t state) { state_ = state; }
+
  private:
   std::uint64_t state_;
 };

@@ -35,6 +35,33 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
     per_shape.emplace(seq, *run);
   }
 
+  // Degraded re-plans after the disk tier dies: shapes that spilled to the
+  // NVMe tier are re-solved against a cluster without one (the §4.1 alpha
+  // LP for the reduced RAM-only budget); when even that does not fit, the
+  // strategy drops to full recomputation — finish slower, never abort.
+  std::map<std::int64_t, IterationResult> degraded_shape;
+  hw::ClusterSpec no_disk_cluster = cluster;
+  no_disk_cluster.node.nvme_bytes = 0;
+  auto degraded_plan =
+      [&](std::int64_t seq) -> StatusOr<const IterationResult*> {
+    auto it = degraded_shape.find(seq);
+    if (it == degraded_shape.end()) {
+      auto replan = RunStrategy(system, Workload{model, seq}, strategy,
+                                no_disk_cluster, options.session);
+      if (!replan.ok()) {
+        parallel::ParallelStrategy recompute_strategy = strategy;
+        recompute_strategy.full_recompute = true;
+        replan = RunStrategy(system, Workload{model, seq},
+                             recompute_strategy, no_disk_cluster,
+                             options.session);
+      }
+      if (!replan.ok()) return replan.status();
+      replan->degraded = true;
+      it = degraded_shape.emplace(seq, *replan).first;
+    }
+    return &it->second;
+  };
+
   // For baselines, thread one allocator through every iteration so the
   // cache carries state across shapes; reorg stalls come from this shared
   // pool, replacing the per-call fresh-allocator figures.
@@ -64,7 +91,18 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
   for (int iter = 0; iter < options.iterations; ++iter) {
     const std::int64_t seq =
         options.seq_lengths[iter % options.seq_lengths.size()];
-    const IterationResult& shape = per_shape.at(seq);
+    const IterationResult* shape_ptr = &per_shape.at(seq);
+    const bool disk_dead = options.disk_fail_at_iteration >= 0 &&
+                           iter >= options.disk_fail_at_iteration;
+    if (disk_dead &&
+        (shape_ptr->host_disk_bytes > 0 || shape_ptr->alpha_disk > 0.0)) {
+      MEMO_ASSIGN_OR_RETURN(shape_ptr, degraded_plan(seq));
+      stats.degraded = true;
+      if (stats.degraded_at_iteration < 0) {
+        stats.degraded_at_iteration = iter;
+      }
+    }
+    const IterationResult& shape = *shape_ptr;
 
     double iteration = shape.iteration_seconds - shape.reorg_stall_seconds;
     if (shares_allocator) {

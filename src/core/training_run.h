@@ -20,6 +20,13 @@ struct TrainingRunOptions {
   /// the strategy (divisible by CP * SP and the classifier chunking).
   std::vector<std::int64_t> seq_lengths;
   SessionOptions session;
+  /// Iteration at which the NVMe spill tier fails permanently (-1 = never).
+  /// From that iteration on, shapes whose plan spilled to disk are
+  /// re-planned for the RAM-only budget — re-solving the §4.1 alpha split
+  /// first and falling back to full recomputation when even that does not
+  /// fit — and the run's stats are marked degraded. Shapes that never
+  /// touched the disk tier are unaffected.
+  int disk_fail_at_iteration = -1;
 };
 
 struct TrainingRunStats {
@@ -47,6 +54,11 @@ struct TrainingRunStats {
   double copy_busy_seconds = 0.0;
   double swap_stall_seconds = 0.0;
   std::int64_t spill_bytes_total = 0;
+  /// True when the disk tier died mid-run and at least one shape had to be
+  /// re-planned for the reduced budget (see disk_fail_at_iteration).
+  bool degraded = false;
+  /// First iteration that ran on a degraded plan (-1 when never degraded).
+  int degraded_at_iteration = -1;
 };
 
 /// Simulates `options.iterations` training iterations of `system` under a

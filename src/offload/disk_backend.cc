@@ -12,6 +12,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
@@ -28,18 +29,6 @@ double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Armed fault, shared by every DiskBackend in the process (tests only).
-std::atomic<int> g_fail_point{0};
-
-/// True when `point` is armed; consumes (disarms) it so exactly one page
-/// I/O fails per arming.
-bool ConsumeFailPoint(DiskBackend::FailPoint point) {
-  int expected = static_cast<int>(point);
-  return expected != 0 &&
-         g_fail_point.compare_exchange_strong(expected, 0,
-                                              std::memory_order_relaxed);
-}
-
 std::string SpillDirectory(const DiskBackendOptions& options) {
   if (!options.directory.empty()) return options.directory;
   const char* tmp = std::getenv("TMPDIR");
@@ -53,10 +42,6 @@ std::int64_t NextFileId() {
 }
 
 }  // namespace
-
-void DiskBackend::SetGlobalFailPoint(FailPoint point) {
-  g_fail_point.store(static_cast<int>(point), std::memory_order_relaxed);
-}
 
 std::uint64_t Fnv1a64(const void* data, std::size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -140,7 +125,10 @@ Status DiskBackend::Put(std::int64_t key, std::string&& blob) {
 
   // Checksum + positioned write of every page, fanned out over the shared
   // pool (chunk grain 1 page). pwrite offsets are disjoint per page, so the
-  // fan-out is race-free and deterministic.
+  // fan-out is race-free and deterministic. Each page write runs under the
+  // per-page retry policy, so a transient fault (injected at site
+  // "disk.page_write", or a real failed syscall) is re-attempted with
+  // backoff before the page's error surfaces.
   std::vector<Status> page_status(num_pages);
   ThreadPool::Global().ParallelFor(
       0, num_pages, 1, [&](std::int64_t begin, std::int64_t end) {
@@ -152,25 +140,25 @@ Status DiskBackend::Put(std::int64_t key, std::string&& blob) {
           const char* payload = blob.data() + offset;
           p.checksum = Fnv1a64(payload, static_cast<std::size_t>(
                                             p.payload_len));
-          if (ConsumeFailPoint(FailPoint::kPutWrite)) {
-            page_status[i] = InternalError(
-                "pwrite to spill file failed: injected short write");
-            return;
-          }
-          std::int64_t written = 0;
-          while (written < p.payload_len) {
-            const ssize_t n = ::pwrite(
-                fd, payload + written,
-                static_cast<std::size_t>(p.payload_len - written),
-                p.slot * page + written);
-            if (n < 0) {
-              page_status[i] = InternalError(
-                  std::string("pwrite to spill file failed: ") +
-                  std::strerror(errno));
-              return;
-            }
-            written += n;
-          }
+          page_status[i] = options_.retry.Run(
+              "disk.page_write", [&]() -> Status {
+                MEMO_RETURN_IF_ERROR(
+                    FaultInjector::Global().MaybeFail("disk.page_write"));
+                std::int64_t written = 0;
+                while (written < p.payload_len) {
+                  const ssize_t n = ::pwrite(
+                      fd, payload + written,
+                      static_cast<std::size_t>(p.payload_len - written),
+                      p.slot * page + written);
+                  if (n < 0) {
+                    return InternalError(
+                        std::string("pwrite to spill file failed: ") +
+                        std::strerror(errno));
+                  }
+                  written += n;
+                }
+                return OkStatus();
+              });
         }
       });
 
@@ -224,39 +212,37 @@ StatusOr<std::string> DiskBackend::ReadPages(
         for (std::int64_t i = begin; i < end; ++i) {
           const PageRef& p = pages[i];
           char* payload = blob.data() + i * page;
-          if (ConsumeFailPoint(FailPoint::kTakeRead)) {
-            page_status[i] = InternalError(
-                "pread from spill file failed: injected read fault");
-            return;
-          }
-          std::int64_t got = 0;
-          while (got < p.payload_len) {
-            const ssize_t n = ::pread(
-                fd, payload + got,
-                static_cast<std::size_t>(p.payload_len - got),
-                p.slot * page + got);
-            if (n < 0) {
-              page_status[i] = InternalError(
-                  std::string("pread from spill file failed: ") +
-                  std::strerror(errno));
-              return;
-            }
-            if (n == 0) {
-              page_status[i] =
-                  InternalError("spill file truncated: short read");
-              return;
-            }
-            got += n;
-          }
-          const std::uint64_t checksum = Fnv1a64(
-              payload, static_cast<std::size_t>(p.payload_len));
-          if (checksum != p.checksum) {
-            page_status[i] = InternalError(
-                "checksum mismatch on spill page (slot " +
-                std::to_string(p.slot) + "): stored " +
-                std::to_string(p.checksum) + ", read " +
-                std::to_string(checksum));
-          }
+          page_status[i] = options_.retry.Run(
+              "disk.page_read", [&]() -> Status {
+                MEMO_RETURN_IF_ERROR(
+                    FaultInjector::Global().MaybeFail("disk.page_read"));
+                std::int64_t got = 0;
+                while (got < p.payload_len) {
+                  const ssize_t n = ::pread(
+                      fd, payload + got,
+                      static_cast<std::size_t>(p.payload_len - got),
+                      p.slot * page + got);
+                  if (n < 0) {
+                    return InternalError(
+                        std::string("pread from spill file failed: ") +
+                        std::strerror(errno));
+                  }
+                  if (n == 0) {
+                    return InternalError("spill file truncated: short read");
+                  }
+                  got += n;
+                }
+                const std::uint64_t checksum = Fnv1a64(
+                    payload, static_cast<std::size_t>(p.payload_len));
+                if (checksum != p.checksum) {
+                  return InternalError(
+                      "checksum mismatch on spill page (slot " +
+                      std::to_string(p.slot) + "): stored " +
+                      std::to_string(p.checksum) + ", read " +
+                      std::to_string(checksum));
+                }
+                return OkStatus();
+              });
         }
       });
 
@@ -271,17 +257,22 @@ StatusOr<std::string> DiskBackend::ReadPages(
         break;
       }
     }
-    for (const PageRef& p : pages) free_slots_.push_back(p.slot);
-    static obs::MetricCounter* take_bytes_counter =
-        obs::MetricsRegistry::Global().counter("disk.take_bytes");
-    take_bytes_counter->Add(total);
-    stats_.take_bytes += total;
-    stats_.resident_bytes -= total;
     stats_.read_seconds += elapsed;
-    if (options_.bytes_per_second > 0.0) {
-      const double target =
-          static_cast<double>(total) / options_.bytes_per_second;
-      if (target > elapsed) stats_.read_seconds += target - elapsed;
+    if (failure.ok()) {
+      // Only a successful take releases the pages: on failure the blob is
+      // still resident on disk and the caller reinstates its index entry,
+      // so a later retry can still read it.
+      for (const PageRef& p : pages) free_slots_.push_back(p.slot);
+      static obs::MetricCounter* take_bytes_counter =
+          obs::MetricsRegistry::Global().counter("disk.take_bytes");
+      take_bytes_counter->Add(total);
+      stats_.take_bytes += total;
+      stats_.resident_bytes -= total;
+      if (options_.bytes_per_second > 0.0) {
+        const double target =
+            static_cast<double>(total) / options_.bytes_per_second;
+        if (target > elapsed) stats_.read_seconds += target - elapsed;
+      }
     }
   }
   Throttle(total, elapsed);
@@ -305,14 +296,16 @@ void DiskBackend::Prefetch(std::int64_t key) {
     blob_bytes_.erase(key);
   }
   StatusOr<std::string> read = ReadPages(pages, total);
-  StagedBlob staged;
-  if (read.ok()) {
-    staged.blob = std::move(read).value();
-  } else {
-    staged.status = read.status();
-  }
   std::lock_guard<std::mutex> lock(mu_);
-  staged_.emplace(key, std::move(staged));
+  if (read.ok()) {
+    staged_.emplace(key, std::move(read).value());
+  } else {
+    // A failed read-ahead costs nothing but the attempt: the pages are
+    // still on disk, so reinstate the index entry and let the eventual
+    // Take re-read (and re-retry) them.
+    index_.emplace(key, std::move(pages));
+    blob_bytes_.emplace(key, total);
+  }
 }
 
 StatusOr<std::string> DiskBackend::Take(std::int64_t key) {
@@ -322,10 +315,9 @@ StatusOr<std::string> DiskBackend::Take(std::int64_t key) {
     std::lock_guard<std::mutex> lock(mu_);
     auto staged = staged_.find(key);
     if (staged != staged_.end()) {
-      StagedBlob blob = std::move(staged->second);
+      std::string blob = std::move(staged->second);
       staged_.erase(staged);
-      if (!blob.status.ok()) return blob.status;
-      return std::move(blob.blob);
+      return blob;
     }
     auto it = index_.find(key);
     if (it == index_.end()) {
@@ -337,7 +329,15 @@ StatusOr<std::string> DiskBackend::Take(std::int64_t key) {
     total = blob_bytes_.at(key);
     blob_bytes_.erase(key);
   }
-  return ReadPages(pages, total);
+  StatusOr<std::string> read = ReadPages(pages, total);
+  if (!read.ok()) {
+    // The pages were not released (see ReadPages): put the blob back so a
+    // retrying caller finds it intact instead of a spurious kNotFound.
+    std::lock_guard<std::mutex> lock(mu_);
+    index_.emplace(key, std::move(pages));
+    blob_bytes_.emplace(key, total);
+  }
+  return read;
 }
 
 bool DiskBackend::Contains(std::int64_t key) const {

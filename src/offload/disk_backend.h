@@ -22,20 +22,16 @@ namespace memo::offload {
 /// Every page is verified against its stored checksum when read back;
 /// a mismatch surfaces as a kInternal Status (never a crash), and the spill
 /// file is removed when the backend is destroyed.
+///
+/// Fault tolerance: every page write and read consults the shared
+/// FaultInjector (sites "disk.page_write" / "disk.page_read") and runs
+/// under the per-page RetryPolicy of DiskBackendOptions, so transient I/O
+/// faults are absorbed with backoff before a Status ever surfaces. A failed
+/// Put frees its slots and leaves no trace; a failed Take/Prefetch leaves
+/// the blob's pages resident and readable, so the caller may retry the
+/// whole operation without losing data.
 class DiskBackend : public StashBackend {
  public:
-  /// Fault-injection points for tests: the armed fault fires on the next
-  /// matching page I/O (process-wide, one-shot — it disarms itself when it
-  /// fires), turning into the same kInternal Status a real pwrite/pread
-  /// failure would produce. kPutWrite fails a page write inside Put;
-  /// kTakeRead fails a page read inside Take/Prefetch mid-restore.
-  enum class FailPoint { kNone, kPutWrite, kTakeRead };
-
-  /// Arms `point` for the whole process (kNone disarms). Tests use this to
-  /// reach faults through layers that own their DiskBackend internally
-  /// (ActivationStore's tiered stash).
-  static void SetGlobalFailPoint(FailPoint point);
-
   explicit DiskBackend(const DiskBackendOptions& options = {});
   ~DiskBackend() override;
 
@@ -65,15 +61,12 @@ class DiskBackend : public StashBackend {
     std::int64_t payload_len = 0;   // <= page_bytes (last page may be short)
     std::uint64_t checksum = 0;     // FNV-1a 64 of the payload
   };
-  struct StagedBlob {
-    Status status = OkStatus();
-    std::string blob;
-  };
-
   /// Opens the spill file on first use. Called with mu_ held.
   Status EnsureFileLocked();
-  /// Reads + verifies `pages` into a blob of `total` bytes and returns the
-  /// slots to the free list. Accounts read time and throttle.
+  /// Reads + verifies `pages` into a blob of `total` bytes; on success the
+  /// slots go back to the free list and the take accounting is recorded. On
+  /// failure the slots stay owned by the caller's pages (the data is still
+  /// on disk) so the blob can be reinstated for a later retry.
   StatusOr<std::string> ReadPages(const std::vector<PageRef>& pages,
                                   std::int64_t total);
   /// Sleeps so `bytes` take at least bytes/bandwidth seconds end to end.
@@ -87,7 +80,9 @@ class DiskBackend : public StashBackend {
   std::vector<std::int64_t> free_slots_;
   std::unordered_map<std::int64_t, std::vector<PageRef>> index_;
   std::unordered_map<std::int64_t, std::int64_t> blob_bytes_;
-  std::unordered_map<std::int64_t, StagedBlob> staged_;
+  /// Successfully prefetched blobs awaiting their Take (failed prefetches
+  /// reinstate the index entry instead of staging anything).
+  std::unordered_map<std::int64_t, std::string> staged_;
   TierStats stats_;
 };
 

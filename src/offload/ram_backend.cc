@@ -4,6 +4,7 @@
 #include <chrono>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "obs/metrics.h"
 
 namespace memo::offload {
@@ -28,6 +29,9 @@ bool RamBackend::Fits(std::int64_t blob_bytes) const {
 Status RamBackend::Put(std::int64_t key, std::string&& blob) {
   const Clock::time_point start = Clock::now();
   const std::int64_t bytes = static_cast<std::int64_t>(blob.size());
+  // A fired fault models a failed host copy: nothing was mutated yet, so
+  // the caller may retry the whole Put.
+  MEMO_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("ram.put"));
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_bytes_ > 0 &&
       stats_.resident_bytes + bytes > capacity_bytes_) {
@@ -53,15 +57,26 @@ Status RamBackend::Put(std::int64_t key, std::string&& blob) {
 
 StatusOr<std::string> RamBackend::Take(std::int64_t key) {
   const Clock::time_point start = Clock::now();
+  MEMO_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("ram.take"));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = blobs_.find(key);
   if (it == blobs_.end()) {
     return NotFoundError("key " + std::to_string(key) +
                          " not present in RAM tier");
   }
+  const std::int64_t bytes = static_cast<std::int64_t>(it->second.size());
+  // Releasing more bytes than are resident means the accounting was
+  // corrupted (e.g. a double-release of a stash key): surface kInternal
+  // instead of silently wrapping the counter negative, and leave the entry
+  // in place so the inconsistency stays inspectable.
+  if (stats_.resident_bytes < bytes) {
+    return InternalError(
+        "RAM tier byte-accounting underflow: releasing " +
+        std::to_string(bytes) + " bytes with only " +
+        std::to_string(stats_.resident_bytes) + " resident");
+  }
   std::string blob = std::move(it->second);
   blobs_.erase(it);
-  const std::int64_t bytes = static_cast<std::int64_t>(blob.size());
   static obs::MetricCounter* take_bytes_counter =
       obs::MetricsRegistry::Global().counter("ram.take_bytes");
   take_bytes_counter->Add(bytes);
@@ -69,6 +84,11 @@ StatusOr<std::string> RamBackend::Take(std::int64_t key) {
   stats_.resident_bytes -= bytes;
   stats_.read_seconds += SecondsSince(start);
   return blob;
+}
+
+void RamBackend::CorruptResidentBytesForTest(std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.resident_bytes += delta;
 }
 
 bool RamBackend::Contains(std::int64_t key) const {

@@ -34,6 +34,11 @@ class RamBackend : public StashBackend {
   /// an unlimited capacity). Used by the tiered router.
   bool Fits(std::int64_t blob_bytes) const;
 
+  /// Test-only: skews the resident-byte counter so the accounting-underflow
+  /// guard in Take is reachable (a real double-release cannot be staged
+  /// through the public API because Take removes the entry it releases).
+  void CorruptResidentBytesForTest(std::int64_t delta);
+
  private:
   const std::int64_t capacity_bytes_;
   mutable std::mutex mu_;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace memo::offload {
@@ -49,6 +50,10 @@ struct DiskBackendOptions {
   /// Emulated sustained bandwidth in bytes/s (0 = unthrottled). Lets the
   /// bench distinguish an NVMe-class tier (~6 GB/s) from PCIe host RAM.
   double bytes_per_second = 0.0;
+  /// Per-page I/O retry policy: a transient pwrite/pread fault (including
+  /// the injected kind) is re-attempted with backoff before the page error
+  /// surfaces from Put/Take.
+  RetryPolicy retry;
 };
 
 /// Where the stash of one ActivationStore lives.
@@ -66,6 +71,11 @@ struct BackendOptions {
   /// kTiered it spills to the disk tier instead.
   std::int64_t ram_capacity_bytes = 0;
   DiskBackendOptions disk;
+  /// Whole-operation retry policy applied by ActivationStore around the
+  /// backend's Stash/Restore round trips (on top of the disk tier's own
+  /// per-page retries). Failed Put/Take calls leave the backend unchanged,
+  /// so re-attempting the whole blob is always safe.
+  RetryPolicy retry;
 };
 
 /// Storage interface behind ActivationStore's stash: opaque byte blobs keyed

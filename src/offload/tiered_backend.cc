@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "common/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
 namespace memo::offload {
 
 TieredBackend::TieredBackend(std::int64_t ram_capacity_bytes,
@@ -15,6 +19,7 @@ DiskBackend* TieredBackend::Disk() {
 }
 
 Status TieredBackend::Put(std::int64_t key, std::string&& blob) {
+  MEMO_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("tiered.put"));
   const std::int64_t bytes = static_cast<std::int64_t>(blob.size());
   if (ram_.Fits(bytes)) {
     const Status st = ram_.Put(key, std::move(blob));
@@ -28,7 +33,37 @@ Status TieredBackend::Put(std::int64_t key, std::string&& blob) {
       return st;
     }
   }
-  MEMO_RETURN_IF_ERROR(Disk()->Put(key, std::move(blob)));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!disk_failure_.ok()) {
+      return Status(disk_failure_.code(),
+                    "disk tier quarantined: " + disk_failure_.message());
+    }
+  }
+  const Status st = Disk()->Put(key, std::move(blob));
+  if (!st.ok()) {
+    // A Put error that survived the disk's own per-page retries means the
+    // device is effectively dead: quarantine the tier so later spills fail
+    // fast instead of grinding through doomed retries. Capacity failures
+    // (kOutOfHostMemory) are not device faults and do not quarantine.
+    if (st.code() == StatusCode::kInternal) {
+      bool newly_quarantined = false;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (disk_failure_.ok()) {
+          disk_failure_ = st;
+          newly_quarantined = true;
+        }
+      }
+      if (newly_quarantined) {
+        obs::MetricsRegistry::Global()
+            .counter("tiered.disk_quarantined")
+            ->Add(1);
+        MEMO_TRACE_INSTANT("disk_quarantined", "fault", st.message());
+      }
+    }
+    return st;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   on_disk_[key] = true;
   ++spilled_blobs_;
@@ -47,7 +82,14 @@ StatusOr<std::string> TieredBackend::Take(std::int64_t key) {
     on_disk = it->second;
     on_disk_.erase(it);
   }
-  return on_disk ? Disk()->Take(key) : ram_.Take(key);
+  StatusOr<std::string> blob = on_disk ? Disk()->Take(key) : ram_.Take(key);
+  if (!blob.ok() && blob.status().code() != StatusCode::kNotFound) {
+    // The tier left the blob resident on failure; reinstate the routing
+    // entry so a retried Take can still find it.
+    std::lock_guard<std::mutex> lock(mu_);
+    on_disk_[key] = on_disk;
+  }
+  return blob;
 }
 
 bool TieredBackend::Contains(std::int64_t key) const {
@@ -83,6 +125,16 @@ TierStats TieredBackend::disk_stats() const {
 std::int64_t TieredBackend::spilled_blobs() const {
   std::lock_guard<std::mutex> lock(mu_);
   return spilled_blobs_;
+}
+
+bool TieredBackend::disk_quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !disk_failure_.ok();
+}
+
+Status TieredBackend::disk_status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return disk_failure_;
 }
 
 std::unique_ptr<StashBackend> CreateBackend(const BackendOptions& options) {

@@ -16,6 +16,13 @@ namespace memo::offload {
 /// of `SolveAlphaTiered`'s RAM/disk split. Where the seed system aborted
 /// with kOutOfHostMemory when M_CPU was exhausted, this backend degrades to
 /// NVMe-analog bandwidth instead (SSDTrain's deeper memory hierarchy).
+///
+/// Graceful degradation: a disk-tier Put error that survives the disk's own
+/// per-page retries is treated as the device dying, and the tier is
+/// quarantined — later spills fail fast with the recorded status instead of
+/// hammering a dead device, while blobs already on disk stay readable. The
+/// trainer observes the quarantine through the surfaced kInternal and drops
+/// to a RAM-only stash (or full recomputation) for the rest of the run.
 class TieredBackend : public StashBackend {
  public:
   /// `ram_capacity_bytes` caps the RAM tier (0 = unlimited, so nothing ever
@@ -36,6 +43,11 @@ class TieredBackend : public StashBackend {
   /// Blobs routed past RAM into the spill file so far.
   std::int64_t spilled_blobs() const;
 
+  /// True once the disk tier has been quarantined after a permanent fault.
+  bool disk_quarantined() const;
+  /// The fault that triggered the quarantine (OK while healthy).
+  Status disk_status() const;
+
  private:
   /// Returns the disk tier, creating it on first use. Thread-safe.
   DiskBackend* Disk();
@@ -48,6 +60,8 @@ class TieredBackend : public StashBackend {
   /// key -> true when the blob lives on disk (absent keys live in RAM).
   std::unordered_map<std::int64_t, bool> on_disk_;
   std::int64_t spilled_blobs_ = 0;
+  /// Sticky failure that quarantined the disk tier (OK while healthy).
+  Status disk_failure_;
 };
 
 }  // namespace memo::offload

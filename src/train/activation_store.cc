@@ -5,6 +5,7 @@
 #include <cstring>
 #include <utility>
 
+#include "common/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
 #include "train/ops.h"
@@ -126,7 +127,10 @@ void RecomputeRows(const LayerParams& params, std::int64_t cut,
 ActivationStore::ActivationStore(ActivationPolicy policy, double alpha,
                                  bool async_offload,
                                  const offload::BackendOptions& backend)
-    : policy_(policy), alpha_(alpha), backend_(offload::CreateBackend(backend)) {
+    : policy_(policy),
+      alpha_(alpha),
+      backend_(offload::CreateBackend(backend)),
+      retry_(backend.retry) {
   MEMO_CHECK_GE(alpha, 0.0);
   MEMO_CHECK_LE(alpha, 1.0);
   // Retain-all keeps everything on the accelerator — there is no transfer
@@ -156,6 +160,10 @@ Status ActivationStore::Stash(int layer, LayerActivations&& acts) {
   const std::int64_t full_bytes = BytesOf(acts);
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A backend failure is sticky in both modes: once the stash lost (or
+    // failed to accept) data the rest of this micro-step cannot be trusted,
+    // so every later call reports the original fault.
+    if (!backend_error_.ok()) return backend_error_;
     if (policy_ == ActivationPolicy::kRetainAll) {
       // Everything stays on the accelerator.
       device_peak_bytes_ =
@@ -218,7 +226,14 @@ Status ActivationStore::OffloadIntoStash(int layer, LayerActivations&& acts) {
   // the async path, where the copy really runs on the copier thread.
   std::string blob = SerializeActs(acts);
   const std::int64_t blob_bytes = static_cast<std::int64_t>(blob.size());
-  const Status st = backend_->Put(layer, std::move(blob));
+  // Whole-blob retry: a failed Put leaves both the backend and `blob`
+  // untouched (backends never consume on failure), so re-running the
+  // operation is lossless. The "copier.offload" fault site models a failed
+  // D2H-analog copy on the copier thread, before any backend state changes.
+  const Status st = retry_.Run("stash.put", [&]() -> Status {
+    MEMO_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("copier.offload"));
+    return backend_->Put(layer, std::move(blob));
+  });
   if (!st.ok()) {
     MEMO_TRACE_INSTANT("stash_error", "offload", st.ToString());
     std::lock_guard<std::mutex> lock(mu_);
@@ -263,8 +278,12 @@ StatusOr<LayerActivations> ActivationStore::FetchAndWiden(
         << "layer " << layer << " not stashed";
   }
   // The backend read (RAM move or spill-page read-back + checksum verify)
-  // runs outside mu_ so the other thread is never blocked on disk I/O.
-  StatusOr<std::string> blob = backend_->Take(layer);
+  // runs outside mu_ so the other thread is never blocked on disk I/O. A
+  // failed Take leaves the blob resident in the backend, so the whole
+  // operation can be retried without a spurious not-found.
+  StatusOr<std::string> blob = retry_.RunOr<std::string>(
+      "restore.take",
+      [&]() -> StatusOr<std::string> { return backend_->Take(layer); });
   if (!blob.ok()) {
     MEMO_TRACE_INSTANT("restore_error", "offload", blob.status().ToString());
     std::lock_guard<std::mutex> lock(mu_);
@@ -314,6 +333,10 @@ StatusOr<LayerActivations> ActivationStore::FetchAndWiden(
 StatusOr<LayerActivations> ActivationStore::Restore(
     int layer, const LayerParams& params) {
   MEMO_TRACE_SCOPE_ARG("restore", "offload", "layer", layer);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!backend_error_.ok()) return backend_error_;
+  }
   if (policy_ == ActivationPolicy::kRetainAll || !async_) {
     std::int64_t copied = 0;
     MEMO_ASSIGN_OR_RETURN(LayerActivations acts,

@@ -184,6 +184,10 @@ class ActivationStore {
 
   /// Token-wise stash storage: RAM, disk, or tiered (see BackendOptions).
   std::unique_ptr<offload::StashBackend> backend_;
+  /// Whole-operation retry around backend Put/Take (BackendOptions.retry).
+  /// Safe because a failed Put/Take leaves both the blob and the backend
+  /// unchanged, so re-attempting the full operation cannot lose data.
+  RetryPolicy retry_;
 
   // Guards bookkeeping and stats; both threads take it briefly around
   // handoffs, never while copying.

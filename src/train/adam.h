@@ -32,6 +32,20 @@ class Adam {
 
   int step_count() const { return step_; }
 
+  /// Moment buffers for checkpointing (empty until the first Step).
+  const std::vector<Tensor>& first_moments() const { return m_; }
+  const std::vector<Tensor>& second_moments() const { return v_; }
+
+  /// Restores the optimizer mid-run (checkpoint resume). The moment lists
+  /// must either be empty (no Step had run yet) or mirror the parameter
+  /// list the next Step will be called with.
+  void RestoreState(int step, std::vector<Tensor>&& m,
+                    std::vector<Tensor>&& v) {
+    step_ = step;
+    m_ = std::move(m);
+    v_ = std::move(v);
+  }
+
  private:
   Options options_;
   int step_ = 0;

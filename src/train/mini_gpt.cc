@@ -174,6 +174,20 @@ double MiniGpt::ForwardBackward(const MiniGptParams& params,
                                 const std::vector<int>& targets,
                                 ActivationStore* store,
                                 MiniGptParams* grads) const {
+  const StatusOr<double> loss =
+      TryForwardBackward(params, tokens, targets, store, grads);
+  MEMO_CHECK(loss.ok()) << "forward/backward failed: "
+                        << loss.status().ToString()
+                        << " (host capacity below the solver's minimum? "
+                           "use the tiered backend to spill to disk)";
+  return loss.value();
+}
+
+StatusOr<double> MiniGpt::TryForwardBackward(const MiniGptParams& params,
+                                             const std::vector<int>& tokens,
+                                             const std::vector<int>& targets,
+                                             ActivationStore* store,
+                                             MiniGptParams* grads) const {
   const std::int64_t s = static_cast<std::int64_t>(tokens.size());
   const int h = config_.hidden;
 
@@ -189,11 +203,7 @@ double MiniGpt::ForwardBackward(const MiniGptParams& params,
         MEMO_TRACE_SCOPE_ARG("layer_fwd", "train", "layer", layer);
         out = LayerForward(params.layers[layer], config_.heads, x, &acts);
       }
-      const Status st = store->Stash(layer, std::move(acts));
-      MEMO_CHECK(st.ok()) << "stash of layer " << layer
-                          << " failed: " << st.ToString()
-                          << " (host capacity below the solver's minimum? "
-                             "use the tiered backend to spill to disk)";
+      MEMO_RETURN_IF_ERROR(store->Stash(layer, std::move(acts)));
       x = std::move(out);
     }
   }
@@ -219,13 +229,11 @@ double MiniGpt::ForwardBackward(const MiniGptParams& params,
   LayerNormBackward(x, params.lnf_g, lnf_rstd, d_lnf, &d_x, &grads->lnf_g,
                     &grads->lnf_b);
   for (int layer = config_.layers - 1; layer >= 0; --layer) {
-    StatusOr<LayerActivations> acts =
-        store->Restore(layer, params.layers[layer]);
-    MEMO_CHECK(acts.ok()) << "restore of layer " << layer
-                          << " failed: " << acts.status().ToString();
+    MEMO_ASSIGN_OR_RETURN(LayerActivations acts,
+                          store->Restore(layer, params.layers[layer]));
     MEMO_TRACE_SCOPE_ARG("layer_bwd", "train", "layer", layer);
-    d_x = LayerBackward(params.layers[layer], config_.heads, acts.value(),
-                        d_x, &grads->layers[layer]);
+    d_x = LayerBackward(params.layers[layer], config_.heads, acts, d_x,
+                        &grads->layers[layer]);
   }
   EmbeddingBackward(tokens, d_x, &grads->embedding);
   return loss;

@@ -45,10 +45,21 @@ class MiniGpt {
   /// Runs one forward+backward over a single sequence. Returns the mean
   /// cross-entropy loss and accumulates parameter gradients into `grads`
   /// (which must mirror `params` in shape and be pre-zeroed by the caller).
+  /// Aborts on a stash/restore failure — callers that can recover (the
+  /// fault-tolerant trainer) use TryForwardBackward instead.
   double ForwardBackward(const MiniGptParams& params,
                          const std::vector<int>& tokens,
                          const std::vector<int>& targets,
                          ActivationStore* store, MiniGptParams* grads) const;
+
+  /// Like ForwardBackward, but a stash/restore failure surfaces as the
+  /// backend's Status instead of aborting. On failure `grads` holds a
+  /// partial accumulation and must be re-zeroed before reuse.
+  StatusOr<double> TryForwardBackward(const MiniGptParams& params,
+                                      const std::vector<int>& tokens,
+                                      const std::vector<int>& targets,
+                                      ActivationStore* store,
+                                      MiniGptParams* grads) const;
 
   /// Forward-only loss (evaluation).
   double Loss(const MiniGptParams& params, const std::vector<int>& tokens,

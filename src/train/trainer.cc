@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
+#include "offload/disk_backend.h"  // Fnv1a64
+#include "train/checkpoint.h"
 
 namespace memo::train {
 
@@ -51,6 +54,86 @@ double LrSchedule::Multiplier(int iter, int total) const {
   return min_lr_fraction + (1.0 - min_lr_fraction) * cosine;
 }
 
+namespace {
+
+/// Fingerprint of everything that shapes the numeric trajectory of a run.
+/// Deliberately excludes the stash backend and async flag: the activation
+/// round trip is bit-exact on every backend, so a checkpoint taken on a
+/// tiered run may be resumed on RAM-only (that IS the degradation path).
+std::uint64_t ConfigFingerprint(const TrainRunOptions& options) {
+  std::string canon;
+  const auto add = [&canon](const std::string& key, double value) {
+    canon += key + "=" + std::to_string(value) + ";";
+  };
+  add("layers", options.model.layers);
+  add("hidden", options.model.hidden);
+  add("heads", options.model.heads);
+  add("ffn", options.model.ffn);
+  add("vocab", options.model.vocab);
+  add("seq", options.model.seq);
+  add("policy", static_cast<int>(options.policy));
+  add("alpha", options.alpha);
+  add("iterations", options.iterations);
+  add("batch", options.batch);
+  add("grad_clip", options.grad_clip);
+  add("warmup", options.lr_schedule.warmup_fraction);
+  add("cosine", options.lr_schedule.cosine_decay ? 1 : 0);
+  add("min_lr", options.lr_schedule.min_lr_fraction);
+  add("seed", static_cast<double>(options.seed));
+  add("lr", options.adam.lr);
+  add("beta1", options.adam.beta1);
+  add("beta2", options.adam.beta2);
+  add("eps", options.adam.eps);
+  add("fidelity", options.data_fidelity);
+  return offload::Fnv1a64(canon.data(), canon.size());
+}
+
+/// The RAM-only fallback stash used once the configured backend has failed
+/// permanently: unlimited capacity, nothing to spill, nothing left to fail.
+offload::BackendOptions DegradedBackend() {
+  offload::BackendOptions backend;
+  backend.kind = offload::BackendKind::kRam;
+  backend.ram_capacity_bytes = 0;
+  return backend;
+}
+
+/// Per-iteration measurements, committed into the result only when every
+/// micro-step of the iteration succeeded (a faulted iteration is re-run
+/// from scratch, so its partial stats must not leak into the totals).
+struct IterationStats {
+  double loss_sum = 0.0;
+  std::int64_t peak_stored_bytes = 0;
+  std::int64_t recomputed_rows = 0;
+  OffloadStats offload_stats;
+};
+
+/// Runs the `batch` micro-steps of one iteration: accumulates gradients
+/// into `grads` (pre-zeroed by the caller) and stats into `stats`. The
+/// sequences are pre-drawn so a re-run replays the identical data.
+Status RunIteration(const MiniGpt& model, const MiniGptParams& params,
+                    const TrainRunOptions& options,
+                    const offload::BackendOptions& backend,
+                    const std::vector<std::vector<int>>& batch_tokens,
+                    const std::vector<std::vector<int>>& batch_targets,
+                    MiniGptParams* grads, IterationStats* stats) {
+  for (int b = 0; b < options.batch; ++b) {
+    ActivationStore store(options.policy, options.alpha,
+                          options.async_offload, backend);
+    MEMO_ASSIGN_OR_RETURN(
+        const double loss,
+        model.TryForwardBackward(params, batch_tokens[b], batch_targets[b],
+                                 &store, grads));
+    stats->loss_sum += loss;
+    stats->peak_stored_bytes =
+        std::max(stats->peak_stored_bytes, store.peak_stored_bytes());
+    stats->recomputed_rows += store.recomputed_rows();
+    stats->offload_stats += store.offload_stats();
+  }
+  return OkStatus();
+}
+
+}  // namespace
+
 TrainRunResult RunTraining(const TrainRunOptions& options) {
   MEMO_CHECK_GE(options.batch, 1);
   const auto run_start = std::chrono::steady_clock::now();
@@ -68,26 +151,83 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
                      options.seed ^ 0x5EEDDA7AULL);
 
   TrainRunResult result;
-  std::vector<int> tokens;
-  std::vector<int> targets;
-  for (int iter = 0; iter < options.iterations; ++iter) {
+  const std::uint64_t fingerprint = ConfigFingerprint(options);
+  int start_iter = 0;
+
+  if (options.resume && !options.checkpoint_dir.empty()) {
+    StatusOr<CheckpointState> loaded =
+        LoadLatestValidCheckpoint(options.checkpoint_dir, fingerprint);
+    if (loaded.ok()) {
+      CheckpointState state = std::move(loaded).value();
+      const std::vector<Tensor*> flat = params.Flat();
+      if (state.params.size() != flat.size()) {
+        result.status = InternalError(
+            "checkpoint parameter count does not match the model");
+        return result;
+      }
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        *flat[i] = std::move(state.params[i]);
+      }
+      adam.RestoreState(static_cast<int>(state.adam_step),
+                        std::move(state.adam_m), std::move(state.adam_v));
+      data.RestoreStreamState(state.data_rng_state,
+                              static_cast<int>(state.last_token));
+      result.losses = std::move(state.losses);
+      result.grad_norms = std::move(state.grad_norms);
+      result.degraded = state.degraded;
+      result.resumed_from_step = state.step;
+      start_iter = static_cast<int>(state.step);
+      MEMO_TRACE_INSTANT("checkpoint_resume", "fault",
+                         "resumed from step " + std::to_string(state.step));
+    } else if (loaded.status().code() != StatusCode::kNotFound) {
+      result.status = loaded.status();
+      return result;
+    }
+    // kNotFound: no checkpoint yet — a fresh start, not an error.
+  }
+
+  // The backend in use: switched at most once, to the RAM fallback, when
+  // the configured backend fails permanently (degradation is sticky).
+  offload::BackendOptions active_backend =
+      result.degraded ? DegradedBackend() : options.backend;
+
+  std::vector<std::vector<int>> batch_tokens(options.batch);
+  std::vector<std::vector<int>> batch_targets(options.batch);
+  for (int iter = start_iter; iter < options.iterations; ++iter) {
     MEMO_TRACE_SCOPE_ARG("iteration", "train", "iter", iter);
     const auto step_start = std::chrono::steady_clock::now();
-    for (Tensor* g : grads.Flat()) g->Fill(0.0f);
-    double loss_sum = 0.0;
-    // Gradients accumulate across the batch (sequential micro-steps, one
-    // fresh ActivationStore per sequence — one "replica" each).
+    // Sequences are drawn before the micro-steps so a faulted iteration
+    // can be re-run on the fallback backend with identical data.
     for (int b = 0; b < options.batch; ++b) {
-      data.NextSequence(options.model.seq, &tokens, &targets);
-      ActivationStore store(options.policy, options.alpha,
-                            options.async_offload, options.backend);
-      loss_sum +=
-          model.ForwardBackward(params, tokens, targets, &store, &grads);
-      result.peak_stored_bytes =
-          std::max(result.peak_stored_bytes, store.peak_stored_bytes());
-      result.recomputed_rows += store.recomputed_rows();
-      result.offload_stats += store.offload_stats();
+      data.NextSequence(options.model.seq, &batch_tokens[b],
+                        &batch_targets[b]);
     }
+    for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+    IterationStats stats;
+    Status st = RunIteration(model, params, options, active_backend,
+                             batch_tokens, batch_targets, &grads, &stats);
+    if (!st.ok() && options.allow_degraded && !result.degraded) {
+      // The configured backend died (retries already ran inside the stash
+      // layers). Degrade: drop to the RAM-only stash and re-run the whole
+      // iteration from scratch — gradients may hold a partial accumulation.
+      MEMO_TRACE_INSTANT("train_degraded", "fault", st.ToString());
+      obs::MetricsRegistry::Global().counter("train.degraded_runs")->Add(1);
+      result.degraded = true;
+      active_backend = DegradedBackend();
+      for (Tensor* g : grads.Flat()) g->Fill(0.0f);
+      stats = IterationStats{};
+      st = RunIteration(model, params, options, active_backend, batch_tokens,
+                        batch_targets, &grads, &stats);
+    }
+    if (!st.ok()) {
+      result.status = st;
+      break;
+    }
+    result.peak_stored_bytes =
+        std::max(result.peak_stored_bytes, stats.peak_stored_bytes);
+    result.recomputed_rows += stats.recomputed_rows;
+    result.offload_stats += stats.offload_stats;
+    const double loss_sum = stats.loss_sum;
     if (options.batch > 1) {
       const float scale = 1.0f / static_cast<float>(options.batch);
       for (Tensor* g : grads.Flat()) {
@@ -127,6 +267,30 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
     step_hist->Record(std::chrono::duration_cast<std::chrono::microseconds>(
                           std::chrono::steady_clock::now() - step_start)
                           .count());
+
+    if (!options.checkpoint_dir.empty() && options.checkpoint_every > 0 &&
+        (iter + 1) % options.checkpoint_every == 0) {
+      CheckpointState state;
+      state.config_fingerprint = fingerprint;
+      state.step = iter + 1;
+      state.data_rng_state = data.rng_state();
+      state.last_token = data.last_token();
+      state.adam_step = adam.step_count();
+      state.degraded = result.degraded;
+      state.losses = result.losses;
+      state.grad_norms = result.grad_norms;
+      for (Tensor* p : params.Flat()) state.params.push_back(*p);
+      state.adam_m = adam.first_moments();
+      state.adam_v = adam.second_moments();
+      const Status saved = SaveCheckpoint(options.checkpoint_dir, state);
+      if (!saved.ok()) {
+        // Losing checkpoint durability defeats the point of asking for it:
+        // stop with the error instead of running on unprotected.
+        result.status = saved;
+        break;
+      }
+      ++result.checkpoints_written;
+    }
   }
   result.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - run_start)

@@ -2,6 +2,7 @@
 #define MEMO_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "train/adam.h"
@@ -21,6 +22,16 @@ class SyntheticData {
   /// [0, len) and next-token targets [1, len].
   void NextSequence(int len, std::vector<int>* tokens,
                     std::vector<int>* targets);
+
+  /// Mid-run stream position for checkpointing: the RNG state plus the
+  /// chaining token. Restoring both replays the exact remaining token
+  /// stream (the permutation itself is re-derived from the seed).
+  std::uint64_t rng_state() const { return rng_.state(); }
+  int last_token() const { return last_token_; }
+  void RestoreStreamState(std::uint64_t rng_state, int last_token) {
+    rng_.set_state(rng_state);
+    last_token_ = last_token;
+  }
 
  private:
   std::vector<int> permutation_;
@@ -61,6 +72,22 @@ struct TrainRunOptions {
   /// the tiered RAM-then-disk spill. Restores are bit-identical across
   /// backends, so the loss curve is independent of this choice.
   offload::BackendOptions backend;
+
+  /// Directory for periodic checkpoints (must already exist). Empty
+  /// disables checkpointing.
+  std::string checkpoint_dir;
+  /// Take a checkpoint every N completed iterations (0 = only the implicit
+  /// resume-read; no periodic saves).
+  int checkpoint_every = 0;
+  /// Resume from the newest valid checkpoint in checkpoint_dir (falling
+  /// back past corrupted files). The resumed run's loss curve is
+  /// bit-identical to the uninterrupted one. Starting fresh when no
+  /// checkpoint exists is not an error.
+  bool resume = false;
+  /// When a stash backend fails permanently mid-run (e.g. the disk tier
+  /// dies), re-run the iteration on a plain RAM stash and finish the run
+  /// degraded instead of aborting. Set false to surface the fault instead.
+  bool allow_degraded = true;
 };
 
 struct TrainRunResult {
@@ -73,6 +100,18 @@ struct TrainRunResult {
   OffloadStats offload_stats;
   /// Wall time of the whole RunTraining call (model init through last step).
   double wall_seconds = 0.0;
+
+  /// OK when the run finished all iterations; otherwise the fault that
+  /// stopped it (losses then hold the iterations that did complete).
+  Status status;
+  /// True when the run lost its configured backend mid-way and finished on
+  /// the RAM-only fallback (losses are still bit-identical — the stash
+  /// round trip is exact on every backend).
+  bool degraded = false;
+  /// Step the run resumed from, or -1 for a fresh start.
+  std::int64_t resumed_from_step = -1;
+  /// Periodic checkpoints written during this call.
+  int checkpoints_written = 0;
 };
 
 /// Trains the mini-GPT for `options.iterations` steps. Runs with the same

@@ -5,6 +5,7 @@
 // emitted JSON parses, and that the loss curve is backend-independent —
 // the CLI-level form of the bit-identical-restores guarantee.
 
+#include <sys/stat.h>
 #include <sys/wait.h>
 
 #include <cstdio>
@@ -184,6 +185,108 @@ TEST(MemoCliTest, UnknownBackendIsRejected) {
   EXPECT_NE(run.exit_code, 0);
   EXPECT_NE(run.output.find("unknown backend"), std::string::npos)
       << run.output;
+}
+
+TEST(MemoCliTest, NonPositiveNumericFlagsAreRejectedUpFront) {
+  const std::string base =
+      "train --iterations 1 --layers 1 --hidden 16 --ffn 32 --seq 16 "
+      "--vocab 17 ";
+  const struct {
+    const char* extra;
+    const char* flag;
+  } legs[] = {
+      {"--ram-cap-mib -3", "--ram-cap-mib"},
+      {"--ram-cap-mib 0", "--ram-cap-mib"},
+      {"--backend disk --disk-gbps -1", "--disk-gbps"},
+      {"--checkpoint-dir /tmp --checkpoint-every 0", "--checkpoint-every"},
+  };
+  for (const auto& leg : legs) {
+    const CliResult run = RunCli(base + leg.extra);
+    EXPECT_EQ(run.exit_code, 2) << leg.extra << ":\n" << run.output;
+    EXPECT_NE(run.output.find(std::string(leg.flag) +
+                              " must be a positive number"),
+              std::string::npos)
+        << leg.extra << ":\n" << run.output;
+  }
+}
+
+TEST(MemoCliTest, CheckpointAndFaultFlagCombosAreValidated) {
+  const std::string base =
+      "train --iterations 1 --layers 1 --hidden 16 --ffn 32 --seq 16 "
+      "--vocab 17 ";
+  CliResult run = RunCli(base + "--checkpoint-every 2");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("require --checkpoint-dir"), std::string::npos)
+      << run.output;
+
+  run = RunCli(base + "--resume 1");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("require --checkpoint-dir"), std::string::npos)
+      << run.output;
+
+  run = RunCli(base + "--fault \"not a valid fault spec\"");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+
+  run = RunCli(base + "--metrics-out /nonexistent-dir/metrics.json");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("missing or not writable"), std::string::npos)
+      << run.output;
+}
+
+TEST(MemoCliTest, ResumeReproducesTheFinalLossPastACorruptCheckpoint) {
+  const std::string dir = ::testing::TempDir() + "memo_cli_ckpts";
+  ::mkdir(dir.c_str(), 0755);
+  for (const char* step : {"000002", "000004", "000006"}) {
+    std::remove((dir + "/ckpt_" + step + ".memockpt").c_str());
+  }
+
+  const std::string train_args =
+      "train --iterations 6 --layers 2 --hidden 16 --ffn 32 --seq 24 "
+      "--vocab 17 --checkpoint-dir " + dir + " --checkpoint-every 2";
+  const CliResult full = RunCli(train_args);
+  ASSERT_EQ(full.exit_code, 0) << full.output;
+  EXPECT_NE(full.output.find("checkpoints written: 3"), std::string::npos)
+      << full.output;
+  const std::string reference_loss = FinalLossString(full.output);
+  ASSERT_FALSE(reference_loss.empty()) << full.output;
+
+  // Simulate a crash that lost the newest checkpoint and damaged the next
+  // one: resume must fall back to step 2 and replay to the identical loss.
+  ASSERT_EQ(std::remove((dir + "/ckpt_000006.memockpt").c_str()), 0);
+  const std::string damaged = dir + "/ckpt_000004.memockpt";
+  FILE* f = std::fopen(damaged.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 48, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, 48, SEEK_SET), 0);
+  std::fputc(byte ^ 0x40, f);
+  std::fclose(f);
+
+  const CliResult resumed = RunCli(train_args + " --resume 1");
+  ASSERT_EQ(resumed.exit_code, 0) << resumed.output;
+  EXPECT_NE(resumed.output.find("resumed from checkpoint at step 2"),
+            std::string::npos)
+      << resumed.output;
+  EXPECT_EQ(FinalLossString(resumed.output), reference_loss)
+      << resumed.output;
+}
+
+TEST(MemoCliTest, InjectedTransientFaultLeavesTheLossUntouched) {
+  const std::string train_args =
+      "train --iterations 3 --layers 2 --hidden 16 --ffn 32 --seq 24 "
+      "--vocab 17 --backend disk";
+  const CliResult clean = RunCli(train_args);
+  ASSERT_EQ(clean.exit_code, 0) << clean.output;
+  const std::string reference_loss = FinalLossString(clean.output);
+  ASSERT_FALSE(reference_loss.empty()) << clean.output;
+
+  const CliResult faulted = RunCli(
+      train_args +
+      " --fault \"disk.page_write:nth=1,max=1\" --fault-seed 7");
+  ASSERT_EQ(faulted.exit_code, 0) << faulted.output;
+  EXPECT_EQ(FinalLossString(faulted.output), reference_loss)
+      << faulted.output;
 }
 
 }  // namespace

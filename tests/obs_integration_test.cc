@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
@@ -210,17 +211,22 @@ offload::BackendOptions DiskBackendOptionsForTest() {
 }
 
 TEST_F(ObsIntegrationTest, InjectedWriteFaultSurfacesThroughStash) {
+  FaultInjector::Global().Reset();
   ActivationStore store(ActivationPolicy::kTokenWise, /*alpha=*/1.0,
                         /*async_offload=*/false, DiskBackendOptionsForTest());
-  offload::DiskBackend::SetGlobalFailPoint(
-      offload::DiskBackend::FailPoint::kPutWrite);
+  // Permanent: outlasts both the per-page and the whole-blob retries.
+  FaultRule rule;
+  rule.nth = 1;
+  rule.permanent = true;
+  FaultInjector::Global().Arm("disk.page_write", rule);
   const Status st = store.Stash(0, MakeActs(4, 8, 16));
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInternal);
   EXPECT_NE(st.ToString().find("injected"), std::string::npos)
       << st.ToString();
-  // The fail point is one-shot: the next stash goes through cleanly.
-  EXPECT_TRUE(store.Stash(1, MakeActs(4, 8, 16)).ok());
+  // The store's sticky backend_error_ now reports the fault on every call.
+  FaultInjector::Global().Reset();
+  EXPECT_FALSE(store.Stash(1, MakeActs(4, 8, 16)).ok());
 }
 
 TEST_F(ObsIntegrationTest, InjectedReadFaultSurfacesThroughRestore) {
@@ -232,9 +238,12 @@ TEST_F(ObsIntegrationTest, InjectedReadFaultSurfacesThroughRestore) {
     ActivationStore store(ActivationPolicy::kTokenWise, /*alpha=*/1.0,
                           /*async_offload=*/false, DiskBackendOptionsForTest());
     ASSERT_TRUE(store.Stash(0, MakeActs(4, 8, 16)).ok());
-    offload::DiskBackend::SetGlobalFailPoint(
-        offload::DiskBackend::FailPoint::kTakeRead);
+    FaultRule rule;
+    rule.nth = 1;
+    rule.permanent = true;
+    FaultInjector::Global().Arm("disk.page_read", rule);
     const StatusOr<LayerActivations> acts = store.Restore(0, LayerParams{});
+    FaultInjector::Global().Reset();
     ASSERT_FALSE(acts.ok());
     restore_status = acts.status();
     // The store must stay destructible after the fault (spill-file cleanup

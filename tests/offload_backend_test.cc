@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "gtest/gtest.h"
 #include "offload/disk_backend.h"
 #include "offload/ram_backend.h"
@@ -19,6 +20,13 @@
 
 namespace memo::offload {
 namespace {
+
+/// Clears every armed fault when a leg ends, so injection cannot leak into
+/// later tests even when an ASSERT aborts the leg early.
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::Global().Reset(); }
+  ~InjectorGuard() { FaultInjector::Global().Reset(); }
+};
 
 /// A deterministic pseudo-random blob of `bytes` bytes (value patterns vary
 /// with the seed so cross-key mixups would be caught by content checks).
@@ -204,8 +212,13 @@ TEST(DiskBackendTest, ThrottleAccountsEmulatedBandwidth) {
 }
 
 TEST(DiskBackendTest, InjectedWriteFaultFailsPutCleanly) {
+  InjectorGuard guard;
   DiskBackend disk(SmallPages());
-  DiskBackend::SetGlobalFailPoint(DiskBackend::FailPoint::kPutWrite);
+  // A permanent fault outlasts the per-page retries, so the Put must fail.
+  FaultRule rule;
+  rule.nth = 1;
+  rule.permanent = true;
+  FaultInjector::Global().Arm("disk.page_write", rule);
   const Status st = disk.Put(1, MakeBlob(600, 8));
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInternal);
@@ -214,12 +227,32 @@ TEST(DiskBackendTest, InjectedWriteFaultFailsPutCleanly) {
   // A failed Put leaves no entry and no accounting behind.
   EXPECT_FALSE(disk.Contains(1));
   EXPECT_EQ(disk.resident_bytes(), 0);
-  // The fail point is one-shot: the same Put succeeds on retry.
+  // Disarmed, the same Put succeeds.
+  FaultInjector::Global().Disarm("disk.page_write");
   ASSERT_TRUE(disk.Put(1, MakeBlob(600, 8)).ok());
   EXPECT_TRUE(disk.Contains(1));
 }
 
+TEST(DiskBackendTest, TransientWriteFaultIsAbsorbedByPageRetry) {
+  InjectorGuard guard;
+  DiskBackend disk(SmallPages());
+  // One single-shot fault: the first page write fails once, its retry
+  // succeeds, and the Put as a whole never sees an error.
+  FaultRule rule;
+  rule.nth = 1;
+  rule.max_failures = 1;
+  FaultInjector::Global().Arm("disk.page_write", rule);
+  const std::string blob = MakeBlob(600, 8);
+  std::string copy = blob;
+  ASSERT_TRUE(disk.Put(1, std::move(copy)).ok());
+  EXPECT_EQ(FaultInjector::Global().failures("disk.page_write"), 1);
+  auto taken = disk.Take(1);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value(), blob);
+}
+
 TEST(DiskBackendTest, InjectedReadFaultFailsTakeCleanly) {
+  InjectorGuard guard;
   std::string path;
   {
     DiskBackend disk(SmallPages());
@@ -227,12 +260,22 @@ TEST(DiskBackendTest, InjectedReadFaultFailsTakeCleanly) {
     std::string copy = blob;
     ASSERT_TRUE(disk.Put(3, std::move(copy)).ok());
     path = disk.path();
-    DiskBackend::SetGlobalFailPoint(DiskBackend::FailPoint::kTakeRead);
+    FaultRule rule;
+    rule.nth = 1;
+    rule.permanent = true;
+    FaultInjector::Global().Arm("disk.page_read", rule);
     const auto taken = disk.Take(3);
     ASSERT_FALSE(taken.ok());
     EXPECT_EQ(taken.status().code(), StatusCode::kInternal);
     EXPECT_NE(taken.status().ToString().find("injected"), std::string::npos)
         << taken.status().ToString();
+    // The failed Take must not consume the blob: once the fault clears, a
+    // retried Take returns the original bytes.
+    FaultInjector::Global().Disarm("disk.page_read");
+    EXPECT_TRUE(disk.Contains(3));
+    auto retried = disk.Take(3);
+    ASSERT_TRUE(retried.ok());
+    EXPECT_EQ(retried.value(), blob);
   }
   // The fault must not leak the spill file past the backend's lifetime.
   EXPECT_NE(::access(path.c_str(), F_OK), 0)
@@ -240,11 +283,77 @@ TEST(DiskBackendTest, InjectedReadFaultFailsTakeCleanly) {
 }
 
 TEST(DiskBackendTest, InjectedFaultReachesTheTieredDiskTier) {
+  InjectorGuard guard;
   TieredBackend tiered(/*ram_capacity_bytes=*/100, SmallPages());
-  DiskBackend::SetGlobalFailPoint(DiskBackend::FailPoint::kPutWrite);
+  FaultRule rule;
+  rule.nth = 1;
+  rule.permanent = true;
+  FaultInjector::Global().Arm("disk.page_write", rule);
   const Status st = tiered.Put(1, MakeBlob(500, 6));  // too big for RAM
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kInternal);
+}
+
+TEST(TieredBackendTest, PermanentDiskFaultQuarantinesTheDiskTier) {
+  InjectorGuard guard;
+  TieredBackend tiered(/*ram_capacity_bytes=*/100, SmallPages());
+  FaultRule rule;
+  rule.nth = 1;
+  rule.permanent = true;
+  FaultInjector::Global().Arm("disk.page_write", rule);
+  ASSERT_FALSE(tiered.Put(1, MakeBlob(500, 6)).ok());
+  EXPECT_TRUE(tiered.disk_quarantined());
+  EXPECT_EQ(tiered.disk_status().code(), StatusCode::kInternal);
+  // Later spills fail fast with the quarantine status — the injector no
+  // longer needs to fire because the dead tier is never touched again.
+  FaultInjector::Global().Disarm("disk.page_write");
+  const Status spill = tiered.Put(2, MakeBlob(500, 7));
+  ASSERT_FALSE(spill.ok());
+  EXPECT_NE(spill.ToString().find("quarantined"), std::string::npos)
+      << spill.ToString();
+  // Blobs that fit the RAM tier still land: the backend degrades, it does
+  // not die.
+  const std::string small = MakeBlob(50, 8);
+  std::string copy = small;
+  ASSERT_TRUE(tiered.Put(3, std::move(copy)).ok());
+  auto taken = tiered.Take(3);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value(), small);
+}
+
+TEST(RamBackendTest, ByteAccountingUnderflowSurfacesInternalError) {
+  RamBackend ram(/*capacity_bytes=*/0);
+  ASSERT_TRUE(ram.Put(1, MakeBlob(1000, 1)).ok());
+  // Skew the counter below the entry's size: the release in Take would wrap
+  // the accounting negative, which must surface as kInternal, not wrap.
+  ram.CorruptResidentBytesForTest(-900);
+  const auto taken = ram.Take(1);
+  ASSERT_FALSE(taken.ok());
+  EXPECT_EQ(taken.status().code(), StatusCode::kInternal);
+  EXPECT_NE(taken.status().ToString().find("underflow"), std::string::npos)
+      << taken.status().ToString();
+  // The entry stays inspectable after the failed release.
+  EXPECT_TRUE(ram.Contains(1));
+}
+
+TEST(RamBackendTest, InjectedRamFaultsFailPutAndTakeCleanly) {
+  InjectorGuard guard;
+  RamBackend ram(/*capacity_bytes=*/0);
+  FaultRule once;
+  once.nth = 1;
+  once.max_failures = 1;
+  FaultInjector::Global().Arm("ram.put", once);
+  const std::string blob = MakeBlob(100, 2);
+  std::string copy = blob;
+  EXPECT_EQ(ram.Put(1, std::move(copy)).code(), StatusCode::kInternal);
+  // Nothing was mutated by the failed Put, so the same key is still free.
+  copy = blob;
+  ASSERT_TRUE(ram.Put(1, std::move(copy)).ok());
+  FaultInjector::Global().Arm("ram.take", once);
+  EXPECT_EQ(ram.Take(1).status().code(), StatusCode::kInternal);
+  auto taken = ram.Take(1);
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ(taken.value(), blob);
 }
 
 TEST(TieredBackendTest, SpillsToDiskWhenRamFills) {

@@ -109,6 +109,44 @@ TEST(TrainingRunTest, DiskTierRescuesHostOom) {
   EXPECT_LE(spilled->peak_host_disk_bytes, starved.disk_bytes_per_gpu());
 }
 
+TEST(TrainingRunTest, DiskDeathMidRunDegradesInsteadOfAborting) {
+  // A host pool sized so the solved plan spills part of alpha to the NVMe
+  // tier, yet the RAM-only budget is still feasible. When the tier dies at
+  // iteration 1, the affected shape is re-planned for the reduced budget
+  // (alpha re-solve, then full recompute as the last rung) and the run
+  // finishes degraded instead of aborting.
+  TrainingRunOptions options;
+  options.iterations = 3;
+  options.seq_lengths = {256 * kSeqK};
+  hw::ClusterSpec starved = kCluster8;
+  starved.node.host_memory_bytes = 192 * kGiB;
+  starved.node.nvme_bytes = 8 * kTiB;
+  auto healthy = SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                     MemoStrategy(), starved, options);
+  ASSERT_TRUE(healthy.ok()) << healthy.status();
+  ASSERT_FALSE(healthy->degraded);
+  ASSERT_GT(healthy->peak_host_disk_bytes, 0);  // the plan used the tier
+
+  options.disk_fail_at_iteration = 1;
+  auto degraded = SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                      MemoStrategy(), starved, options);
+  ASSERT_TRUE(degraded.ok()) << degraded.status();
+  EXPECT_TRUE(degraded->degraded);
+  EXPECT_EQ(degraded->degraded_at_iteration, 1);
+  // The degraded plan trades the lost spill tier for recomputation or a
+  // tighter alpha, so the run can only get slower.
+  EXPECT_GE(degraded->total_seconds, healthy->total_seconds - 1e-9);
+
+  // A disk that was never needed degrades nothing.
+  TrainingRunOptions roomy = options;
+  roomy.disk_fail_at_iteration = 0;
+  auto unaffected = SimulateTrainingRun(parallel::SystemKind::kMemo, k7B,
+                                        MemoStrategy(), kCluster8, roomy);
+  ASSERT_TRUE(unaffected.ok()) << unaffected.status();
+  EXPECT_FALSE(unaffected->degraded);
+  EXPECT_EQ(unaffected->degraded_at_iteration, -1);
+}
+
 TEST(TrainingRunTest, ValidatesInputs) {
   TrainingRunOptions options;
   options.iterations = 0;

@@ -12,6 +12,9 @@
 // `run` auto-tunes the parallelism strategy unless explicit degrees are
 // given. Sequence lengths accept a K suffix (1024-token units).
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -19,6 +22,7 @@
 #include <map>
 #include <string>
 
+#include "common/fault_injector.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "core/job_profiler.h"
@@ -83,10 +87,47 @@ class Flags {
   std::map<std::string, std::string> values_;
 };
 
+/// Exits with a one-line error when `key` is present but not a positive
+/// number. A zero or negative capacity/bandwidth would silently disable a
+/// tier (or divide by zero deep in the solver); fail loudly up front.
+void RequirePositiveIfSet(const Flags& flags, const std::string& key) {
+  if (!flags.Has(key) || flags.GetDouble(key, 0.0) > 0.0) return;
+  std::fprintf(stderr, "--%s must be a positive number (got \"%s\")\n",
+               key.c_str(), flags.Get(key, "").c_str());
+  std::exit(2);
+}
+
+/// Exits when the file named by `key` cannot be created or overwritten:
+/// the file exists read-only, or its directory is missing or unwritable.
+/// Checked before the work starts, so a long run cannot die at the final
+/// write of its trace/metrics/checkpoint output.
+void RequireWritableFileIfSet(const Flags& flags, const std::string& key) {
+  const std::string path = flags.Get(key, "");
+  if (path.empty()) return;
+  if (::access(path.c_str(), F_OK) == 0) {
+    if (::access(path.c_str(), W_OK) == 0) return;
+    std::fprintf(stderr, "--%s %s is not writable\n", key.c_str(),
+                 path.c_str());
+    std::exit(2);
+  }
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  if (::access(dir.c_str(), W_OK) != 0) {
+    std::fprintf(stderr,
+                 "--%s %s: directory %s is missing or not writable\n",
+                 key.c_str(), path.c_str(), dir.c_str());
+    std::exit(2);
+  }
+}
+
 /// The paper's cluster with optional memory-hierarchy overrides:
 /// --host-gib caps host RAM per node, --nvme-gib/--nvme-gbps configure the
 /// NVMe spill tier below it (absent by default, as in the paper).
 memo::hw::ClusterSpec ClusterFromFlags(const Flags& flags) {
+  RequirePositiveIfSet(flags, "host-gib");
+  RequirePositiveIfSet(flags, "nvme-gib");
+  RequirePositiveIfSet(flags, "nvme-gbps");
   auto cluster = memo::hw::PaperCluster(flags.GetInt("gpus", 8));
   if (flags.Has("host-gib")) {
     cluster.node.host_memory_bytes = static_cast<std::int64_t>(
@@ -104,6 +145,8 @@ memo::hw::ClusterSpec ClusterFromFlags(const Flags& flags) {
 }
 
 memo::offload::BackendOptions ParseBackend(const Flags& flags) {
+  RequirePositiveIfSet(flags, "ram-cap-mib");
+  RequirePositiveIfSet(flags, "disk-gbps");
   memo::offload::BackendOptions backend;
   const std::string name = flags.Get("backend", "ram");
   if (name == "ram") {
@@ -142,6 +185,8 @@ class ObsOutputs {
   explicit ObsOutputs(const Flags& flags)
       : trace_path_(flags.Get("trace-out", "")),
         metrics_path_(flags.Get("metrics-out", "")) {
+    RequireWritableFileIfSet(flags, "trace-out");
+    RequireWritableFileIfSet(flags, "metrics-out");
     if (!trace_path_.empty()) {
       memo::obs::TraceRecorder::Global().Clear();
       memo::obs::TraceRecorder::Global().Enable();
@@ -376,9 +421,78 @@ int CmdTrain(const Flags& flags) {
   options.async_offload = flags.GetInt("async", 1) != 0;
   options.backend = ParseBackend(flags);
 
+  // Checkpoint/resume configuration. The directory is created when absent
+  // and validated up front, so a long run cannot die at its first save.
+  options.checkpoint_dir = flags.Get("checkpoint-dir", "");
+  options.checkpoint_every = flags.GetInt("checkpoint-every", 0);
+  options.resume = flags.GetInt("resume", 0) != 0;
+  if (flags.Has("checkpoint-every") && options.checkpoint_every <= 0) {
+    std::fprintf(stderr, "--checkpoint-every must be a positive number "
+                         "of iterations (got \"%s\")\n",
+                 flags.Get("checkpoint-every", "").c_str());
+    return 2;
+  }
+  if ((options.checkpoint_every > 0 || options.resume) &&
+      options.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-every/--resume require --checkpoint-dir\n");
+    return 2;
+  }
+  if (!options.checkpoint_dir.empty()) {
+    struct stat st;
+    if (::stat(options.checkpoint_dir.c_str(), &st) == 0) {
+      if (!S_ISDIR(st.st_mode) ||
+          ::access(options.checkpoint_dir.c_str(), W_OK) != 0) {
+        std::fprintf(stderr,
+                     "--checkpoint-dir %s is not a writable directory\n",
+                     options.checkpoint_dir.c_str());
+        return 2;
+      }
+    } else if (::mkdir(options.checkpoint_dir.c_str(), 0755) != 0) {
+      std::fprintf(stderr, "--checkpoint-dir %s cannot be created\n",
+                   options.checkpoint_dir.c_str());
+      return 2;
+    }
+  }
+
+  // Seeded fault injection (e.g. --fault "disk.page_write:p=0.05"). Armed
+  // before the run so the spec covers every site the run touches.
+  if (flags.Has("fault-seed")) {
+    memo::FaultInjector::Global().Seed(
+        static_cast<std::uint64_t>(flags.GetDouble("fault-seed", 0.0)));
+  }
+  const std::string fault_spec = flags.Get("fault", "");
+  if (!fault_spec.empty()) {
+    const memo::Status armed =
+        memo::FaultInjector::Global().ArmFromSpec(fault_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
+
   const memo::train::TrainRunResult result =
       memo::train::RunTraining(options);
+  memo::FaultInjector::Global().Reset();
+  if (result.resumed_from_step >= 0) {
+    std::printf("resumed from checkpoint at step %lld\n",
+                static_cast<long long>(result.resumed_from_step));
+  }
+  if (result.degraded) {
+    std::printf("run degraded: stash backend failed permanently; "
+                "finished on the RAM-only fallback\n");
+  }
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "training stopped after %zu iterations: %s\n",
+                 result.losses.size(), result.status.ToString().c_str());
+    obs.Finish();
+    return 1;
+  }
   const auto& stats = result.offload_stats;
+  if (result.checkpoints_written > 0) {
+    std::printf("checkpoints written: %d (dir %s)\n",
+                result.checkpoints_written, options.checkpoint_dir.c_str());
+  }
   std::printf("final loss %.6f after %d iterations\n", result.losses.back(),
               options.iterations);
   std::printf("recomputed rows %lld; peak stash %s\n",
@@ -416,6 +530,10 @@ void Usage() {
                "  train  --layers 4 --seq 64 --alpha 0.5 [--async 0]\n"
                "         [--backend ram|disk|tiered --ram-cap-mib M\n"
                "          --disk-gbps B]\n"
+               "         [--checkpoint-dir D --checkpoint-every N\n"
+               "          --resume 1]\n"
+               "         [--fault \"site:p=0.05,...;site2:...\"\n"
+               "          --fault-seed S]\n"
                "         [--trace-out t.json --metrics-out m.json]\n");
 }
 
