@@ -10,12 +10,19 @@ namespace memo::bench {
 
 /// One machine-readable benchmark measurement. `speedup_vs_serial` is the
 /// serial-baseline wall time of the same op divided by this record's wall
-/// time (1.0 for the baseline itself).
+/// time (1.0 for the baseline itself). `threads` is the pool size the row
+/// actually ran with (not the requested size — the two can differ, and rows
+/// were previously mislabeled when they did). `kernel` distinguishes the
+/// preserved naive reference kernels from the dispatched optimized path,
+/// and `simd` records the dispatch level the optimized path executed
+/// ("scalar"/"avx2"/"avx512"; empty when the bench doesn't dispatch).
 struct BenchRecord {
   std::string op;
   int threads = 1;
   double wall_ms = 0.0;
   double speedup_vs_serial = 1.0;
+  std::string kernel = "optimized";
+  std::string simd;
 };
 
 /// Writes records as a JSON array (BENCH_*.json, consumed by the driver).
@@ -28,8 +35,10 @@ inline bool WriteBenchJson(const std::string& path,
     const BenchRecord& r = records[i];
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
-                 "\"speedup_vs_serial\": %.3f}%s\n",
+                 "\"speedup_vs_serial\": %.3f, \"kernel\": \"%s\", "
+                 "\"simd\": \"%s\"}%s\n",
                  r.op.c_str(), r.threads, r.wall_ms, r.speedup_vs_serial,
+                 r.kernel.c_str(), r.simd.c_str(),
                  i + 1 == records.size() ? "" : ",");
   }
   std::fprintf(f, "]\n");

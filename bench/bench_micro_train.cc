@@ -7,12 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "bench_json.h"
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
+#include "train/kernels/kernels.h"
 #include "train/reference_ops.h"
+#include "train/tensor_arena.h"
 #include "train/trainer.h"
 
 namespace {
@@ -111,7 +116,13 @@ double TimeTrainStepMs() {
   std::vector<int> targets;
   memo::train::SyntheticData data(config.vocab, 0.9, 5);
   data.NextSequence(config.seq, &tokens, &targets);
+  // Serve step temporaries from the arena exactly like the trainer hot loop
+  // does: the first rep measures and commits the DSA plan, every later rep
+  // (which is what the best-of-N timing keeps) replays it heap-free.
+  memo::train::TensorArena arena;
   return memo::bench::BestWallMs(8, [&] {
+    arena.BeginStep();
+    memo::train::ArenaScope scope(&arena);
     for (memo::train::Tensor* g : grads.Flat()) g->Fill(0.0f);
     memo::train::ActivationStore store(ActivationPolicy::kRetainAll, 1.0);
     benchmark::DoNotOptimize(
@@ -144,8 +155,12 @@ double TimeAttentionForwardMs() {
 }
 
 void RunSpeedupStudy() {
+  using memo::ScopedSimdLevel;
+  using memo::SimdLevel;
+  using memo::SimdLevelName;
   using memo::ThreadPool;
   using memo::train::KernelMode;
+  namespace kernels = memo::train::kernels;
   struct Case {
     const char* op;
     double (*time_ms)();
@@ -154,19 +169,37 @@ void RunSpeedupStudy() {
                         {"linear_forward", &TimeLinearForwardMs},
                         {"attention_forward", &TimeAttentionForwardMs}};
   std::vector<memo::bench::BenchRecord> records;
+  auto emit = [&records](const Case& c, double serial_ms, double ms,
+                         const char* kernel, const char* simd) {
+    // Label the row with the pool size that actually ran, not the requested
+    // one (rows used to claim "threads": 1 while showing a parallel
+    // speedup), and with the dispatch level the kernel layer executed.
+    const int threads = ThreadPool::Global().threads();
+    records.push_back({c.op, threads, ms, serial_ms / ms, kernel, simd});
+    std::printf("%-18s kernel=%-9s simd=%-6s threads=%d  %8.3f ms  "
+                "(%.2fx vs serial)\n",
+                c.op, kernel, *simd ? simd : "-", threads, ms,
+                serial_ms / ms);
+  };
   for (const Case& c : cases) {
     ThreadPool::SetGlobalThreads(1);
     memo::train::SetKernelMode(KernelMode::kReference);
     const double serial_ms = c.time_ms();
-    records.push_back({c.op, 1, serial_ms, 1.0});
+    emit(c, serial_ms, serial_ms, "reference", "");
     memo::train::SetKernelMode(KernelMode::kOptimized);
-    for (int threads : {1, 4}) {
-      ThreadPool::SetGlobalThreads(threads);
-      const double ms = c.time_ms();
-      records.push_back({c.op, threads, ms, serial_ms / ms});
-      std::printf("%-18s threads=%d  %8.3f ms  (%.2fx vs serial)\n", c.op,
-                  threads, ms, serial_ms / ms);
+    // Single-threaded sweep over every dispatch tier this build + CPU can
+    // execute (requests above the ceiling clamp, so skip duplicates).
+    for (SimdLevel level :
+         {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+      ScopedSimdLevel pin(level);
+      const kernels::KernelTable& table = kernels::Active();
+      if (table.level != level) continue;
+      emit(c, serial_ms, c.time_ms(), "optimized", SimdLevelName(table.level));
     }
+    // Parallel row at the auto-detected (best available) dispatch level.
+    ThreadPool::SetGlobalThreads(4);
+    emit(c, serial_ms, c.time_ms(), "optimized",
+         SimdLevelName(kernels::Active().level));
   }
   ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreadCount());
   const char* path = "BENCH_micro_train.json";
@@ -177,9 +210,77 @@ void RunSpeedupStudy() {
   }
 }
 
+// ---- `--check-losses`: CI smoke mode (run by ctest with MEMO_SIMD=scalar).
+// Trains the bench model twice — dispatched kernels + step-scoped arena vs
+// the preserved naive reference kernels — and requires the loss series to
+// match bit for bit, plus the arena's zero-heap-allocation steady state.
+// At MEMO_SIMD=scalar the match must be exact (the scalar table's contract);
+// any drift means a kernel or the arena changed numerics.
+
+int RunCheckLosses() {
+  using memo::train::KernelMode;
+  memo::train::TrainRunOptions options;
+  options.model = BenchModel();
+  options.iterations = 6;
+  options.policy = ActivationPolicy::kRetainAll;
+
+  memo::train::SetKernelMode(KernelMode::kOptimized);
+  options.use_arena = true;
+  const auto dispatched = memo::train::RunTraining(options);
+
+  memo::train::SetKernelMode(KernelMode::kReference);
+  options.use_arena = false;
+  const auto reference = memo::train::RunTraining(options);
+
+  const memo::SimdLevel level = memo::train::kernels::Active().level;
+  const char* simd = memo::SimdLevelName(level);
+  // Bit-exact is the scalar table's contract (what CI pins via MEMO_SIMD);
+  // vectorized tiers reorder reductions, so a manual run at avx2/avx512 is
+  // held to a loss tolerance instead.
+  const double tol = level == memo::SimdLevel::kScalar ? 0.0 : 1e-3;
+  if (!dispatched.status.ok() || !reference.status.ok()) {
+    std::fprintf(stderr, "check-losses: training failed\n");
+    return 1;
+  }
+  if (dispatched.losses.size() != reference.losses.size()) {
+    std::fprintf(stderr, "check-losses: loss series length mismatch\n");
+    return 1;
+  }
+  int rc = 0;
+  for (std::size_t i = 0; i < dispatched.losses.size(); ++i) {
+    if (std::abs(dispatched.losses[i] - reference.losses[i]) > tol) {
+      std::fprintf(stderr,
+                   "check-losses: iter %zu diverged at simd=%s: "
+                   "%.17g (dispatched) vs %.17g (reference)\n",
+                   i, simd, dispatched.losses[i], reference.losses[i]);
+      rc = 1;
+    }
+  }
+  if (dispatched.arena_heap_fallback_allocs != 0 ||
+      dispatched.arena_plan_divergences != 0) {
+    std::fprintf(stderr,
+                 "check-losses: arena leaked to the heap (fallbacks=%lld, "
+                 "divergences=%lld)\n",
+                 static_cast<long long>(dispatched.arena_heap_fallback_allocs),
+                 static_cast<long long>(dispatched.arena_plan_divergences));
+    rc = 1;
+  }
+  if (rc == 0) {
+    std::printf(
+        "check-losses: %zu iterations matched reference at simd=%s "
+        "(tol=%g), arena planned_steps=%lld heap_fallbacks=0\n",
+        dispatched.losses.size(), simd, tol,
+        static_cast<long long>(dispatched.arena_planned_steps));
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--check-losses") == 0) return RunCheckLosses();
+  }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

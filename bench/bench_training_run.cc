@@ -63,13 +63,23 @@ int main() {
       (void)memo::core::SimulateTrainingRun(c.system, model, c.strategy,
                                             cluster, options);
     });
-    records.push_back({op, 1, serial_ms, 1.0});
+    memo::bench::BenchRecord serial_record;
+    serial_record.op = op;
+    serial_record.threads = 1;
+    serial_record.wall_ms = serial_ms;
+    serial_record.speedup_vs_serial = 1.0;
+    records.push_back(serial_record);
     memo::ThreadPool::SetGlobalThreads(4);
     const double parallel_ms = memo::bench::BestWallMs(3, [&] {
       (void)memo::core::SimulateTrainingRun(c.system, model, c.strategy,
                                             cluster, options);
     });
-    records.push_back({op, 4, parallel_ms, serial_ms / parallel_ms});
+    memo::bench::BenchRecord parallel_record;
+    parallel_record.op = op;
+    parallel_record.threads = 4;
+    parallel_record.wall_ms = parallel_ms;
+    parallel_record.speedup_vs_serial = serial_ms / parallel_ms;
+    records.push_back(parallel_record);
     auto run = memo::core::SimulateTrainingRun(c.system, model, c.strategy,
                                                cluster, options);
     if (!run.ok()) {

@@ -1,0 +1,85 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace memo {
+
+namespace {
+
+SimdLevel DetectCpuLevel() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_cpu_init();
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return SimdLevel::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    return SimdLevel::kAvx2;
+  }
+#endif
+  return SimdLevel::kScalar;
+}
+
+SimdLevel InitialRequest() {
+  const char* env = std::getenv("MEMO_SIMD");
+  if (env != nullptr && env[0] != '\0') {
+    SimdLevel level;
+    if (ParseSimdLevel(env, &level)) return level;
+    std::fprintf(stderr,
+                 "MEMO_SIMD=%s not recognized (want scalar|avx2|avx512); "
+                 "auto-detecting\n",
+                 env);
+  }
+  return CpuSimdLevel();
+}
+
+std::atomic<SimdLevel>& RequestedLevelStorage() {
+  static std::atomic<SimdLevel> level{InitialRequest()};
+  return level;
+}
+
+}  // namespace
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+bool ParseSimdLevel(const std::string& name, SimdLevel* out) {
+  if (name == "scalar") {
+    *out = SimdLevel::kScalar;
+  } else if (name == "avx2") {
+    *out = SimdLevel::kAvx2;
+  } else if (name == "avx512") {
+    *out = SimdLevel::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SimdLevel CpuSimdLevel() {
+  static const SimdLevel level = DetectCpuLevel();
+  return level;
+}
+
+SimdLevel RequestedSimdLevel() {
+  return RequestedLevelStorage().load(std::memory_order_relaxed);
+}
+
+void SetSimdLevel(SimdLevel level) {
+  RequestedLevelStorage().store(level, std::memory_order_relaxed);
+}
+
+}  // namespace memo

@@ -1,0 +1,53 @@
+#ifndef MEMO_COMMON_SIMD_H_
+#define MEMO_COMMON_SIMD_H_
+
+#include <string>
+
+namespace memo {
+
+/// Instruction-set tiers of the vectorized training kernels. The numeric
+/// order is meaningful: a request is clamped down to what the CPU and the
+/// build both support, so `kAvx512 > kAvx2 > kScalar` reads "at most".
+enum class SimdLevel : int {
+  kScalar = 0,  // plain C++ loops, bit-identical to train/reference_ops
+  kAvx2 = 1,    // 8-wide AVX2 + FMA
+  kAvx512 = 2,  // 16-wide AVX-512 F/BW/DQ/VL
+};
+
+/// Name as accepted by MEMO_SIMD and emitted in bench JSON: "scalar",
+/// "avx2", "avx512".
+const char* SimdLevelName(SimdLevel level);
+
+/// Parses a MEMO_SIMD-style name. Returns false (and leaves `out` alone) on
+/// an unknown name.
+bool ParseSimdLevel(const std::string& name, SimdLevel* out);
+
+/// Highest tier this CPU can execute (via CPUID; kScalar off x86).
+SimdLevel CpuSimdLevel();
+
+/// The requested dispatch ceiling: MEMO_SIMD if set (unknown values warn
+/// and fall back to auto-detect), else CpuSimdLevel(). SetSimdLevel
+/// overrides it process-wide; kernels additionally clamp to what was
+/// compiled in, so the level actually executed is reported by
+/// train::kernels::Active().level, not by this function.
+SimdLevel RequestedSimdLevel();
+void SetSimdLevel(SimdLevel level);
+
+/// RAII pin for tests: sets `level` for the current scope, restoring the
+/// previous request on destruction.
+class ScopedSimdLevel {
+ public:
+  explicit ScopedSimdLevel(SimdLevel level) : previous_(RequestedSimdLevel()) {
+    SetSimdLevel(level);
+  }
+  ~ScopedSimdLevel() { SetSimdLevel(previous_); }
+  ScopedSimdLevel(const ScopedSimdLevel&) = delete;
+  ScopedSimdLevel& operator=(const ScopedSimdLevel&) = delete;
+
+ private:
+  SimdLevel previous_;
+};
+
+}  // namespace memo
+
+#endif  // MEMO_COMMON_SIMD_H_

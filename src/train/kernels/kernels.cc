@@ -1,0 +1,31 @@
+#include "train/kernels/kernels.h"
+
+namespace memo::train::kernels {
+
+const KernelTable& TableForLevel(SimdLevel level) {
+  // Clamp the request to the CPU first (an avx512 request on an AVX2 host
+  // must run avx2, not scalar), then walk down to the nearest tier this
+  // build actually compiled.
+  if (level > CpuSimdLevel()) level = CpuSimdLevel();
+  switch (level) {
+    case SimdLevel::kAvx512:
+#ifdef MEMO_HAVE_AVX512_KERNELS
+      return Avx512Kernels();
+#else
+      [[fallthrough]];
+#endif
+    case SimdLevel::kAvx2:
+#ifdef MEMO_HAVE_AVX2_KERNELS
+      return Avx2Kernels();
+#else
+      [[fallthrough]];
+#endif
+    case SimdLevel::kScalar:
+      break;
+  }
+  return ScalarKernels();
+}
+
+const KernelTable& Active() { return TableForLevel(RequestedSimdLevel()); }
+
+}  // namespace memo::train::kernels

@@ -1,0 +1,131 @@
+#ifndef MEMO_TRAIN_KERNELS_KERNELS_H_
+#define MEMO_TRAIN_KERNELS_KERNELS_H_
+
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace memo::train::kernels {
+
+/// The microkernel vocabulary of the training op layer: every inner loop of
+/// ops.cc / adam.cc is one of these, dispatched per process to the scalar,
+/// AVX2 (8-wide + FMA) or AVX-512 (16-wide) implementation.
+///
+/// Contracts shared by every implementation (and relied on by token-wise
+/// recomputation, which replays arbitrary row subsets):
+///  - Row independence: a kernel's result depends only on its operands and
+///    `n`, never on which chunk or row range the caller is processing, so
+///    recomputing one row reproduces it bit for bit at any dispatch level.
+///  - The scalar table is bit-identical to train/reference_ops for every
+///    kernel (test-enforced); the elementwise kernels marked "exact" below
+///    are bit-identical at EVERY level because they perform the same
+///    per-element arithmetic, just on wider registers.
+///  - The SIMD reductions/transcendentals are deterministic for a fixed
+///    level (fixed-shape lane reduction trees, polynomial exp/erf) but only
+///    match the reference within tolerance: accumulation order differs and
+///    exp/erf are Cephes/Abramowitz-Stegun approximations (|rel err| ~1e-6
+///    per call; simd_kernels_test documents and enforces the bounds).
+struct KernelTable {
+  SimdLevel level = SimdLevel::kScalar;
+
+  // ---- Elementwise kernels. acc/add/scale are bit-identical at EVERY
+  // level (one add or mul per element — lane width cannot change rounding),
+  // so callers may use them unconditionally; axpy is FMA-contracted on SIMD
+  // paths and exact only at scalar.
+  /// y[i] += a * x[i].
+  void (*axpy)(float* y, const float* x, float a, std::int64_t n);
+  /// y[i] += x[i]. Exact at every level.
+  void (*acc)(float* y, const float* x, std::int64_t n);
+  /// out[i] = a[i] + b[i]. Exact at every level.
+  void (*add)(float* out, const float* a, const float* b, std::int64_t n);
+  /// y[i] *= a. Exact at every level.
+  void (*scale)(float* y, float a, std::int64_t n);
+
+  // ---- GEMM inner kernels (FMA on SIMD paths: the intermediate products
+  // are not rounded, so results differ from scalar in the last ulp).
+  /// y[c] (+)= x0*w0[c]; += x1*w1[c]; += x2*w2[c]; += x3*w3[c], in that
+  /// per-element order (the reference i-ascending accumulation).
+  void (*gemm_update4)(float* y, const float* w0, const float* w1,
+                       const float* w2, const float* w3, float x0, float x1,
+                       float x2, float x3, std::int64_t n);
+  /// sum_i a[i] * b[i].
+  float (*dot)(const float* a, const float* b, std::int64_t n);
+  /// out[k] = sum_i a[i] * bk[i] for four independent reductions.
+  void (*dot4)(const float* a, const float* b0, const float* b1,
+               const float* b2, const float* b3, std::int64_t n,
+               float out[4]);
+
+  // ---- LayerNorm.
+  float (*sum)(const float* x, std::int64_t n);
+  /// sum_i (x[i] - mean)^2.
+  float (*sumsq_centered)(const float* x, float mean, std::int64_t n);
+  /// y[i] = (x[i] - mean) * inv * g[i] + b[i].
+  void (*ln_apply)(const float* x, const float* g, const float* b, float mean,
+                   float inv, float* y, std::int64_t n);
+  /// sum_dy_g = sum dy[i]*g[i]; sum_dy_g_xhat = sum dy[i]*g[i]*xhat[i].
+  void (*ln_bwd_reduce)(const float* x, const float* dy, const float* g,
+                        float mean, float inv, std::int64_t n, float* sum_dy_g,
+                        float* sum_dy_g_xhat);
+  /// dx[i] = inv * (dy[i]*g[i] - inv_n*sum_dy_g - xhat*inv_n*sum_dy_g_xhat).
+  void (*ln_bwd_apply)(const float* x, const float* dy, const float* g,
+                       float mean, float inv, float inv_n, float sum_dy_g,
+                       float sum_dy_g_xhat, float* dx, std::int64_t n);
+  /// dg[i] += dy[i]*xhat[i]; db[i] += dy[i] (either may be null).
+  void (*ln_bwd_dgdb)(const float* x, const float* dy, float mean, float inv,
+                      float* dg, float* db, std::int64_t n);
+
+  // ---- GELU (exact-erf formulation, matching reference_ops).
+  void (*gelu_fwd)(const float* x, float* y, std::int64_t n);
+  void (*gelu_bwd)(const float* x, const float* dy, float* dx, std::int64_t n);
+
+  // ---- Attention.
+  /// One causal attention output row: softmax(q_r . K[0..kv) / sqrt(d)) @ V.
+  /// `kbase`/`vbase` point at the head's first column of row 0; key/value
+  /// row c lives at kbase + c*stride. SIMD paths stream the keys through an
+  /// online max/sum (FlashAttention-style), so no score vector of length kv
+  /// is ever materialized; the scalar path matches reference_ops bit for bit
+  /// and uses `scratch` (caller-provided, >= kv floats) for the score row.
+  void (*attn_row_fwd)(const float* qr, const float* kbase, const float* vbase,
+                       std::int64_t kv, std::int64_t d, std::int64_t stride,
+                       float scale, float* outr, float* scratch);
+  /// The causal softmax probabilities of one row (backward recomputes them;
+  /// must match what attn_row_fwd used, which both paths guarantee).
+  void (*attn_row_probs)(const float* qr, const float* kbase, std::int64_t kv,
+                         std::int64_t d, std::int64_t stride, float scale,
+                         float* probs);
+
+  // ---- Softmax cross-entropy, one row of logits. Returns the row loss
+  // (log-sum-exp minus target logit) and fills d_logits when non-null.
+  double (*ce_row)(const float* logits, std::int64_t n, int target,
+                   float inv_rows, float* dlogits);
+
+  // ---- Adam. The scalar path keeps the reference double-precision moment
+  // math; SIMD paths run the same formula in float (documented tolerance).
+  void (*adam_update)(float* p, float* m, float* v, const float* g,
+                      std::int64_t n, double beta1, double beta2, double lr,
+                      double eps, double bias1, double bias2);
+};
+
+/// The table for `level`, clamped down to what this build compiled and this
+/// CPU can execute (e.g. requesting avx512 on an AVX2-only host yields the
+/// avx2 table; on a non-x86 build, scalar).
+const KernelTable& TableForLevel(SimdLevel level);
+
+/// The table for the process-wide requested level (common/simd.h): what the
+/// op layer actually runs. `Active().level` is the ground truth reported in
+/// bench JSON.
+const KernelTable& Active();
+
+// Per-level tables (TableForLevel handles clamping; these are exposed so
+// simd_kernels_test can address a specific implementation).
+const KernelTable& ScalarKernels();
+#ifdef MEMO_HAVE_AVX2_KERNELS
+const KernelTable& Avx2Kernels();
+#endif
+#ifdef MEMO_HAVE_AVX512_KERNELS
+const KernelTable& Avx512Kernels();
+#endif
+
+}  // namespace memo::train::kernels
+
+#endif  // MEMO_TRAIN_KERNELS_KERNELS_H_

@@ -1,0 +1,10 @@
+// AVX2 + FMA instantiation of the shared SIMD microkernels. This TU (and
+// only this TU) is compiled with -mavx2 -mfma; it must never be entered on
+// a CPU without those features (TableForLevel guarantees that).
+
+#define MEMO_SIMD_NS avx2
+#define MEMO_SIMD_WIDTH 8
+#define MEMO_SIMD_LEVEL SimdLevel::kAvx2
+#define MEMO_SIMD_TABLE Avx2Kernels
+
+#include "train/kernels/kernels_simd.inc"

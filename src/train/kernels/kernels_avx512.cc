@@ -1,0 +1,20 @@
+// AVX-512 instantiation of the shared SIMD microkernels. This TU (and only
+// this TU) is compiled with -mavx512f/bw/dq/vl -mfma; it must never be
+// entered on a CPU without those features (TableForLevel guarantees that).
+
+#define MEMO_SIMD_NS avx512
+#define MEMO_SIMD_WIDTH 16
+#define MEMO_SIMD_LEVEL SimdLevel::kAvx512
+#define MEMO_SIMD_TABLE Avx512Kernels
+
+// gcc-12's unmasked AVX-512 intrinsics (sqrt_ps, shuffle_f32x4, ...) expand
+// through _mm512_undefined_ps(), whose deliberately-uninitialized temporary
+// trips -Wuninitialized at every inline site (gcc PR105593). Those are
+// header artifacts, not bugs in this TU.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+#include "train/kernels/kernels_simd.inc"
+
+#pragma GCC diagnostic pop

@@ -1,0 +1,251 @@
+// Scalar microkernels: the dispatch floor and the bit-exactness anchor.
+// Every loop here reproduces the floating-point evaluation order of
+// train/reference_ops.cc exactly (test-enforced), so MEMO_SIMD=scalar keeps
+// the whole training stack bit-identical to the naive reference at any
+// thread count. The only liberties taken are ILP transforms that do not
+// change any per-element rounding sequence (independent accumulator chains
+// for the attention score dots, mirroring ops.cc's proven pattern).
+
+#include <algorithm>
+#include <cmath>
+
+#include "train/kernels/kernels.h"
+
+namespace memo::train::kernels {
+namespace {
+
+void Axpy(float* y, const float* x, float a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+void Acc(float* y, const float* x, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += x[i];
+}
+
+void Add(float* out, const float* a, const float* b, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) out[i] = a[i] + b[i];
+}
+
+void Scale(float* y, float a, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] *= a;
+}
+
+void GemmUpdate4(float* __restrict y, const float* __restrict w0,
+                 const float* __restrict w1, const float* __restrict w2,
+                 const float* __restrict w3, float x0, float x1, float x2,
+                 float x3, std::int64_t n) {
+  for (std::int64_t c = 0; c < n; ++c) {
+    float v = y[c];
+    v += x0 * w0[c];
+    v += x1 * w1[c];
+    v += x2 * w2[c];
+    v += x3 * w3[c];
+    y[c] = v;
+  }
+}
+
+float Dot(const float* a, const float* b, std::int64_t n) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Dot4(const float* a, const float* b0, const float* b1, const float* b2,
+          const float* b3, std::int64_t n, float out[4]) {
+  float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float v = a[i];
+    a0 += v * b0[i];
+    a1 += v * b1[i];
+    a2 += v * b2[i];
+    a3 += v * b3[i];
+  }
+  out[0] = a0;
+  out[1] = a1;
+  out[2] = a2;
+  out[3] = a3;
+}
+
+float Sum(const float* x, std::int64_t n) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+float SumsqCentered(const float* x, float mean, std::int64_t n) {
+  float acc = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float d = x[i] - mean;
+    acc += d * d;
+  }
+  return acc;
+}
+
+void LnApply(const float* x, const float* g, const float* b, float mean,
+             float inv, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = (x[i] - mean) * inv * g[i] + b[i];
+  }
+}
+
+void LnBwdReduce(const float* x, const float* dy, const float* g, float mean,
+                 float inv, std::int64_t n, float* sum_dy_g,
+                 float* sum_dy_g_xhat) {
+  float s0 = 0.0f;
+  float s1 = 0.0f;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xhat = (x[i] - mean) * inv;
+    const float dyg = dy[i] * g[i];
+    s0 += dyg;
+    s1 += dyg * xhat;
+  }
+  *sum_dy_g = s0;
+  *sum_dy_g_xhat = s1;
+}
+
+void LnBwdApply(const float* x, const float* dy, const float* g, float mean,
+                float inv, float inv_n, float sum_dy_g, float sum_dy_g_xhat,
+                float* dx, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float xhat = (x[i] - mean) * inv;
+    const float dyg = dy[i] * g[i];
+    dx[i] = inv * (dyg - inv_n * sum_dy_g - xhat * inv_n * sum_dy_g_xhat);
+  }
+}
+
+void LnBwdDgdb(const float* x, const float* dy, float mean, float inv,
+               float* dg, float* db, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    if (dg != nullptr) dg[i] += dy[i] * ((x[i] - mean) * inv);
+    if (db != nullptr) db[i] += dy[i];
+  }
+}
+
+constexpr float kInvSqrt2 = 0.70710678118654752f;
+constexpr float kInvSqrt2Pi = 0.39894228040143268f;
+
+void GeluFwd(const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    y[i] = x[i] * 0.5f * (1.0f + std::erf(x[i] * kInvSqrt2));
+  }
+}
+
+void GeluBwd(const float* x, const float* dy, float* dx, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float cdf = 0.5f * (1.0f + std::erf(x[i] * kInvSqrt2));
+    const float pdf = kInvSqrt2Pi * std::exp(-0.5f * x[i] * x[i]);
+    dx[i] = dy[i] * (cdf + x[i] * pdf);
+  }
+}
+
+/// Scores -> softmax in place over scratch[0, kv). Four keys per pass: four
+/// independent i-ascending accumulator chains hide the FP-add latency while
+/// each score's reduction sequence stays exactly the reference's.
+void RowProbsInto(const float* qr, const float* kbase, std::int64_t kv,
+                  std::int64_t d, std::int64_t stride, float scale,
+                  float* probs) {
+  float max_score = -1e30f;
+  std::int64_t c = 0;
+  for (; c + 4 <= kv; c += 4) {
+    const float* k0 = kbase + c * stride;
+    const float* k1 = kbase + (c + 1) * stride;
+    const float* k2 = kbase + (c + 2) * stride;
+    const float* k3 = kbase + (c + 3) * stride;
+    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) {
+      const float qv = qr[i];
+      s0 += qv * k0[i];
+      s1 += qv * k1[i];
+      s2 += qv * k2[i];
+      s3 += qv * k3[i];
+    }
+    probs[c] = s0 * scale;
+    probs[c + 1] = s1 * scale;
+    probs[c + 2] = s2 * scale;
+    probs[c + 3] = s3 * scale;
+    for (int u = 0; u < 4; ++u) {
+      if (probs[c + u] > max_score) max_score = probs[c + u];
+    }
+  }
+  for (; c < kv; ++c) {
+    const float* kc = kbase + c * stride;
+    float score = 0.0f;
+    for (std::int64_t i = 0; i < d; ++i) score += qr[i] * kc[i];
+    score *= scale;
+    probs[c] = score;
+    if (score > max_score) max_score = score;
+  }
+  float denom = 0.0f;
+  for (c = 0; c < kv; ++c) {
+    probs[c] = std::exp(probs[c] - max_score);
+    denom += probs[c];
+  }
+  const float inv = 1.0f / denom;
+  for (c = 0; c < kv; ++c) probs[c] *= inv;
+}
+
+void AttnRowFwd(const float* qr, const float* kbase, const float* vbase,
+                std::int64_t kv, std::int64_t d, std::int64_t stride,
+                float scale, float* outr, float* scratch) {
+  RowProbsInto(qr, kbase, kv, d, stride, scale, scratch);
+  std::fill(outr, outr + d, 0.0f);
+  for (std::int64_t c = 0; c < kv; ++c) {
+    const float p = scratch[c];
+    const float* __restrict vc = vbase + c * stride;
+    for (std::int64_t i = 0; i < d; ++i) outr[i] += p * vc[i];
+  }
+}
+
+void AttnRowProbs(const float* qr, const float* kbase, std::int64_t kv,
+                  std::int64_t d, std::int64_t stride, float scale,
+                  float* probs) {
+  RowProbsInto(qr, kbase, kv, d, stride, scale, probs);
+}
+
+double CeRow(const float* lr, std::int64_t n, int target, float inv_rows,
+             float* dl) {
+  float max_logit = -1e30f;
+  for (std::int64_t c = 0; c < n; ++c) {
+    if (lr[c] > max_logit) max_logit = lr[c];
+  }
+  double denom = 0.0;
+  for (std::int64_t c = 0; c < n; ++c) {
+    denom += std::exp(static_cast<double>(lr[c] - max_logit));
+  }
+  if (dl != nullptr) {
+    for (std::int64_t c = 0; c < n; ++c) {
+      const float p = static_cast<float>(
+          std::exp(static_cast<double>(lr[c] - max_logit)) / denom);
+      dl[c] = (p - (c == target ? 1.0f : 0.0f)) * inv_rows;
+    }
+  }
+  return std::log(denom) - (lr[target] - max_logit);
+}
+
+void AdamUpdate(float* p, float* m, float* v, const float* g, std::int64_t n,
+                double beta1, double beta2, double lr, double eps,
+                double bias1, double bias2) {
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float gi = g[i];
+    m[i] = static_cast<float>(beta1 * m[i] + (1.0 - beta1) * gi);
+    v[i] = static_cast<float>(beta2 * v[i] + (1.0 - beta2) * gi * gi);
+    const double m_hat = m[i] / bias1;
+    const double v_hat = v[i] / bias2;
+    p[i] -= static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + eps));
+  }
+}
+
+}  // namespace
+
+const KernelTable& ScalarKernels() {
+  static const KernelTable table = {
+      SimdLevel::kScalar, &Axpy,        &Acc,         &Add,
+      &Scale,             &GemmUpdate4, &Dot,         &Dot4,
+      &Sum,               &SumsqCentered, &LnApply,   &LnBwdReduce,
+      &LnBwdApply,        &LnBwdDgdb,   &GeluFwd,     &GeluBwd,
+      &AttnRowFwd,        &AttnRowProbs, &CeRow,      &AdamUpdate,
+  };
+  return table;
+}
+
+}  // namespace memo::train::kernels

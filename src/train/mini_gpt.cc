@@ -3,8 +3,24 @@
 #include <cmath>
 
 #include "obs/trace_recorder.h"
+#include "train/kernels/kernels.h"
 
 namespace memo::train {
+
+namespace {
+
+/// out = a + b, elementwise over whole tensors. One rounded add per element
+/// at every SIMD level, so the result is bit-identical to the plain loop.
+void AddInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  kernels::Active().add(out->data(), a.data(), b.data(), a.size());
+}
+
+/// y += x over whole tensors; exact at every SIMD level.
+void AccInto(const Tensor& x, Tensor* y) {
+  kernels::Active().acc(y->data(), x.data(), x.size());
+}
+
+}  // namespace
 
 MiniGptParams MiniGptParams::Init(const MiniGptConfig& config,
                                   std::uint64_t seed) {
@@ -77,12 +93,7 @@ Tensor LayerForward(const LayerParams& l, int heads, const Tensor& x,
   LinearForward(acts->attn_out, l.wo, kNoBias, &acts->proj_out);
 
   Tensor resid1(s, h);
-  for (std::int64_t r = 0; r < s; ++r) {
-    const float* xi = x.row(r);
-    const float* pi = acts->proj_out.row(r);
-    float* ri = resid1.row(r);
-    for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
-  }
+  AddInto(x, acts->proj_out, &resid1);
   acts->ln2_out = Tensor(s, h);
   acts->ln2_rstd = Tensor(s, 1);
   LayerNormForward(resid1, l.ln2_g, l.ln2_b, &acts->ln2_out,
@@ -95,12 +106,7 @@ Tensor LayerForward(const LayerParams& l, int heads, const Tensor& x,
   LinearForward(acts->gelu_out, l.w2, l.b2, &fc2_out);
 
   Tensor out(s, h);
-  for (std::int64_t r = 0; r < s; ++r) {
-    const float* ri = resid1.row(r);
-    const float* fi = fc2_out.row(r);
-    float* oi = out.row(r);
-    for (std::int64_t i = 0; i < h; ++i) oi[i] = ri[i] + fi[i];
-  }
+  AddInto(resid1, fc2_out, &out);
   return out;
 }
 
@@ -117,12 +123,7 @@ Tensor LayerBackward(const LayerParams& l, int heads,
   // Recompute resid1 = input + proj_out (transient, Fig. 4's tensor 15-like
   // recompute-by-add).
   Tensor resid1(s, h);
-  for (std::int64_t r = 0; r < s; ++r) {
-    const float* xi = acts.input.row(r);
-    const float* pi = acts.proj_out.row(r);
-    float* ri = resid1.row(r);
-    for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
-  }
+  AddInto(acts.input, acts.proj_out, &resid1);
 
   // out = resid1 + fc2(gelu(fc1(ln2(resid1)))): dout flows to both branches.
   Tensor d_gelu(s, ffn);
@@ -134,11 +135,7 @@ Tensor LayerBackward(const LayerParams& l, int heads,
   Tensor d_resid1(s, h);
   LayerNormBackward(resid1, l.ln2_g, acts.ln2_rstd, d_ln2, &d_resid1,
                     &g->ln2_g, &g->ln2_b);
-  for (std::int64_t r = 0; r < s; ++r) {
-    const float* doi = dout.row(r);
-    float* dri = d_resid1.row(r);
-    for (std::int64_t i = 0; i < h; ++i) dri[i] += doi[i];
-  }
+  AccInto(dout, &d_resid1);
 
   // resid1 = input + proj(attn(qkv(ln1(input)))).
   Tensor d_attn(s, h);
@@ -151,19 +148,13 @@ Tensor LayerBackward(const LayerParams& l, int heads,
   Tensor d_ln1_partial(s, h);
   LinearBackward(acts.ln1_out, l.wq, dq, &d_ln1, &g->wq, nullptr);
   LinearBackward(acts.ln1_out, l.wk, dk, &d_ln1_partial, &g->wk, nullptr);
-  for (std::int64_t i = 0; i < d_ln1.size(); ++i) {
-    d_ln1.data()[i] += d_ln1_partial.data()[i];
-  }
+  AccInto(d_ln1_partial, &d_ln1);
   LinearBackward(acts.ln1_out, l.wv, dv, &d_ln1_partial, &g->wv, nullptr);
-  for (std::int64_t i = 0; i < d_ln1.size(); ++i) {
-    d_ln1.data()[i] += d_ln1_partial.data()[i];
-  }
+  AccInto(d_ln1_partial, &d_ln1);
   Tensor d_input(s, h);
   LayerNormBackward(acts.input, l.ln1_g, acts.ln1_rstd, d_ln1, &d_input,
                     &g->ln1_g, &g->ln1_b);
-  for (std::int64_t i = 0; i < d_input.size(); ++i) {
-    d_input.data()[i] += d_resid1.data()[i];  // residual path
-  }
+  AccInto(d_resid1, &d_input);  // residual path
   return d_input;
 }
 

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "train/kernels/kernels.h"
 #include "train/reference_ops.h"
 
 namespace memo::train {
@@ -26,6 +27,8 @@ constexpr std::int64_t kGemmRowBlock = 32;  // GEMM row tile (cache block)
 constexpr std::int64_t kColGrain = 64;      // column-chunked reductions
 constexpr std::int64_t kAttnRowGrain = 8;   // attention query rows
 
+constexpr float kLnEps = 1e-5f;  // matches reference_ops
+
 }  // namespace
 
 void SetKernelMode(KernelMode mode) {
@@ -46,13 +49,15 @@ void LinearForwardRows(const Tensor& x, const Tensor& w, const Tensor& b,
   MEMO_CHECK_EQ(x.cols(), w.rows());
   MEMO_CHECK_EQ(y->rows(), x.rows());
   MEMO_CHECK_EQ(y->cols(), w.cols());
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t in = x.cols();
   const std::int64_t out = w.cols();
   // Cache-blocked GEMM: rows are tiled so each streamed row of W is reused
-  // across the whole tile, and the inner loop runs contiguously over W/y
-  // (the naive kernel strode over W column-wise). Each y(r, c) still
-  // accumulates over i in ascending order starting from the bias, so the
-  // result is bit-identical to the reference kernel.
+  // across the whole tile, and the inner kernel runs contiguously over W/y.
+  // Four W rows per pass: each y(r, c) receives the same adds in the same
+  // i-ascending sequence ((((y + x0 w0) + x1 w1) + x2 w2) + x3 w3) as the
+  // reference, so the scalar kernel table is bit-identical; the SIMD tables
+  // fuse the multiply-adds (FMA) within that same order.
   ThreadPool::Global().ParallelFor(
       row_begin, row_end, kGemmRowBlock,
       [&](std::int64_t r0, std::int64_t r1) {
@@ -64,39 +69,22 @@ void LinearForwardRows(const Tensor& x, const Tensor& w, const Tensor& b,
             std::copy(b.data(), b.data() + out, yr);
           }
         }
-        // Four W rows per pass: y is loaded/stored once per quad instead of
-        // once per i, and each y(r, c) receives the same adds in the same
-        // i-ascending sequence ((((y + x0 w0) + x1 w1) + x2 w2) + x3 w3),
-        // so rounding matches the one-i-at-a-time reference exactly.
         std::int64_t i = 0;
         for (; i + 4 <= in; i += 4) {
-          const float* __restrict w0 = w.row(i);
-          const float* __restrict w1 = w.row(i + 1);
-          const float* __restrict w2 = w.row(i + 2);
-          const float* __restrict w3 = w.row(i + 3);
+          const float* w0 = w.row(i);
+          const float* w1 = w.row(i + 1);
+          const float* w2 = w.row(i + 2);
+          const float* w3 = w.row(i + 3);
           for (std::int64_t r = r0; r < r1; ++r) {
             const float* xr = x.row(r);
-            const float x0 = xr[i];
-            const float x1 = xr[i + 1];
-            const float x2 = xr[i + 2];
-            const float x3 = xr[i + 3];
-            float* __restrict yr = y->row(r);
-            for (std::int64_t c = 0; c < out; ++c) {
-              float v = yr[c];
-              v += x0 * w0[c];
-              v += x1 * w1[c];
-              v += x2 * w2[c];
-              v += x3 * w3[c];
-              yr[c] = v;
-            }
+            K.gemm_update4(y->row(r), w0, w1, w2, w3, xr[i], xr[i + 1],
+                           xr[i + 2], xr[i + 3], out);
           }
         }
         for (; i < in; ++i) {
           const float* wr = w.row(i);
           for (std::int64_t r = r0; r < r1; ++r) {
-            const float xv = x.row(r)[i];
-            float* yr = y->row(r);
-            for (std::int64_t c = 0; c < out; ++c) yr[c] += xv * wr[c];
+            K.axpy(y->row(r), wr, x.row(r)[i], out);
           }
         }
       });
@@ -113,6 +101,7 @@ void LinearBackward(const Tensor& x, const Tensor& w, const Tensor& dy,
     reference::LinearBackward(x, w, dy, dx, dw, db);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t rows = x.rows();
   const std::int64_t in = x.cols();
   const std::int64_t out = w.cols();
@@ -121,8 +110,8 @@ void LinearBackward(const Tensor& x, const Tensor& w, const Tensor& dy,
   ThreadPool& pool = ThreadPool::Global();
   if (dx != nullptr) {
     MEMO_CHECK_EQ(dx->rows(), rows);
-    // dx[r][i] = dy[r] . w[i]: row-tiled so each row of W is loaded once
-    // per tile instead of once per sample row, and four i at a time so four
+    // dx[r][i] = dy[r] . w[i]: row-tiled so each row of W is loaded once per
+    // tile instead of once per sample row, and four i at a time so four
     // independent accumulator chains hide the FP-add latency of the strict
     // (c-ascending, reference-order) reduction.
     pool.ParallelFor(0, rows, kGemmRowBlock,
@@ -134,143 +123,49 @@ void LinearBackward(const Tensor& x, const Tensor& w, const Tensor& dy,
                          const float* w2 = w.row(i + 2);
                          const float* w3 = w.row(i + 3);
                          for (std::int64_t r = r0; r < r1; ++r) {
-                           const float* dyr = dy.row(r);
-                           float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
-                           for (std::int64_t c = 0; c < out; ++c) {
-                             const float d = dyr[c];
-                             a0 += d * w0[c];
-                             a1 += d * w1[c];
-                             a2 += d * w2[c];
-                             a3 += d * w3[c];
-                           }
+                           float quad[4];
+                           K.dot4(dy.row(r), w0, w1, w2, w3, out, quad);
                            float* dxr = dx->row(r);
-                           dxr[i] = a0;
-                           dxr[i + 1] = a1;
-                           dxr[i + 2] = a2;
-                           dxr[i + 3] = a3;
+                           dxr[i] = quad[0];
+                           dxr[i + 1] = quad[1];
+                           dxr[i + 2] = quad[2];
+                           dxr[i + 3] = quad[3];
                          }
                        }
                        for (; i < in; ++i) {
                          const float* wr = w.row(i);
                          for (std::int64_t r = r0; r < r1; ++r) {
-                           const float* dyr = dy.row(r);
-                           float acc = 0.0f;
-                           for (std::int64_t c = 0; c < out; ++c) {
-                             acc += dyr[c] * wr[c];
-                           }
-                           dx->row(r)[i] = acc;
+                           dx->row(r)[i] = K.dot(dy.row(r), wr, out);
                          }
                        }
                      });
   }
   if (dw != nullptr) {
-    // dw[i] += x[:, i]^T dy. The naive kernel walked the FULL [in, out]
-    // gradient once per sample row, evicting it from cache every row; here
-    // each thread owns a fixed block of dw rows and keeps it hot across all
-    // sample rows. Per element the accumulation order over r is unchanged,
-    // so gradients are bit-identical (test-enforced).
+    // dw[i] += x[:, i]^T dy. Each thread owns a fixed block of dw rows and
+    // keeps it hot across all sample rows; four sample rows per pass so each
+    // dw element is loaded/stored once per quad, receiving its adds in the
+    // same r-ascending sequence as the reference (bit-identical at scalar).
     pool.ParallelFor(0, in, kColGrain, [&](std::int64_t i0, std::int64_t i1) {
-      // Several sample rows per pass: each dw element is loaded/stored once
-      // per group instead of once per row, receiving its adds in the same
-      // r-ascending sequence as the reference, so rounding is unchanged.
-      // Wide gradients amortize more rows per sweep; narrow ones run out of
-      // registers first, so the group shrinks (the unroll factor never
-      // affects results, only the store/reload count).
       std::int64_t r = 0;
-      if (out >= 512) {
-        for (; r + 8 <= rows; r += 8) {
-          const float* xr[8];
-          const float* dr[8];
-          for (int u = 0; u < 8; ++u) {
-            xr[u] = x.row(r + u);
-            dr[u] = dy.row(r + u);
-          }
-          for (std::int64_t i = i0; i < i1; ++i) {
-            float* __restrict dwr = dw->row(i);
-            float xi[8];
-            for (int u = 0; u < 8; ++u) xi[u] = xr[u][i];
-            for (std::int64_t c = 0; c < out; ++c) {
-              float v = dwr[c];
-              v += xi[0] * dr[0][c];
-              v += xi[1] * dr[1][c];
-              v += xi[2] * dr[2][c];
-              v += xi[3] * dr[3][c];
-              v += xi[4] * dr[4][c];
-              v += xi[5] * dr[5][c];
-              v += xi[6] * dr[6][c];
-              v += xi[7] * dr[7][c];
-              dwr[c] = v;
-            }
-          }
-        }
-      }
       for (; r + 4 <= rows; r += 4) {
         const float* x0 = x.row(r);
         const float* x1 = x.row(r + 1);
         const float* x2 = x.row(r + 2);
         const float* x3 = x.row(r + 3);
-        const float* __restrict d0 = dy.row(r);
-        const float* __restrict d1 = dy.row(r + 1);
-        const float* __restrict d2 = dy.row(r + 2);
-        const float* __restrict d3 = dy.row(r + 3);
-        // Two dw rows per sweep so each dy load feeds both; each row's adds
-        // stay r-ascending, so the pairing cannot change any result.
-        std::int64_t i = i0;
-        for (; i + 2 <= i1; i += 2) {
-          float* __restrict dwr = dw->row(i);
-          float* __restrict dws = dw->row(i + 1);
-          const float a = x0[i];
-          const float b = x1[i];
-          const float e = x2[i];
-          const float f = x3[i];
-          const float a2 = x0[i + 1];
-          const float b2 = x1[i + 1];
-          const float e2 = x2[i + 1];
-          const float f2 = x3[i + 1];
-          for (std::int64_t c = 0; c < out; ++c) {
-            const float g0 = d0[c];
-            const float g1 = d1[c];
-            const float g2 = d2[c];
-            const float g3 = d3[c];
-            float v = dwr[c];
-            v += a * g0;
-            v += b * g1;
-            v += e * g2;
-            v += f * g3;
-            dwr[c] = v;
-            float u = dws[c];
-            u += a2 * g0;
-            u += b2 * g1;
-            u += e2 * g2;
-            u += f2 * g3;
-            dws[c] = u;
-          }
-        }
-        for (; i < i1; ++i) {
-          float* __restrict dwr = dw->row(i);
-          const float a = x0[i];
-          const float b = x1[i];
-          const float e = x2[i];
-          const float f = x3[i];
-          for (std::int64_t c = 0; c < out; ++c) {
-            float v = dwr[c];
-            v += a * d0[c];
-            v += b * d1[c];
-            v += e * d2[c];
-            v += f * d3[c];
-            dwr[c] = v;
-          }
+        const float* d0 = dy.row(r);
+        const float* d1 = dy.row(r + 1);
+        const float* d2 = dy.row(r + 2);
+        const float* d3 = dy.row(r + 3);
+        for (std::int64_t i = i0; i < i1; ++i) {
+          K.gemm_update4(dw->row(i), d0, d1, d2, d3, x0[i], x1[i], x2[i],
+                         x3[i], out);
         }
       }
       for (; r < rows; ++r) {
         const float* xr = x.row(r);
         const float* dyr = dy.row(r);
         for (std::int64_t i = i0; i < i1; ++i) {
-          float* dwr = dw->row(i);
-          const float xv = xr[i];
-          for (std::int64_t c = 0; c < out; ++c) {
-            dwr[c] += xv * dyr[c];
-          }
+          K.axpy(dw->row(i), dyr, xr[i], out);
         }
       }
     });
@@ -278,10 +173,7 @@ void LinearBackward(const Tensor& x, const Tensor& w, const Tensor& dy,
   if (db != nullptr) {
     pool.ParallelFor(0, out, kColGrain, [&](std::int64_t c0, std::int64_t c1) {
       for (std::int64_t r = 0; r < rows; ++r) {
-        const float* dyr = dy.row(r);
-        for (std::int64_t c = c0; c < c1; ++c) {
-          db->data()[c] += dyr[c];
-        }
+        K.acc(db->data() + c0, dy.row(r) + c0, c1 - c0);
       }
     });
   }
@@ -294,9 +186,19 @@ void LayerNormForwardRows(const Tensor& x, const Tensor& g, const Tensor& b,
     reference::LayerNormForwardRows(x, g, b, row_begin, row_end, y, rstd);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
+  const std::int64_t n = x.cols();
   ThreadPool::Global().ParallelFor(
       row_begin, row_end, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
-        reference::LayerNormForwardRows(x, g, b, r0, r1, y, rstd);
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* xr = x.row(r);
+          const float mean = K.sum(xr, n) / static_cast<float>(n);
+          const float var =
+              K.sumsq_centered(xr, mean, n) / static_cast<float>(n);
+          const float inv = 1.0f / std::sqrt(var + kLnEps);
+          rstd->at(r, 0) = inv;
+          K.ln_apply(xr, g.data(), b.data(), mean, inv, y->row(r), n);
+        }
       });
 }
 
@@ -311,6 +213,7 @@ void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
     reference::LayerNormBackward(x, g, rstd, dy, dx, dg, db);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t rows = x.rows();
   const std::int64_t n = x.cols();
   ThreadPool& pool = ThreadPool::Global();
@@ -321,26 +224,16 @@ void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
       const float* xr = x.row(r);
       const float* dyr = dy.row(r);
       const float inv = rstd.at(r, 0);
-      float mean = 0.0f;
-      for (std::int64_t i = 0; i < n; ++i) mean += xr[i];
-      mean /= static_cast<float>(n);
+      const float mean = K.sum(xr, n) / static_cast<float>(n);
       means[r] = mean;
       if (dx == nullptr) continue;
       float sum_dy_g = 0.0f;
       float sum_dy_g_xhat = 0.0f;
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float xhat = (xr[i] - mean) * inv;
-        const float dyg = dyr[i] * g.data()[i];
-        sum_dy_g += dyg;
-        sum_dy_g_xhat += dyg * xhat;
-      }
-      float* dxr = dx->row(r);
-      const float inv_n = 1.0f / static_cast<float>(n);
-      for (std::int64_t i = 0; i < n; ++i) {
-        const float xhat = (xr[i] - mean) * inv;
-        const float dyg = dyr[i] * g.data()[i];
-        dxr[i] = inv * (dyg - inv_n * sum_dy_g - xhat * inv_n * sum_dy_g_xhat);
-      }
+      K.ln_bwd_reduce(xr, dyr, g.data(), mean, inv, n, &sum_dy_g,
+                      &sum_dy_g_xhat);
+      K.ln_bwd_apply(xr, dyr, g.data(), mean, inv,
+                     1.0f / static_cast<float>(n), sum_dy_g, sum_dy_g_xhat,
+                     dx->row(r), n);
     }
   });
   // Pass B (column-parallel): dg/db accumulate over rows in ascending r
@@ -349,14 +242,9 @@ void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
   if (dg != nullptr || db != nullptr) {
     pool.ParallelFor(0, n, kColGrain, [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t r = 0; r < rows; ++r) {
-        const float* xr = x.row(r);
-        const float* dyr = dy.row(r);
-        const float inv = rstd.at(r, 0);
-        const float mean = means[r];
-        for (std::int64_t i = i0; i < i1; ++i) {
-          if (dg != nullptr) dg->data()[i] += dyr[i] * ((xr[i] - mean) * inv);
-          if (db != nullptr) db->data()[i] += dyr[i];
-        }
+        K.ln_bwd_dgdb(x.row(r) + i0, dy.row(r) + i0, means[r], rstd.at(r, 0),
+                      dg != nullptr ? dg->data() + i0 : nullptr,
+                      db != nullptr ? db->data() + i0 : nullptr, i1 - i0);
       }
     });
   }
@@ -368,9 +256,15 @@ void GeluForwardRows(const Tensor& x, std::int64_t row_begin,
     reference::GeluForwardRows(x, row_begin, row_end, y);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
+  const std::int64_t n = x.cols();
+  // Per-row kernel calls keep the vector-body/scalar-tail split a function
+  // of n alone, so recomputing any row subset is bit-identical.
   ThreadPool::Global().ParallelFor(
       row_begin, row_end, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
-        reference::GeluForwardRows(x, r0, r1, y);
+        for (std::int64_t r = r0; r < r1; ++r) {
+          K.gelu_fwd(x.row(r), y->row(r), n);
+        }
       });
 }
 
@@ -383,81 +277,15 @@ void GeluBackward(const Tensor& x, const Tensor& dy, Tensor* dx) {
     reference::GeluBackward(x, dy, dx);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t n = x.cols();
-  constexpr float kInvSqrt2 = 0.70710678118654752f;
-  constexpr float kInvSqrt2Pi = 0.39894228040143268f;
   ThreadPool::Global().ParallelFor(
       0, x.rows(), kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
-          const float* xr = x.row(r);
-          const float* dyr = dy.row(r);
-          float* dxr = dx->row(r);
-          for (std::int64_t i = 0; i < n; ++i) {
-            const float cdf = 0.5f * (1.0f + std::erf(xr[i] * kInvSqrt2));
-            const float pdf = kInvSqrt2Pi * std::exp(-0.5f * xr[i] * xr[i]);
-            dxr[i] = dyr[i] * (cdf + xr[i] * pdf);
-          }
+          K.gelu_bwd(x.row(r), dy.row(r), dx->row(r), n);
         }
       });
 }
-
-namespace {
-
-/// Computes the causal softmax probabilities of one head-row: scores of
-/// query row `r` against keys [0, r]. Shared by forward and backward so the
-/// backward recomputation is bit-identical (the FlashAttention property).
-void HeadRowProbs(const Tensor& q, const Tensor& k, int head,
-                  std::int64_t head_dim, float scale, std::int64_t r,
-                  std::vector<float>* probs) {
-  const std::int64_t offset = head * head_dim;
-  probs->assign(r + 1, 0.0f);
-  float max_score = -1e30f;
-  const float* qr = q.row(r) + offset;
-  // Four keys per pass: four independent i-ascending accumulator chains
-  // hide the FP-add latency of the strict reference-order dot products
-  // (each score's reduction sequence is unchanged).
-  std::int64_t c = 0;
-  for (; c + 4 <= r + 1; c += 4) {
-    const float* k0 = k.row(c) + offset;
-    const float* k1 = k.row(c + 1) + offset;
-    const float* k2 = k.row(c + 2) + offset;
-    const float* k3 = k.row(c + 3) + offset;
-    float s0 = 0.0f, s1 = 0.0f, s2 = 0.0f, s3 = 0.0f;
-    for (std::int64_t i = 0; i < head_dim; ++i) {
-      const float qv = qr[i];
-      s0 += qv * k0[i];
-      s1 += qv * k1[i];
-      s2 += qv * k2[i];
-      s3 += qv * k3[i];
-    }
-    (*probs)[c] = s0 * scale;
-    (*probs)[c + 1] = s1 * scale;
-    (*probs)[c + 2] = s2 * scale;
-    (*probs)[c + 3] = s3 * scale;
-    for (int u = 0; u < 4; ++u) {
-      if ((*probs)[c + u] > max_score) max_score = (*probs)[c + u];
-    }
-  }
-  for (; c <= r; ++c) {
-    const float* kc = k.row(c) + offset;
-    float score = 0.0f;
-    for (std::int64_t i = 0; i < head_dim; ++i) {
-      score += qr[i] * kc[i];
-    }
-    score *= scale;
-    (*probs)[c] = score;
-    if (score > max_score) max_score = score;
-  }
-  float denom = 0.0f;
-  for (std::int64_t c = 0; c <= r; ++c) {
-    (*probs)[c] = std::exp((*probs)[c] - max_score);
-    denom += (*probs)[c];
-  }
-  const float inv = 1.0f / denom;
-  for (std::int64_t c = 0; c <= r; ++c) (*probs)[c] *= inv;
-}
-
-}  // namespace
 
 void AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
                       int heads, Tensor* out) {
@@ -465,34 +293,33 @@ void AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
     reference::AttentionForward(q, k, v, heads, out);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t s = q.rows();
   const std::int64_t h = q.cols();
   MEMO_CHECK_EQ(h % heads, 0);
   const std::int64_t head_dim = h / heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  // Query rows are independent (the row-wise data-flow property token-wise
-  // recomputation relies on), so they chunk freely across threads. The
-  // value accumulation runs keys-outer so the inner loop is contiguous;
-  // per output element the keys are still added in ascending order.
-  for (int head = 0; head < heads; ++head) {
-    const std::int64_t offset = head * head_dim;
-    ThreadPool::Global().ParallelFor(
-        0, s, kAttnRowGrain, [&](std::int64_t r0, std::int64_t r1) {
-          std::vector<float> probs;
-          for (std::int64_t r = r0; r < r1; ++r) {
-            HeadRowProbs(q, k, head, head_dim, scale, r, &probs);
-            float* __restrict outr = out->row(r) + offset;
-            std::fill(outr, outr + head_dim, 0.0f);
-            for (std::int64_t c = 0; c <= r; ++c) {
-              const float p = probs[c];
-              const float* __restrict vc = v.row(c) + offset;
-              for (std::int64_t i = 0; i < head_dim; ++i) {
-                outr[i] += p * vc[i];
-              }
-            }
-          }
-        });
-  }
+  // One flat (head, query-row) index space: with the old heads-outer /
+  // rows-inner nesting every ParallelFor only had `s` rows to share, and the
+  // pool synchronized `heads` times per op. Head-rows are independent (the
+  // row-wise data-flow property token-wise recomputation relies on) and
+  // different heads touch disjoint column slices, so the flat space chunks
+  // freely across threads with one dispatch.
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<std::int64_t>(heads) * s, kAttnRowGrain,
+      [&](std::int64_t w0, std::int64_t w1) {
+        // Scratch for the scalar path's score row (and the d > 256 SIMD
+        // fallback); the SIMD streaming path never materializes scores.
+        std::vector<float> scratch(s);
+        for (std::int64_t wi = w0; wi < w1; ++wi) {
+          const std::int64_t head = wi / s;
+          const std::int64_t r = wi - head * s;
+          const std::int64_t offset = head * head_dim;
+          K.attn_row_fwd(q.row(r) + offset, k.data() + offset,
+                         v.data() + offset, r + 1, head_dim, h, scale,
+                         out->row(r) + offset, scratch.data());
+        }
+      });
 }
 
 void AttentionBackward(const Tensor& q, const Tensor& k, const Tensor& v,
@@ -502,6 +329,7 @@ void AttentionBackward(const Tensor& q, const Tensor& k, const Tensor& v,
     reference::AttentionBackward(q, k, v, heads, dout, dq, dk, dv);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t s = q.rows();
   const std::int64_t h = q.cols();
   const std::int64_t head_dim = h / heads;
@@ -514,49 +342,33 @@ void AttentionBackward(const Tensor& q, const Tensor& k, const Tensor& v,
   // parallelize race-free with the reference's exact per-element order.
   ThreadPool::Global().ParallelFor(0, heads, 1, [&](std::int64_t head0,
                                                     std::int64_t head1) {
-    std::vector<float> probs;
-    std::vector<float> dscore;
+    std::vector<float> probs(s);
+    std::vector<float> dscore(s);
     for (std::int64_t head = head0; head < head1; ++head) {
       const std::int64_t offset = head * head_dim;
       for (std::int64_t r = 0; r < s; ++r) {
-        HeadRowProbs(q, k, static_cast<int>(head), head_dim, scale, r,
-                     &probs);
-        // dP[c] = dout[r] . v[c];   dV[c] += P[c] * dout[r].
-        dscore.assign(r + 1, 0.0f);
+        // Recompute the causal softmax row (the FlashAttention property:
+        // the probabilities are cheaper to rebuild than to keep).
+        K.attn_row_probs(q.row(r) + offset, k.data() + offset, r + 1,
+                         head_dim, h, scale, probs.data());
         const float* doutr = dout.row(r) + offset;
+        // dP[c] = dout[r] . v[c];   dV[c] += P[c] * dout[r].
         float dot_p_dp = 0.0f;
-        // The dP reductions and the dV updates are split into separate
-        // loops: the elementwise dV loop then vectorizes instead of being
-        // serialized behind the dp accumulator. Per element both orders
-        // match the fused reference loop exactly (dp sums i ascending; each
-        // dv element still receives its c-ascending adds).
         for (std::int64_t c = 0; c <= r; ++c) {
-          const float* vc = v.row(c) + offset;
-          float dp = 0.0f;
-          for (std::int64_t i = 0; i < head_dim; ++i) {
-            dp += doutr[i] * vc[i];
-          }
+          const float dp = K.dot(doutr, v.row(c) + offset, head_dim);
           dscore[c] = dp;
           dot_p_dp += probs[c] * dp;
         }
         for (std::int64_t c = 0; c <= r; ++c) {
-          float* __restrict dvc = dv->row(c) + offset;
-          const float pc = probs[c];
-          for (std::int64_t i = 0; i < head_dim; ++i) {
-            dvc[i] += pc * doutr[i];
-          }
+          K.axpy(dv->row(c) + offset, doutr, probs[c], head_dim);
         }
         // Softmax backward: dS[c] = P[c] * (dP[c] - sum_j P[j] dP[j]).
-        float* __restrict dqr = dq->row(r) + offset;
+        float* dqr = dq->row(r) + offset;
         const float* qr = q.row(r) + offset;
         for (std::int64_t c = 0; c <= r; ++c) {
           const float ds = probs[c] * (dscore[c] - dot_p_dp) * scale;
-          const float* __restrict kc = k.row(c) + offset;
-          float* __restrict dkc = dk->row(c) + offset;
-          for (std::int64_t i = 0; i < head_dim; ++i) {
-            dqr[i] += ds * kc[i];
-            dkc[i] += ds * qr[i];
-          }
+          K.axpy(dqr, k.row(c) + offset, ds, head_dim);
+          K.axpy(dk->row(c) + offset, qr, ds, head_dim);
         }
       }
     }
@@ -568,6 +380,7 @@ double CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
   if (UseReference()) {
     return reference::CrossEntropy(logits, targets, d_logits);
   }
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t rows = logits.rows();
   const std::int64_t v = logits.cols();
   MEMO_CHECK_EQ(static_cast<std::int64_t>(targets.size()), rows);
@@ -579,27 +392,12 @@ double CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
   ThreadPool::Global().ParallelFor(
       0, rows, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
-          const float* lr = logits.row(r);
-          float max_logit = -1e30f;
-          for (std::int64_t c = 0; c < v; ++c) {
-            if (lr[c] > max_logit) max_logit = lr[c];
-          }
-          double denom = 0.0;
-          for (std::int64_t c = 0; c < v; ++c) {
-            denom += std::exp(static_cast<double>(lr[c] - max_logit));
-          }
           const int target = targets[r];
           MEMO_CHECK_GE(target, 0);
           MEMO_CHECK_LT(target, v);
-          row_loss[r] = std::log(denom) - (lr[target] - max_logit);
-          if (d_logits != nullptr) {
-            float* dr = d_logits->row(r);
-            for (std::int64_t c = 0; c < v; ++c) {
-              const float p = static_cast<float>(
-                  std::exp(static_cast<double>(lr[c] - max_logit)) / denom);
-              dr[c] = (p - (c == target ? 1.0f : 0.0f)) * inv_rows;
-            }
-          }
+          row_loss[r] =
+              K.ce_row(logits.row(r), v, target, inv_rows,
+                       d_logits != nullptr ? d_logits->row(r) : nullptr);
         }
       });
   double loss = 0.0;
@@ -633,6 +431,7 @@ void EmbeddingBackward(const std::vector<int>& tokens, const Tensor& dy,
     reference::EmbeddingBackward(tokens, dy, dtable);
     return;
   }
+  const kernels::KernelTable& K = kernels::Active();
   const std::int64_t rows = static_cast<std::int64_t>(tokens.size());
   // Tokens repeat, so the scatter-add races if chunked over rows; chunking
   // over embedding columns keeps every destination element on one thread
@@ -640,9 +439,7 @@ void EmbeddingBackward(const std::vector<int>& tokens, const Tensor& dy,
   ThreadPool::Global().ParallelFor(
       0, dy.cols(), kColGrain, [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t r = 0; r < rows; ++r) {
-          const float* src = dy.row(r);
-          float* dst = dtable->row(tokens[r]);
-          for (std::int64_t i = i0; i < i1; ++i) dst[i] += src[i];
+          K.acc(dtable->row(tokens[r]) + i0, dy.row(r) + i0, i1 - i0);
         }
       });
 }

@@ -2,25 +2,46 @@
 #define MEMO_TRAIN_TENSOR_H_
 
 #include <cstdint>
-#include <vector>
+#include <cstring>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/rng.h"
 
 namespace memo::train {
 
+class TensorArena;
+
 /// A minimal dense float32 matrix/vector for the numeric training substrate.
 /// Row-major [rows, cols]; a vector is [1, cols] or [rows, 1] as convenient.
-/// Deliberately simple: the convergence experiment (Fig. 12d) needs exact,
-/// reproducible arithmetic, not speed.
+/// The buffer is 64-byte aligned (SIMD kernels use unaligned loads, but
+/// alignment keeps them on the fast path) and, inside an ArenaScope, comes
+/// from the step-scoped TensorArena instead of the heap — the training hot
+/// loop performs zero per-iteration heap allocations once the arena's plan
+/// is committed. The numerics stay exact and reproducible either way.
 class Tensor {
  public:
   Tensor() = default;
-  Tensor(std::int64_t rows, std::int64_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {
-    MEMO_CHECK_GE(rows, 0);
-    MEMO_CHECK_GE(cols, 0);
+  Tensor(std::int64_t rows, std::int64_t cols);  // zero-filled
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        arena_(std::exchange(other.arena_, nullptr)),
+        rows_(std::exchange(other.rows_, 0)),
+        cols_(std::exchange(other.cols_, 0)) {}
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      Release();
+      data_ = std::exchange(other.data_, nullptr);
+      arena_ = std::exchange(other.arena_, nullptr);
+      rows_ = std::exchange(other.rows_, 0);
+      cols_ = std::exchange(other.cols_, 0);
+    }
+    return *this;
   }
+  ~Tensor() { Release(); }
 
   static Tensor Zeros(std::int64_t rows, std::int64_t cols) {
     return Tensor(rows, cols);
@@ -28,30 +49,26 @@ class Tensor {
 
   /// Gaussian init scaled by `stddev` from a deterministic RNG.
   static Tensor Randn(std::int64_t rows, std::int64_t cols, double stddev,
-                      Rng& rng) {
-    Tensor t(rows, cols);
-    for (float& v : t.data_) {
-      v = static_cast<float>(rng.NextGaussian() * stddev);
-    }
-    return t;
-  }
+                      Rng& rng);
 
   std::int64_t rows() const { return rows_; }
   std::int64_t cols() const { return cols_; }
   std::int64_t size() const { return rows_ * cols_; }
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return size() == 0; }
 
   float& at(std::int64_t r, std::int64_t c) { return data_[r * cols_ + c]; }
   float at(std::int64_t r, std::int64_t c) const {
     return data_[r * cols_ + c];
   }
-  float* row(std::int64_t r) { return data_.data() + r * cols_; }
-  const float* row(std::int64_t r) const { return data_.data() + r * cols_; }
+  float* row(std::int64_t r) { return data_ + r * cols_; }
+  const float* row(std::int64_t r) const { return data_ + r * cols_; }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
 
-  void Fill(float value) { data_.assign(data_.size(), value); }
+  void Fill(float value) {
+    for (std::int64_t i = 0, n = size(); i < n; ++i) data_[i] = value;
+  }
 
   /// Copies rows [row_begin, row_end) of `src` into the same rows of this.
   void CopyRowsFrom(const Tensor& src, std::int64_t row_begin,
@@ -63,14 +80,25 @@ class Tensor {
   /// Exact element-wise equality (the convergence experiment asserts
   /// bit-identical losses across alpha values).
   bool ExactlyEquals(const Tensor& other) const {
-    return rows_ == other.rows_ && cols_ == other.cols_ &&
-           data_ == other.data_;
+    if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+    for (std::int64_t i = 0, n = size(); i < n; ++i) {
+      if (data_[i] != other.data_[i]) return false;
+    }
+    return true;
   }
 
  private:
+  /// Allocates size() floats (arena-backed inside an ArenaScope, otherwise
+  /// 64-byte-aligned heap). Does not initialize the contents.
+  void AllocateBuffer();
+  void Release();
+
+  float* data_ = nullptr;
+  /// Non-null iff data_ must be returned to this arena (otherwise data_ is
+  /// a plain aligned heap block freed with std::free).
+  TensorArena* arena_ = nullptr;
   std::int64_t rows_ = 0;
   std::int64_t cols_ = 0;
-  std::vector<float> data_;
 };
 
 }  // namespace memo::train

@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
 #include "offload/disk_backend.h"  // Fnv1a64
 #include "train/checkpoint.h"
+#include "train/kernels/kernels.h"
+#include "train/tensor_arena.h"
 
 namespace memo::train {
 
@@ -115,7 +118,19 @@ Status RunIteration(const MiniGpt& model, const MiniGptParams& params,
                     const offload::BackendOptions& backend,
                     const std::vector<std::vector<int>>& batch_tokens,
                     const std::vector<std::vector<int>>& batch_targets,
-                    MiniGptParams* grads, IterationStats* stats) {
+                    TensorArena* arena, MiniGptParams* grads,
+                    IterationStats* stats) {
+  // Every tensor temporary of this iteration's micro-steps comes out of the
+  // step-scoped arena (measured on the first step, replayed from the DSA
+  // plan afterwards). Long-lived state — params, grads, Adam moments,
+  // checkpoints — is allocated outside the scope and stays on the heap. A
+  // faulted iteration unwinds all scoped tensors, so the degraded re-run's
+  // BeginStep simply replays the plan from the top.
+  std::optional<ArenaScope> scope;
+  if (arena != nullptr) {
+    arena->BeginStep();
+    scope.emplace(arena);
+  }
   for (int b = 0; b < options.batch; ++b) {
     ActivationStore store(options.policy, options.alpha,
                           options.async_offload, backend);
@@ -149,6 +164,8 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
   Adam adam(options.adam);
   SyntheticData data(options.model.vocab, options.data_fidelity,
                      options.seed ^ 0x5EEDDA7AULL);
+  TensorArena arena;
+  TensorArena* arena_ptr = options.use_arena ? &arena : nullptr;
 
   TrainRunResult result;
   const std::uint64_t fingerprint = ConfigFingerprint(options);
@@ -191,6 +208,11 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
   offload::BackendOptions active_backend =
       result.degraded ? DegradedBackend() : options.backend;
 
+  // Moment buffers must exist before the first arena-scoped iteration:
+  // created lazily inside the scope they would land in (and permanently
+  // widen) the per-step plan despite living for the whole run.
+  adam.EnsureState(params.Flat());
+
   std::vector<std::vector<int>> batch_tokens(options.batch);
   std::vector<std::vector<int>> batch_targets(options.batch);
   for (int iter = start_iter; iter < options.iterations; ++iter) {
@@ -204,8 +226,9 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
     }
     for (Tensor* g : grads.Flat()) g->Fill(0.0f);
     IterationStats stats;
-    Status st = RunIteration(model, params, options, active_backend,
-                             batch_tokens, batch_targets, &grads, &stats);
+    Status st =
+        RunIteration(model, params, options, active_backend, batch_tokens,
+                     batch_targets, arena_ptr, &grads, &stats);
     if (!st.ok() && options.allow_degraded && !result.degraded) {
       // The configured backend died (retries already ran inside the stash
       // layers). Degrade: drop to the RAM-only stash and re-run the whole
@@ -217,7 +240,7 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
       for (Tensor* g : grads.Flat()) g->Fill(0.0f);
       stats = IterationStats{};
       st = RunIteration(model, params, options, active_backend, batch_tokens,
-                        batch_targets, &grads, &stats);
+                        batch_targets, arena_ptr, &grads, &stats);
     }
     if (!st.ok()) {
       result.status = st;
@@ -228,11 +251,12 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
     result.recomputed_rows += stats.recomputed_rows;
     result.offload_stats += stats.offload_stats;
     const double loss_sum = stats.loss_sum;
+    // One rounded multiply per element at every SIMD level, so the scaled
+    // gradients are bit-identical to the plain loop.
+    const kernels::KernelTable& K = kernels::Active();
     if (options.batch > 1) {
       const float scale = 1.0f / static_cast<float>(options.batch);
-      for (Tensor* g : grads.Flat()) {
-        for (std::int64_t i = 0; i < g->size(); ++i) g->data()[i] *= scale;
-      }
+      for (Tensor* g : grads.Flat()) K.scale(g->data(), scale, g->size());
     }
 
     if (options.grad_clip > 0.0) {
@@ -246,11 +270,7 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
       result.grad_norms.push_back(norm);
       if (norm > options.grad_clip) {
         const float scale = static_cast<float>(options.grad_clip / norm);
-        for (Tensor* g : grads.Flat()) {
-          for (std::int64_t i = 0; i < g->size(); ++i) {
-            g->data()[i] *= scale;
-          }
-        }
+        for (Tensor* g : grads.Flat()) K.scale(g->data(), scale, g->size());
       }
     }
 
@@ -291,6 +311,14 @@ TrainRunResult RunTraining(const TrainRunOptions& options) {
       }
       ++result.checkpoints_written;
     }
+  }
+  if (options.use_arena) {
+    result.arena_planned_peak_bytes = arena.planned_peak_bytes();
+    result.arena_high_water_bytes = arena.high_water_bytes();
+    result.arena_planned_steps = arena.planned_steps();
+    result.arena_heap_fallback_allocs = arena.heap_fallback_allocs();
+    result.arena_plan_divergences = arena.plan_divergences();
+    result.arena_plan_proved_optimal = arena.plan_proved_optimal();
   }
   result.wall_seconds = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - run_start)

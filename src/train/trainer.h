@@ -88,6 +88,12 @@ struct TrainRunOptions {
   /// dies), re-run the iteration on a plain RAM stash and finish the run
   /// degraded instead of aborting. Set false to surface the fault instead.
   bool allow_degraded = true;
+  /// Serve every per-step tensor temporary from a step-scoped TensorArena:
+  /// the first iteration is measured, its alloc/free trace is solved with
+  /// the level-1 DSA planner, and every later iteration replays the planned
+  /// offsets out of one slab — zero per-iteration heap allocations (the
+  /// arena_* result fields report this). Numerics are unaffected.
+  bool use_arena = true;
 };
 
 struct TrainRunResult {
@@ -112,6 +118,21 @@ struct TrainRunResult {
   std::int64_t resumed_from_step = -1;
   /// Periodic checkpoints written during this call.
   int checkpoints_written = 0;
+
+  /// Step-scoped arena telemetry (all zero when use_arena is false).
+  /// Peak of the DSA placement the steady-state steps run on.
+  std::int64_t arena_planned_peak_bytes = 0;
+  /// Max planned offset+size actually touched; equals the planned peak on
+  /// a healthy run (every planned slot is exercised each step).
+  std::int64_t arena_high_water_bytes = 0;
+  /// Iterations that ran entirely out of the planned slab.
+  std::int64_t arena_planned_steps = 0;
+  /// Heap allocations that leaked through while a plan was active — the
+  /// hot loop's zero-allocation property is this being 0.
+  std::int64_t arena_heap_fallback_allocs = 0;
+  std::int64_t arena_plan_divergences = 0;
+  /// True when the arena's DSA solve was certified optimal.
+  bool arena_plan_proved_optimal = false;
 };
 
 /// Trains the mini-GPT for `options.iterations` steps. Runs with the same

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "common/thread_pool.h"
 #include "model/trace_gen.h"
 #include "planner/bilevel_planner.h"
@@ -16,6 +17,10 @@ namespace {
 
 /// Pins the global pool size and kernel mode for one scope, restoring the
 /// optimized single-thread configuration on exit so tests stay independent.
+/// The SIMD dispatch is pinned to scalar throughout: bit-exactness against
+/// the reference kernels is the scalar table's contract (the vectorized
+/// tables are tolerance-checked in simd_kernels_test instead), and these
+/// tests are about thread chunking, which is orthogonal to lane width.
 class ScopedRuntime {
  public:
   ScopedRuntime(int threads, KernelMode mode) {
@@ -26,6 +31,9 @@ class ScopedRuntime {
     ThreadPool::SetGlobalThreads(1);
     SetKernelMode(KernelMode::kOptimized);
   }
+
+ private:
+  ScopedSimdLevel simd_{SimdLevel::kScalar};
 };
 
 Tensor RandomTensor(std::int64_t rows, std::int64_t cols, Rng& rng) {

@@ -1,0 +1,434 @@
+// Kernel-table conformance: every KernelTable entry against the naive
+// reference formulas, at every dispatch tier this build + CPU can execute.
+//
+//  - ScalarKernels() must be bit-identical to the reference loops (it is
+//    the MEMO_SIMD=scalar exactness anchor for the whole training stack).
+//  - The vectorized tables must agree within the documented tolerances:
+//    elementwise acc/add/scale are bit-exact at every level (one rounded op
+//    per element), FMA-contracted and reduction kernels within a small
+//    relative bound, transcendental kernels (gelu, softmax, cross-entropy)
+//    within the polynomial-exp/erf bound.
+//  - Sizes sweep 1 .. vector_width + 1 (16-wide AVX-512 plus one) so every
+//    remainder-lane path — scalar tails, masked tails, the 512-bit
+//    short-row branch — is exercised, plus larger sizes for the unrolled
+//    main loops.
+
+#include "train/kernels/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/simd.h"
+
+namespace memo::train::kernels {
+namespace {
+
+bool CpuHas(SimdLevel level) {
+  return static_cast<int>(CpuSimdLevel()) >= static_cast<int>(level);
+}
+
+// Every table compiled in AND executable on this machine, with the scalar
+// anchor always first.
+std::vector<const KernelTable*> ExecutableTables() {
+  std::vector<const KernelTable*> tables = {&ScalarKernels()};
+#ifdef MEMO_HAVE_AVX2_KERNELS
+  if (CpuHas(SimdLevel::kAvx2)) tables.push_back(&Avx2Kernels());
+#endif
+#ifdef MEMO_HAVE_AVX512_KERNELS
+  if (CpuHas(SimdLevel::kAvx512)) tables.push_back(&Avx512Kernels());
+#endif
+  return tables;
+}
+
+// 1..17 covers every tail/mask/short-row path at widths 8 and 16; the
+// larger sizes hit the 4x-unrolled main loops with and without remainders.
+const std::int64_t kSizes[] = {1,  2,  3,  4,  5,  6,  7,  8,  9,  10, 11,
+                               12, 13, 14, 15, 16, 17, 31, 32, 33, 64, 100};
+
+std::vector<float> RandomVec(std::int64_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<float> dist(-2.0f, 2.0f);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(rng);
+  return v;
+}
+
+// |a - b| <= atol + rtol * |b|, with b the scalar-table truth.
+void ExpectClose(float a, float b, double atol, double rtol,
+                 const char* what, std::int64_t n) {
+  EXPECT_LE(std::abs(static_cast<double>(a) - b), atol + rtol * std::abs(b))
+      << what << " diverged at n=" << n << ": " << a << " vs " << b;
+}
+
+// The documented per-call bound for reordered float reductions and the
+// polynomial transcendentals, scaled generously for accumulation length.
+constexpr double kAtol = 1e-4;
+constexpr double kRtol = 1e-4;
+
+TEST(SimdKernelsTest, TablesReportTheirLevel) {
+  EXPECT_EQ(ScalarKernels().level, SimdLevel::kScalar);
+#ifdef MEMO_HAVE_AVX2_KERNELS
+  EXPECT_EQ(Avx2Kernels().level, SimdLevel::kAvx2);
+#endif
+#ifdef MEMO_HAVE_AVX512_KERNELS
+  EXPECT_EQ(Avx512Kernels().level, SimdLevel::kAvx512);
+#endif
+}
+
+TEST(SimdKernelsTest, ActiveFollowsScopedLevelWithClamping) {
+  {
+    ScopedSimdLevel pin(SimdLevel::kScalar);
+    EXPECT_EQ(Active().level, SimdLevel::kScalar);
+  }
+  {
+    // A request above the CPU/build ceiling clamps down, never up.
+    ScopedSimdLevel pin(SimdLevel::kAvx512);
+    EXPECT_LE(static_cast<int>(Active().level),
+              static_cast<int>(CpuSimdLevel()));
+  }
+}
+
+TEST(SimdKernelsTest, ScalarElementwiseMatchesReferenceBitExact) {
+  const KernelTable& k = ScalarKernels();
+  for (std::int64_t n : kSizes) {
+    const auto x = RandomVec(n, 10 + static_cast<std::uint32_t>(n));
+    const auto y0 = RandomVec(n, 20 + static_cast<std::uint32_t>(n));
+    const float a = 0.37f;
+
+    auto y = y0;
+    k.axpy(y.data(), x.data(), a, n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(y[i], y0[i] + a * x[i]);
+    }
+
+    y = y0;
+    k.acc(y.data(), x.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(y[i], y0[i] + x[i]);
+
+    std::vector<float> out(n);
+    k.add(out.data(), x.data(), y0.data(), n);
+    for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(out[i], x[i] + y0[i]);
+
+    y = y0;
+    k.scale(y.data(), a, n);
+    for (std::int64_t i = 0; i < n; ++i) EXPECT_EQ(y[i], y0[i] * a);
+
+    // Reductions: the scalar kernels accumulate i-ascending in float,
+    // exactly like the reference ops.
+    float ref_dot = 0.0f;
+    float ref_sum = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) {
+      ref_dot += x[i] * y0[i];
+      ref_sum += x[i];
+    }
+    EXPECT_EQ(k.dot(x.data(), y0.data(), n), ref_dot);
+    EXPECT_EQ(k.sum(x.data(), n), ref_sum);
+
+    const float mean = ref_sum / static_cast<float>(n);
+    float ref_ssq = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float d = x[i] - mean;
+      ref_ssq += d * d;
+    }
+    EXPECT_EQ(k.sumsq_centered(x.data(), mean, n), ref_ssq);
+  }
+}
+
+TEST(SimdKernelsTest, ScalarGemmAndGeluMatchReferenceBitExact) {
+  const KernelTable& k = ScalarKernels();
+  for (std::int64_t n : kSizes) {
+    const auto w0 = RandomVec(n, 1);
+    const auto w1 = RandomVec(n, 2);
+    const auto w2 = RandomVec(n, 3);
+    const auto w3 = RandomVec(n, 4);
+    const auto y0 = RandomVec(n, 5);
+
+    auto y = y0;
+    k.gemm_update4(y.data(), w0.data(), w1.data(), w2.data(), w3.data(), 0.1f,
+                   0.2f, 0.3f, 0.4f, n);
+    for (std::int64_t i = 0; i < n; ++i) {
+      float v = y0[i];
+      v += 0.1f * w0[i];
+      v += 0.2f * w1[i];
+      v += 0.3f * w2[i];
+      v += 0.4f * w3[i];
+      EXPECT_EQ(y[i], v);
+    }
+
+    float quad[4];
+    k.dot4(y0.data(), w0.data(), w1.data(), w2.data(), w3.data(), n, quad);
+    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+    for (std::int64_t i = 0; i < n; ++i) {
+      a0 += y0[i] * w0[i];
+      a1 += y0[i] * w1[i];
+      a2 += y0[i] * w2[i];
+      a3 += y0[i] * w3[i];
+    }
+    EXPECT_EQ(quad[0], a0);
+    EXPECT_EQ(quad[1], a1);
+    EXPECT_EQ(quad[2], a2);
+    EXPECT_EQ(quad[3], a3);
+
+    std::vector<float> gelu(n);
+    k.gelu_fwd(y0.data(), gelu.data(), n);
+    std::vector<float> dgelu(n);
+    k.gelu_bwd(y0.data(), w0.data(), dgelu.data(), n);
+    constexpr float kInvSqrt2 = 0.70710678118654752f;
+    constexpr float kInvSqrt2Pi = 0.39894228040143268f;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const float cdf = 0.5f * (1.0f + std::erf(y0[i] * kInvSqrt2));
+      const float pdf = kInvSqrt2Pi * std::exp(-0.5f * y0[i] * y0[i]);
+      EXPECT_EQ(gelu[i], y0[i] * cdf);
+      EXPECT_EQ(dgelu[i], w0[i] * (cdf + y0[i] * pdf));
+    }
+  }
+}
+
+TEST(SimdKernelsTest, ExactElementwiseKernelsBitIdenticalAtEveryLevel) {
+  // acc/add/scale perform one rounded op per element at every width — the
+  // KernelTable header promises bit-identity across ALL levels, which the
+  // residual-stream adds in mini_gpt.cc rely on.
+  for (const KernelTable* table : ExecutableTables()) {
+    for (std::int64_t n : kSizes) {
+      const auto x = RandomVec(n, 100 + static_cast<std::uint32_t>(n));
+      const auto y0 = RandomVec(n, 200 + static_cast<std::uint32_t>(n));
+
+      auto got = y0;
+      auto want = y0;
+      table->acc(got.data(), x.data(), n);
+      ScalarKernels().acc(want.data(), x.data(), n);
+      EXPECT_EQ(got, want) << "acc level="
+                           << SimdLevelName(table->level) << " n=" << n;
+
+      std::vector<float> got_add(n), want_add(n);
+      table->add(got_add.data(), x.data(), y0.data(), n);
+      ScalarKernels().add(want_add.data(), x.data(), y0.data(), n);
+      EXPECT_EQ(got_add, want_add)
+          << "add level=" << SimdLevelName(table->level) << " n=" << n;
+
+      got = y0;
+      want = y0;
+      table->scale(got.data(), 1.7f, n);
+      ScalarKernels().scale(want.data(), 1.7f, n);
+      EXPECT_EQ(got, want) << "scale level="
+                           << SimdLevelName(table->level) << " n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, SimdTablesMatchScalarWithinTolerance) {
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : ExecutableTables()) {
+    if (table->level == SimdLevel::kScalar) continue;
+    for (std::int64_t n : kSizes) {
+      const auto x = RandomVec(n, 300 + static_cast<std::uint32_t>(n));
+      const auto y0 = RandomVec(n, 400 + static_cast<std::uint32_t>(n));
+
+      auto got = y0;
+      auto want = y0;
+      table->axpy(got.data(), x.data(), 0.37f, n);
+      ref.axpy(want.data(), x.data(), 0.37f, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got[i], want[i], kAtol, kRtol, "axpy", n);
+      }
+
+      ExpectClose(table->dot(x.data(), y0.data(), n),
+                  ref.dot(x.data(), y0.data(), n), kAtol, kRtol, "dot", n);
+      ExpectClose(table->sum(x.data(), n), ref.sum(x.data(), n), kAtol, kRtol,
+                  "sum", n);
+      const float mean = ref.sum(x.data(), n) / static_cast<float>(n);
+      ExpectClose(table->sumsq_centered(x.data(), mean, n),
+                  ref.sumsq_centered(x.data(), mean, n), kAtol, kRtol,
+                  "sumsq_centered", n);
+
+      float got4[4], want4[4];
+      table->dot4(y0.data(), x.data(), y0.data(), x.data(), y0.data(), n,
+                  got4);
+      ref.dot4(y0.data(), x.data(), y0.data(), x.data(), y0.data(), n, want4);
+      for (int u = 0; u < 4; ++u) {
+        ExpectClose(got4[u], want4[u], kAtol, kRtol, "dot4", n);
+      }
+
+      got = y0;
+      want = y0;
+      table->gemm_update4(got.data(), x.data(), y0.data(), x.data(), y0.data(),
+                          0.1f, 0.2f, 0.3f, 0.4f, n);
+      ref.gemm_update4(want.data(), x.data(), y0.data(), x.data(), y0.data(),
+                       0.1f, 0.2f, 0.3f, 0.4f, n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got[i], want[i], kAtol, kRtol, "gemm_update4", n);
+      }
+
+      std::vector<float> got_g(n), want_g(n);
+      table->gelu_fwd(x.data(), got_g.data(), n);
+      ref.gelu_fwd(x.data(), want_g.data(), n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got_g[i], want_g[i], kAtol, kRtol, "gelu_fwd", n);
+      }
+      table->gelu_bwd(x.data(), y0.data(), got_g.data(), n);
+      ref.gelu_bwd(x.data(), y0.data(), want_g.data(), n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got_g[i], want_g[i], kAtol, kRtol, "gelu_bwd", n);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, LayerNormKernelsMatchScalarWithinTolerance) {
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : ExecutableTables()) {
+    if (table->level == SimdLevel::kScalar) continue;
+    for (std::int64_t n : kSizes) {
+      const auto x = RandomVec(n, 500 + static_cast<std::uint32_t>(n));
+      const auto dy = RandomVec(n, 600 + static_cast<std::uint32_t>(n));
+      const auto g = RandomVec(n, 700 + static_cast<std::uint32_t>(n));
+      const auto b = RandomVec(n, 800 + static_cast<std::uint32_t>(n));
+      const float mean = ref.sum(x.data(), n) / static_cast<float>(n);
+      const float var =
+          ref.sumsq_centered(x.data(), mean, n) / static_cast<float>(n);
+      const float inv = 1.0f / std::sqrt(var + 1e-5f);
+      const float inv_n = 1.0f / static_cast<float>(n);
+
+      std::vector<float> got(n), want(n);
+      table->ln_apply(x.data(), g.data(), b.data(), mean, inv, got.data(), n);
+      ref.ln_apply(x.data(), g.data(), b.data(), mean, inv, want.data(), n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got[i], want[i], kAtol, kRtol, "ln_apply", n);
+      }
+
+      float got_s0, got_s1, want_s0, want_s1;
+      table->ln_bwd_reduce(x.data(), dy.data(), g.data(), mean, inv, n,
+                           &got_s0, &got_s1);
+      ref.ln_bwd_reduce(x.data(), dy.data(), g.data(), mean, inv, n, &want_s0,
+                        &want_s1);
+      ExpectClose(got_s0, want_s0, kAtol, kRtol, "ln_bwd_reduce s0", n);
+      ExpectClose(got_s1, want_s1, kAtol, kRtol, "ln_bwd_reduce s1", n);
+
+      table->ln_bwd_apply(x.data(), dy.data(), g.data(), mean, inv, inv_n,
+                          want_s0, want_s1, got.data(), n);
+      ref.ln_bwd_apply(x.data(), dy.data(), g.data(), mean, inv, inv_n,
+                       want_s0, want_s1, want.data(), n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got[i], want[i], kAtol, kRtol, "ln_bwd_apply", n);
+      }
+
+      // dg/db accumulate; also exercise the nullable variants.
+      std::vector<float> got_dg(n, 0.5f), got_db(n, 0.25f);
+      std::vector<float> want_dg(n, 0.5f), want_db(n, 0.25f);
+      table->ln_bwd_dgdb(x.data(), dy.data(), mean, inv, got_dg.data(),
+                         got_db.data(), n);
+      ref.ln_bwd_dgdb(x.data(), dy.data(), mean, inv, want_dg.data(),
+                      want_db.data(), n);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got_dg[i], want_dg[i], kAtol, kRtol, "ln_bwd_dgdb dg", n);
+        ExpectClose(got_db[i], want_db[i], kAtol, kRtol, "ln_bwd_dgdb db", n);
+      }
+      table->ln_bwd_dgdb(x.data(), dy.data(), mean, inv, got_dg.data(),
+                         nullptr, n);
+      table->ln_bwd_dgdb(x.data(), dy.data(), mean, inv, nullptr,
+                         got_db.data(), n);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, AttentionKernelsMatchScalarAcrossShapes) {
+  const KernelTable& ref = ScalarKernels();
+  // kv sweeps the streaming-softmax block size (64) boundary; d=8 hits the
+  // 512-bit short-row path, d=32 the vectorized main loops. stride > d
+  // mimics the multi-head layout (heads interleaved along the row).
+  const std::int64_t kvs[] = {1, 2, 5, 17, 63, 64, 65, 129};
+  const std::int64_t dims[] = {8, 32};
+  for (const KernelTable* table : ExecutableTables()) {
+    for (std::int64_t d : dims) {
+      const std::int64_t stride = 3 * d;
+      for (std::int64_t kv : kvs) {
+        const auto q = RandomVec(d, 31 * static_cast<std::uint32_t>(kv + d));
+        const auto kmat =
+            RandomVec(kv * stride, 37 * static_cast<std::uint32_t>(kv + d));
+        const auto vmat =
+            RandomVec(kv * stride, 41 * static_cast<std::uint32_t>(kv + d));
+        const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+
+        std::vector<float> got_probs(kv), want_probs(kv);
+        table->attn_row_probs(q.data(), kmat.data(), kv, d, stride, scale,
+                              got_probs.data());
+        ref.attn_row_probs(q.data(), kmat.data(), kv, d, stride, scale,
+                           want_probs.data());
+        float prob_sum = 0.0f;
+        for (std::int64_t c = 0; c < kv; ++c) {
+          ExpectClose(got_probs[c], want_probs[c], kAtol, kRtol, "attn_probs",
+                      kv);
+          prob_sum += got_probs[c];
+        }
+        EXPECT_NEAR(prob_sum, 1.0f, 1e-4);
+
+        std::vector<float> got_out(d), want_out(d), scratch(kv);
+        table->attn_row_fwd(q.data(), kmat.data(), vmat.data(), kv, d, stride,
+                            scale, got_out.data(), scratch.data());
+        ref.attn_row_fwd(q.data(), kmat.data(), vmat.data(), kv, d, stride,
+                         scale, want_out.data(), scratch.data());
+        for (std::int64_t i = 0; i < d; ++i) {
+          ExpectClose(got_out[i], want_out[i], kAtol, kRtol, "attn_fwd", kv);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, CrossEntropyRowMatchesScalar) {
+  const KernelTable& ref = ScalarKernels();
+  for (const KernelTable* table : ExecutableTables()) {
+    for (std::int64_t n : {2, 7, 16, 17, 100, 256}) {
+      const auto logits = RandomVec(n, 900 + static_cast<std::uint32_t>(n));
+      const int target = static_cast<int>(n / 2);
+      const float inv_rows = 1.0f / 8.0f;
+
+      std::vector<float> got_dl(n), want_dl(n);
+      const double got =
+          table->ce_row(logits.data(), n, target, inv_rows, got_dl.data());
+      const double want =
+          ref.ce_row(logits.data(), n, target, inv_rows, want_dl.data());
+      EXPECT_NEAR(got, want, kAtol + kRtol * std::abs(want));
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(got_dl[i], want_dl[i], kAtol, kRtol, "ce_row dl", n);
+      }
+      // Loss-only variant (null gradient) must agree with itself.
+      EXPECT_EQ(table->ce_row(logits.data(), n, target, inv_rows, nullptr),
+                got);
+    }
+  }
+}
+
+TEST(SimdKernelsTest, AdamUpdateMatchesScalarWithinTolerance) {
+  const KernelTable& ref = ScalarKernels();
+  const double beta1 = 0.9, beta2 = 0.999, lr = 1e-3, eps = 1e-8;
+  const double bias1 = 1.0 - std::pow(beta1, 3);
+  const double bias2 = 1.0 - std::pow(beta2, 3);
+  for (const KernelTable* table : ExecutableTables()) {
+    for (std::int64_t n : kSizes) {
+      const auto g = RandomVec(n, 1000 + static_cast<std::uint32_t>(n));
+      auto p_got = RandomVec(n, 1100), m_got = RandomVec(n, 1200),
+           v_got = RandomVec(n, 1300);
+      for (float& v : v_got) v = std::abs(v);  // second moments are >= 0
+      auto p_want = p_got, m_want = m_got, v_want = v_got;
+
+      table->adam_update(p_got.data(), m_got.data(), v_got.data(), g.data(),
+                         n, beta1, beta2, lr, eps, bias1, bias2);
+      ref.adam_update(p_want.data(), m_want.data(), v_want.data(), g.data(),
+                      n, beta1, beta2, lr, eps, bias1, bias2);
+      for (std::int64_t i = 0; i < n; ++i) {
+        ExpectClose(p_got[i], p_want[i], kAtol, kRtol, "adam p", n);
+        ExpectClose(m_got[i], m_want[i], kAtol, kRtol, "adam m", n);
+        ExpectClose(v_got[i], v_want[i], kAtol, kRtol, "adam v", n);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memo::train::kernels

@@ -20,14 +20,14 @@ endif()
 execute_process(
   COMMAND ${CMAKE_COMMAND} --build ${BINARY_DIR}
           --target thread_pool_test parallel_exactness_test executor_test
-          trace_recorder_test fault_tolerance_test
+          trace_recorder_test fault_tolerance_test tensor_arena_test
   RESULT_VARIABLE build_result)
 if(NOT build_result EQUAL 0)
   message(FATAL_ERROR "tsan build failed (${build_result})")
 endif()
 
 foreach(test_binary thread_pool_test parallel_exactness_test executor_test
-        trace_recorder_test fault_tolerance_test)
+        trace_recorder_test fault_tolerance_test tensor_arena_test)
   execute_process(
     COMMAND ${BINARY_DIR}/tests/${test_binary}
     RESULT_VARIABLE run_result)
