@@ -1,0 +1,123 @@
+// Attention kernel microbench: the naive reference, the previous
+// row-gather kernel (scores materialized per row, K/V gathered through the
+// full hidden stride), and the streaming packed kernel (per-head K^T/V
+// panels + running-max softmax) across seq_len x head_dim x threads.
+// Writes BENCH_attention.json; speedups are against the single-thread
+// reference and parallel_efficiency is against the same kernel at one
+// thread.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/thread_pool.h"
+#include "train/kernels/kernels.h"
+#include "train/ops.h"
+#include "train/reference_ops.h"
+#include "train/tensor.h"
+
+namespace {
+
+using memo::ThreadPool;
+using memo::train::Tensor;
+namespace kernels = memo::train::kernels;
+
+constexpr int kHeads = 4;
+
+/// The pre-panel attention loop, kept here as the bench baseline: one
+/// attn_row_fwd call per (head, row) reading K and V strided by the full
+/// hidden width, scores materialized into scratch.
+void RowGatherAttention(const Tensor& q, const Tensor& k, const Tensor& v,
+                        int heads, Tensor* out) {
+  const kernels::KernelTable& K = kernels::Active();
+  const std::int64_t s = q.rows();
+  const std::int64_t h = q.cols();
+  const std::int64_t head_dim = h / heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<std::int64_t>(heads) * s, 8,
+      [&](std::int64_t w0, std::int64_t w1) {
+        std::vector<float> scratch(s);
+        for (std::int64_t wi = w0; wi < w1; ++wi) {
+          const std::int64_t head = wi / s;
+          const std::int64_t r = wi - head * s;
+          const std::int64_t offset = head * head_dim;
+          K.attn_row_fwd(q.row(r) + offset, k.data() + offset,
+                         v.data() + offset, r + 1, head_dim, h, scale,
+                         out->row(r) + offset, scratch.data());
+        }
+      });
+}
+
+struct Shape {
+  std::int64_t seq;
+  std::int64_t head_dim;
+};
+
+}  // namespace
+
+int main() {
+  const Shape shapes[] = {{128, 8}, {128, 32}, {256, 8},
+                          {256, 32}, {512, 8}, {512, 32}};
+  const int thread_counts[] = {1, 4};
+  const char* simd = memo::SimdLevelName(kernels::Active().level);
+  std::vector<memo::bench::BenchRecord> records;
+
+  for (const Shape& shape : shapes) {
+    const std::int64_t s = shape.seq;
+    const std::int64_t h = kHeads * shape.head_dim;
+    memo::Rng rng(7);
+    const Tensor q = Tensor::Randn(s, h, 0.5, rng);
+    const Tensor k = Tensor::Randn(s, h, 0.5, rng);
+    const Tensor v = Tensor::Randn(s, h, 0.5, rng);
+    Tensor out(s, h);
+    const std::string op = "attention_fwd_s" + std::to_string(s) + "_d" +
+                           std::to_string(shape.head_dim);
+    const int reps = s >= 512 ? 5 : 10;
+
+    ThreadPool::SetGlobalThreads(1);
+    const double ref_ms = memo::bench::BestWallMs(reps, [&] {
+      memo::train::reference::AttentionForward(q, k, v, kHeads, &out);
+    });
+    records.push_back({op, 1, ref_ms, 1.0, "reference", "", 1.0});
+    std::printf("%-22s %-16s threads=%d  %8.3f ms\n", op.c_str(), "reference",
+                1, ref_ms);
+
+    struct Kernel {
+      const char* name;
+      void (*run)(const Tensor&, const Tensor&, const Tensor&, int, Tensor*);
+    };
+    const Kernel kernels_to_time[] = {
+        {"row_gather", &RowGatherAttention},
+        {"streaming_packed", &memo::train::AttentionForward}};
+    for (const Kernel& kr : kernels_to_time) {
+      double one_thread_ms = 0.0;
+      for (int threads : thread_counts) {
+        ThreadPool::SetGlobalThreads(threads);
+        const double ms = memo::bench::BestWallMs(
+            reps, [&] { kr.run(q, k, v, kHeads, &out); });
+        if (threads == 1) one_thread_ms = ms;
+        const double eff =
+            threads > 1 ? (one_thread_ms / ms) / threads : 1.0;
+        records.push_back(
+            {op, threads, ms, ref_ms / ms, kr.name, simd, eff});
+        std::printf(
+            "%-22s %-16s threads=%d  %8.3f ms  (%.2fx vs ref, eff=%.2f)\n",
+            op.c_str(), kr.name, threads, ms, ref_ms / ms, eff);
+      }
+    }
+  }
+  ThreadPool::SetGlobalThreads(ThreadPool::DefaultThreadCount());
+
+  const char* path = "BENCH_attention.json";
+  if (memo::bench::WriteBenchJson(path, records)) {
+    std::printf("wrote %s\n", path);
+    return 0;
+  }
+  std::fprintf(stderr, "failed to write %s\n", path);
+  return 1;
+}

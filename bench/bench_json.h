@@ -16,6 +16,11 @@ namespace memo::bench {
 /// preserved naive reference kernels from the dispatched optimized path,
 /// and `simd` records the dispatch level the optimized path executed
 /// ("scalar"/"avx2"/"avx512"; empty when the bench doesn't dispatch).
+/// `parallel_efficiency` is speedup-per-lane against the same kernel at one
+/// thread: (T_1thread / T_this) / threads. 1.0 for single-thread rows; on a
+/// machine with fewer cores than the pool size it honestly reports < 1/N
+/// (oversubscribed lanes cannot speed anything up) rather than being
+/// normalized away.
 struct BenchRecord {
   std::string op;
   int threads = 1;
@@ -23,6 +28,7 @@ struct BenchRecord {
   double speedup_vs_serial = 1.0;
   std::string kernel = "optimized";
   std::string simd;
+  double parallel_efficiency = 1.0;
 };
 
 /// Writes records as a JSON array (BENCH_*.json, consumed by the driver).
@@ -36,9 +42,9 @@ inline bool WriteBenchJson(const std::string& path,
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
                  "\"speedup_vs_serial\": %.3f, \"kernel\": \"%s\", "
-                 "\"simd\": \"%s\"}%s\n",
+                 "\"simd\": \"%s\", \"parallel_efficiency\": %.3f}%s\n",
                  r.op.c_str(), r.threads, r.wall_ms, r.speedup_vs_serial,
-                 r.kernel.c_str(), r.simd.c_str(),
+                 r.kernel.c_str(), r.simd.c_str(), r.parallel_efficiency,
                  i + 1 == records.size() ? "" : ",");
   }
   std::fprintf(f, "]\n");

@@ -1,0 +1,39 @@
+#include "common/scratch.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace memo {
+
+namespace {
+
+struct ScratchBuffer {
+  float* data = nullptr;
+  std::int64_t capacity = 0;
+
+  ~ScratchBuffer() { std::free(data); }
+
+  float* Ensure(std::int64_t n) {
+    if (n <= capacity) return data;
+    // Geometric growth so alternating sizes don't reallocate every call.
+    std::int64_t want = capacity > 0 ? capacity : 256;
+    while (want < n) want *= 2;
+    std::free(data);
+    const std::size_t bytes =
+        (static_cast<std::size_t>(want) * sizeof(float) + 63u) & ~std::size_t{63u};
+    data = static_cast<float*>(std::aligned_alloc(64, bytes));
+    MEMO_CHECK(data != nullptr);
+    capacity = want;
+    return data;
+  }
+};
+
+}  // namespace
+
+float* ThreadScratchFloats(std::int64_t n) {
+  thread_local ScratchBuffer buffer;
+  return buffer.Ensure(n);
+}
+
+}  // namespace memo

@@ -1,0 +1,20 @@
+#ifndef MEMO_COMMON_SCRATCH_H_
+#define MEMO_COMMON_SCRATCH_H_
+
+#include <cstdint>
+
+namespace memo {
+
+/// Persistent per-thread scratch: returns a 64-byte-aligned buffer of at
+/// least `n` floats owned by the calling thread. The buffer grows
+/// monotonically and lives until thread exit, so hot loops that previously
+/// allocated a std::vector per chunk (the attention row scratch) touch the
+/// allocator only the first few times a thread participates. Contents are
+/// unspecified on entry; a later call from the same thread may return the
+/// same (or a larger, relocated) buffer, so the pointer must not be cached
+/// across calls.
+float* ThreadScratchFloats(std::int64_t n);
+
+}  // namespace memo
+
+#endif  // MEMO_COMMON_SCRATCH_H_

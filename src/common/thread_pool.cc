@@ -6,6 +6,11 @@
 #include <memory>
 #include <utility>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
@@ -19,6 +24,30 @@ namespace {
 /// queue while its outer loop still holds the caller — run it inline
 /// instead (the reentrancy guard of the determinism contract).
 thread_local bool t_inside_parallel_region = false;
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Worker pinning policy: on by default on multi-core Linux hosts when the
+/// pool fits the machine, forced by MEMO_AFFINITY=1, disabled by
+/// MEMO_AFFINITY=0 (or anywhere pinning could oversubscribe a core).
+bool ShouldPinWorkers(int threads) {
+#if defined(__linux__)
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (const char* env = std::getenv("MEMO_AFFINITY")) {
+    return std::atoi(env) != 0 && hw > 1;
+  }
+  return hw > 1 && static_cast<unsigned>(threads) <= hw;
+#else
+  (void)threads;
+  return false;
+#endif
+}
 
 }  // namespace
 
@@ -44,9 +73,15 @@ struct ThreadPool::LoopState {
 
 ThreadPool::ThreadPool(int threads) {
   if (threads < 1) threads = 1;
+  // A brief spin before each cv wait lets workers catch the next loop of a
+  // back-to-back op sequence without a futex round-trip; on a single
+  // hardware thread the spin would only steal cycles from the caller that
+  // is trying to produce that loop, so it is disabled there.
+  spin_rounds_ = std::thread::hardware_concurrency() > 1 ? 2048 : 0;
+  pin_workers_ = ShouldPinWorkers(threads);
   workers_.reserve(threads - 1);
   for (int i = 0; i < threads - 1; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    workers_.emplace_back([this, i] { WorkerMain(i); });
   }
 }
 
@@ -54,17 +89,41 @@ ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
+    shutdown_flag_.store(true, std::memory_order_relaxed);
   }
   wake_.notify_all();
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::WorkerMain() {
+void ThreadPool::WorkerMain(int worker_index) {
   MEMO_TRACE_SET_THREAD_NAME("pool-worker");
+#if defined(__linux__)
+  if (pin_workers_) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    // The caller keeps core 0 (wherever the OS put it); workers take the
+    // next cores round-robin so repeated loops land each worker on the same
+    // cache every time.
+    CPU_SET((static_cast<unsigned>(worker_index) + 1u) % hw, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
   for (;;) {
     std::shared_ptr<LoopState> loop;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (pending_.empty() && !shutdown_ && spin_rounds_ > 0) {
+        lock.unlock();
+        for (int r = 0; r < spin_rounds_; ++r) {
+          if (pending_count_.load(std::memory_order_relaxed) > 0 ||
+              shutdown_flag_.load(std::memory_order_relaxed)) {
+            break;
+          }
+          CpuRelax();
+        }
+        lock.lock();
+      }
       wake_.wait(lock, [this] { return shutdown_ || !pending_.empty(); });
       if (shutdown_ && pending_.empty()) return;
       loop = pending_.front();
@@ -73,6 +132,8 @@ void ThreadPool::WorkerMain() {
       // also join in; RunChunks drops out once nothing is unclaimed.
       if (loop->next.load(std::memory_order_relaxed) >= loop->chunks) {
         pending_.pop_front();
+        pending_count_.store(static_cast<int>(pending_.size()),
+                             std::memory_order_relaxed);
         continue;
       }
     }
@@ -154,8 +215,20 @@ void ThreadPool::ParallelForChunks(
   {
     std::lock_guard<std::mutex> lock(mu_);
     pending_.push_back(state);
+    pending_count_.store(static_cast<int>(pending_.size()),
+                         std::memory_order_relaxed);
   }
-  wake_.notify_all();
+  // Wake only as many workers as there are chunks beyond the caller's own:
+  // a 2-chunk loop on a 16-lane pool used to stampede 15 workers at the
+  // claim counter just to find nothing left.
+  const std::int64_t extra =
+      std::min<std::int64_t>(static_cast<std::int64_t>(workers_.size()),
+                             chunks - 1);
+  if (extra >= static_cast<std::int64_t>(workers_.size())) {
+    wake_.notify_all();
+  } else {
+    for (std::int64_t i = 0; i < extra; ++i) wake_.notify_one();
+  }
 
   // The caller is a full participant — with N-1 workers this yields N lanes.
   t_inside_parallel_region = true;
@@ -181,6 +254,8 @@ void ThreadPool::ParallelForChunks(
         break;
       }
     }
+    pending_count_.store(static_cast<int>(pending_.size()),
+                         std::memory_order_relaxed);
   }
   if (state->error) std::rethrow_exception(state->error);
 }
@@ -192,6 +267,37 @@ void ThreadPool::ParallelFor(
                     [&fn](std::int64_t, std::int64_t lo, std::int64_t hi) {
                       fn(lo, hi);
                     });
+}
+
+void ThreadPool::ParallelFor(
+    std::int64_t begin, std::int64_t end, std::int64_t grain,
+    const LoopHint& hint,
+    const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  MEMO_CHECK_GE(grain, 1);
+  const double total_flops =
+      hint.flops_per_item * static_cast<double>(end - begin);
+  if (total_flops > 0.0 && total_flops < kMinParallelFlops) {
+    // The whole loop is cheaper than one dispatch round-trip: run it as a
+    // single inline call. Results are identical by the chunk-boundary
+    // independence contract; this is what makes oversubscribed pools (and
+    // pools on small problems) stop losing to the serial baseline.
+    static obs::MetricCounter* inline_counter =
+        obs::MetricsRegistry::Global().counter("pool.hint_inline_loops");
+    inline_counter->Increment();
+    // Still a pool region as far as traces are concerned — keeps the pool
+    // lane populated (and the span count honest) when every loop of a small
+    // model falls below the dispatch threshold.
+    MEMO_TRACE_SCOPE_ARG("pool_run", "pool", "inline_hint", 1);
+    fn(begin, end);
+    return;
+  }
+  std::int64_t eff_grain = grain;
+  const std::int64_t chunks = (end - begin + grain - 1) / grain;
+  if (chunks > kMaxHintChunks) {
+    eff_grain = grain * ((chunks + kMaxHintChunks - 1) / kMaxHintChunks);
+  }
+  ParallelFor(begin, end, eff_grain, fn);
 }
 
 void ThreadPool::RunTasks(const std::vector<std::function<void()>>& tasks) {

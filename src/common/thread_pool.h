@@ -1,6 +1,7 @@
 #ifndef MEMO_COMMON_THREAD_POOL_H_
 #define MEMO_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -12,6 +13,20 @@
 #include <vector>
 
 namespace memo {
+
+/// Optional cost hint for ParallelFor: lets the pool make scaling-aware
+/// decisions instead of dispatching every loop identically. A hinted loop
+/// whose total work is tiny runs inline on the caller (the dispatch +
+/// barrier round-trip costs more than the loop), and huge hinted loops are
+/// re-chunked to a bounded number of dispatch units so the atomic
+/// chunk-claim counter stops being the contention point. Both decisions are
+/// pure functions of (begin, end, grain, hint) — never of the pool size —
+/// so the determinism contract below is untouched.
+struct LoopHint {
+  /// Approximate useful work per loop item in FLOPs (any consistent unit;
+  /// only the product with the item count is ever used).
+  double flops_per_item = 0.0;
+};
 
 /// Shared threading runtime backing every parallel path in the system: the
 /// mini-GPT training kernels (row-chunked), the bi-level planner's
@@ -49,6 +64,23 @@ class ThreadPool {
   void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                    const std::function<void(std::int64_t, std::int64_t)>& fn);
 
+  /// Cost-hinted ParallelFor. Loops with total hinted work below
+  /// kMinParallelFlops run inline as one fn(begin, end) call (callers'
+  /// results are chunk-boundary independent by contract); larger loops are
+  /// grain-coarsened so at most kMaxHintChunks chunks are dispatched. The
+  /// coarsened grain is a multiple of `grain`, so callers' alignment
+  /// assumptions (e.g. 4-row GEMM quads inside a 32-row grain) still hold.
+  void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   const LoopHint& hint,
+                   const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Hinted-loop thresholds. ~256k flops is roughly the work a core
+  /// retires in the time a wake + barrier round-trip takes; 64 chunks keeps
+  /// claim-counter traffic negligible while still load-balancing loops that
+  /// are orders of magnitude larger than the pool.
+  static constexpr double kMinParallelFlops = 262144.0;
+  static constexpr std::int64_t kMaxHintChunks = 64;
+
   /// ParallelFor variant that also passes the chunk ordinal (0-based, in
   /// deterministic [begin, end) order) so callers can stage per-chunk
   /// partials and reduce them in chunk order afterwards.
@@ -77,7 +109,7 @@ class ThreadPool {
  private:
   struct LoopState;
 
-  void WorkerMain();
+  void WorkerMain(int worker_index);
   /// Caller-side + worker-side chunk runner; returns when no chunks remain.
   static void RunChunks(LoopState* state);
 
@@ -86,6 +118,17 @@ class ThreadPool {
   std::condition_variable wake_;
   std::deque<std::shared_ptr<LoopState>> pending_;  // unclaimed-chunk loops
   bool shutdown_ = false;
+  /// Lock-free mirrors of pending_.size() / shutdown_ for the worker spin
+  /// loop (workers briefly spin before blocking on the cv so back-to-back
+  /// loops skip the futex round-trip; disabled on single-core hosts where
+  /// spinning only steals cycles from the caller).
+  std::atomic<int> pending_count_{0};
+  std::atomic<bool> shutdown_flag_{false};
+  int spin_rounds_ = 0;
+  /// Pin worker i to core (i+1) % hardware_concurrency (Linux, opt-out via
+  /// MEMO_AFFINITY=0): persistent placement keeps each worker's arena
+  /// scratch and panel cache hot in its own L1/L2 across loops.
+  bool pin_workers_ = false;
 };
 
 }  // namespace memo

@@ -115,11 +115,13 @@ void RecomputeRows(const LayerParams& params, std::int64_t cut,
     float* ri = resid1.row(r);
     for (std::int64_t i = 0; i < h; ++i) ri[i] = xi[i] + pi[i];
   }
-  LayerNormForwardRows(resid1, params.ln2_g, params.ln2_b, cut, s,
-                       &acts->ln2_out, &acts->ln2_rstd);
-  LinearForwardRows(acts->ln2_out, params.w1, params.b1, cut, s,
-                    &acts->fc1_out);
-  GeluForwardRows(acts->fc1_out, cut, s, &acts->gelu_out);
+  // Fused ln2 -> fc1 -> gelu, the same call the forward pass makes: row-wise
+  // data flow plus the bit-identical fusion contract means the recomputed
+  // rows reproduce the original activations exactly.
+  LayerNormLinearGeluForwardRows(resid1, params.ln2_g, params.ln2_b,
+                                 params.w1, params.b1, cut, s, &acts->ln2_out,
+                                 &acts->ln2_rstd, &acts->fc1_out,
+                                 &acts->gelu_out);
 }
 
 }  // namespace

@@ -7,6 +7,15 @@
 
 namespace memo::train::kernels {
 
+/// Register block of the packed GEMM microkernel (`gemm_tile`): up to
+/// kGemmMR rows of A against a B panel of up to kGemmNR columns per call.
+/// kGemmNR is a multiple of every vector width (8/16), which the fused GELU
+/// epilogue's bit-exactness argument relies on: column tiles start at
+/// multiples of kGemmNR, so the vector-body/scalar-tail split of a tile
+/// slice coincides with the split of a whole-row gelu_fwd call.
+inline constexpr std::int64_t kGemmMR = 4;
+inline constexpr std::int64_t kGemmNR = 64;
+
 /// The microkernel vocabulary of the training op layer: every inner loop of
 /// ops.cc / adam.cc is one of these, dispatched per process to the scalar,
 /// AVX2 (8-wide + FMA) or AVX-512 (16-wide) implementation.
@@ -54,6 +63,24 @@ struct KernelTable {
   void (*dot4)(const float* a, const float* b0, const float* b1,
                const float* b2, const float* b3, std::int64_t n,
                float out[4]);
+  /// Packed-panel register-blocked GEMM tile:
+  ///   C[r][j] (+)= sum_k A(r, k) * b[k*nr + j]
+  /// for r < mr (<= kGemmMR), j < nr (<= kGemmNR), where
+  /// A(r, k) = a[r*a_row_stride + k*a_col_stride] (a strided view: rows of
+  /// x, or a column walk for the dw transpose case) and `b` is a column
+  /// panel packed k-major by the ops layer. Every C element accumulates
+  /// k-ascending — the reference per-element order — so the result is
+  /// independent of the surrounding row/column tiling and the scalar table
+  /// stays bit-identical to reference_ops. Initial tile value: `c` itself
+  /// when `accumulate`, else bias[j] broadcast down rows when `bias` is
+  /// non-null, else zero. When `gelu_out` is non-null, the finished tile
+  /// rows additionally receive this level's gelu_fwd into gelu_out (same
+  /// ldc): fused == gemm-then-gelu_fwd bit for bit at every level.
+  void (*gemm_tile)(const float* a, std::int64_t a_row_stride,
+                    std::int64_t a_col_stride, const float* b, std::int64_t k,
+                    std::int64_t mr, std::int64_t nr, float* c,
+                    std::int64_t ldc, const float* bias, bool accumulate,
+                    float* gelu_out);
 
   // ---- LayerNorm.
   float (*sum)(const float* x, std::int64_t n);
@@ -93,6 +120,32 @@ struct KernelTable {
   void (*attn_row_probs)(const float* qr, const float* kbase, std::int64_t kv,
                          std::int64_t d, std::int64_t stride, float scale,
                          float* probs);
+  // ---- Packed attention: the ops layer transposes each head's keys into a
+  // d x kv panel `kt` (key c at column c, leading dimension ldk) and packs
+  // its values contiguously as vp[c*d + i], so the score kernel runs
+  // broadcast-FMA over contiguous keys instead of a strided dot per key.
+  /// scores[c] = scale * sum_i qr[i] * kt[i*ldk + c], accumulated
+  /// i-ascending (the reference dot order) — the scalar path is
+  /// bit-identical to the reference score row.
+  void (*attn_scores_packed)(const float* qr, const float* kt,
+                             std::int64_t ldk, std::int64_t kv, std::int64_t d,
+                             float scale, float* scores);
+  /// Causal softmax probabilities of one row over the packed K^T panel
+  /// (exact two-pass softmax; the backward recompute must reproduce exactly
+  /// what attn_row_fwd_packed's scalar path used).
+  void (*attn_probs_packed)(const float* qr, const float* kt,
+                            std::int64_t ldk, std::int64_t kv, std::int64_t d,
+                            float scale, float* probs);
+  /// One causal attention output row over packed panels. The scalar path is
+  /// the exact two-pass reference; SIMD paths stream the keys in blocks of
+  /// 64 through a running max / rescaled accumulator (FlashAttention-style)
+  /// fed by the broadcast-FMA score kernel, so no full score row is ever
+  /// materialized. `scratch` (caller-provided, >= kv floats) backs the
+  /// scalar path and the d > 256 SIMD fallback.
+  void (*attn_row_fwd_packed)(const float* qr, const float* kt,
+                              std::int64_t ldk, const float* vp,
+                              std::int64_t kv, std::int64_t d, float scale,
+                              float* outr, float* scratch);
 
   // ---- Softmax cross-entropy, one row of logits. Returns the row loss
   // (log-sum-exp minus target logit) and fills d_logits when non-null.

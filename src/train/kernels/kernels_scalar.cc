@@ -66,6 +66,41 @@ void Dot4(const float* a, const float* b0, const float* b1, const float* b2,
   out[3] = a3;
 }
 
+void GeluFwd(const float* x, float* y, std::int64_t n);
+
+void GemmTile(const float* a, std::int64_t ars, std::int64_t acs,
+              const float* b, std::int64_t k, std::int64_t mr, std::int64_t nr,
+              float* c, std::int64_t ldc, const float* bias, bool accumulate,
+              float* gelu_out) {
+  float tile[kGemmMR][kGemmNR];
+  for (std::int64_t r = 0; r < mr; ++r) {
+    float* tr = tile[r];
+    if (accumulate) {
+      std::copy(c + r * ldc, c + r * ldc + nr, tr);
+    } else if (bias != nullptr) {
+      std::copy(bias, bias + nr, tr);
+    } else {
+      std::fill(tr, tr + nr, 0.0f);
+    }
+  }
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* bk = b + kk * nr;
+    for (std::int64_t r = 0; r < mr; ++r) {
+      const float av = a[r * ars + kk * acs];
+      float* __restrict tr = tile[r];
+      for (std::int64_t j = 0; j < nr; ++j) tr[j] += av * bk[j];
+    }
+  }
+  for (std::int64_t r = 0; r < mr; ++r) {
+    std::copy(tile[r], tile[r] + nr, c + r * ldc);
+  }
+  if (gelu_out != nullptr) {
+    for (std::int64_t r = 0; r < mr; ++r) {
+      GeluFwd(c + r * ldc, gelu_out + r * ldc, nr);
+    }
+  }
+}
+
 float Sum(const float* x, std::int64_t n) {
   float acc = 0.0f;
   for (std::int64_t i = 0; i < n; ++i) acc += x[i];
@@ -202,6 +237,50 @@ void AttnRowProbs(const float* qr, const float* kbase, std::int64_t kv,
   RowProbsInto(qr, kbase, kv, d, stride, scale, probs);
 }
 
+/// Packed scores: i-outer over the K^T panel accumulates each score[c] in
+/// the same i-ascending add sequence as the reference dot, with the scale
+/// applied once at the end — bit-identical to the reference score row.
+void AttnScoresPacked(const float* qr, const float* kt, std::int64_t ldk,
+                      std::int64_t kv, std::int64_t d, float scale,
+                      float* scores) {
+  std::fill(scores, scores + kv, 0.0f);
+  for (std::int64_t i = 0; i < d; ++i) {
+    const float qv = qr[i];
+    const float* __restrict ktr = kt + i * ldk;
+    for (std::int64_t c = 0; c < kv; ++c) scores[c] += qv * ktr[c];
+  }
+  for (std::int64_t c = 0; c < kv; ++c) scores[c] *= scale;
+}
+
+void AttnProbsPacked(const float* qr, const float* kt, std::int64_t ldk,
+                     std::int64_t kv, std::int64_t d, float scale,
+                     float* probs) {
+  AttnScoresPacked(qr, kt, ldk, kv, d, scale, probs);
+  float max_score = -1e30f;
+  for (std::int64_t c = 0; c < kv; ++c) {
+    if (probs[c] > max_score) max_score = probs[c];
+  }
+  float denom = 0.0f;
+  for (std::int64_t c = 0; c < kv; ++c) {
+    probs[c] = std::exp(probs[c] - max_score);
+    denom += probs[c];
+  }
+  const float inv = 1.0f / denom;
+  for (std::int64_t c = 0; c < kv; ++c) probs[c] *= inv;
+}
+
+void AttnRowFwdPacked(const float* qr, const float* kt, std::int64_t ldk,
+                      const float* vp, std::int64_t kv, std::int64_t d,
+                      float scale, float* outr, float* scratch) {
+  AttnProbsPacked(qr, kt, ldk, kv, d, scale, scratch);
+  std::fill(outr, outr + d, 0.0f);
+  for (std::int64_t c = 0; c < kv; ++c) {
+    const float p = scratch[c];
+    const float* __restrict vc = vp + c * d;
+    for (std::int64_t i = 0; i < d; ++i) outr[i] += p * vc[i];
+  }
+}
+
 double CeRow(const float* lr, std::int64_t n, int target, float inv_rows,
              float* dl) {
   float max_logit = -1e30f;
@@ -239,11 +318,30 @@ void AdamUpdate(float* p, float* m, float* v, const float* g, std::int64_t n,
 
 const KernelTable& ScalarKernels() {
   static const KernelTable table = {
-      SimdLevel::kScalar, &Axpy,        &Acc,         &Add,
-      &Scale,             &GemmUpdate4, &Dot,         &Dot4,
-      &Sum,               &SumsqCentered, &LnApply,   &LnBwdReduce,
-      &LnBwdApply,        &LnBwdDgdb,   &GeluFwd,     &GeluBwd,
-      &AttnRowFwd,        &AttnRowProbs, &CeRow,      &AdamUpdate,
+      .level = SimdLevel::kScalar,
+      .axpy = &Axpy,
+      .acc = &Acc,
+      .add = &Add,
+      .scale = &Scale,
+      .gemm_update4 = &GemmUpdate4,
+      .dot = &Dot,
+      .dot4 = &Dot4,
+      .gemm_tile = &GemmTile,
+      .sum = &Sum,
+      .sumsq_centered = &SumsqCentered,
+      .ln_apply = &LnApply,
+      .ln_bwd_reduce = &LnBwdReduce,
+      .ln_bwd_apply = &LnBwdApply,
+      .ln_bwd_dgdb = &LnBwdDgdb,
+      .gelu_fwd = &GeluFwd,
+      .gelu_bwd = &GeluBwd,
+      .attn_row_fwd = &AttnRowFwd,
+      .attn_row_probs = &AttnRowProbs,
+      .attn_scores_packed = &AttnScoresPacked,
+      .attn_probs_packed = &AttnProbsPacked,
+      .attn_row_fwd_packed = &AttnRowFwdPacked,
+      .ce_row = &CeRow,
+      .adam_update = &AdamUpdate,
   };
   return table;
 }

@@ -96,12 +96,13 @@ Tensor LayerForward(const LayerParams& l, int heads, const Tensor& x,
   AddInto(x, acts->proj_out, &resid1);
   acts->ln2_out = Tensor(s, h);
   acts->ln2_rstd = Tensor(s, 1);
-  LayerNormForward(resid1, l.ln2_g, l.ln2_b, &acts->ln2_out,
-                   &acts->ln2_rstd);
   acts->fc1_out = Tensor(s, l.w1.cols());
-  LinearForward(acts->ln2_out, l.w1, l.b1, &acts->fc1_out);
   acts->gelu_out = Tensor(s, l.w1.cols());
-  GeluForward(acts->fc1_out, &acts->gelu_out);
+  // Fused ln2 -> fc1 -> gelu: bit-identical to the unfused sequence but the
+  // fc1 pre-activation never round-trips through memory before the GELU.
+  LayerNormLinearGeluForwardRows(resid1, l.ln2_g, l.ln2_b, l.w1, l.b1, 0, s,
+                                 &acts->ln2_out, &acts->ln2_rstd,
+                                 &acts->fc1_out, &acts->gelu_out);
   Tensor fc2_out(s, h);
   LinearForward(acts->gelu_out, l.w2, l.b2, &fc2_out);
 

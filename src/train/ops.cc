@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 
+#include "common/scratch.h"
 #include "common/thread_pool.h"
 #include "train/kernels/kernels.h"
 #include "train/reference_ops.h"
@@ -22,12 +24,84 @@ bool UseReference() {
 /// Fixed chunk sizes — part of the determinism contract: boundaries depend
 /// only on the loop extent, never on the pool size, so every pool size
 /// (including the serial fallback) produces bit-identical tensors.
+/// (LoopHint coarsening multiplies these grains by a factor that is itself
+/// a pure function of the loop extent, so the contract holds for hinted
+/// loops too.)
 constexpr std::int64_t kRowGrain = 16;      // row-wise elementwise/norm ops
 constexpr std::int64_t kGemmRowBlock = 32;  // GEMM row tile (cache block)
 constexpr std::int64_t kColGrain = 64;      // column-chunked reductions
 constexpr std::int64_t kAttnRowGrain = 8;   // attention query rows
 
 constexpr float kLnEps = 1e-5f;  // matches reference_ops
+
+// ---- Packed GEMM panels. B is packed once per op call into k-major column
+// panels of kGemmNR columns (panel for columns [j0, j0+nr) lives at offset
+// k*j0 — previous panels are all full width). The panel scratch is an
+// arena-backed Tensor, so steady-state steps pack into the planned slab
+// with zero heap traffic.
+
+/// Packs columns [j0, j0+nr) of the row-major [k x n] matrix `src`
+/// (leading dimension ld) into bp[kk*nr + j].
+void PackPanelFromRows(const float* src, std::int64_t ld, std::int64_t k,
+                       std::int64_t j0, std::int64_t nr, float* bp) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    std::memcpy(bp + kk * nr, src + kk * ld + j0,
+                static_cast<std::size_t>(nr) * sizeof(float));
+  }
+}
+
+/// Transpose pack: panel column j is row (j0+j) of `src` ([n x k]
+/// row-major, leading dimension ld): bp[kk*nr + j] = src[(j0+j)*ld + kk].
+void PackPanelFromCols(const float* src, std::int64_t ld, std::int64_t k,
+                       std::int64_t j0, std::int64_t nr, float* bp) {
+  for (std::int64_t j = 0; j < nr; ++j) {
+    const float* s = src + (j0 + j) * ld;
+    for (std::int64_t kk = 0; kk < k; ++kk) bp[kk * nr + j] = s[kk];
+  }
+}
+
+/// All panels of a row-major [k x n] B matrix.
+Tensor PackAllPanelsFromRows(const float* src, std::int64_t ld,
+                             std::int64_t k, std::int64_t n) {
+  Tensor pack = Tensor::Uninitialized(1, k * n);
+  for (std::int64_t j0 = 0; j0 < n; j0 += kernels::kGemmNR) {
+    const std::int64_t nr = std::min(kernels::kGemmNR, n - j0);
+    PackPanelFromRows(src, ld, k, j0, nr, pack.data() + k * j0);
+  }
+  return pack;
+}
+
+/// All panels of the transpose of a row-major [n x k] matrix.
+Tensor PackAllPanelsFromCols(const float* src, std::int64_t ld,
+                             std::int64_t k, std::int64_t n) {
+  Tensor pack = Tensor::Uninitialized(1, k * n);
+  for (std::int64_t j0 = 0; j0 < n; j0 += kernels::kGemmNR) {
+    const std::int64_t nr = std::min(kernels::kGemmNR, n - j0);
+    PackPanelFromCols(src, ld, k, j0, nr, pack.data() + k * j0);
+  }
+  return pack;
+}
+
+/// Row-range GEMM over pre-packed panels: C rows [r0, r1) from the strided
+/// A view (row r at a_base + r*a_ld, contiguous k) and the packed B.
+/// When gelu_base is non-null the fused GELU epilogue fills it tile-wise.
+void GemmRowsPacked(const kernels::KernelTable& K, const float* a_base,
+                    std::int64_t a_ld, const float* bpack, std::int64_t k,
+                    std::int64_t out, std::int64_t r0, std::int64_t r1,
+                    const float* bias, float* c_base, float* gelu_base) {
+  for (std::int64_t j0 = 0; j0 < out; j0 += kernels::kGemmNR) {
+    const std::int64_t nr = std::min(kernels::kGemmNR, out - j0);
+    const float* bp = bpack + k * j0;
+    for (std::int64_t r = r0; r < r1; r += kernels::kGemmMR) {
+      const std::int64_t mr = std::min(kernels::kGemmMR, r1 - r);
+      K.gemm_tile(a_base + r * a_ld, a_ld, 1, bp, k, mr, nr,
+                  c_base + r * out + j0, out,
+                  bias != nullptr ? bias + j0 : nullptr,
+                  /*accumulate=*/false,
+                  gelu_base != nullptr ? gelu_base + r * out + j0 : nullptr);
+    }
+  }
+}
 
 }  // namespace
 
@@ -49,44 +123,23 @@ void LinearForwardRows(const Tensor& x, const Tensor& w, const Tensor& b,
   MEMO_CHECK_EQ(x.cols(), w.rows());
   MEMO_CHECK_EQ(y->rows(), x.rows());
   MEMO_CHECK_EQ(y->cols(), w.cols());
+  if (row_end <= row_begin) return;
   const kernels::KernelTable& K = kernels::Active();
   const std::int64_t in = x.cols();
   const std::int64_t out = w.cols();
-  // Cache-blocked GEMM: rows are tiled so each streamed row of W is reused
-  // across the whole tile, and the inner kernel runs contiguously over W/y.
-  // Four W rows per pass: each y(r, c) receives the same adds in the same
-  // i-ascending sequence ((((y + x0 w0) + x1 w1) + x2 w2) + x3 w3) as the
-  // reference, so the scalar kernel table is bit-identical; the SIMD tables
-  // fuse the multiply-adds (FMA) within that same order.
+  // Packed GEMM: W is packed once into k-major column panels (arena-backed
+  // scratch), then the register-blocked gemm_tile microkernel computes
+  // kGemmMR x kGemmNR output tiles with every C element held in registers
+  // across the whole k loop. Each y(r, c) accumulates in the same
+  // i-ascending sequence as the reference, so the scalar table stays
+  // bit-identical; SIMD tables fuse the multiply-adds within that order.
+  const Tensor bpack = PackAllPanelsFromRows(w.data(), out, in, out);
   ThreadPool::Global().ParallelFor(
       row_begin, row_end, kGemmRowBlock,
+      LoopHint{2.0 * static_cast<double>(in) * static_cast<double>(out)},
       [&](std::int64_t r0, std::int64_t r1) {
-        for (std::int64_t r = r0; r < r1; ++r) {
-          float* yr = y->row(r);
-          if (b.empty()) {
-            std::fill(yr, yr + out, 0.0f);
-          } else {
-            std::copy(b.data(), b.data() + out, yr);
-          }
-        }
-        std::int64_t i = 0;
-        for (; i + 4 <= in; i += 4) {
-          const float* w0 = w.row(i);
-          const float* w1 = w.row(i + 1);
-          const float* w2 = w.row(i + 2);
-          const float* w3 = w.row(i + 3);
-          for (std::int64_t r = r0; r < r1; ++r) {
-            const float* xr = x.row(r);
-            K.gemm_update4(y->row(r), w0, w1, w2, w3, xr[i], xr[i + 1],
-                           xr[i + 2], xr[i + 3], out);
-          }
-        }
-        for (; i < in; ++i) {
-          const float* wr = w.row(i);
-          for (std::int64_t r = r0; r < r1; ++r) {
-            K.axpy(y->row(r), wr, x.row(r)[i], out);
-          }
-        }
+        GemmRowsPacked(K, x.data(), in, bpack.data(), in, out, r0, r1,
+                       b.empty() ? nullptr : b.data(), y->data(), nullptr);
       });
 }
 
@@ -110,72 +163,49 @@ void LinearBackward(const Tensor& x, const Tensor& w, const Tensor& dy,
   ThreadPool& pool = ThreadPool::Global();
   if (dx != nullptr) {
     MEMO_CHECK_EQ(dx->rows(), rows);
-    // dx[r][i] = dy[r] . w[i]: row-tiled so each row of W is loaded once per
-    // tile instead of once per sample row, and four i at a time so four
-    // independent accumulator chains hide the FP-add latency of the strict
-    // (c-ascending, reference-order) reduction.
-    pool.ParallelFor(0, rows, kGemmRowBlock,
-                     [&](std::int64_t r0, std::int64_t r1) {
-                       std::int64_t i = 0;
-                       for (; i + 4 <= in; i += 4) {
-                         const float* w0 = w.row(i);
-                         const float* w1 = w.row(i + 1);
-                         const float* w2 = w.row(i + 2);
-                         const float* w3 = w.row(i + 3);
-                         for (std::int64_t r = r0; r < r1; ++r) {
-                           float quad[4];
-                           K.dot4(dy.row(r), w0, w1, w2, w3, out, quad);
-                           float* dxr = dx->row(r);
-                           dxr[i] = quad[0];
-                           dxr[i + 1] = quad[1];
-                           dxr[i + 2] = quad[2];
-                           dxr[i + 3] = quad[3];
-                         }
-                       }
-                       for (; i < in; ++i) {
-                         const float* wr = w.row(i);
-                         for (std::int64_t r = r0; r < r1; ++r) {
-                           dx->row(r)[i] = K.dot(dy.row(r), wr, out);
-                         }
-                       }
-                     });
+    // dx = dy . W^T: W is transpose-packed once, then the same row-blocked
+    // gemm_tile path as the forward runs with `out` as the contraction dim.
+    // Each dx element accumulates c-ascending (the reference dot order).
+    const Tensor wt_pack = PackAllPanelsFromCols(w.data(), out, out, in);
+    pool.ParallelFor(
+        0, rows, kGemmRowBlock,
+        LoopHint{2.0 * static_cast<double>(in) * static_cast<double>(out)},
+        [&](std::int64_t r0, std::int64_t r1) {
+          GemmRowsPacked(K, dy.data(), out, wt_pack.data(), out, in, r0, r1,
+                         nullptr, dx->data(), nullptr);
+        });
   }
   if (dw != nullptr) {
-    // dw[i] += x[:, i]^T dy. Each thread owns a fixed block of dw rows and
-    // keeps it hot across all sample rows; four sample rows per pass so each
-    // dw element is loaded/stored once per quad, receiving its adds in the
-    // same r-ascending sequence as the reference (bit-identical at scalar).
-    pool.ParallelFor(0, in, kColGrain, [&](std::int64_t i0, std::int64_t i1) {
-      std::int64_t r = 0;
-      for (; r + 4 <= rows; r += 4) {
-        const float* x0 = x.row(r);
-        const float* x1 = x.row(r + 1);
-        const float* x2 = x.row(r + 2);
-        const float* x3 = x.row(r + 3);
-        const float* d0 = dy.row(r);
-        const float* d1 = dy.row(r + 1);
-        const float* d2 = dy.row(r + 2);
-        const float* d3 = dy.row(r + 3);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          K.gemm_update4(dw->row(i), d0, d1, d2, d3, x0[i], x1[i], x2[i],
-                         x3[i], out);
-        }
-      }
-      for (; r < rows; ++r) {
-        const float* xr = x.row(r);
-        const float* dyr = dy.row(r);
-        for (std::int64_t i = i0; i < i1; ++i) {
-          K.axpy(dw->row(i), dyr, xr[i], out);
-        }
-      }
-    });
+    // dw[i] += x[:, i]^T dy: dy is the packed B (contraction over sample
+    // rows), and A is the transpose view of x — gemm_tile reads column i of
+    // x with a_col_stride = in, so per-k the four broadcast values are
+    // contiguous. Each thread owns a block of dw rows; accumulate mode adds
+    // in the reference's r-ascending per-element sequence.
+    const Tensor dy_pack = PackAllPanelsFromRows(dy.data(), out, rows, out);
+    pool.ParallelFor(
+        0, in, kColGrain,
+        LoopHint{2.0 * static_cast<double>(rows) * static_cast<double>(out)},
+        [&](std::int64_t i0, std::int64_t i1) {
+          for (std::int64_t j0 = 0; j0 < out; j0 += kernels::kGemmNR) {
+            const std::int64_t nr = std::min(kernels::kGemmNR, out - j0);
+            const float* bp = dy_pack.data() + rows * j0;
+            for (std::int64_t i = i0; i < i1; i += kernels::kGemmMR) {
+              const std::int64_t mr = std::min(kernels::kGemmMR, i1 - i);
+              K.gemm_tile(x.data() + i, 1, in, bp, rows, mr, nr,
+                          dw->row(i) + j0, out, nullptr, /*accumulate=*/true,
+                          nullptr);
+            }
+          }
+        });
   }
   if (db != nullptr) {
-    pool.ParallelFor(0, out, kColGrain, [&](std::int64_t c0, std::int64_t c1) {
-      for (std::int64_t r = 0; r < rows; ++r) {
-        K.acc(db->data() + c0, dy.row(r) + c0, c1 - c0);
-      }
-    });
+    pool.ParallelFor(0, out, kColGrain,
+                     LoopHint{1.0 * static_cast<double>(rows)},
+                     [&](std::int64_t c0, std::int64_t c1) {
+                       for (std::int64_t r = 0; r < rows; ++r) {
+                         K.acc(db->data() + c0, dy.row(r) + c0, c1 - c0);
+                       }
+                     });
   }
 }
 
@@ -189,7 +219,8 @@ void LayerNormForwardRows(const Tensor& x, const Tensor& g, const Tensor& b,
   const kernels::KernelTable& K = kernels::Active();
   const std::int64_t n = x.cols();
   ThreadPool::Global().ParallelFor(
-      row_begin, row_end, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+      row_begin, row_end, kRowGrain, LoopHint{8.0 * static_cast<double>(n)},
+      [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           const float* xr = x.row(r);
           const float mean = K.sum(xr, n) / static_cast<float>(n);
@@ -219,7 +250,9 @@ void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
   ThreadPool& pool = ThreadPool::Global();
   // Pass A (row-parallel): per-row mean (shared with pass B) and dx.
   std::vector<float> means(rows);
-  pool.ParallelFor(0, rows, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+  pool.ParallelFor(
+      0, rows, kRowGrain, LoopHint{16.0 * static_cast<double>(n)},
+      [&](std::int64_t r0, std::int64_t r1) {
     for (std::int64_t r = r0; r < r1; ++r) {
       const float* xr = x.row(r);
       const float* dyr = dy.row(r);
@@ -240,7 +273,9 @@ void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
   // order per element — the same floating-point order as the reference
   // kernel, but race-free because threads own disjoint column ranges.
   if (dg != nullptr || db != nullptr) {
-    pool.ParallelFor(0, n, kColGrain, [&](std::int64_t i0, std::int64_t i1) {
+    pool.ParallelFor(
+        0, n, kColGrain, LoopHint{3.0 * static_cast<double>(rows)},
+        [&](std::int64_t i0, std::int64_t i1) {
       for (std::int64_t r = 0; r < rows; ++r) {
         K.ln_bwd_dgdb(x.row(r) + i0, dy.row(r) + i0, means[r], rstd.at(r, 0),
                       dg != nullptr ? dg->data() + i0 : nullptr,
@@ -248,6 +283,52 @@ void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
       }
     });
   }
+}
+
+void LayerNormLinearGeluForwardRows(const Tensor& x, const Tensor& g,
+                                    const Tensor& bln, const Tensor& w,
+                                    const Tensor& bfc, std::int64_t row_begin,
+                                    std::int64_t row_end, Tensor* ln_out,
+                                    Tensor* ln_rstd, Tensor* fc_out,
+                                    Tensor* gelu_out) {
+  if (UseReference()) {
+    reference::LayerNormForwardRows(x, g, bln, row_begin, row_end, ln_out,
+                                    ln_rstd);
+    reference::LinearForwardRows(*ln_out, w, bfc, row_begin, row_end, fc_out);
+    reference::GeluForwardRows(*fc_out, row_begin, row_end, gelu_out);
+    return;
+  }
+  MEMO_CHECK_EQ(x.cols(), w.rows());
+  MEMO_CHECK_EQ(fc_out->cols(), w.cols());
+  MEMO_CHECK_EQ(gelu_out->cols(), w.cols());
+  if (row_end <= row_begin) return;
+  const kernels::KernelTable& K = kernels::Active();
+  const std::int64_t in = x.cols();
+  const std::int64_t out = w.cols();
+  // One pass per row block: normalize the block's rows (their ln rows are
+  // then still cache-hot as the GEMM's A operand), run the packed GEMM, and
+  // let the fused epilogue write gelu(fc) tile by tile while the fc tile is
+  // still resident. The LN body is the LayerNormForwardRows body verbatim
+  // and the epilogue calls the same gelu_fwd kernel row-slice-wise, so the
+  // fused op is bit-identical to the unfused sequence at every tier.
+  const Tensor bpack = PackAllPanelsFromRows(w.data(), out, in, out);
+  ThreadPool::Global().ParallelFor(
+      row_begin, row_end, kGemmRowBlock,
+      LoopHint{2.0 * static_cast<double>(in) * static_cast<double>(out)},
+      [&](std::int64_t r0, std::int64_t r1) {
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const float* xr = x.row(r);
+          const float mean = K.sum(xr, in) / static_cast<float>(in);
+          const float var =
+              K.sumsq_centered(xr, mean, in) / static_cast<float>(in);
+          const float inv = 1.0f / std::sqrt(var + kLnEps);
+          ln_rstd->at(r, 0) = inv;
+          K.ln_apply(xr, g.data(), bln.data(), mean, inv, ln_out->row(r), in);
+        }
+        GemmRowsPacked(K, ln_out->data(), in, bpack.data(), in, out, r0, r1,
+                       bfc.empty() ? nullptr : bfc.data(), fc_out->data(),
+                       gelu_out->data());
+      });
 }
 
 void GeluForwardRows(const Tensor& x, std::int64_t row_begin,
@@ -261,7 +342,8 @@ void GeluForwardRows(const Tensor& x, std::int64_t row_begin,
   // Per-row kernel calls keep the vector-body/scalar-tail split a function
   // of n alone, so recomputing any row subset is bit-identical.
   ThreadPool::Global().ParallelFor(
-      row_begin, row_end, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+      row_begin, row_end, kRowGrain, LoopHint{16.0 * static_cast<double>(n)},
+      [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           K.gelu_fwd(x.row(r), y->row(r), n);
         }
@@ -280,7 +362,8 @@ void GeluBackward(const Tensor& x, const Tensor& dy, Tensor* dx) {
   const kernels::KernelTable& K = kernels::Active();
   const std::int64_t n = x.cols();
   ThreadPool::Global().ParallelFor(
-      0, x.rows(), kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+      0, x.rows(), kRowGrain, LoopHint{24.0 * static_cast<double>(n)},
+      [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           K.gelu_bwd(x.row(r), dy.row(r), dx->row(r), n);
         }
@@ -299,25 +382,48 @@ void AttentionForward(const Tensor& q, const Tensor& k, const Tensor& v,
   MEMO_CHECK_EQ(h % heads, 0);
   const std::int64_t head_dim = h / heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
-  // One flat (head, query-row) index space: with the old heads-outer /
-  // rows-inner nesting every ParallelFor only had `s` rows to share, and the
-  // pool synchronized `heads` times per op. Head-rows are independent (the
+  // Per-head packing (arena-backed scratch): K transposed to a d x s panel
+  // so the score kernel runs broadcast-FMA over 64 contiguous keys at a
+  // time, V copied contiguous per head so the value accumulation streams
+  // linearly instead of striding by the full hidden width.
+  Tensor kt_pack = Tensor::Uninitialized(1, h * s);
+  Tensor v_pack = Tensor::Uninitialized(1, h * s);
+  ThreadPool::Global().ParallelFor(
+      0, heads, 1,
+      LoopHint{4.0 * static_cast<double>(head_dim) * static_cast<double>(s)},
+      [&](std::int64_t h0, std::int64_t h1) {
+        for (std::int64_t head = h0; head < h1; ++head) {
+          const std::int64_t offset = head * head_dim;
+          float* kt = kt_pack.data() + offset * s;
+          float* vp = v_pack.data() + offset * s;
+          for (std::int64_t c = 0; c < s; ++c) {
+            const float* kc = k.row(c) + offset;
+            for (std::int64_t i = 0; i < head_dim; ++i) kt[i * s + c] = kc[i];
+            std::memcpy(vp + c * head_dim, v.row(c) + offset,
+                        static_cast<std::size_t>(head_dim) * sizeof(float));
+          }
+        }
+      });
+  // One flat (head, query-row) index space: head-rows are independent (the
   // row-wise data-flow property token-wise recomputation relies on) and
   // different heads touch disjoint column slices, so the flat space chunks
   // freely across threads with one dispatch.
   ThreadPool::Global().ParallelFor(
       0, static_cast<std::int64_t>(heads) * s, kAttnRowGrain,
+      LoopHint{1.0 * static_cast<double>(head_dim) * static_cast<double>(s)},
       [&](std::int64_t w0, std::int64_t w1) {
-        // Scratch for the scalar path's score row (and the d > 256 SIMD
-        // fallback); the SIMD streaming path never materializes scores.
-        std::vector<float> scratch(s);
+        // Persistent per-thread scratch for the scalar path's score row
+        // (and the d > 256 SIMD fallback); the SIMD streaming path never
+        // materializes scores.
+        float* scratch = ThreadScratchFloats(s);
         for (std::int64_t wi = w0; wi < w1; ++wi) {
           const std::int64_t head = wi / s;
           const std::int64_t r = wi - head * s;
           const std::int64_t offset = head * head_dim;
-          K.attn_row_fwd(q.row(r) + offset, k.data() + offset,
-                         v.data() + offset, r + 1, head_dim, h, scale,
-                         out->row(r) + offset, scratch.data());
+          K.attn_row_fwd_packed(q.row(r) + offset,
+                                kt_pack.data() + offset * s, s,
+                                v_pack.data() + offset * s, r + 1, head_dim,
+                                scale, out->row(r) + offset, scratch);
         }
       });
 }
@@ -340,39 +446,64 @@ void AttentionBackward(const Tensor& q, const Tensor& k, const Tensor& v,
   // dk/dv accumulate across query rows, so rows cannot chunk without
   // breaking the accumulation order; heads write disjoint column slices and
   // parallelize race-free with the reference's exact per-element order.
-  ThreadPool::Global().ParallelFor(0, heads, 1, [&](std::int64_t head0,
-                                                    std::int64_t head1) {
-    std::vector<float> probs(s);
-    std::vector<float> dscore(s);
-    for (std::int64_t head = head0; head < head1; ++head) {
-      const std::int64_t offset = head * head_dim;
-      for (std::int64_t r = 0; r < s; ++r) {
-        // Recompute the causal softmax row (the FlashAttention property:
-        // the probabilities are cheaper to rebuild than to keep).
-        K.attn_row_probs(q.row(r) + offset, k.data() + offset, r + 1,
-                         head_dim, h, scale, probs.data());
-        const float* doutr = dout.row(r) + offset;
-        // dP[c] = dout[r] . v[c];   dV[c] += P[c] * dout[r].
-        float dot_p_dp = 0.0f;
-        for (std::int64_t c = 0; c <= r; ++c) {
-          const float dp = K.dot(doutr, v.row(c) + offset, head_dim);
-          dscore[c] = dp;
-          dot_p_dp += probs[c] * dp;
+  // Each thread packs its head's K^T and V^T into persistent scratch once,
+  // then every query row reuses the panels: probs and dP come from the
+  // packed score kernels (dP with scale 1.0f — `*= 1.0f` is exact), and dq
+  // rows become contiguous dots against the K^T panel.
+  ThreadPool::Global().ParallelFor(
+      0, heads, 1,
+      LoopHint{5.0 * static_cast<double>(head_dim) * static_cast<double>(s) *
+               static_cast<double>(s)},
+      [&](std::int64_t head0, std::int64_t head1) {
+        float* scratch = ThreadScratchFloats(2 * s + 2 * head_dim * s);
+        float* probs = scratch;
+        float* dscore = scratch + s;
+        float* kt = scratch + 2 * s;
+        float* vt = kt + head_dim * s;
+        for (std::int64_t head = head0; head < head1; ++head) {
+          const std::int64_t offset = head * head_dim;
+          for (std::int64_t c = 0; c < s; ++c) {
+            const float* kc = k.row(c) + offset;
+            const float* vc = v.row(c) + offset;
+            for (std::int64_t i = 0; i < head_dim; ++i) {
+              kt[i * s + c] = kc[i];
+              vt[i * s + c] = vc[i];
+            }
+          }
+          for (std::int64_t r = 0; r < s; ++r) {
+            // Recompute the causal softmax row (the FlashAttention
+            // property: the probabilities are cheaper to rebuild than to
+            // keep).
+            K.attn_probs_packed(q.row(r) + offset, kt, s, r + 1, head_dim,
+                                scale, probs);
+            const float* doutr = dout.row(r) + offset;
+            // dP[c] = dout[r] . v[c];   dV[c] += P[c] * dout[r].
+            K.attn_scores_packed(doutr, vt, s, r + 1, head_dim, 1.0f, dscore);
+            float dot_p_dp = 0.0f;
+            for (std::int64_t c = 0; c <= r; ++c) {
+              dot_p_dp += probs[c] * dscore[c];
+            }
+            for (std::int64_t c = 0; c <= r; ++c) {
+              K.axpy(dv->row(c) + offset, doutr, probs[c], head_dim);
+            }
+            // Softmax backward: dS[c] = P[c] * (dP[c] - sum_j P[j] dP[j]);
+            // overwrite dscore in place, then dq[r][i] is a contiguous dot
+            // over the packed K^T row (same c-ascending single-accumulator
+            // order as the reference's axpy chain from zero).
+            float* dqr = dq->row(r) + offset;
+            const float* qr = q.row(r) + offset;
+            for (std::int64_t c = 0; c <= r; ++c) {
+              dscore[c] = probs[c] * (dscore[c] - dot_p_dp) * scale;
+            }
+            for (std::int64_t i = 0; i < head_dim; ++i) {
+              dqr[i] = K.dot(dscore, kt + i * s, r + 1);
+            }
+            for (std::int64_t c = 0; c <= r; ++c) {
+              K.axpy(dk->row(c) + offset, qr, dscore[c], head_dim);
+            }
+          }
         }
-        for (std::int64_t c = 0; c <= r; ++c) {
-          K.axpy(dv->row(c) + offset, doutr, probs[c], head_dim);
-        }
-        // Softmax backward: dS[c] = P[c] * (dP[c] - sum_j P[j] dP[j]).
-        float* dqr = dq->row(r) + offset;
-        const float* qr = q.row(r) + offset;
-        for (std::int64_t c = 0; c <= r; ++c) {
-          const float ds = probs[c] * (dscore[c] - dot_p_dp) * scale;
-          K.axpy(dqr, k.row(c) + offset, ds, head_dim);
-          K.axpy(dk->row(c) + offset, qr, ds, head_dim);
-        }
-      }
-    }
-  });
+      });
 }
 
 double CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
@@ -390,7 +521,8 @@ double CrossEntropy(const Tensor& logits, const std::vector<int>& targets,
   // regardless of how rows were chunked.
   std::vector<double> row_loss(rows);
   ThreadPool::Global().ParallelFor(
-      0, rows, kRowGrain, [&](std::int64_t r0, std::int64_t r1) {
+      0, rows, kRowGrain, LoopHint{10.0 * static_cast<double>(v)},
+      [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           const int target = targets[r];
           MEMO_CHECK_GE(target, 0);
@@ -414,6 +546,7 @@ void EmbeddingForward(const Tensor& table, const std::vector<int>& tokens,
   const std::int64_t h = table.cols();
   ThreadPool::Global().ParallelFor(
       0, static_cast<std::int64_t>(tokens.size()), kRowGrain,
+      LoopHint{1.0 * static_cast<double>(h)},
       [&](std::int64_t r0, std::int64_t r1) {
         for (std::int64_t r = r0; r < r1; ++r) {
           MEMO_CHECK_GE(tokens[r], 0);
@@ -437,7 +570,8 @@ void EmbeddingBackward(const std::vector<int>& tokens, const Tensor& dy,
   // over embedding columns keeps every destination element on one thread
   // with rows applied in ascending order, exactly like the reference.
   ThreadPool::Global().ParallelFor(
-      0, dy.cols(), kColGrain, [&](std::int64_t i0, std::int64_t i1) {
+      0, dy.cols(), kColGrain, LoopHint{2.0 * static_cast<double>(rows)},
+      [&](std::int64_t i0, std::int64_t i1) {
         for (std::int64_t r = 0; r < rows; ++r) {
           K.acc(dtable->row(tokens[r]) + i0, dy.row(r) + i0, i1 - i0);
         }

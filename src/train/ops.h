@@ -54,6 +54,22 @@ void LayerNormForward(const Tensor& x, const Tensor& g, const Tensor& b,
 void LayerNormBackward(const Tensor& x, const Tensor& g, const Tensor& rstd,
                        const Tensor& dy, Tensor* dx, Tensor* dg, Tensor* db);
 
+/// Fused LayerNorm -> Linear -> GELU over rows [row_begin, row_end): the
+/// MLP's pre-activation chain in one pass. Produces exactly what the
+/// unfused LayerNormForwardRows + LinearForwardRows + GeluForwardRows
+/// sequence produces (bit-identical at every kernel tier — the GELU
+/// epilogue runs tile-wise inside the GEMM, and tile boundaries fall on
+/// multiples of the vector width), but the fc pre-activation tile is still
+/// register/L1-resident when the epilogue reads it, eliminating two full
+/// activation-tensor round trips through memory. All four outputs are
+/// written (ln_out and fc_out are needed by the backward pass).
+void LayerNormLinearGeluForwardRows(const Tensor& x, const Tensor& g,
+                                    const Tensor& bln, const Tensor& w,
+                                    const Tensor& bfc, std::int64_t row_begin,
+                                    std::int64_t row_end, Tensor* ln_out,
+                                    Tensor* ln_rstd, Tensor* fc_out,
+                                    Tensor* gelu_out);
+
 /// Exact (tanh-free) GELU: x * 0.5 * (1 + erf(x / sqrt(2))).
 void GeluForwardRows(const Tensor& x, std::int64_t row_begin,
                      std::int64_t row_end, Tensor* y);

@@ -30,6 +30,16 @@ Tensor::Tensor(std::int64_t rows, std::int64_t cols)
   }
 }
 
+Tensor Tensor::Uninitialized(std::int64_t rows, std::int64_t cols) {
+  MEMO_CHECK_GE(rows, 0);
+  MEMO_CHECK_GE(cols, 0);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.AllocateBuffer();
+  return t;
+}
+
 Tensor::Tensor(const Tensor& other) : rows_(other.rows_), cols_(other.cols_) {
   AllocateBuffer();
   if (data_ != nullptr) {

@@ -47,6 +47,12 @@ class Tensor {
     return Tensor(rows, cols);
   }
 
+  /// Allocates without the zero fill: for scratch that is fully overwritten
+  /// before any read (GEMM panel packing). Same arena-backed allocation
+  /// path as the zero-filled constructor, so the arena's replayed
+  /// allocation sequence is unaffected by which factory a step uses.
+  static Tensor Uninitialized(std::int64_t rows, std::int64_t cols);
+
   /// Gaussian init scaled by `stddev` from a deterministic RNG.
   static Tensor Randn(std::int64_t rows, std::int64_t cols, double stddev,
                       Rng& rng);

@@ -380,6 +380,286 @@ TEST(SimdKernelsTest, AttentionKernelsMatchScalarAcrossShapes) {
   }
 }
 
+// ---- Packed attention (streaming-softmax) kernels. The packed layout is
+// K^T per head (kt[i*ldk + c] = k[c][i]) plus contiguous V rows
+// (vp[c*d + i] = v[c][i]); kv sweeps the 64-key streaming block boundary
+// and d sweeps vector-width tails.
+
+void PackKt(const std::vector<float>& kmat, std::int64_t kv, std::int64_t d,
+            std::int64_t stride, std::int64_t ldk, std::vector<float>* kt) {
+  kt->assign(d * ldk, 0.0f);
+  for (std::int64_t c = 0; c < kv; ++c) {
+    for (std::int64_t i = 0; i < d; ++i) {
+      (*kt)[i * ldk + c] = kmat[c * stride + i];
+    }
+  }
+}
+
+void PackV(const std::vector<float>& vmat, std::int64_t kv, std::int64_t d,
+           std::int64_t stride, std::vector<float>* vp) {
+  vp->assign(kv * d, 0.0f);
+  for (std::int64_t c = 0; c < kv; ++c) {
+    for (std::int64_t i = 0; i < d; ++i) {
+      (*vp)[c * d + i] = vmat[c * stride + i];
+    }
+  }
+}
+
+TEST(SimdKernelsTest, PackedAttentionScalarBitExactVsUnpacked) {
+  // The scalar packed kernels re-order loops (i-outer scores) but keep every
+  // per-element accumulation sequence identical to the unpacked scalar
+  // kernels — and therefore to the reference. Bit-equality, no tolerance.
+  const KernelTable& k = ScalarKernels();
+  const std::int64_t kvs[] = {1, 2, 5, 17, 63, 64, 65, 127, 128, 129};
+  const std::int64_t dims[] = {3, 8, 32, 100};
+  for (std::int64_t d : dims) {
+    const std::int64_t stride = 2 * d + 1;
+    for (std::int64_t kv : kvs) {
+      const std::int64_t ldk = kv + 3;  // panel wider than kv must not matter
+      const auto q = RandomVec(d, 51 * static_cast<std::uint32_t>(kv + d));
+      const auto kmat =
+          RandomVec(kv * stride, 53 * static_cast<std::uint32_t>(kv + d));
+      const auto vmat =
+          RandomVec(kv * stride, 59 * static_cast<std::uint32_t>(kv + d));
+      const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+      std::vector<float> kt, vp;
+      PackKt(kmat, kv, d, stride, ldk, &kt);
+      PackV(vmat, kv, d, stride, &vp);
+
+      std::vector<float> want_scores(kv);
+      for (std::int64_t c = 0; c < kv; ++c) {
+        float s = 0.0f;
+        for (std::int64_t i = 0; i < d; ++i) {
+          s += q[i] * kmat[c * stride + i];
+        }
+        want_scores[c] = s * scale;
+      }
+      std::vector<float> got_scores(kv);
+      k.attn_scores_packed(q.data(), kt.data(), ldk, kv, d, scale,
+                           got_scores.data());
+      EXPECT_EQ(got_scores, want_scores) << "scores kv=" << kv << " d=" << d;
+
+      std::vector<float> got_probs(kv), want_probs(kv);
+      k.attn_probs_packed(q.data(), kt.data(), ldk, kv, d, scale,
+                          got_probs.data());
+      k.attn_row_probs(q.data(), kmat.data(), kv, d, stride, scale,
+                       want_probs.data());
+      EXPECT_EQ(got_probs, want_probs) << "probs kv=" << kv << " d=" << d;
+
+      std::vector<float> got_out(d), want_out(d), scratch(kv);
+      k.attn_row_fwd_packed(q.data(), kt.data(), ldk, vp.data(), kv, d, scale,
+                            got_out.data(), scratch.data());
+      k.attn_row_fwd(q.data(), kmat.data(), vmat.data(), kv, d, stride, scale,
+                     want_out.data(), scratch.data());
+      EXPECT_EQ(got_out, want_out) << "fwd kv=" << kv << " d=" << d;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, PackedAttentionSimdMatchesScalarWithinTolerance) {
+  const KernelTable& ref = ScalarKernels();
+  const std::int64_t kvs[] = {1, 5, 17, 63, 64, 65, 127, 128, 129};
+  // 3 and 100: vector-width tails; 256: the streaming accumulator capacity;
+  // 300: the d > 256 materialized-probs fallback path.
+  const std::int64_t dims[] = {3, 8, 32, 100, 256, 300};
+  for (const KernelTable* table : ExecutableTables()) {
+    if (table->level == SimdLevel::kScalar) continue;
+    for (std::int64_t d : dims) {
+      const std::int64_t stride = d;
+      for (std::int64_t kv : kvs) {
+        const std::int64_t ldk = kv;
+        const auto q = RandomVec(d, 61 * static_cast<std::uint32_t>(kv + d));
+        const auto kmat =
+            RandomVec(kv * stride, 67 * static_cast<std::uint32_t>(kv + d));
+        const auto vmat =
+            RandomVec(kv * stride, 71 * static_cast<std::uint32_t>(kv + d));
+        const float scale = 1.0f / std::sqrt(static_cast<float>(d));
+        std::vector<float> kt, vp;
+        PackKt(kmat, kv, d, stride, ldk, &kt);
+        PackV(vmat, kv, d, stride, &vp);
+
+        std::vector<float> got(kv), want(kv);
+        table->attn_scores_packed(q.data(), kt.data(), ldk, kv, d, scale,
+                                  got.data());
+        ref.attn_scores_packed(q.data(), kt.data(), ldk, kv, d, scale,
+                               want.data());
+        for (std::int64_t c = 0; c < kv; ++c) {
+          ExpectClose(got[c], want[c], kAtol, kRtol, "packed scores", kv);
+        }
+
+        table->attn_probs_packed(q.data(), kt.data(), ldk, kv, d, scale,
+                                 got.data());
+        ref.attn_probs_packed(q.data(), kt.data(), ldk, kv, d, scale,
+                              want.data());
+        float prob_sum = 0.0f;
+        for (std::int64_t c = 0; c < kv; ++c) {
+          ExpectClose(got[c], want[c], kAtol, kRtol, "packed probs", kv);
+          prob_sum += got[c];
+        }
+        EXPECT_NEAR(prob_sum, 1.0f, 1e-4);
+
+        std::vector<float> got_out(d), want_out(d), scratch(kv);
+        table->attn_row_fwd_packed(q.data(), kt.data(), ldk, vp.data(), kv, d,
+                                   scale, got_out.data(), scratch.data());
+        ref.attn_row_fwd_packed(q.data(), kt.data(), ldk, vp.data(), kv, d,
+                                scale, want_out.data(), scratch.data());
+        for (std::int64_t i = 0; i < d; ++i) {
+          ExpectClose(got_out[i], want_out[i], kAtol, kRtol, "packed fwd",
+                      kv);
+        }
+      }
+    }
+  }
+}
+
+// ---- Packed-panel GEMM microkernel. B is a [k x nr] k-major panel; A is a
+// strided view (row stride + column stride) so both the forward (rows of
+// ln_out) and the dw transpose (columns of x) shapes are covered.
+
+void NaiveGemmTile(const float* a, std::int64_t ars, std::int64_t acs,
+                   const float* b, std::int64_t k, std::int64_t mr,
+                   std::int64_t nr, float* c, std::int64_t ldc,
+                   const float* bias, bool accumulate) {
+  for (std::int64_t r = 0; r < mr; ++r) {
+    for (std::int64_t j = 0; j < nr; ++j) {
+      float acc = accumulate ? c[r * ldc + j]
+                             : (bias != nullptr ? bias[j] : 0.0f);
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += a[r * ars + kk * acs] * b[kk * nr + j];
+      }
+      c[r * ldc + j] = acc;
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GemmTileScalarBitExactAgainstNaive) {
+  const KernelTable& t = ScalarKernels();
+  const std::int64_t ks[] = {1, 7, 33};
+  const std::int64_t nrs[] = {1, 5, 8, 16, 63, 64};
+  for (std::int64_t k : ks) {
+    for (std::int64_t nr : nrs) {
+      for (std::int64_t mr = 1; mr <= kGemmMR; ++mr) {
+        const std::int64_t ldc = nr + 2;
+        const auto a =
+            RandomVec(mr * k, 73 * static_cast<std::uint32_t>(k + nr + mr));
+        const auto b =
+            RandomVec(k * nr, 79 * static_cast<std::uint32_t>(k + nr + mr));
+        const auto bias =
+            RandomVec(nr, 83 * static_cast<std::uint32_t>(k + nr + mr));
+        const auto c0 =
+            RandomVec(mr * ldc, 89 * static_cast<std::uint32_t>(k + nr + mr));
+        struct View {
+          std::int64_t ars, acs;
+        };
+        // Row-major A (forward) and transposed A (the dw path's view).
+        const View views[] = {{k, 1}, {1, mr}};
+        for (const View& view : views) {
+          for (int mode = 0; mode < 3; ++mode) {
+            const bool accumulate = mode == 2;
+            const float* bp = mode == 1 ? bias.data() : nullptr;
+            auto got = c0;
+            auto want = c0;
+            t.gemm_tile(a.data(), view.ars, view.acs, b.data(), k, mr, nr,
+                        got.data(), ldc, bp, accumulate, nullptr);
+            NaiveGemmTile(a.data(), view.ars, view.acs, b.data(), k, mr, nr,
+                          want.data(), ldc, bp, accumulate);
+            EXPECT_EQ(got, want) << "gemm_tile k=" << k << " nr=" << nr
+                                 << " mr=" << mr << " mode=" << mode
+                                 << " ars=" << view.ars;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, GemmTileSimdMatchesScalarWithinTolerance) {
+  const KernelTable& ref = ScalarKernels();
+  const std::int64_t ks[] = {1, 7, 33};
+  const std::int64_t nrs[] = {1, 5, 8, 16, 31, 63, 64};
+  for (const KernelTable* table : ExecutableTables()) {
+    if (table->level == SimdLevel::kScalar) continue;
+    for (std::int64_t k : ks) {
+      for (std::int64_t nr : nrs) {
+        for (std::int64_t mr = 1; mr <= kGemmMR; ++mr) {
+          const std::int64_t ldc = nr;
+          const auto a = RandomVec(
+              mr * k, 97 * static_cast<std::uint32_t>(k + nr + mr));
+          const auto b = RandomVec(
+              k * nr, 101 * static_cast<std::uint32_t>(k + nr + mr));
+          const auto bias =
+              RandomVec(nr, 103 * static_cast<std::uint32_t>(k + nr + mr));
+          const auto c0 = RandomVec(
+              mr * ldc, 107 * static_cast<std::uint32_t>(k + nr + mr));
+          for (int mode = 0; mode < 3; ++mode) {
+            const bool accumulate = mode == 2;
+            const float* bp = mode == 1 ? bias.data() : nullptr;
+            auto got = c0;
+            auto want = c0;
+            table->gemm_tile(a.data(), k, 1, b.data(), k, mr, nr, got.data(),
+                             ldc, bp, accumulate, nullptr);
+            ref.gemm_tile(a.data(), k, 1, b.data(), k, mr, nr, want.data(),
+                          ldc, bp, accumulate, nullptr);
+            for (std::int64_t i = 0; i < mr * ldc; ++i) {
+              ExpectClose(got[i], want[i], kAtol, kRtol, "gemm_tile simd",
+                          nr);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, FusedGeluEpilogueBitIdenticalToUnfusedPerLevel) {
+  // The fusion contract ops.cc relies on: running gelu_fwd tile-slice-wise
+  // inside gemm_tile must equal computing the full C row and then one
+  // gelu_fwd call over the whole row — at the SAME level, bit for bit.
+  // Holds because column tiles start at multiples of kGemmNR (64), a
+  // multiple of every vector width, so the vector-body/tail split of each
+  // slice coincides with the corresponding span of the full-row call.
+  const std::int64_t k = 16;
+  const std::int64_t ns[] = {64, 100, 128, 130};  // incl. odd tails
+  for (const KernelTable* table : ExecutableTables()) {
+    for (std::int64_t n : ns) {
+      const std::int64_t mr = kGemmMR;
+      const auto a = RandomVec(mr * k, 109 * static_cast<std::uint32_t>(n));
+      const auto bmat = RandomVec(k * n, 113 * static_cast<std::uint32_t>(n));
+      const auto bias = RandomVec(n, 127 * static_cast<std::uint32_t>(n));
+      // Pack B into kGemmNR-wide panels (panel for [j0, j0+nr) at k*j0).
+      std::vector<float> bpack(k * n);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kGemmNR) {
+        const std::int64_t nr = std::min(kGemmNR, n - j0);
+        for (std::int64_t kk = 0; kk < k; ++kk) {
+          std::copy(bmat.begin() + kk * n + j0,
+                    bmat.begin() + kk * n + j0 + nr,
+                    bpack.begin() + k * j0 + kk * nr);
+        }
+      }
+      std::vector<float> c_fused(mr * n), gelu_fused(mr * n);
+      std::vector<float> c_plain(mr * n), gelu_unfused(mr * n);
+      for (std::int64_t j0 = 0; j0 < n; j0 += kGemmNR) {
+        const std::int64_t nr = std::min(kGemmNR, n - j0);
+        table->gemm_tile(a.data(), k, 1, bpack.data() + k * j0, k, mr, nr,
+                         c_fused.data() + j0, n, bias.data() + j0, false,
+                         gelu_fused.data() + j0);
+        table->gemm_tile(a.data(), k, 1, bpack.data() + k * j0, k, mr, nr,
+                         c_plain.data() + j0, n, bias.data() + j0, false,
+                         nullptr);
+      }
+      EXPECT_EQ(c_fused, c_plain)
+          << "epilogue changed C, level=" << SimdLevelName(table->level);
+      for (std::int64_t r = 0; r < mr; ++r) {
+        table->gelu_fwd(c_plain.data() + r * n, gelu_unfused.data() + r * n,
+                        n);
+      }
+      EXPECT_EQ(gelu_fused, gelu_unfused)
+          << "fused gelu diverged, level=" << SimdLevelName(table->level)
+          << " n=" << n;
+    }
+  }
+}
+
 TEST(SimdKernelsTest, CrossEntropyRowMatchesScalar) {
   const KernelTable& ref = ScalarKernels();
   for (const KernelTable* table : ExecutableTables()) {
