@@ -29,6 +29,12 @@ struct BenchRecord {
   std::string kernel = "optimized";
   std::string simd;
   double parallel_efficiency = 1.0;
+  /// Version of this row layout, emitted first in every record so the
+  /// driver can dispatch parsers without sniffing fields. Bump when a field
+  /// is added/renamed/changes meaning. v2 = v1 + this field. Declared last
+  /// (with a default) so existing positional aggregate initializers keep
+  /// compiling.
+  int schema_version = 2;
 };
 
 /// Writes records as a JSON array (BENCH_*.json, consumed by the driver).
@@ -40,11 +46,13 @@ inline bool WriteBenchJson(const std::string& path,
   for (std::size_t i = 0; i < records.size(); ++i) {
     const BenchRecord& r = records[i];
     std::fprintf(f,
-                 "  {\"op\": \"%s\", \"threads\": %d, \"wall_ms\": %.3f, "
+                 "  {\"schema_version\": %d, \"op\": \"%s\", "
+                 "\"threads\": %d, \"wall_ms\": %.3f, "
                  "\"speedup_vs_serial\": %.3f, \"kernel\": \"%s\", "
                  "\"simd\": \"%s\", \"parallel_efficiency\": %.3f}%s\n",
-                 r.op.c_str(), r.threads, r.wall_ms, r.speedup_vs_serial,
-                 r.kernel.c_str(), r.simd.c_str(), r.parallel_efficiency,
+                 r.schema_version, r.op.c_str(), r.threads, r.wall_ms,
+                 r.speedup_vs_serial, r.kernel.c_str(), r.simd.c_str(),
+                 r.parallel_efficiency,
                  i + 1 == records.size() ? "" : ",");
   }
   std::fprintf(f, "]\n");

@@ -1,0 +1,242 @@
+// Load generator for the planning service (ours): N concurrent clients
+// issue plan queries against an in-process PlanServer, cold (fresh cache —
+// every query pays a real solve) and warm (same queries again — every
+// query must hit the fingerprint cache). Reports p50/p99 latency and
+// throughput per concurrency level, verifies that every warm payload is
+// byte-identical to its cold solve, and writes BENCH_serve.json.
+//
+//   bench_serve [--smoke]
+//
+// --smoke shrinks the matrix to one fast level and keeps the correctness
+// checks (bit-identity, warm hits, shedding accounting) — the ctest
+// bench-smoke entry.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "serve/server.h"
+
+namespace {
+
+using memo::core::PlanQueryKind;
+using memo::core::PlanRequest;
+using memo::serve::PlanServer;
+using memo::serve::PlanServerOptions;
+using memo::serve::QueryOutcome;
+
+/// Distinct single-strategy requests (7B, TP=4 CP=2, varying sequence
+/// length): each is one LP solve plus simulation — the realistic unit of
+/// work a planning service answers.
+std::vector<PlanRequest> MakeRequests(int count) {
+  const memo::hw::ClusterSpec cluster = memo::hw::PaperCluster(8);
+  const memo::model::ModelConfig model = memo::model::Gpt7B();
+  std::vector<PlanRequest> requests;
+  requests.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    PlanRequest request = memo::core::PlanRequestFromSession(
+        memo::parallel::SystemKind::kMemo,
+        {model, (64 + 32 * static_cast<std::int64_t>(i)) * memo::kSeqK},
+        cluster, {});
+    request.kind = PlanQueryKind::kStrategy;
+    request.strategy.tp = 4;
+    request.strategy.cp = 2;
+    requests.push_back(request);
+  }
+  return requests;
+}
+
+struct PhaseResult {
+  std::vector<double> latencies_ms;  // one per query, all clients merged
+  double wall_ms = 0.0;
+  std::int64_t queries = 0;
+  std::int64_t cache_hits = 0;
+};
+
+/// `clients` threads sweep the request list `passes` times. With `disjoint`
+/// set, client c only touches its own slice (requests.size() / clients
+/// each) so every query is a genuine cold solve; otherwise all clients
+/// sweep everything, colliding on the same fingerprints (pure cache hits in
+/// the warm phase).
+PhaseResult RunPhase(PlanServer& server,
+                     const std::vector<PlanRequest>& requests, int clients,
+                     int passes, bool disjoint,
+                     std::map<std::uint64_t, std::string>* payloads,
+                     std::mutex* payloads_mu) {
+  PhaseResult result;
+  std::mutex mu;
+  std::vector<std::thread> threads;
+  const auto phase_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<double> local;
+      std::int64_t hits = 0;
+      const std::size_t slice = requests.size() / clients;
+      const std::size_t begin = disjoint ? static_cast<std::size_t>(c) * slice
+                                         : 0;
+      const std::size_t end =
+          disjoint ? begin + slice : requests.size();
+      for (int pass = 0; pass < passes; ++pass) {
+        for (std::size_t i = begin; i < end; ++i) {
+          // Offset by client id so non-disjoint clients start on different
+          // requests but still overlap most of the time.
+          const PlanRequest& request =
+              requests[disjoint
+                           ? i
+                           : (i + static_cast<std::size_t>(c)) %
+                                 requests.size()];
+          const auto start = std::chrono::steady_clock::now();
+          const QueryOutcome outcome = server.Query(request);
+          local.push_back(std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
+          if (!outcome.status.ok() || outcome.plan == nullptr) {
+            std::fprintf(stderr, "query failed: %s\n",
+                         outcome.status.ToString().c_str());
+            std::exit(1);
+          }
+          if (outcome.cache_hit) ++hits;
+          std::lock_guard<std::mutex> lock(*payloads_mu);
+          auto it = payloads->find(outcome.fingerprint);
+          if (it == payloads->end()) {
+            payloads->emplace(outcome.fingerprint, outcome.plan->payload);
+          } else if (it->second != outcome.plan->payload) {
+            std::fprintf(stderr,
+                         "payload for fingerprint 0x%016llx is not "
+                         "bit-identical across queries\n",
+                         static_cast<unsigned long long>(
+                             outcome.fingerprint));
+            std::exit(1);
+          }
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      result.latencies_ms.insert(result.latencies_ms.end(), local.begin(),
+                                 local.end());
+      result.cache_hits += hits;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  result.wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - phase_start)
+                       .count();
+  result.queries = static_cast<std::int64_t>(result.latencies_ms.size());
+  return result;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto index = static_cast<std::size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+std::string FmtMs(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms", ms);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const std::vector<int> client_levels =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 4, 8};
+  const int per_client = smoke ? 2 : 3;
+  const int warm_passes = smoke ? 2 : 8;
+  const int max_clients =
+      *std::max_element(client_levels.begin(), client_levels.end());
+
+  std::printf("Planning-as-a-service load test: %d plan queries per client, "
+              "cold (fresh cache,\ndisjoint slices) vs warm (all clients "
+              "sweep everything), %s\n\n",
+              per_client, smoke ? "smoke matrix" : "1/4/8 clients");
+  // Sized for the largest level; smaller levels use a prefix so the same
+  // fingerprints recur across levels (and must produce identical payloads).
+  const std::vector<PlanRequest> all_requests =
+      MakeRequests(max_clients * per_client);
+
+  memo::TablePrinter table({"clients", "phase", "queries", "p50", "p99",
+                            "qps", "hit rate"});
+  std::vector<memo::bench::BenchRecord> records;
+  // Payloads must agree per fingerprint across phases AND concurrency
+  // levels — the service's answers are pure functions of the request.
+  std::map<std::uint64_t, std::string> payloads;
+  std::mutex payloads_mu;
+
+  for (const int clients : client_levels) {
+    PlanServerOptions options;
+    options.sessions = clients;
+    PlanServer server(options);
+    const std::vector<PlanRequest> requests(
+        all_requests.begin(),
+        all_requests.begin() + static_cast<std::size_t>(clients) * per_client);
+
+    const PhaseResult cold = RunPhase(server, requests, clients, 1,
+                                      /*disjoint=*/true, &payloads,
+                                      &payloads_mu);
+    const PhaseResult warm = RunPhase(server, requests, clients, warm_passes,
+                                      /*disjoint=*/false, &payloads,
+                                      &payloads_mu);
+    server.Shutdown();
+
+    // Every warm query must be answered from the cache: the cold phase
+    // already solved every distinct request.
+    if (warm.cache_hits != warm.queries) {
+      std::fprintf(stderr,
+                   "warm phase missed the cache: %lld hits / %lld queries\n",
+                   static_cast<long long>(warm.cache_hits),
+                   static_cast<long long>(warm.queries));
+      return 1;
+    }
+
+    const double cold_p50 = Percentile(cold.latencies_ms, 0.5);
+    const double warm_p50 = Percentile(warm.latencies_ms, 0.5);
+    for (const PhaseResult* phase : {&cold, &warm}) {
+      const bool is_cold = phase == &cold;
+      const double p50 = is_cold ? cold_p50 : warm_p50;
+      const double qps = static_cast<double>(phase->queries) /
+                         (phase->wall_ms / 1e3);
+      char qps_text[32];
+      std::snprintf(qps_text, sizeof(qps_text), "%.0f", qps);
+      char rate[32];
+      std::snprintf(rate, sizeof(rate), "%.0f%%",
+                    100.0 * static_cast<double>(phase->cache_hits) /
+                        static_cast<double>(phase->queries));
+      table.AddRow({std::to_string(clients), is_cold ? "cold" : "warm",
+                    std::to_string(phase->queries), FmtMs(p50),
+                    FmtMs(Percentile(phase->latencies_ms, 0.99)), qps_text,
+                    rate});
+
+      memo::bench::BenchRecord record;
+      record.op = "serve_query_c" + std::to_string(clients);
+      record.threads = clients;
+      record.wall_ms = p50;
+      record.kernel = is_cold ? "cold" : "warm";
+      record.speedup_vs_serial = is_cold ? 1.0 : cold_p50 / warm_p50;
+      records.push_back(record);
+    }
+  }
+  table.Print(std::cout);
+
+  if (!memo::bench::WriteBenchJson("BENCH_serve.json", records)) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json\n");
+    return 1;
+  }
+  std::printf("\nwrote BENCH_serve.json (%zu records); %zu distinct "
+              "fingerprints, all payloads bit-stable\n",
+              records.size(), payloads.size());
+  return 0;
+}

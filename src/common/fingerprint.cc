@@ -1,0 +1,64 @@
+#include "common/fingerprint.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace memo {
+
+std::uint64_t Fnv1a64(const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view key,
+                                            std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  canon_.append(key);
+  canon_.push_back('=');
+  canon_.append(buf);
+  canon_.push_back(';');
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view key,
+                                            std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  canon_.append(key);
+  canon_.push_back('=');
+  canon_.append(buf);
+  canon_.push_back(';');
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view key,
+                                            double value) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, bits);
+  canon_.append(key);
+  canon_.push_back('=');
+  canon_.append(buf);
+  canon_.push_back(';');
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::Add(std::string_view key,
+                                            std::string_view value) {
+  canon_.append(key);
+  canon_.push_back('=');
+  canon_.append(value);
+  canon_.push_back(';');
+  return *this;
+}
+
+}  // namespace memo

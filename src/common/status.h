@@ -22,6 +22,7 @@ enum class StatusCode : std::uint8_t {
   kInfeasible = 5,       // An LP/MIP or strategy search has no solution.
   kUnimplemented = 6,
   kInternal = 7,
+  kUnavailable = 8,      // Service saturated: retry later (load shedding).
 };
 
 /// Returns the canonical spelling of a status code, e.g. "OUT_OF_MEMORY".
@@ -55,6 +56,9 @@ class Status {
     return code_ == StatusCode::kOutOfHostMemory;
   }
   bool IsInfeasible() const { return code_ == StatusCode::kInfeasible; }
+  /// True when the status carries the load-shedding code (the caller should
+  /// back off and retry; the request itself was never looked at).
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "CODE: message".
   std::string ToString() const;
@@ -78,6 +82,7 @@ Status OutOfHostMemoryError(std::string message);
 Status InfeasibleError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
+Status UnavailableError(std::string message);
 
 /// Holds either a value of type T or an error Status. Modeled after
 /// absl::StatusOr; accessing the value of an errored StatusOr aborts.

@@ -5,6 +5,7 @@
 
 #include "alloc/trace_replay.h"
 #include "common/logging.h"
+#include "core/plan_request.h"
 #include "model/trace_gen.h"
 #include "parallel/memory_model.h"
 
@@ -25,14 +26,27 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
           ? options.session.memo.calibration
           : options.session.baseline.calibration;
 
-  // Per-shape timing memo: RunStrategy is deterministic per length.
+  // Per-shape solves route through the immutable PlanRequest form (one
+  // request per distinct shape — the same fingerprint the serve-mode plan
+  // cache would key on). ExecutePlanRequest(kStrategy) is RunStrategy.
+  const PlanExecOptions exec{options.session.memo.timeline_path};
+  auto shape_request = [&](std::int64_t seq, const hw::ClusterSpec& spec,
+                           const parallel::ParallelStrategy& s) {
+    PlanRequest request = PlanRequestFromSession(
+        system, Workload{model, seq}, spec, options.session);
+    request.kind = PlanQueryKind::kStrategy;
+    request.strategy = s;
+    return request;
+  };
+
+  // Per-shape timing memo: a PlanRequest's answer is deterministic.
   std::map<std::int64_t, IterationResult> per_shape;
   for (std::int64_t seq : options.seq_lengths) {
     if (per_shape.count(seq) > 0) continue;
-    auto run = RunStrategy(system, Workload{model, seq}, strategy, cluster,
-                           options.session);
-    if (!run.ok()) return run.status();
-    per_shape.emplace(seq, *run);
+    const PlanResult run =
+        ExecutePlanRequest(shape_request(seq, cluster, strategy), exec);
+    if (!run.status.ok()) return run.status;
+    per_shape.emplace(seq, run.best);
   }
 
   // Degraded re-plans after the disk tier dies: shapes that spilled to the
@@ -46,18 +60,17 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
       [&](std::int64_t seq) -> StatusOr<const IterationResult*> {
     auto it = degraded_shape.find(seq);
     if (it == degraded_shape.end()) {
-      auto replan = RunStrategy(system, Workload{model, seq}, strategy,
-                                no_disk_cluster, options.session);
-      if (!replan.ok()) {
+      PlanResult replan = ExecutePlanRequest(
+          shape_request(seq, no_disk_cluster, strategy), exec);
+      if (!replan.status.ok()) {
         parallel::ParallelStrategy recompute_strategy = strategy;
         recompute_strategy.full_recompute = true;
-        replan = RunStrategy(system, Workload{model, seq},
-                             recompute_strategy, no_disk_cluster,
-                             options.session);
+        replan = ExecutePlanRequest(
+            shape_request(seq, no_disk_cluster, recompute_strategy), exec);
       }
-      if (!replan.ok()) return replan.status();
-      replan->degraded = true;
-      it = degraded_shape.emplace(seq, *replan).first;
+      if (!replan.status.ok()) return replan.status;
+      replan.best.degraded = true;
+      it = degraded_shape.emplace(seq, replan.best).first;
     }
     return &it->second;
   };

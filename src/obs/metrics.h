@@ -3,6 +3,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -66,6 +67,33 @@ class MetricHistogram {
   std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
   std::atomic<std::int64_t> count_{0};
   std::atomic<double> sum_{0.0};
+};
+
+/// RAII latency sampler: records the scope's elapsed wall time, in
+/// microseconds, into a MetricHistogram on destruction. The pow2 bucket
+/// layout makes the recorded samples directly comparable across runs
+/// (p50/p99 read off the same bucket edges). A null histogram disables the
+/// timer (no clock reads), so call sites can make sampling conditional
+/// without branching at every exit path.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(MetricHistogram* histogram)
+      : histogram_(histogram),
+        start_(histogram == nullptr
+                   ? std::chrono::steady_clock::time_point{}
+                   : std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyTimer() {
+    if (histogram_ == nullptr) return;
+    histogram_->Record(std::chrono::duration<double, std::micro>(
+                           std::chrono::steady_clock::now() - start_)
+                           .count());
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  MetricHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 /// Process-wide metric registry. Handles are created on first lookup and

@@ -43,16 +43,6 @@ std::int64_t NextFileId() {
 
 }  // namespace
 
-std::uint64_t Fnv1a64(const void* data, std::size_t len) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 DiskBackend::DiskBackend(const DiskBackendOptions& options)
     : options_(options) {
   MEMO_CHECK_GT(options_.page_bytes, 0);

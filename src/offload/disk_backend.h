@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fingerprint.h"
 #include "offload/stash_backend.h"
 
 namespace memo::offload {
@@ -86,8 +87,12 @@ class DiskBackend : public StashBackend {
   TierStats stats_;
 };
 
-/// FNV-1a 64-bit checksum of `len` bytes at `data` (exposed for tests).
-std::uint64_t Fnv1a64(const void* data, std::size_t len);
+/// FNV-1a 64-bit checksum (historical home; the implementation now lives in
+/// common/fingerprint.h so non-offload fingerprints need not link this
+/// backend). Kept as an alias for the existing checksum call sites/tests.
+inline std::uint64_t Fnv1a64(const void* data, std::size_t len) {
+  return ::memo::Fnv1a64(data, len);
+}
 
 }  // namespace memo::offload
 

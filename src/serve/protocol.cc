@@ -1,0 +1,472 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "common/units.h"
+#include "hw/gpu_spec.h"
+#include "model/model_config.h"
+
+namespace memo::serve {
+
+namespace {
+
+/// One parsed top-level JSON value: the raw text and whether it was quoted
+/// (string) or bare (number/bool/null). Nested objects/arrays are rejected —
+/// the protocol is deliberately flat.
+struct JsonValue {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Parses a flat JSON object into key -> value. Strings support \" \\ \n
+/// \t escapes; everything else must be a bare token ending at `,` or `}`.
+Status ParseFlatObject(const std::string& json,
+                       std::map<std::string, JsonValue>* out) {
+  std::size_t i = 0;
+  auto skip_ws = [&] {
+    while (i < json.size() &&
+           std::isspace(static_cast<unsigned char>(json[i]))) {
+      ++i;
+    }
+  };
+  auto parse_string = [&](std::string* s) -> bool {
+    if (i >= json.size() || json[i] != '"') return false;
+    ++i;
+    s->clear();
+    while (i < json.size() && json[i] != '"') {
+      char c = json[i++];
+      if (c == '\\' && i < json.size()) {
+        char e = json[i++];
+        switch (e) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          default: return false;  // \uXXXX etc. unsupported on purpose
+        }
+      }
+      s->push_back(c);
+    }
+    if (i >= json.size()) return false;
+    ++i;  // closing quote
+    return true;
+  };
+
+  skip_ws();
+  if (i >= json.size() || json[i] != '{') {
+    return InvalidArgumentError("request is not a JSON object");
+  }
+  ++i;
+  skip_ws();
+  if (i < json.size() && json[i] == '}') return OkStatus();
+  while (true) {
+    skip_ws();
+    std::string key;
+    if (!parse_string(&key)) {
+      return InvalidArgumentError("expected a quoted key in request JSON");
+    }
+    skip_ws();
+    if (i >= json.size() || json[i] != ':') {
+      return InvalidArgumentError("expected ':' after key \"" + key + "\"");
+    }
+    ++i;
+    skip_ws();
+    JsonValue value;
+    if (i < json.size() && json[i] == '"') {
+      value.quoted = true;
+      if (!parse_string(&value.text)) {
+        return InvalidArgumentError("unterminated string for key \"" + key +
+                                    "\"");
+      }
+    } else if (i < json.size() && (json[i] == '{' || json[i] == '[')) {
+      return InvalidArgumentError("nested values are not supported (key \"" +
+                                  key + "\")");
+    } else {
+      while (i < json.size() && json[i] != ',' && json[i] != '}' &&
+             !std::isspace(static_cast<unsigned char>(json[i]))) {
+        value.text.push_back(json[i++]);
+      }
+      if (value.text.empty()) {
+        return InvalidArgumentError("missing value for key \"" + key + "\"");
+      }
+    }
+    (*out)[key] = value;
+    skip_ws();
+    if (i < json.size() && json[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (i < json.size() && json[i] == '}') return OkStatus();
+    return InvalidArgumentError("expected ',' or '}' in request JSON");
+  }
+}
+
+/// Strict number parse: the whole token must convert.
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(text.c_str(), &end);
+  return end != nullptr && *end == '\0';
+}
+
+/// Sequence lengths accept the CLI's K suffix ("512K" = 512 * 1024 tokens),
+/// as a quoted string or a bare number.
+bool ParseSeq(const JsonValue& value, std::int64_t* out) {
+  std::string text = value.text;
+  std::int64_t scale = 1;
+  if (!text.empty() && (text.back() == 'K' || text.back() == 'k')) {
+    scale = kSeqK;
+    text.pop_back();
+  }
+  double parsed = 0.0;
+  if (!ParseDouble(text, &parsed)) return false;
+  *out = static_cast<std::int64_t>(parsed) * scale;
+  return true;
+}
+
+class FieldReader {
+ public:
+  explicit FieldReader(const std::map<std::string, JsonValue>& fields)
+      : fields_(fields) {}
+
+  bool Has(const std::string& key) const { return fields_.count(key) > 0; }
+
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const {
+    auto it = fields_.find(key);
+    return it != fields_.end() ? it->second.text : fallback;
+  }
+
+  Status GetInt(const std::string& key, int* out) const {
+    auto it = fields_.find(key);
+    if (it == fields_.end()) return OkStatus();
+    double value = 0.0;
+    if (!ParseDouble(it->second.text, &value)) {
+      return InvalidArgumentError("field \"" + key + "\" is not a number");
+    }
+    *out = static_cast<int>(value);
+    return OkStatus();
+  }
+
+  Status GetDouble(const std::string& key, double* out) const {
+    auto it = fields_.find(key);
+    if (it == fields_.end()) return OkStatus();
+    if (!ParseDouble(it->second.text, out)) {
+      return InvalidArgumentError("field \"" + key + "\" is not a number");
+    }
+    return OkStatus();
+  }
+
+  Status GetSeq(const std::string& key, std::int64_t* out) const {
+    auto it = fields_.find(key);
+    if (it == fields_.end()) return OkStatus();
+    if (!ParseSeq(it->second, out)) {
+      return InvalidArgumentError("field \"" + key +
+                                  "\" is not a sequence length");
+    }
+    return OkStatus();
+  }
+
+  Status GetBool(const std::string& key, bool* out) const {
+    auto it = fields_.find(key);
+    if (it == fields_.end()) return OkStatus();
+    if (it->second.text == "true" || it->second.text == "1") {
+      *out = true;
+    } else if (it->second.text == "false" || it->second.text == "0") {
+      *out = false;
+    } else {
+      return InvalidArgumentError("field \"" + key + "\" is not a bool");
+    }
+    return OkStatus();
+  }
+
+ private:
+  const std::map<std::string, JsonValue>& fields_;
+};
+
+void AppendField(std::string* out, const char* key, std::int64_t value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%" PRId64 ",", key, value);
+  *out += buf;
+}
+
+void AppendField(std::string* out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g,", key, value);
+  *out += buf;
+}
+
+void AppendField(std::string* out, const char* key, bool value) {
+  *out += '"';
+  *out += key;
+  *out += value ? "\":true," : "\":false,";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+StatusOr<core::PlanRequest> ParsePlanRequestJson(const std::string& line) {
+  std::map<std::string, JsonValue> fields;
+  MEMO_RETURN_IF_ERROR(ParseFlatObject(line, &fields));
+  const FieldReader reader(fields);
+
+  core::PlanRequest request;
+  MEMO_ASSIGN_OR_RETURN(
+      request.kind,
+      core::PlanQueryKindFromString(reader.GetString("kind", "best")));
+
+  const std::string system = reader.GetString("system", "memo");
+  if (system == "memo") {
+    request.system = parallel::SystemKind::kMemo;
+  } else if (system == "megatron") {
+    request.system = parallel::SystemKind::kMegatron;
+  } else if (system == "deepspeed") {
+    request.system = parallel::SystemKind::kDeepSpeed;
+  } else {
+    return InvalidArgumentError("unknown system \"" + system +
+                                "\" (memo|megatron|deepspeed)");
+  }
+
+  MEMO_ASSIGN_OR_RETURN(request.model,
+                        model::ModelByName(reader.GetString("model", "7B")));
+
+  request.seq = 512 * kSeqK;
+  MEMO_RETURN_IF_ERROR(reader.GetSeq("seq", &request.seq));
+  if (request.seq <= 0) {
+    return InvalidArgumentError("field \"seq\" must be positive");
+  }
+
+  int gpus = 8;
+  MEMO_RETURN_IF_ERROR(reader.GetInt("gpus", &gpus));
+  if (gpus <= 0) {
+    return InvalidArgumentError("field \"gpus\" must be positive");
+  }
+  request.cluster = hw::PaperCluster(gpus);
+  for (const char* key : {"host_gib", "nvme_gib", "nvme_gbps"}) {
+    if (!reader.Has(key)) continue;
+    double value = 0.0;
+    MEMO_RETURN_IF_ERROR(reader.GetDouble(key, &value));
+    if (value <= 0.0) {
+      return InvalidArgumentError(std::string("field \"") + key +
+                                  "\" must be positive");
+    }
+    if (std::string(key) == "host_gib") {
+      request.cluster.node.host_memory_bytes =
+          static_cast<std::int64_t>(value * static_cast<double>(kGiB));
+    } else if (std::string(key) == "nvme_gib") {
+      request.cluster.node.nvme_bytes =
+          static_cast<std::int64_t>(value * static_cast<double>(kGiB));
+    } else {
+      request.cluster.node.nvme_bandwidth = value * kGBps;
+    }
+  }
+
+  MEMO_RETURN_IF_ERROR(reader.GetInt("tp", &request.strategy.tp));
+  MEMO_RETURN_IF_ERROR(reader.GetInt("cp", &request.strategy.cp));
+  MEMO_RETURN_IF_ERROR(reader.GetInt("pp", &request.strategy.pp));
+  MEMO_RETURN_IF_ERROR(
+      reader.GetInt("vp", &request.strategy.virtual_pipeline));
+  MEMO_RETURN_IF_ERROR(reader.GetInt("dp", &request.strategy.dp));
+  MEMO_RETURN_IF_ERROR(reader.GetInt("sp", &request.strategy.ulysses_sp));
+  MEMO_RETURN_IF_ERROR(reader.GetInt("zero", &request.strategy.zero_stage));
+  MEMO_RETURN_IF_ERROR(
+      reader.GetBool("full_recompute", &request.strategy.full_recompute));
+
+  MEMO_RETURN_IF_ERROR(reader.GetDouble("alpha", &request.forced_alpha));
+  MEMO_RETURN_IF_ERROR(reader.GetInt("alpha_steps", &request.alpha_steps));
+
+  request.seq_step = 128 * kSeqK;
+  request.seq_cap = static_cast<std::int64_t>(gpus) * 256 * kSeqK;
+  MEMO_RETURN_IF_ERROR(reader.GetSeq("step", &request.seq_step));
+  MEMO_RETURN_IF_ERROR(reader.GetSeq("cap", &request.seq_cap));
+  if (request.kind == core::PlanQueryKind::kMaxSeq &&
+      (request.seq_step <= 0 || request.seq_cap <= 0)) {
+    return InvalidArgumentError("maxseq needs positive \"step\" and \"cap\"");
+  }
+  return request;
+}
+
+std::string SerializePlanResult(const core::PlanResult& result) {
+  std::string out = "{";
+  out += "\"kind\":\"";
+  out += core::PlanQueryKindToString(result.kind);
+  out += "\",";
+  AppendField(&out, "code", static_cast<std::int64_t>(result.status.code()));
+  out += "\"status\":\"";
+  out += JsonEscape(result.status.ToString());
+  out += "\",";
+  AppendField(&out, "strategies_tried",
+              static_cast<std::int64_t>(result.strategies_tried));
+  AppendField(&out, "strategies_feasible",
+              static_cast<std::int64_t>(result.strategies_feasible));
+  if (result.kind == core::PlanQueryKind::kMaxSeq) {
+    AppendField(&out, "max_seq", result.max_seq);
+  }
+  if (result.status.ok() && result.kind != core::PlanQueryKind::kMaxSeq) {
+    const core::IterationResult& it = result.best;
+    AppendField(&out, "tp", static_cast<std::int64_t>(it.strategy.tp));
+    AppendField(&out, "cp", static_cast<std::int64_t>(it.strategy.cp));
+    AppendField(&out, "pp", static_cast<std::int64_t>(it.strategy.pp));
+    AppendField(&out, "vp",
+                static_cast<std::int64_t>(it.strategy.virtual_pipeline));
+    AppendField(&out, "dp", static_cast<std::int64_t>(it.strategy.dp));
+    AppendField(&out, "sp",
+                static_cast<std::int64_t>(it.strategy.ulysses_sp));
+    AppendField(&out, "zero",
+                static_cast<std::int64_t>(it.strategy.zero_stage));
+    AppendField(&out, "full_recompute", it.strategy.full_recompute);
+    AppendField(&out, "iteration_seconds", it.iteration_seconds);
+    AppendField(&out, "mfu", it.metrics.mfu);
+    AppendField(&out, "tgs", it.metrics.tgs);
+    AppendField(&out, "compute_seconds", it.compute_seconds);
+    AppendField(&out, "recompute_seconds", it.recompute_seconds);
+    AppendField(&out, "exposed_comm_seconds", it.exposed_comm_seconds);
+    AppendField(&out, "swap_stall_seconds", it.swap_stall_seconds);
+    AppendField(&out, "copy_busy_seconds", it.copy_busy_seconds);
+    AppendField(&out, "overlap_efficiency", it.overlap_efficiency);
+    AppendField(&out, "peak_device_bytes", it.peak_device_bytes);
+    AppendField(&out, "model_state_bytes", it.model_state_bytes);
+    AppendField(&out, "activation_peak_bytes", it.activation_peak_bytes);
+    AppendField(&out, "host_offload_bytes", it.host_offload_bytes);
+    AppendField(&out, "host_ram_bytes", it.host_ram_bytes);
+    AppendField(&out, "host_disk_bytes", it.host_disk_bytes);
+    AppendField(&out, "alpha", it.alpha);
+    AppendField(&out, "alpha_ram", it.alpha_ram);
+    AppendField(&out, "alpha_disk", it.alpha_disk);
+    AppendField(&out, "degraded", it.degraded);
+  }
+  if (out.back() == ',') out.pop_back();
+  out += '}';
+  return out;
+}
+
+std::string BuildResponseLine(const Status& status, std::uint64_t fingerprint,
+                              bool cache_hit, const std::string& payload) {
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "0x%016" PRIx64, fingerprint);
+  std::string out = "{\"status\":\"";
+  out += StatusCodeToString(status.code());
+  out += "\",";
+  AppendField(&out, "code", static_cast<std::int64_t>(status.code()));
+  out += "\"fingerprint\":\"";
+  out += fp;
+  out += "\",";
+  AppendField(&out, "cache_hit", cache_hit);
+  out += "\"plan\":";
+  out += payload;
+  out += '}';
+  return out;
+}
+
+std::string BuildErrorResponseLine(const Status& status) {
+  std::string out = "{\"status\":\"";
+  out += StatusCodeToString(status.code());
+  out += "\",";
+  AppendField(&out, "code", static_cast<std::int64_t>(status.code()));
+  out += "\"error\":\"";
+  out += JsonEscape(status.message());
+  out += "\"}";
+  return out;
+}
+
+namespace {
+
+/// Locates the raw value text after `"key":` at the top level. Good enough
+/// for this protocol's own flat output plus one nesting level skip.
+bool FindRawValue(const std::string& json, const std::string& key,
+                  std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  pos += needle.size();
+  if (pos >= json.size()) return false;
+  if (json[pos] == '"') {
+    std::size_t end = pos + 1;
+    while (end < json.size() && json[end] != '"') {
+      if (json[end] == '\\') ++end;
+      ++end;
+    }
+    if (end >= json.size()) return false;
+    *out = json.substr(pos, end - pos + 1);
+    return true;
+  }
+  if (json[pos] == '{') {
+    int depth = 0;
+    std::size_t end = pos;
+    for (; end < json.size(); ++end) {
+      if (json[end] == '{') ++depth;
+      if (json[end] == '}' && --depth == 0) break;
+    }
+    if (end >= json.size()) return false;
+    *out = json.substr(pos, end - pos + 1);
+    return true;
+  }
+  std::size_t end = pos;
+  while (end < json.size() && json[end] != ',' && json[end] != '}') ++end;
+  *out = json.substr(pos, end - pos);
+  return true;
+}
+
+}  // namespace
+
+bool JsonFindString(const std::string& json, const std::string& key,
+                    std::string* out) {
+  std::string raw;
+  if (!FindRawValue(json, key, &raw)) return false;
+  if (raw.size() >= 2 && raw.front() == '"' && raw.back() == '"') {
+    *out = raw.substr(1, raw.size() - 2);
+  } else {
+    *out = raw;
+  }
+  return true;
+}
+
+bool JsonFindNumber(const std::string& json, const std::string& key,
+                    double* out) {
+  std::string raw;
+  if (!FindRawValue(json, key, &raw)) return false;
+  return ParseDouble(raw, out);
+}
+
+bool JsonFindBool(const std::string& json, const std::string& key,
+                  bool* out) {
+  std::string raw;
+  if (!FindRawValue(json, key, &raw)) return false;
+  if (raw == "true") {
+    *out = true;
+    return true;
+  }
+  if (raw == "false") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace memo::serve

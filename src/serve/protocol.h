@@ -1,0 +1,66 @@
+#ifndef MEMO_SERVE_PROTOCOL_H_
+#define MEMO_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "core/plan_request.h"
+
+namespace memo::serve {
+
+/// Wire format: one request per line, one response per line, both flat
+/// JSON objects (newline-delimited JSON over a Unix-domain stream socket).
+///
+/// Request fields (all optional unless noted; defaults mirror memo_cli):
+///   kind            "best" | "strategy" | "maxseq"     (default "best")
+///   system          "memo" | "megatron" | "deepspeed"  (default "memo")
+///   model           Table-2 preset name                 (default "7B")
+///   seq             tokens, number or "512K" string     (default 512K)
+///   gpus            cluster size                        (default 8)
+///   host_gib / nvme_gib / nvme_gbps   memory-hierarchy overrides
+///   tp cp pp vp dp sp zero            strategy degrees (kind=strategy)
+///   full_recompute  bool
+///   alpha           forced swap fraction                (default: solve)
+///   alpha_steps     LP grid resolution
+///   step / cap      maxseq scan step and ceiling (seq strings allowed)
+///
+/// Response: {"status":"OK","code":0,"fingerprint":"0x...","cache_hit":
+/// false,"plan":{...}} — `plan` is the deterministic payload produced by
+/// SerializePlanResult (present even for solver-level failures, which are
+/// themselves deterministic functions of the request and therefore cached);
+/// protocol-level failures (malformed JSON, unknown model) omit it.
+
+/// Parses one request line. Returns kInvalidArgument on malformed JSON,
+/// unknown enum values, or non-positive dimensions.
+StatusOr<core::PlanRequest> ParsePlanRequestJson(const std::string& line);
+
+/// Deterministic serialization of a solve outcome: fixed field order,
+/// doubles printed with %.17g (round-trip exact), no whitespace. Equal
+/// PlanResults serialize to byte-identical strings — the bit-identity
+/// contract for cache hits is stated over this payload.
+std::string SerializePlanResult(const core::PlanResult& result);
+
+/// Assembles a full response line (no trailing newline) around a payload.
+std::string BuildResponseLine(const Status& status, std::uint64_t fingerprint,
+                              bool cache_hit, const std::string& payload);
+
+/// Response for requests that failed before reaching the solver (parse
+/// errors, shedding): status + code only, no fingerprint/plan.
+std::string BuildErrorResponseLine(const Status& status);
+
+/// Minimal field extractors for flat JSON (used by the query CLI and
+/// tests; not a general JSON parser — sufficient for this protocol's own
+/// output and top-level request fields).
+bool JsonFindString(const std::string& json, const std::string& key,
+                    std::string* out);
+bool JsonFindNumber(const std::string& json, const std::string& key,
+                    double* out);
+bool JsonFindBool(const std::string& json, const std::string& key, bool* out);
+
+/// Escapes `"`, `\` and control characters for embedding in JSON.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace memo::serve
+
+#endif  // MEMO_SERVE_PROTOCOL_H_

@@ -1,0 +1,152 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+#include "serve/protocol.h"
+
+namespace memo::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::MetricCounter* accepted;
+  obs::MetricCounter* shed;
+  obs::MetricHistogram* latency_us;
+  obs::MetricHistogram* solve_us;
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics m = [] {
+    auto& reg = obs::MetricsRegistry::Global();
+    return ServeMetrics{reg.counter("serve.request.accepted"),
+                        reg.counter("serve.request.shed"),
+                        reg.histogram("serve.request.latency_us"),
+                        reg.histogram("serve.solve.latency_us")};
+  }();
+  return m;
+}
+
+}  // namespace
+
+PlanServer::PlanServer(const PlanServerOptions& options)
+    : options_(options), cache_(options.cache) {
+  options_.sessions = std::max(1, options_.sessions);
+  options_.max_queue = std::max(1, options_.max_queue);
+  if (!options_.solver) {
+    options_.solver = [](const core::PlanRequest& request) {
+      return core::ExecutePlanRequest(request);
+    };
+  }
+  sessions_.reserve(options_.sessions);
+  for (int i = 0; i < options_.sessions; ++i) {
+    sessions_.emplace_back([this, i] { SessionLoop(i); });
+  }
+}
+
+PlanServer::~PlanServer() { Shutdown(); }
+
+void PlanServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& session : sessions_) {
+    if (session.joinable()) session.join();
+  }
+}
+
+QueryOutcome PlanServer::Solve(const core::PlanRequest& request,
+                               std::uint64_t fingerprint) {
+  MEMO_TRACE_SCOPE_ARG("serve_request", "serve", "fingerprint", fingerprint);
+  obs::ScopedLatencyTimer request_timer(Metrics().latency_us);
+  QueryOutcome outcome;
+  outcome.fingerprint = fingerprint;
+  outcome.plan = cache_.GetOrCompute(
+      fingerprint,
+      [&]() {
+        MEMO_TRACE_SCOPE_ARG("plan_solve", "serve", "fingerprint",
+                             fingerprint);
+        obs::ScopedLatencyTimer solve_timer(Metrics().solve_us);
+        auto plan = std::make_shared<CachedPlan>();
+        plan->result = options_.solver(request);
+        plan->payload = SerializePlanResult(plan->result);
+        return plan;
+      },
+      &outcome.cache_hit);
+  return outcome;
+}
+
+void PlanServer::SessionLoop(int session_index) {
+  MEMO_TRACE_SET_THREAD_NAME(("serve-session-" +
+                              std::to_string(session_index)).c_str());
+  while (true) {
+    std::unique_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    QueryOutcome outcome = Solve(job->request, job->fingerprint);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++completed_;
+    }
+    job->done.set_value(std::move(outcome));
+  }
+}
+
+QueryOutcome PlanServer::Query(const core::PlanRequest& request) {
+  auto job = std::make_unique<Job>();
+  job->request = request;
+  job->fingerprint = request.Fingerprint();
+  std::future<QueryOutcome> done = job->done.get_future();
+
+  // Fast path: a resident cache entry answers without occupying a session
+  // or a queue slot, so warm traffic cannot be shed by a cold burst.
+  if (auto plan = cache_.Lookup(job->fingerprint)) {
+    Metrics().accepted->Increment();
+    QueryOutcome outcome;
+    outcome.fingerprint = job->fingerprint;
+    outcome.cache_hit = true;
+    outcome.plan = std::move(plan);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++accepted_;
+    ++completed_;
+    return outcome;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ ||
+        static_cast<int>(queue_.size()) >= options_.max_queue) {
+      ++shed_;
+      Metrics().shed->Increment();
+      QueryOutcome outcome;
+      outcome.fingerprint = job->fingerprint;
+      outcome.status = UnavailableError(
+          stopping_ ? "server is shutting down"
+                    : "admission queue full: retry later");
+      return outcome;
+    }
+    ++accepted_;
+    Metrics().accepted->Increment();
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return done.get();
+}
+
+PlanServer::Stats PlanServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return Stats{accepted_, shed_, completed_};
+}
+
+}  // namespace memo::serve

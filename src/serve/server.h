@@ -1,0 +1,99 @@
+#ifndef MEMO_SERVE_SERVER_H_
+#define MEMO_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "serve/plan_cache.h"
+
+namespace memo::serve {
+
+struct PlanServerOptions {
+  /// Concurrent solver sessions (worker threads). Each session runs one
+  /// solve at a time; single-flight in the cache keeps identical requests
+  /// from occupying more than one session.
+  int sessions = 4;
+  /// Pending requests admitted beyond the busy sessions. The queue is the
+  /// admission-control boundary: when it is full, Query sheds the request
+  /// with kUnavailable instead of growing latency without bound.
+  int max_queue = 64;
+  PlanCacheOptions cache;
+  /// The function a cache-missing session runs. Defaults to
+  /// core::ExecutePlanRequest; tests inject a gated stub to make admission
+  /// and coalescing behavior deterministic.
+  std::function<core::PlanResult(const core::PlanRequest&)> solver;
+};
+
+/// The answer to one query. `status` reflects the service path only —
+/// kUnavailable when shed at admission; solver-level failures (OOM,
+/// infeasible) are OK here and live inside plan->result.status, because a
+/// failed solve is still the deterministic, cacheable answer to the request.
+struct QueryOutcome {
+  Status status = OkStatus();
+  std::uint64_t fingerprint = 0;
+  bool cache_hit = false;
+  std::shared_ptr<const CachedPlan> plan;  // null iff !status.ok()
+};
+
+/// A pool of solver sessions behind a plan cache and a bounded admission
+/// queue — the in-process core of `memo_cli serve`. Thread-safe: any number
+/// of callers may Query concurrently; each call blocks until its result is
+/// ready or the request is shed.
+class PlanServer {
+ public:
+  explicit PlanServer(const PlanServerOptions& options = {});
+  ~PlanServer();
+
+  PlanServer(const PlanServer&) = delete;
+  PlanServer& operator=(const PlanServer&) = delete;
+
+  /// Answers `request`, preferring the cache. Sheds with kUnavailable when
+  /// the admission queue is full. Blocks otherwise.
+  QueryOutcome Query(const core::PlanRequest& request);
+
+  /// Drains the queue and joins the sessions. Queries still queued complete;
+  /// new ones are rejected with kUnavailable. Idempotent.
+  void Shutdown();
+
+  PlanCache& cache() { return cache_; }
+
+  struct Stats {
+    std::int64_t accepted = 0;
+    std::int64_t shed = 0;
+    std::int64_t completed = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Job {
+    core::PlanRequest request;
+    std::uint64_t fingerprint = 0;
+    std::promise<QueryOutcome> done;
+  };
+
+  void SessionLoop(int session_index);
+  QueryOutcome Solve(const core::PlanRequest& request,
+                     std::uint64_t fingerprint);
+
+  PlanServerOptions options_;
+  PlanCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<Job>> queue_;
+  bool stopping_ = false;
+  std::int64_t accepted_ = 0;
+  std::int64_t shed_ = 0;
+  std::int64_t completed_ = 0;
+
+  std::vector<std::thread> sessions_;
+};
+
+}  // namespace memo::serve
+
+#endif  // MEMO_SERVE_SERVER_H_

@@ -1,0 +1,258 @@
+#include "serve/socket_server.h"
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace memo::serve {
+
+namespace {
+
+/// Writes the whole buffer, tolerating partial writes and EINTR. MSG_NOSIGNAL
+/// turns a dead peer into an error return instead of SIGPIPE.
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(PlanServer* server,
+                           const SocketServerOptions& options)
+    : server_(server), options_(options) {}
+
+SocketServer::~SocketServer() { Stop(); }
+
+Status SocketServer::Start() {
+  if (options_.socket_path.empty()) {
+    return InvalidArgumentError("socket_path must not be empty");
+  }
+  sockaddr_un addr{};
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("socket path too long: " +
+                                options_.socket_path);
+  }
+  // Replace a stale socket file from a dead server, but refuse to unlink
+  // anything that is not a socket — a typo'd --socket must never delete a
+  // regular file.
+  struct stat st{};
+  if (::lstat(options_.socket_path.c_str(), &st) == 0) {
+    if (!S_ISSOCK(st.st_mode)) {
+      return InvalidArgumentError(options_.socket_path +
+                                  " exists and is not a socket");
+    }
+    ::unlink(options_.socket_path.c_str());
+  }
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return InternalError(std::string("socket(): ") + std::strerror(errno));
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const Status status = InternalError("bind(" + options_.socket_path +
+                                        "): " + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status =
+        InternalError(std::string("listen(): ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+    return status;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return OkStatus();
+}
+
+void SocketServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listen fd shut down (Stop) or fatal error
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    connection_fds_.insert(fd);
+    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+  stopped_cv_.notify_all();
+}
+
+void SocketServer::CountRequest() {
+  const std::int64_t served =
+      requests_served_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.max_requests >= 0 && served >= options_.max_requests) {
+    // Budget exhausted. This runs on a connection thread, so it must not
+    // join anything — just signal; Wait() then unblocks and the owner's
+    // Stop() (or the destructor) does the joins.
+    RequestStop();
+  }
+}
+
+void SocketServer::ServeConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or Stop shut the fd down
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (line.empty()) continue;
+      std::string response;
+      auto request = ParsePlanRequestJson(line);
+      if (!request.ok()) {
+        response = BuildErrorResponseLine(request.status());
+      } else {
+        const QueryOutcome outcome = server_->Query(*request);
+        if (!outcome.status.ok()) {
+          response = BuildErrorResponseLine(outcome.status);
+        } else {
+          response =
+              BuildResponseLine(outcome.plan->result.status,
+                                outcome.fingerprint, outcome.cache_hit,
+                                outcome.plan->payload);
+        }
+      }
+      response += '\n';
+      const bool written = WriteAll(fd, response);
+      CountRequest();
+      if (!written) break;
+    }
+  }
+  {
+    // Remove from the shutdown set before closing, so a concurrent Stop()
+    // cannot shutdown() a recycled descriptor number.
+    std::lock_guard<std::mutex> lock(mu_);
+    connection_fds_.erase(fd);
+  }
+  ::close(fd);
+}
+
+void SocketServer::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stopped_cv_.wait(lock, [&] { return stopped_; });
+}
+
+void SocketServer::RequestStop() {
+  stopping_.store(true, std::memory_order_release);
+  // Unblock the accept loop and in-flight reads so every server thread
+  // exits promptly. shutdown() (not close) keeps the descriptor numbers
+  // valid until Stop joins the threads that own them.
+  std::lock_guard<std::mutex> lock(mu_);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+}
+
+void SocketServer::Stop() {
+  RequestStop();
+  // One Stop body at a time; a second caller blocks here until the first
+  // finishes its joins, then runs through the (now empty) join lists.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The accept loop has exited, so connection_threads_ can no longer grow.
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connection_threads_);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  stopped_ = true;
+  stopped_cv_.notify_all();
+}
+
+StatusOr<std::string> QueryOverSocket(const std::string& socket_path,
+                                      const std::string& request_line,
+                                      int connect_retries) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof(addr.sun_path)) {
+    return InvalidArgumentError("bad socket path: " + socket_path);
+  }
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  int fd = -1;
+  for (int attempt = 0;; ++attempt) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return InternalError(std::string("socket(): ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    const int saved = errno;
+    ::close(fd);
+    fd = -1;
+    if (attempt >= connect_retries) {
+      return UnavailableError("connect(" + socket_path +
+                              "): " + std::strerror(saved));
+    }
+    ::usleep(50 * 1000);
+  }
+
+  std::string line = request_line;
+  if (line.empty() || line.back() != '\n') line += '\n';
+  if (!WriteAll(fd, line)) {
+    ::close(fd);
+    return InternalError(std::string("send(): ") + std::strerror(errno));
+  }
+
+  std::string response;
+  char chunk[4096];
+  while (response.find('\n') == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return InternalError("server closed the connection mid-response");
+    }
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  response.erase(response.find('\n'));
+  return response;
+}
+
+}  // namespace memo::serve

@@ -1,0 +1,97 @@
+#ifndef MEMO_SERVE_SOCKET_SERVER_H_
+#define MEMO_SERVE_SOCKET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/server.h"
+
+namespace memo::serve {
+
+struct SocketServerOptions {
+  /// Filesystem path of the AF_UNIX listening socket. A stale socket file
+  /// at this path is replaced; a non-socket file is an error (never
+  /// unlinked).
+  std::string socket_path;
+  /// Stop accepting and shut down after this many requests have been
+  /// answered (protocol errors included). < 0 = serve forever. Lets tests
+  /// and benches run a bounded server without signal plumbing.
+  std::int64_t max_requests = -1;
+};
+
+/// Newline-delimited JSON over a Unix-domain stream socket, one PlanServer
+/// behind it. Each connection gets a reader thread; each request line is
+/// parsed, answered via PlanServer::Query (which may shed), and the
+/// response line written back. Malformed lines produce an error response on
+/// the same connection rather than killing it.
+class SocketServer {
+ public:
+  SocketServer(PlanServer* server, const SocketServerOptions& options);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Binds, listens and starts the accept loop. Fails if the path is
+  /// occupied by a non-socket file or the bind/listen syscalls fail.
+  Status Start();
+
+  /// Blocks until the server stops (Stop() from another thread, or the
+  /// max_requests budget is exhausted).
+  void Wait();
+
+  /// Stops accepting, unblocks in-flight connection reads, joins all
+  /// threads and removes the socket file. Idempotent.
+  void Stop();
+
+  std::int64_t requests_served() const {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// Records an answered request; triggers RequestStop when the budget runs
+  /// out.
+  void CountRequest();
+  /// Signals shutdown without joining anything: sets the stop flag and
+  /// shuts down the listen + connection fds so blocked accept/recv calls
+  /// return. Cheap, idempotent, and safe to call from a connection thread
+  /// (unlike Stop, which joins those threads).
+  void RequestStop();
+
+  PlanServer* server_;
+  SocketServerOptions options_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::int64_t> requests_served_{0};
+
+  /// Serializes Stop bodies so concurrent Stop calls (e.g. an explicit Stop
+  /// racing the destructor) each return only after the joins are done.
+  std::mutex stop_mu_;
+  std::mutex mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+  std::set<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+  std::thread accept_thread_;
+};
+
+/// Client side of the wire protocol: connects to `socket_path`, sends one
+/// request line and returns the response line (newline stripped).
+/// `connect_retries` > 0 retries a refused/missing socket with a short
+/// sleep between attempts — for callers racing a freshly started server.
+StatusOr<std::string> QueryOverSocket(const std::string& socket_path,
+                                      const std::string& request_line,
+                                      int connect_retries = 0);
+
+}  // namespace memo::serve
+
+#endif  // MEMO_SERVE_SOCKET_SERVER_H_

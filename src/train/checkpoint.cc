@@ -8,9 +8,9 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
-#include "offload/disk_backend.h"  // Fnv1a64
 
 namespace memo::train {
 
@@ -182,7 +182,7 @@ Status SaveCheckpoint(const std::string& dir, const CheckpointState& state) {
   file.reserve(sizeof(kMagic) + 16 + payload.size());
   file.append(kMagic, sizeof(kMagic));
   AppendU64(&file, static_cast<std::uint64_t>(payload.size()));
-  AppendU64(&file, offload::Fnv1a64(payload.data(), payload.size()));
+  AppendU64(&file, Fnv1a64(payload.data(), payload.size()));
   file += payload;
 
   const std::string path = dir + "/" + CheckpointFileName(state.step);
@@ -235,7 +235,7 @@ StatusOr<CheckpointState> LoadCheckpoint(const std::string& path) {
     return InternalError("truncated checkpoint file: " + path);
   }
   const std::string payload = file.substr(sizeof(kMagic) + 16);
-  if (offload::Fnv1a64(payload.data(), payload.size()) != checksum) {
+  if (Fnv1a64(payload.data(), payload.size()) != checksum) {
     return InternalError("checkpoint checksum mismatch (corrupt file): " +
                          path);
   }

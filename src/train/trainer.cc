@@ -8,7 +8,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
-#include "offload/disk_backend.h"  // Fnv1a64
+#include "common/fingerprint.h"
 #include "train/checkpoint.h"
 #include "train/kernels/kernels.h"
 #include "train/tensor_arena.h"
@@ -88,7 +88,7 @@ std::uint64_t ConfigFingerprint(const TrainRunOptions& options) {
   add("beta2", options.adam.beta2);
   add("eps", options.adam.eps);
   add("fidelity", options.data_fidelity);
-  return offload::Fnv1a64(canon.data(), canon.size());
+  return Fnv1a64(canon.data(), canon.size());
 }
 
 /// The RAM-only fallback stash used once the configured backend has failed

@@ -289,4 +289,85 @@ TEST(MemoCliTest, InjectedTransientFaultLeavesTheLossUntouched) {
       << faulted.output;
 }
 
+TEST(MemoCliTest, UnknownSubcommandExitsTwoWithUsage) {
+  const CliResult run = RunCli("frobnicate --model 7B");
+  EXPECT_EQ(run.exit_code, 2);
+  EXPECT_NE(run.output.find("unknown command \"frobnicate\""),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("usage: memo_cli"), std::string::npos)
+      << run.output;
+}
+
+TEST(MemoCliTest, MalformedFlagValuesExitTwoWithUsage) {
+  const struct {
+    const char* args;
+    const char* expect;
+  } legs[] = {
+      {"run --gpus banana", "--gpus must be an integer"},
+      {"run --seq 12Q", "--seq must be a sequence length"},
+      {"run --alpha half", "--alpha must be a number"},
+      {"maxseq --step x128K", "--step must be a sequence length"},
+      {"train --iterations 2x", "--iterations must be an integer"},
+      {"run --model", "flag --model is missing a value"},
+  };
+  for (const auto& leg : legs) {
+    const CliResult run = RunCli(leg.args);
+    EXPECT_EQ(run.exit_code, 2) << leg.args << ":\n" << run.output;
+    EXPECT_NE(run.output.find(leg.expect), std::string::npos)
+        << leg.args << ":\n" << run.output;
+    EXPECT_NE(run.output.find("usage: memo_cli"), std::string::npos)
+        << leg.args << ":\n" << run.output;
+  }
+
+  // Documented boolean toggles still work bare (trailing or mid-line).
+  const CliResult bare = RunCli(
+      "train --layers 2 --seq 48 --iterations 2 --alpha 0.5 --async");
+  EXPECT_EQ(bare.exit_code, 0) << bare.output;
+}
+
+TEST(MemoCliTest, ServeAndQueryRequireASocketPath) {
+  CliResult run = RunCli("serve");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("serve requires --socket"), std::string::npos)
+      << run.output;
+
+  run = RunCli("query --model 7B");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("query requires --socket"), std::string::npos)
+      << run.output;
+
+  run = RunCli("serve --socket /tmp/x.sock --sessions 0");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("--sessions must be a positive number"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(MemoCliTest, ServeAnswersQueryEndToEndOverTheSocket) {
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_cli_serve.sock";
+  std::remove(socket_path.c_str());
+
+  // One shell: serve in the background with a 2-request budget (it exits on
+  // its own), query it twice with connect retries. The pipeline's exit code
+  // is the last query's.
+  const CliResult run = RunCli(
+      "serve --socket " + socket_path +
+      " --sessions 2 --max-requests 2 >/dev/null 2>&1 & " +
+      std::string(MEMO_CLI_PATH) + " query --socket " + socket_path +
+      " --retries 40 --kind strategy --model 7B --seq 64K --gpus 8 "
+      "--tp 4 --cp 2 && " +
+      std::string(MEMO_CLI_PATH) + " query --socket " + socket_path +
+      " --retries 10 --kind strategy --model 7B --seq 64K --gpus 8 "
+      "--tp 4 --cp 2");
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  // First answer is a cold solve, the repeat is served from the plan cache.
+  EXPECT_NE(run.output.find("\"cache_hit\":false"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"cache_hit\":true"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"mfu\":"), std::string::npos) << run.output;
+}
+
 }  // namespace

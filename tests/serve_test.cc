@@ -1,0 +1,331 @@
+// Serve-subsystem integration: PlanRequest fingerprint identity, the
+// ExecutePlanRequest refactor staying bit-identical to the direct session
+// API, PlanServer admission control (bounded queue -> UNAVAILABLE shedding)
+// with a gated injected solver, warm-vs-cold bit-identity through the
+// cache, and the newline-JSON wire protocol over a real Unix-domain
+// socket.
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/plan_request.h"
+#include "core/session.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
+
+namespace {
+
+using memo::core::ExecutePlanRequest;
+using memo::core::PlanQueryKind;
+using memo::core::PlanRequest;
+using memo::core::PlanRequestFromSession;
+using memo::core::PlanResult;
+using memo::core::SessionOptions;
+using memo::core::Workload;
+using memo::serve::PlanServer;
+using memo::serve::PlanServerOptions;
+using memo::serve::QueryOutcome;
+
+/// A small, fast-solving request (one explicit strategy on the 7B model).
+PlanRequest SmallRequest(std::int64_t seq = 64 * memo::kSeqK) {
+  PlanRequest request = PlanRequestFromSession(
+      memo::parallel::SystemKind::kMemo,
+      Workload{memo::model::Gpt7B(), seq}, memo::hw::PaperCluster(8),
+      SessionOptions{});
+  request.kind = PlanQueryKind::kStrategy;
+  request.strategy.tp = 4;
+  request.strategy.cp = 2;
+  return request;
+}
+
+TEST(PlanRequestTest, FingerprintIsDeterministicAndFieldSensitive) {
+  const PlanRequest a = SmallRequest();
+  const PlanRequest b = SmallRequest();
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  EXPECT_EQ(a.CanonicalString(), b.CanonicalString());
+
+  // Every identity-bearing field must move the fingerprint.
+  PlanRequest changed = SmallRequest();
+  changed.seq += memo::kSeqK;
+  EXPECT_NE(changed.Fingerprint(), a.Fingerprint());
+
+  changed = SmallRequest();
+  changed.strategy.tp = 8;
+  EXPECT_NE(changed.Fingerprint(), a.Fingerprint());
+
+  changed = SmallRequest();
+  changed.calibration.gemm_efficiency += 1e-9;  // exact bit pattern matters
+  EXPECT_NE(changed.Fingerprint(), a.Fingerprint());
+
+  changed = SmallRequest();
+  changed.cluster.node.nvme_bytes = 1;
+  EXPECT_NE(changed.Fingerprint(), a.Fingerprint());
+
+  changed = SmallRequest();
+  changed.alpha_steps += 1;
+  EXPECT_NE(changed.Fingerprint(), a.Fingerprint());
+
+  changed = SmallRequest();
+  changed.kind = PlanQueryKind::kBestStrategy;
+  EXPECT_NE(changed.Fingerprint(), a.Fingerprint());
+}
+
+TEST(PlanRequestTest, StrategyOnlyMattersForStrategyQueries) {
+  // For kBestStrategy the planner searches the space itself, so the
+  // strategy scratch field must not leak into the identity.
+  PlanRequest a = SmallRequest();
+  a.kind = PlanQueryKind::kBestStrategy;
+  PlanRequest b = a;
+  b.strategy.tp = 1;
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(PlanRequestTest, ExecuteMatchesDirectSessionCallBitExactly) {
+  const PlanRequest request = SmallRequest();
+  const PlanResult via_request = ExecutePlanRequest(request);
+  ASSERT_TRUE(via_request.status.ok()) << via_request.status.ToString();
+
+  const auto direct = memo::core::RunStrategy(
+      request.system, Workload{request.model, request.seq}, request.strategy,
+      request.cluster, request.MakeSessionOptions());
+  ASSERT_TRUE(direct.ok());
+
+  // The refactor contract: routing through PlanRequest is the identity
+  // transformation. Compare through the deterministic serialization, which
+  // covers every reported field with exact float formatting.
+  PlanResult wrapped;
+  wrapped.kind = PlanQueryKind::kStrategy;
+  wrapped.best = *direct;
+  wrapped.strategies_tried = wrapped.strategies_feasible = 1;
+  EXPECT_EQ(memo::serve::SerializePlanResult(via_request),
+            memo::serve::SerializePlanResult(wrapped));
+}
+
+TEST(PlanServerTest, WarmQueriesHitTheCacheWithBitIdenticalPayloads) {
+  PlanServer server;
+  const PlanRequest request = SmallRequest();
+
+  const QueryOutcome cold = server.Query(request);
+  ASSERT_TRUE(cold.status.ok());
+  ASSERT_NE(cold.plan, nullptr);
+  EXPECT_FALSE(cold.cache_hit);
+
+  const QueryOutcome warm = server.Query(request);
+  ASSERT_TRUE(warm.status.ok());
+  ASSERT_NE(warm.plan, nullptr);
+  EXPECT_TRUE(warm.cache_hit);
+
+  // Bit-identical to the cold solve, and to an independent local solve.
+  EXPECT_EQ(warm.plan->payload, cold.plan->payload);
+  EXPECT_EQ(cold.plan->payload,
+            memo::serve::SerializePlanResult(ExecutePlanRequest(request)));
+  EXPECT_EQ(warm.fingerprint, cold.fingerprint);
+}
+
+TEST(PlanServerTest, SolverFailuresAreCachedAnswersNotServiceErrors) {
+  PlanServer server;
+  PlanRequest request = SmallRequest();
+  request.strategy.tp = 7;  // does not divide heads/hidden -> invalid
+  const QueryOutcome outcome = server.Query(request);
+  ASSERT_TRUE(outcome.status.ok()) << "service path must be OK";
+  ASSERT_NE(outcome.plan, nullptr);
+  EXPECT_FALSE(outcome.plan->result.status.ok());
+
+  // The failure is deterministic, so it is served from cache the second
+  // time instead of re-validating.
+  const QueryOutcome again = server.Query(request);
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_EQ(again.plan->payload, outcome.plan->payload);
+}
+
+TEST(PlanServerTest, FullAdmissionQueueShedsWithUnavailable) {
+  // One session, one queue slot, and a solver gated on a condition
+  // variable: occupancy is fully deterministic.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::condition_variable entered_cv;
+  int entered = 0;
+
+  PlanServerOptions options;
+  options.sessions = 1;
+  options.max_queue = 1;
+  options.solver = [&](const PlanRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      ++entered;
+    }
+    entered_cv.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return ExecutePlanRequest(request);
+  };
+  PlanServer server(options);
+
+  // Distinct requests so nothing coalesces in the cache.
+  std::thread busy([&] { server.Query(SmallRequest(64 * memo::kSeqK)); });
+  {
+    // Wait until the session is inside the solver (session busy, queue
+    // empty).
+    std::unique_lock<std::mutex> lock(mu);
+    entered_cv.wait(lock, [&] { return entered == 1; });
+  }
+
+  std::thread queued([&] { server.Query(SmallRequest(96 * memo::kSeqK)); });
+  // Wait until the queued request occupies the single queue slot.
+  while (server.stats().accepted < 2) std::this_thread::yield();
+
+  // Session busy + queue full: the third distinct request must be shed.
+  const QueryOutcome shed = server.Query(SmallRequest(128 * memo::kSeqK));
+  EXPECT_TRUE(shed.status.IsUnavailable()) << shed.status.ToString();
+  EXPECT_EQ(shed.plan, nullptr);
+  EXPECT_GE(server.stats().shed, 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  busy.join();
+  queued.join();
+
+  // With the pipeline drained, the previously shed request now solves.
+  const QueryOutcome retry = server.Query(SmallRequest(128 * memo::kSeqK));
+  EXPECT_TRUE(retry.status.ok());
+  ASSERT_NE(retry.plan, nullptr);
+
+  // Warm requests bypass admission entirely: even a saturated server
+  // answers them (re-gate the pipeline and probe a cached fingerprint).
+  const QueryOutcome warm = server.Query(SmallRequest(64 * memo::kSeqK));
+  EXPECT_TRUE(warm.status.ok());
+  EXPECT_TRUE(warm.cache_hit);
+}
+
+TEST(ProtocolTest, RequestJsonRoundTripsThroughTheParser) {
+  const auto request = memo::serve::ParsePlanRequestJson(
+      "{\"kind\":\"strategy\",\"model\":\"7B\",\"seq\":\"64K\","
+      "\"gpus\":8,\"tp\":4,\"cp\":2}");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->kind, PlanQueryKind::kStrategy);
+  EXPECT_EQ(request->seq, 64 * memo::kSeqK);
+  EXPECT_EQ(request->strategy.tp, 4);
+  EXPECT_EQ(request->strategy.cp, 2);
+
+  // The parsed request must fingerprint identically to the same request
+  // built programmatically — the cache key cannot depend on the entry path.
+  EXPECT_EQ(request->Fingerprint(), SmallRequest().Fingerprint());
+}
+
+TEST(ProtocolTest, MalformedRequestsAreInvalidArgument) {
+  const char* bad[] = {
+      "not json at all",
+      "{\"kind\":\"bogus\"}",
+      "{\"seq\":\"sixtyfour\"}",
+      "{\"gpus\":-2}",
+      "{\"model\":\"9000B\"}",
+      "{\"tp\":{\"nested\":1}}",
+      "{\"seq\":0}",
+  };
+  for (const char* line : bad) {
+    const auto request = memo::serve::ParsePlanRequestJson(line);
+    EXPECT_FALSE(request.ok()) << "accepted: " << line;
+  }
+}
+
+TEST(ProtocolTest, SerializationIsDeterministic) {
+  const PlanResult result = ExecutePlanRequest(SmallRequest());
+  const std::string a = memo::serve::SerializePlanResult(result);
+  const std::string b =
+      memo::serve::SerializePlanResult(ExecutePlanRequest(SmallRequest()));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"mfu\":"), std::string::npos);
+}
+
+TEST(SocketServerTest, AnswersQueriesOverAUnixSocketWithWarmHits) {
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_serve_test.sock";
+  std::remove(socket_path.c_str());
+
+  PlanServer server;
+  memo::serve::SocketServerOptions options;
+  options.socket_path = socket_path;
+  memo::serve::SocketServer socket_server(&server, options);
+  ASSERT_TRUE(socket_server.Start().ok());
+
+  const std::string request_line =
+      "{\"kind\":\"strategy\",\"model\":\"7B\",\"seq\":\"64K\",\"gpus\":8,"
+      "\"tp\":4,\"cp\":2}";
+
+  const auto cold =
+      memo::serve::QueryOverSocket(socket_path, request_line, 10);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  bool hit = true;
+  ASSERT_TRUE(memo::serve::JsonFindBool(*cold, "cache_hit", &hit));
+  EXPECT_FALSE(hit);
+
+  const auto warm =
+      memo::serve::QueryOverSocket(socket_path, request_line, 10);
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(memo::serve::JsonFindBool(*warm, "cache_hit", &hit));
+  EXPECT_TRUE(hit);
+
+  // The response embeds the payload; cold and warm must match bit-for-bit
+  // outside the cache_hit flag itself.
+  std::string cold_plan;
+  std::string warm_plan;
+  ASSERT_TRUE(memo::serve::JsonFindString(*cold, "plan", &cold_plan));
+  ASSERT_TRUE(memo::serve::JsonFindString(*warm, "plan", &warm_plan));
+  EXPECT_EQ(cold_plan, warm_plan);
+  EXPECT_NE(cold_plan.find("\"mfu\":"), std::string::npos);
+
+  // A malformed line gets an error response on the same connection and
+  // does not take the server down.
+  const auto error =
+      memo::serve::QueryOverSocket(socket_path, "this is not json", 5);
+  ASSERT_TRUE(error.ok()) << error.status().ToString();
+  double code = 0.0;
+  ASSERT_TRUE(memo::serve::JsonFindNumber(*error, "code", &code));
+  EXPECT_NE(code, 0.0);
+
+  const auto after =
+      memo::serve::QueryOverSocket(socket_path, request_line, 5);
+  EXPECT_TRUE(after.ok());
+
+  socket_server.Stop();
+  // The socket file is removed on shutdown.
+  FILE* f = std::fopen(socket_path.c_str(), "r");
+  EXPECT_EQ(f, nullptr);
+  if (f != nullptr) std::fclose(f);
+}
+
+TEST(SocketServerTest, MaxRequestsStopsTheServerAfterTheBudget) {
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_serve_budget.sock";
+  std::remove(socket_path.c_str());
+
+  PlanServer server;
+  memo::serve::SocketServerOptions options;
+  options.socket_path = socket_path;
+  options.max_requests = 2;
+  memo::serve::SocketServer socket_server(&server, options);
+  ASSERT_TRUE(socket_server.Start().ok());
+
+  const std::string line =
+      "{\"kind\":\"strategy\",\"model\":\"7B\",\"seq\":\"64K\",\"gpus\":8,"
+      "\"tp\":4,\"cp\":2}";
+  EXPECT_TRUE(memo::serve::QueryOverSocket(socket_path, line, 10).ok());
+  EXPECT_TRUE(memo::serve::QueryOverSocket(socket_path, line, 5).ok());
+
+  socket_server.Wait();  // returns because the budget is exhausted
+  EXPECT_GE(socket_server.requests_served(), 2);
+  socket_server.Stop();
+}
+
+}  // namespace

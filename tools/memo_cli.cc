@@ -26,11 +26,15 @@
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "core/job_profiler.h"
+#include "core/plan_request.h"
 #include "core/report.h"
 #include "core/session.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
 #include "planner/plan_io.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/socket_server.h"
 #include "train/trainer.h"
 
 namespace {
@@ -41,16 +45,44 @@ using memo::core::Workload;
 using memo::parallel::ParallelStrategy;
 using memo::parallel::SystemKind;
 
-/// Minimal --key value flag parser.
+void Usage();
+
+/// True for the flags that may appear without a value (toggles documented
+/// as bare `--async` etc.); a bare occurrence reads as "1".
+bool IsBooleanFlag(const char* name) {
+  return std::strcmp(name, "async") == 0 ||
+         std::strcmp(name, "resume") == 0 ||
+         std::strcmp(name, "full-recompute") == 0;
+}
+
+/// Minimal --key value flag parser. Malformed numeric values and dangling
+/// flags are uniform protocol errors: one-line message + usage, exit 2.
+/// Boolean toggles (IsBooleanFlag) may be given bare, with or without an
+/// explicit 0/1 value.
 class Flags {
  public:
   Flags(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc;) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         std::fprintf(stderr, "expected a --flag, got %s\n", argv[i]);
+        Usage();
         std::exit(2);
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const char* name = argv[i] + 2;
+      const bool next_is_flag =
+          i + 1 >= argc || std::strncmp(argv[i + 1], "--", 2) == 0;
+      if (IsBooleanFlag(name) && next_is_flag) {
+        values_[name] = "1";
+        i += 1;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s is missing a value\n", argv[i]);
+        Usage();
+        std::exit(2);
+      }
+      values_[name] = argv[i + 1];
+      i += 2;
     }
   }
 
@@ -61,12 +93,24 @@ class Flags {
 
   int GetInt(const std::string& key, int fallback) const {
     auto it = values_.find(key);
-    return it != values_.end() ? std::atoi(it->second.c_str()) : fallback;
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const long value = std::strtol(it->second.c_str(), &end, 10);
+    if (it->second.empty() || *end != '\0') {
+      MalformedFlag(key, "an integer");
+    }
+    return static_cast<int>(value);
   }
 
   double GetDouble(const std::string& key, double fallback) const {
     auto it = values_.find(key);
-    return it != values_.end() ? std::atof(it->second.c_str()) : fallback;
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double value = std::strtod(it->second.c_str(), &end);
+    if (it->second.empty() || *end != '\0') {
+      MalformedFlag(key, "a number");
+    }
+    return value;
   }
 
   bool Has(const std::string& key) const { return values_.count(key) > 0; }
@@ -75,15 +119,29 @@ class Flags {
   std::int64_t GetSeq(const std::string& key, std::int64_t fallback) const {
     auto it = values_.find(key);
     if (it == values_.end()) return fallback;
-    const std::string& v = it->second;
-    std::int64_t value = std::atoll(v.c_str());
+    std::string v = it->second;
+    std::int64_t scale = 1;
     if (!v.empty() && (v.back() == 'K' || v.back() == 'k')) {
-      value *= memo::kSeqK;
+      scale = memo::kSeqK;
+      v.pop_back();
     }
-    return value;
+    char* end = nullptr;
+    const std::int64_t value = std::strtoll(v.c_str(), &end, 10);
+    if (v.empty() || *end != '\0') {
+      MalformedFlag(key, "a sequence length (e.g. 512K)");
+    }
+    return value * scale;
   }
 
  private:
+  [[noreturn]] void MalformedFlag(const std::string& key,
+                                  const char* expected) const {
+    std::fprintf(stderr, "--%s must be %s (got \"%s\")\n", key.c_str(),
+                 expected, values_.at(key).c_str());
+    Usage();
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> values_;
 };
 
@@ -260,6 +318,13 @@ int CmdRun(const Flags& flags) {
     options.memo.forced_alpha = flags.GetDouble("alpha", -1.0);
   }
 
+  // Both run paths go through the immutable PlanRequest form — the exact
+  // request a `memo_cli serve` instance would cache on; the timeline path
+  // rides outside the request identity.
+  memo::core::PlanRequest request =
+      memo::core::PlanRequestFromSession(system, workload, cluster, options);
+  const memo::core::PlanExecOptions exec{options.memo.timeline_path};
+
   const bool explicit_strategy = flags.Has("tp") || flags.Has("cp") ||
                                  flags.Has("pp") || flags.Has("dp") ||
                                  flags.Has("sp");
@@ -276,18 +341,19 @@ int CmdRun(const Flags& flags) {
     } else if (system == SystemKind::kMegatron) {
       s.full_recompute = true;
     }
-    auto run =
-        memo::core::RunStrategy(system, workload, s, cluster, options);
-    if (!run.ok()) {
-      std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    request.kind = memo::core::PlanQueryKind::kStrategy;
+    request.strategy = s;
+    const auto run = memo::core::ExecutePlanRequest(request, exec);
+    if (!run.status.ok()) {
+      std::fprintf(stderr, "%s\n", run.status.ToString().c_str());
       return 1;
     }
-    PrintResult(*run, *model);
+    PrintResult(run.best, *model);
     return obs.Finish();
   }
 
-  const auto best =
-      memo::core::RunBestStrategy(system, workload, cluster, options);
+  request.kind = memo::core::PlanQueryKind::kBestStrategy;
+  const auto best = memo::core::ExecutePlanRequest(request, exec);
   if (!best.status.ok()) {
     std::fprintf(stderr, "%s (tried %d strategies)\n",
                  best.status.ToString().c_str(), best.strategies_tried);
@@ -357,8 +423,13 @@ int CmdMaxSeq(const Flags& flags) {
   const std::int64_t cap = flags.GetSeq(
       "cap", static_cast<std::int64_t>(cluster.total_gpus()) * 256 *
                  memo::kSeqK);
+  memo::core::PlanRequest request = memo::core::PlanRequestFromSession(
+      system, Workload{*model, 0}, cluster, SessionOptions{});
+  request.kind = memo::core::PlanQueryKind::kMaxSeq;
+  request.seq_step = step;
+  request.seq_cap = cap;
   const std::int64_t max_seq =
-      memo::core::MaxSupportedSeqLen(system, *model, cluster, step, cap);
+      memo::core::ExecutePlanRequest(request).max_seq;
   std::printf("%s on %d GPUs: max sequence %s\n",
               memo::parallel::SystemKindToString(system),
               cluster.total_gpus(), memo::FormatSeqLen(max_seq).c_str());
@@ -515,9 +586,134 @@ int CmdTrain(const Flags& flags) {
   return obs.Finish();
 }
 
+/// `memo_cli serve`: long-running planning service on a Unix socket. The
+/// process answers newline-delimited JSON plan queries from a pool of
+/// solver sessions behind a fingerprint-keyed LRU plan cache, until
+/// interrupted (or --max-requests answers have been served).
+int CmdServe(const Flags& flags) {
+  ObsOutputs obs(flags);
+  const std::string socket_path = flags.Get("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --socket PATH\n");
+    Usage();
+    return 2;
+  }
+  RequirePositiveIfSet(flags, "sessions");
+  RequirePositiveIfSet(flags, "queue");
+  RequirePositiveIfSet(flags, "cache-mib");
+
+  memo::serve::PlanServerOptions options;
+  options.sessions = flags.GetInt("sessions", 4);
+  options.max_queue = flags.GetInt("queue", 64);
+  options.cache.capacity_bytes = static_cast<std::int64_t>(
+      flags.GetDouble("cache-mib", 32.0) * static_cast<double>(memo::kMiB));
+  memo::serve::PlanServer server(options);
+
+  memo::serve::SocketServerOptions socket_options;
+  socket_options.socket_path = socket_path;
+  socket_options.max_requests = flags.GetInt("max-requests", -1);
+  memo::serve::SocketServer socket_server(&server, socket_options);
+  const memo::Status started = socket_server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving on %s (%d sessions, queue %d, cache %s)\n",
+              socket_path.c_str(), options.sessions, options.max_queue,
+              memo::FormatBytes(options.cache.capacity_bytes).c_str());
+  std::fflush(stdout);
+
+  socket_server.Wait();
+  socket_server.Stop();
+  server.Shutdown();
+
+  const auto cache = server.cache().stats();
+  const auto stats = server.stats();
+  std::printf("served %lld requests (%lld shed); cache %lld hits / %lld "
+              "misses / %lld coalesced / %lld evictions\n",
+              static_cast<long long>(socket_server.requests_served()),
+              static_cast<long long>(stats.shed),
+              static_cast<long long>(cache.hits),
+              static_cast<long long>(cache.misses),
+              static_cast<long long>(cache.coalesced),
+              static_cast<long long>(cache.evictions));
+  return obs.Finish();
+}
+
+/// `memo_cli query`: one-shot client for a running `serve` instance.
+/// Either forward a raw request object via --json, or assemble one from
+/// the familiar planning flags. Prints the response line; exits 0 when the
+/// plan solved, 1 otherwise.
+int CmdQuery(const Flags& flags) {
+  const std::string socket_path = flags.Get("socket", "");
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "query requires --socket PATH\n");
+    Usage();
+    return 2;
+  }
+
+  std::string line = flags.Get("json", "");
+  if (line.empty()) {
+    line = "{\"kind\":\"" + flags.Get("kind", "best") + "\"";
+    for (const char* key : {"system", "model"}) {
+      if (flags.Has(key)) {
+        line += ",\"" + std::string(key) + "\":\"" +
+                memo::serve::JsonEscape(flags.Get(key, "")) + "\"";
+      }
+    }
+    // Sequence lengths keep their K-suffix form; the server parses them
+    // with the same rules as the local CLI.
+    for (const char* key : {"seq", "step", "cap"}) {
+      if (flags.Has(key)) {
+        (void)flags.GetSeq(key, 0);  // validate locally, fail fast
+        line += ",\"" + std::string(key) + "\":\"" + flags.Get(key, "") +
+                "\"";
+      }
+    }
+    for (const char* key : {"gpus", "tp", "cp", "pp", "vp", "dp", "sp",
+                            "zero", "alpha-steps"}) {
+      if (flags.Has(key)) {
+        const std::string wire = std::string(key) == "alpha-steps"
+                                     ? "alpha_steps"
+                                     : std::string(key);
+        line += ",\"" + wire +
+                "\":" + std::to_string(flags.GetInt(key, 0));
+      }
+    }
+    for (const char* key : {"alpha", "host-gib", "nvme-gib", "nvme-gbps"}) {
+      if (flags.Has(key)) {
+        std::string wire = key;
+        for (char& c : wire) {
+          if (c == '-') c = '_';
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", flags.GetDouble(key, 0.0));
+        line += ",\"" + wire + "\":" + buf;
+      }
+    }
+    if (flags.Has("full-recompute")) {
+      line += std::string(",\"full_recompute\":") +
+              (flags.GetInt("full-recompute", 0) != 0 ? "true" : "false");
+    }
+    line += "}";
+  }
+
+  const auto response = memo::serve::QueryOverSocket(
+      socket_path, line, flags.GetInt("retries", 0));
+  if (!response.ok()) {
+    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", response->c_str());
+  double code = -1.0;
+  if (!memo::serve::JsonFindNumber(*response, "code", &code)) return 1;
+  return code == 0.0 ? 0 : 1;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: memo_cli <run|plan|maxseq|alpha|train> [--flag value]...\n"
+               "usage: memo_cli <run|plan|maxseq|alpha|train|serve|query> "
+               "[--flag value]...\n"
                "  run    --model 7B --seq 1024K --gpus 8 [--system memo]\n"
                "         [--tp N --cp N --pp N --dp N --sp N] [--alpha X]\n"
                "         [--host-gib G --nvme-gib G --nvme-gbps B]\n"
@@ -534,7 +730,13 @@ void Usage() {
                "          --resume 1]\n"
                "         [--fault \"site:p=0.05,...;site2:...\"\n"
                "          --fault-seed S]\n"
-               "         [--trace-out t.json --metrics-out m.json]\n");
+               "         [--trace-out t.json --metrics-out m.json]\n"
+               "  serve  --socket /tmp/memo.sock [--sessions N --queue N]\n"
+               "         [--cache-mib M] [--max-requests N]\n"
+               "  query  --socket /tmp/memo.sock [--kind best|strategy|"
+               "maxseq]\n"
+               "         [--model 7B --seq 512K --gpus 8 --tp N ...]\n"
+               "         [--json '{...}'] [--retries N]\n");
 }
 
 }  // namespace
@@ -551,6 +753,9 @@ int main(int argc, char** argv) {
   if (command == "maxseq") return CmdMaxSeq(flags);
   if (command == "alpha") return CmdAlpha(flags);
   if (command == "train") return CmdTrain(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "query") return CmdQuery(flags);
+  std::fprintf(stderr, "unknown command \"%s\"\n", command.c_str());
   Usage();
   return 2;
 }
