@@ -133,7 +133,7 @@ int main() {
     options.mode = memo::model::ActivationMode::kFullRecompute;
     const auto trace = memo::model::GenerateModelTrace(model, options);
     const memo::Status status =
-        memo::alloc::ReplayTraceInto(shared, trace.requests);
+        memo::alloc::ReplayTraceInto(shared, trace.requests).status;
     multi.AddRow({std::to_string(iter), memo::FormatSeqLen(seq),
                   std::to_string(shared.stats().num_reorg_events),
                   memo::FormatBytes(shared.stats().reorg_bytes_flushed),

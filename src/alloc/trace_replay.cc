@@ -47,8 +47,10 @@ ReplayResult ReplayTrace(const std::vector<model::MemoryRequest>& requests,
   return result;
 }
 
-Status ReplayTraceInto(CachingAllocator& allocator,
-                       const std::vector<model::MemoryRequest>& requests) {
+ReplayResult ReplayTraceInto(
+    CachingAllocator& allocator,
+    const std::vector<model::MemoryRequest>& requests) {
+  ReplayResult result;
   std::unordered_map<std::int64_t, std::uint64_t> handles;
   for (std::size_t i = 0; i < requests.size(); ++i) {
     const model::MemoryRequest& r = requests[i];
@@ -59,7 +61,9 @@ Status ReplayTraceInto(CachingAllocator& allocator,
         for (auto& [id, h] : handles) {
           MEMO_CHECK_OK(allocator.Free(h));
         }
-        return handle.status();
+        result.status = handle.status();
+        result.failed_index = static_cast<int>(i);
+        break;
       }
       handles[r.tensor_id] = handle.value();
     } else {
@@ -70,7 +74,9 @@ Status ReplayTraceInto(CachingAllocator& allocator,
       handles.erase(it);
     }
   }
-  return OkStatus();
+  result.stats = allocator.stats();
+  result.history = allocator.history();
+  return result;
 }
 
 }  // namespace memo::alloc

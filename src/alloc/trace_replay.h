@@ -31,10 +31,14 @@ ReplayResult ReplayTrace(const std::vector<model::MemoryRequest>& requests,
 /// (possibly with different sequence lengths, as real variable-length
 /// training batches have) share one cache — the regime where the PyTorch
 /// allocator fragments: cached blocks from the previous shape no longer
-/// match and reorganizations fire. Returns OK or the first failure; the
-/// allocator's own stats accumulate across calls.
-Status ReplayTraceInto(CachingAllocator& allocator,
-                       const std::vector<model::MemoryRequest>& requests);
+/// match and reorganizations fire. On failure `failed_index` is the index
+/// of the request that OOMed and the live handles are unwound so the
+/// allocator stays reusable. `stats`/`history` snapshot the allocator
+/// after the replay (stats accumulate across calls; history is the full
+/// per-allocator sample record, present when the allocator records it).
+ReplayResult ReplayTraceInto(
+    CachingAllocator& allocator,
+    const std::vector<model::MemoryRequest>& requests);
 
 }  // namespace memo::alloc
 

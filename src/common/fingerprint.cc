@@ -7,13 +7,16 @@
 namespace memo {
 
 std::uint64_t Fnv1a64(const void* data, std::size_t len) {
+  return Fnv1aStream().Update(data, len).digest();
+}
+
+Fnv1aStream& Fnv1aStream::Update(const void* data, std::size_t len) {
   const auto* p = static_cast<const unsigned char*>(data);
-  std::uint64_t h = 0xcbf29ce484222325ULL;
   for (std::size_t i = 0; i < len; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
+    state_ ^= p[i];
+    state_ *= 0x100000001b3ULL;
   }
-  return h;
+  return *this;
 }
 
 FingerprintBuilder& FingerprintBuilder::Add(std::string_view key,

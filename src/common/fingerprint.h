@@ -18,6 +18,21 @@ inline std::uint64_t Fnv1a64(std::string_view s) {
   return Fnv1a64(s.data(), s.size());
 }
 
+/// Incremental FNV-1a: feeding a byte stream in any chunking produces the
+/// same digest as one Fnv1a64 call over the concatenation. Used where the
+/// hashed bytes are produced in pieces and never held in memory at once —
+/// the binary trace writer checksums each section as it streams to disk,
+/// and the reader re-hashes the file in fixed-size blocks to verify it.
+class Fnv1aStream {
+ public:
+  Fnv1aStream& Update(const void* data, std::size_t len);
+  Fnv1aStream& Update(std::string_view s) { return Update(s.data(), s.size()); }
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_ = 0xcbf29ce484222325ULL;
+};
+
 /// Accumulates a canonical `key=value;` string and hashes it with FNV-1a.
 /// Canonical means: a given sequence of Add calls always produces the same
 /// bytes on every host — doubles are recorded as their exact IEEE-754 bit

@@ -131,7 +131,8 @@ StatusOr<TrainingRunStats> SimulateTrainingRun(
         trace_options.classifier_chunks = 1;
       }
       const auto trace = model::GenerateModelTrace(stage_model, trace_options);
-      MEMO_RETURN_IF_ERROR(alloc::ReplayTraceInto(shared, trace.requests));
+      MEMO_RETURN_IF_ERROR(
+          alloc::ReplayTraceInto(shared, trace.requests).status);
       const std::int64_t new_reorgs =
           shared.stats().num_reorg_events - reorgs_before;
       const std::int64_t new_flushed =

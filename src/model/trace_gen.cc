@@ -1,11 +1,13 @@
 #include "model/trace_gen.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <sstream>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 
@@ -385,6 +387,20 @@ ModelTrace GenerateModelTrace(const ModelConfig& config,
   TraceEmitter e(&trace);
   const bool memo = options.mode == ActivationMode::kMemoBuffers;
   const int n = config.num_layers;
+  if (!options.layer_ffn_scale.empty()) {
+    MEMO_CHECK_EQ(options.layer_ffn_scale.size(),
+                  static_cast<std::size_t>(n));
+  }
+  auto layer_sizes = [&](int i) {
+    Sizes scaled = sz;
+    if (!options.layer_ffn_scale.empty()) {
+      scaled.ffn = std::max<std::int64_t>(
+          static_cast<std::int64_t>(static_cast<double>(sz.ffn) *
+                                    options.layer_ffn_scale[i]),
+          ModelConfig::kBytesPerElement);
+    }
+    return scaled;
+  };
 
   auto layer_prefix = [](int i) { return "L" + std::to_string(i) + "."; };
   auto layer_out_name = [&](int i) {
@@ -397,7 +413,8 @@ ModelTrace GenerateModelTrace(const ModelConfig& config,
 
   for (int i = 0; i < n; ++i) {
     e.BeginSegment("layer_fwd", i);
-    EmitLayerForward(e, layer_prefix(i), sz, options, /*replay=*/false);
+    EmitLayerForward(e, layer_prefix(i), layer_sizes(i), options,
+                     /*replay=*/false);
     e.EndSegment();
   }
 
@@ -419,7 +436,7 @@ ModelTrace GenerateModelTrace(const ModelConfig& config,
   for (int i = n - 1; i >= 0; --i) {
     e.BeginSegment("layer_bwd", i);
     const std::string in_name = memo ? "" : layer_out_name(i - 1);
-    EmitLayerBackward(e, layer_prefix(i), sz, options,
+    EmitLayerBackward(e, layer_prefix(i), layer_sizes(i), options,
                       in_name.empty() ? layer_prefix(i) + "no_input" : in_name,
                       "d." + layer_out_name(i));
     e.EndSegment();
@@ -466,6 +483,90 @@ std::vector<MemoryRequest> GenerateLayerBackwardTrace(
   }
   MEMO_LOG(Fatal) << "layer_bwd segment not found";
   return {};
+}
+
+std::size_t WorkloadTrace::TotalRequests() const {
+  std::size_t total = 0;
+  for (const ModelTrace& it : iterations) total += it.requests.size();
+  return total;
+}
+
+namespace {
+
+/// Rounds a drawn sequence length to the generator grid so chunked
+/// classifier sizes divide exactly; never rounds below one grid step.
+std::int64_t RoundSeq(std::int64_t seq, const TraceGenOptions& base) {
+  const std::int64_t grid =
+      static_cast<std::int64_t>(base.classifier_chunks) * 16;
+  return std::max<std::int64_t>(seq / grid, 1) * grid;
+}
+
+}  // namespace
+
+WorkloadTrace GenerateVariableLengthWorkload(
+    const ModelConfig& config, const TraceGenOptions& base,
+    const WorkloadGenOptions& options) {
+  MEMO_CHECK_GT(options.iterations, 0);
+  MEMO_CHECK_LE(options.seq_local_min, options.seq_local_max);
+  Rng rng(options.seed);
+  WorkloadTrace workload;
+  workload.iterations.reserve(options.iterations);
+  for (int i = 0; i < options.iterations; ++i) {
+    TraceGenOptions iter = base;
+    iter.seq_local = RoundSeq(
+        rng.NextInRange(options.seq_local_min, options.seq_local_max), base);
+    workload.iterations.push_back(GenerateModelTrace(config, iter));
+  }
+  return workload;
+}
+
+WorkloadTrace GenerateMoeWorkload(const ModelConfig& config,
+                                  const TraceGenOptions& base,
+                                  const WorkloadGenOptions& options) {
+  MEMO_CHECK_GT(options.iterations, 0);
+  MEMO_CHECK_GT(base.seq_local, 0)
+      << "MoE workload keeps base.seq_local fixed; set it";
+  Rng rng(options.seed);
+  WorkloadTrace workload;
+  workload.iterations.reserve(options.iterations);
+  for (int i = 0; i < options.iterations; ++i) {
+    TraceGenOptions iter = base;
+    iter.layer_ffn_scale.resize(config.num_layers);
+    for (double& scale : iter.layer_ffn_scale) {
+      scale = std::max(
+          0.25, 1.0 + options.moe_spread * (2.0 * rng.NextDouble() - 1.0));
+    }
+    workload.iterations.push_back(GenerateModelTrace(config, iter));
+  }
+  return workload;
+}
+
+WorkloadTrace GenerateDiurnalWorkload(const ModelConfig& config,
+                                      const TraceGenOptions& base,
+                                      const WorkloadGenOptions& options) {
+  MEMO_CHECK_GT(options.iterations, 0);
+  MEMO_CHECK_LE(options.seq_local_min, options.seq_local_max);
+  Rng rng(options.seed);
+  WorkloadTrace workload;
+  workload.iterations.reserve(options.iterations);
+  const double span = static_cast<double>(options.seq_local_max -
+                                          options.seq_local_min);
+  for (int i = 0; i < options.iterations; ++i) {
+    // Triangle wave over the workload: 0 -> 1 -> 0.
+    const double t =
+        options.iterations > 1
+            ? static_cast<double>(i) / (options.iterations - 1)
+            : 0.0;
+    const double ramp = 1.0 - std::abs(2.0 * t - 1.0);
+    const double jitter = 1.0 + 0.05 * (2.0 * rng.NextDouble() - 1.0);
+    TraceGenOptions iter = base;
+    iter.seq_local = RoundSeq(
+        options.seq_local_min +
+            static_cast<std::int64_t>(span * ramp * jitter),
+        base);
+    workload.iterations.push_back(GenerateModelTrace(config, iter));
+  }
+  return workload;
 }
 
 std::string FormatTrace(const std::vector<MemoryRequest>& requests) {

@@ -52,6 +52,12 @@ struct TraceGenOptions {
   /// The classifier materializes logits in this many sequence chunks
   /// (Megatron-style chunked vocab-parallel cross entropy).
   int classifier_chunks = 8;
+  /// Optional per-layer FFN width multipliers (MoE-style uneven layers:
+  /// token routing gives each expert layer a different effective FFN
+  /// width). Empty means every layer uses config.ffn_hidden; otherwise
+  /// must hold exactly config.num_layers entries and layer i's FFN
+  /// tensors scale by layer_ffn_scale[i].
+  std::vector<double> layer_ffn_scale;
 };
 
 /// A contiguous region of a request trace, e.g. one layer's forward pass.
@@ -103,6 +109,53 @@ ModelTrace GenerateModelTrace(const ModelConfig& config,
 
 /// Renders a request trace in the paper's Fig. 4 table format.
 std::string FormatTrace(const std::vector<MemoryRequest>& requests);
+
+/// A multi-iteration request workload: the unit the trace-driven replay
+/// engine feeds through one shared CachingAllocator (the regime where
+/// iteration-to-iteration shape changes fragment the cache, Fig. 1a).
+struct WorkloadTrace {
+  std::vector<ModelTrace> iterations;
+
+  std::size_t TotalRequests() const;
+};
+
+/// Parameters shared by the synthetic workload generators. All randomness
+/// comes from a splitmix64 stream seeded with `seed`, so a (config,
+/// options, seed) triple names one exact workload on every host.
+struct WorkloadGenOptions {
+  int iterations = 8;
+  std::uint64_t seed = 1;
+  /// Per-rank sequence-length range for the variable-length and diurnal
+  /// generators. Drawn lengths are rounded to a multiple of
+  /// base.classifier_chunks * 16 so chunked-classifier sizes stay exact.
+  std::int64_t seq_local_min = 4 * kSeqK;
+  std::int64_t seq_local_max = 16 * kSeqK;
+  /// MoE generator: per-layer FFN scale is drawn uniformly from
+  /// [1 - spread, 1 + spread] (clamped to >= 0.25) each iteration,
+  /// modelling routing imbalance that shifts between batches.
+  double moe_spread = 0.75;
+};
+
+/// Variable-length batches: every iteration draws an independent uniform
+/// sequence length from [seq_local_min, seq_local_max] — the
+/// sorted-then-shuffled sample-length mix of real long-context corpora.
+WorkloadTrace GenerateVariableLengthWorkload(const ModelConfig& config,
+                                             const TraceGenOptions& base,
+                                             const WorkloadGenOptions& options);
+
+/// MoE-style uneven layers: sequence length stays at base.seq_local but
+/// each iteration re-draws per-layer FFN width multipliers, so the layer
+/// substructure the bi-level planner relies on stops being uniform.
+WorkloadTrace GenerateMoeWorkload(const ModelConfig& config,
+                                  const TraceGenOptions& base,
+                                  const WorkloadGenOptions& options);
+
+/// Diurnal load ramp: sequence length follows a triangle wave from
+/// seq_local_min up to seq_local_max and back across the workload, with
+/// ±5% jitter — a serving-style day/night cycle compressed into one run.
+WorkloadTrace GenerateDiurnalWorkload(const ModelConfig& config,
+                                      const TraceGenOptions& base,
+                                      const WorkloadGenOptions& options);
 
 }  // namespace memo::model
 

@@ -236,6 +236,12 @@ void TraceRecorder::NameSyntheticLane(int tid, std::string name) {
   synthetic_lanes_.emplace_back(tid, std::move(name));
 }
 
+std::vector<std::pair<int, std::string>> TraceRecorder::synthetic_lanes()
+    const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return synthetic_lanes_;
+}
+
 std::int64_t TraceRecorder::event_count() const {
   std::lock_guard<std::mutex> lock(registry_mu_);
   std::int64_t total = 0;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace memo::obs {
@@ -97,6 +98,10 @@ class TraceRecorder {
   void SetThreadName(const char* name);
   /// Names a synthetic lane used with Complete().
   void NameSyntheticLane(int tid, std::string name);
+
+  /// Copies out the named synthetic lanes, in naming order (trace
+  /// converters use this to turn mirrored sim events back into streams).
+  std::vector<std::pair<int, std::string>> synthetic_lanes() const;
 
   /// Number of events currently recorded across all threads.
   std::int64_t event_count() const;

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <vector>
 
+#include "common/fingerprint.h"
+
 namespace memo::planner {
 
 namespace {
@@ -104,6 +106,21 @@ StatusOr<MemoryPlan> LoadPlan(const std::string& path) {
   std::stringstream buffer;
   buffer << in.rdbuf();
   return ParsePlan(buffer.str());
+}
+
+std::uint64_t PlanFingerprint(const MemoryPlan& plan) {
+  std::vector<std::int64_t> ids;
+  ids.reserve(plan.addresses.size());
+  for (const auto& [id, address] : plan.addresses) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  FingerprintBuilder fp;
+  fp.Add("arena", plan.arena_bytes);
+  for (const std::int64_t id : ids) {
+    fp.Add("id", id);
+    fp.Add("addr", plan.addresses.at(id));
+    fp.Add("size", plan.sizes.at(id));
+  }
+  return fp.Fingerprint();
 }
 
 }  // namespace memo::planner

@@ -29,6 +29,13 @@ StatusOr<MemoryPlan> ParsePlan(const std::string& text);
 Status SavePlan(const MemoryPlan& plan, const std::string& path);
 StatusOr<MemoryPlan> LoadPlan(const std::string& path);
 
+/// Order-independent FNV-1a fingerprint of a plan's observable content:
+/// the arena size plus every (tensor_id, address, size) placement, hashed
+/// in sorted-id order. Two plans fingerprint equal iff they place every
+/// tensor identically — the value replay summaries compare across commits
+/// to detect planner behavior drift.
+std::uint64_t PlanFingerprint(const MemoryPlan& plan);
+
 }  // namespace memo::planner
 
 #endif  // MEMO_PLANNER_PLAN_IO_H_

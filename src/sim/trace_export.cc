@@ -34,6 +34,17 @@ std::string Escape(const std::string& s) {
 }  // namespace
 
 std::string TimelineToChromeTrace(const SimEngine& engine) {
+  std::vector<std::string> names;
+  names.reserve(engine.num_streams());
+  for (int s = 0; s < engine.num_streams(); ++s) {
+    names.push_back(engine.stream_name(s));
+  }
+  return TimelineToChromeTrace(engine.timeline(), names);
+}
+
+std::string TimelineToChromeTrace(
+    const std::vector<OpRecord>& timeline,
+    const std::vector<std::string>& stream_names) {
   std::ostringstream out;
   out << "{\"traceEvents\":[";
   bool first = true;
@@ -42,14 +53,13 @@ std::string TimelineToChromeTrace(const SimEngine& engine) {
     first = false;
   };
   // Thread-name metadata so streams render with their names.
-  for (int s = 0; s < engine.num_streams(); ++s) {
+  for (std::size_t s = 0; s < stream_names.size(); ++s) {
     comma();
     out << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":" << s
-        << ",\"args\":{\"name\":\"" << Escape(engine.stream_name(s))
-        << "\"}}";
+        << ",\"args\":{\"name\":\"" << Escape(stream_names[s]) << "\"}}";
   }
   char buf[64];
-  for (const OpRecord& op : engine.timeline()) {
+  for (const OpRecord& op : timeline) {
     comma();
     std::snprintf(buf, sizeof(buf), "%.3f", op.start_s * 1e6);
     const std::string ts = buf;

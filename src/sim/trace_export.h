@@ -2,6 +2,7 @@
 #define MEMO_SIM_TRACE_EXPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "sim/engine.h"
@@ -13,6 +14,11 @@ namespace memo::sim {
 /// "thread"; each op becomes a complete ("X") event with its label, start
 /// and duration in microseconds; stalls are annotated as event arguments.
 std::string TimelineToChromeTrace(const SimEngine& engine);
+
+/// Same serialization for a timeline detached from its engine (e.g. one
+/// decoded from a binary trace file). `stream_names[i]` names stream i.
+std::string TimelineToChromeTrace(const std::vector<OpRecord>& timeline,
+                                  const std::vector<std::string>& stream_names);
 
 /// Writes TimelineToChromeTrace(engine) to `path`.
 Status WriteChromeTrace(const SimEngine& engine, const std::string& path);

@@ -1,0 +1,164 @@
+#include "trace/compress.h"
+
+#include <cstring>
+#include <vector>
+
+namespace memo::trace {
+
+namespace {
+
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+/// Matching stops this close to the end; the tail is emitted as literals
+/// (keeps the match-extension loop trivially in-bounds).
+constexpr std::size_t kTailLiterals = 12;
+constexpr int kHashBits = 13;
+
+inline std::uint32_t Hash4(const unsigned char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+/// Emits a length in the LZ4 nibble-plus-255s scheme.
+void PutLength(std::string* out, std::size_t len) {
+  while (len >= 255) {
+    out->push_back(static_cast<char>(0xff));
+    len -= 255;
+  }
+  out->push_back(static_cast<char>(len));
+}
+
+}  // namespace
+
+std::string LzCompress(std::string_view input) {
+  const auto* base = reinterpret_cast<const unsigned char*>(input.data());
+  const std::size_t size = input.size();
+  std::string out;
+  out.reserve(size / 2 + 16);
+
+  std::vector<std::int64_t> table(std::size_t{1} << kHashBits, -1);
+  std::size_t literal_start = 0;
+  std::size_t i = 0;
+  const std::size_t match_limit =
+      size > kTailLiterals ? size - kTailLiterals : 0;
+
+  auto emit_sequence = [&](std::size_t match_pos, std::size_t match_len,
+                           std::size_t offset) {
+    const std::size_t literal_len = match_pos - literal_start;
+    const std::uint8_t lit_nibble =
+        literal_len >= 15 ? 15 : static_cast<std::uint8_t>(literal_len);
+    const std::size_t match_extra = match_len - kMinMatch;
+    const std::uint8_t match_nibble =
+        match_extra >= 15 ? 15 : static_cast<std::uint8_t>(match_extra);
+    out.push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) PutLength(&out, literal_len - 15);
+    out.append(input.substr(literal_start, literal_len));
+    out.push_back(static_cast<char>(offset & 0xff));
+    out.push_back(static_cast<char>((offset >> 8) & 0xff));
+    if (match_nibble == 15) PutLength(&out, match_extra - 15);
+  };
+
+  while (i < match_limit) {
+    const std::uint32_t h = Hash4(base + i);
+    const std::int64_t candidate = table[h];
+    table[h] = static_cast<std::int64_t>(i);
+    if (candidate < 0 ||
+        i - static_cast<std::size_t>(candidate) > kMaxOffset ||
+        std::memcmp(base + candidate, base + i, kMinMatch) != 0) {
+      ++i;
+      continue;
+    }
+    std::size_t match_len = kMinMatch;
+    while (i + match_len < match_limit &&
+           base[candidate + match_len] == base[i + match_len]) {
+      ++match_len;
+    }
+    emit_sequence(i, match_len, i - static_cast<std::size_t>(candidate));
+    i += match_len;
+    literal_start = i;
+  }
+
+  // Final literal-only sequence (token with an empty match).
+  const std::size_t literal_len = size - literal_start;
+  const std::uint8_t lit_nibble =
+      literal_len >= 15 ? 15 : static_cast<std::uint8_t>(literal_len);
+  out.push_back(static_cast<char>(lit_nibble << 4));
+  if (lit_nibble == 15) PutLength(&out, literal_len - 15);
+  out.append(input.substr(literal_start, literal_len));
+  return out;
+}
+
+Status LzDecompress(std::string_view input, std::size_t expected_size,
+                    std::string* out) {
+  out->clear();
+  out->reserve(expected_size);
+  const auto* in = reinterpret_cast<const unsigned char*>(input.data());
+  std::size_t pos = 0;
+  const std::size_t in_size = input.size();
+
+  auto read_length = [&](std::size_t base_len,
+                         std::size_t* len) -> Status {
+    *len = base_len;
+    if (base_len != 15) return OkStatus();
+    while (true) {
+      if (pos >= in_size) {
+        return InvalidArgumentError("lz block truncated in a length field");
+      }
+      const unsigned char b = in[pos++];
+      *len += b;
+      // Any well-formed length fits the declared raw size; reject early so
+      // a corrupt run of 0xff bytes cannot spin the loop for megabytes.
+      if (*len > expected_size) {
+        return InvalidArgumentError("lz length exceeds declared raw size");
+      }
+      if (b != 255) return OkStatus();
+    }
+  };
+
+  while (pos < in_size) {
+    const unsigned char token = in[pos++];
+    std::size_t literal_len = 0;
+    MEMO_RETURN_IF_ERROR(read_length(token >> 4, &literal_len));
+    if (literal_len > in_size - pos) {
+      return InvalidArgumentError("lz literal run reads past the block");
+    }
+    if (out->size() + literal_len > expected_size) {
+      return InvalidArgumentError("lz literal run writes past the raw size");
+    }
+    out->append(input.substr(pos, literal_len));
+    pos += literal_len;
+    if (pos == in_size) break;  // final literal-only sequence
+
+    if (in_size - pos < 2) {
+      return InvalidArgumentError("lz block truncated at a match offset");
+    }
+    const std::size_t offset = in[pos] | (in[pos + 1] << 8);
+    pos += 2;
+    if (offset == 0 || offset > out->size()) {
+      return InvalidArgumentError("lz match offset outside decoded output");
+    }
+    std::size_t match_len = 0;
+    MEMO_RETURN_IF_ERROR(read_length(token & 0x0f, &match_len));
+    match_len += kMinMatch;
+    if (out->size() + match_len > expected_size) {
+      return InvalidArgumentError("lz match writes past the raw size");
+    }
+    // Byte-wise copy: overlapping matches (offset < match_len) are the
+    // RLE case and must re-read freshly written bytes.
+    std::size_t src = out->size() - offset;
+    for (std::size_t k = 0; k < match_len; ++k) {
+      out->push_back((*out)[src + k]);
+    }
+  }
+
+  if (out->size() != expected_size) {
+    return InvalidArgumentError("lz block decoded to " +
+                                std::to_string(out->size()) +
+                                " bytes, expected " +
+                                std::to_string(expected_size));
+  }
+  return OkStatus();
+}
+
+}  // namespace memo::trace

@@ -1,0 +1,291 @@
+#include "trace/convert.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "sim/trace_export.h"
+
+namespace memo::trace {
+
+namespace {
+
+/// Minimal JSON string escaping (tensor names are identifier-like, but the
+/// encoder must never emit malformed JSON for any input).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Status WriteWorkload(const model::WorkloadTrace& workload,
+                     TraceWriter* writer) {
+  std::uint32_t req_base = 0;
+  std::uint32_t seg_base = 0;
+  for (const model::ModelTrace& iteration : workload.iterations) {
+    for (const model::MemoryRequest& r : iteration.requests) {
+      AllocRecord record;
+      record.op = r.kind == model::MemoryRequest::Kind::kMalloc ? kOpMalloc
+                                                                : kOpFree;
+      record.flags = r.skeletal ? kAllocFlagSkeletal : 0;
+      record.name_id = writer->InternString(r.name);
+      record.tensor_id = r.tensor_id;
+      record.bytes = r.bytes;
+      MEMO_RETURN_IF_ERROR(writer->AppendAlloc(record));
+    }
+    for (const model::TraceSegment& s : iteration.segments) {
+      SegmentEntry entry;
+      entry.name_id = writer->InternString(s.name);
+      entry.begin = req_base + static_cast<std::uint32_t>(s.begin);
+      entry.end = req_base + static_cast<std::uint32_t>(s.end);
+      entry.layer = s.layer;
+      writer->AddSegment(entry);
+    }
+    IterationEntry entry;
+    entry.req_begin = req_base;
+    entry.req_end =
+        req_base + static_cast<std::uint32_t>(iteration.requests.size());
+    entry.seg_begin = seg_base;
+    entry.seg_end =
+        seg_base + static_cast<std::uint32_t>(iteration.segments.size());
+    writer->AddIteration(entry);
+    req_base = entry.req_end;
+    seg_base = entry.seg_end;
+  }
+  return OkStatus();
+}
+
+StatusOr<model::WorkloadTrace> ReadWorkload(TraceReader* reader) {
+  if (reader->kind() != TraceKind::kAllocRequests) {
+    return InvalidArgumentError("not an allocator request trace");
+  }
+  reader->Rewind();
+  std::vector<model::MemoryRequest> requests;
+  requests.reserve(reader->record_count());
+  AllocRecord record;
+  while (true) {
+    MEMO_ASSIGN_OR_RETURN(const bool more, reader->NextAlloc(&record));
+    if (!more) break;
+    model::MemoryRequest r;
+    r.kind = record.op == kOpMalloc ? model::MemoryRequest::Kind::kMalloc
+                                    : model::MemoryRequest::Kind::kFree;
+    r.tensor_id = record.tensor_id;
+    r.bytes = record.bytes;
+    r.skeletal = (record.flags & kAllocFlagSkeletal) != 0;
+    r.name = reader->String(record.name_id);
+    requests.push_back(std::move(r));
+  }
+
+  std::vector<IterationEntry> iterations = reader->iterations();
+  if (iterations.empty()) {
+    // Legacy single-iteration trace: all records, all segments.
+    IterationEntry all;
+    all.req_end = static_cast<std::uint32_t>(requests.size());
+    all.seg_end = static_cast<std::uint32_t>(reader->segments().size());
+    iterations.push_back(all);
+  }
+
+  model::WorkloadTrace workload;
+  workload.iterations.reserve(iterations.size());
+  for (const IterationEntry& it : iterations) {
+    model::ModelTrace trace;
+    trace.requests.assign(requests.begin() + it.req_begin,
+                          requests.begin() + it.req_end);
+    for (std::uint32_t s = it.seg_begin; s < it.seg_end; ++s) {
+      const SegmentEntry& entry = reader->segments()[s];
+      if (entry.begin < it.req_begin || entry.end > it.req_end) {
+        return InvalidArgumentError(
+            "trace segment crosses its iteration boundary");
+      }
+      model::TraceSegment seg;
+      seg.name = reader->String(entry.name_id);
+      seg.begin = static_cast<int>(entry.begin - it.req_begin);
+      seg.end = static_cast<int>(entry.end - it.req_begin);
+      seg.layer = entry.layer;
+      trace.segments.push_back(std::move(seg));
+    }
+    workload.iterations.push_back(std::move(trace));
+  }
+  return workload;
+}
+
+Status WriteWorkloadFile(const model::WorkloadTrace& workload,
+                         const std::string& path,
+                         const TraceWriterOptions& options) {
+  MEMO_ASSIGN_OR_RETURN(
+      auto writer,
+      TraceWriter::Create(path, TraceKind::kAllocRequests, options));
+  MEMO_RETURN_IF_ERROR(WriteWorkload(workload, writer.get()));
+  return writer->Finish();
+}
+
+StatusOr<model::WorkloadTrace> ReadWorkloadFile(const std::string& path) {
+  MEMO_ASSIGN_OR_RETURN(auto reader, TraceReader::Open(path));
+  return ReadWorkload(reader.get());
+}
+
+std::string WorkloadToJson(const model::WorkloadTrace& workload) {
+  std::ostringstream out;
+  out << "{\"iterations\":[";
+  for (std::size_t i = 0; i < workload.iterations.size(); ++i) {
+    if (i > 0) out << ",";
+    const model::ModelTrace& it = workload.iterations[i];
+    out << "{\"requests\":[";
+    for (std::size_t r = 0; r < it.requests.size(); ++r) {
+      if (r > 0) out << ",";
+      const model::MemoryRequest& req = it.requests[r];
+      out << "{\"op\":\""
+          << (req.kind == model::MemoryRequest::Kind::kMalloc ? "malloc"
+                                                              : "free")
+          << "\",\"tensor_id\":" << req.tensor_id
+          << ",\"bytes\":" << req.bytes
+          << ",\"skeletal\":" << (req.skeletal ? "true" : "false")
+          << ",\"name\":\"" << JsonEscape(req.name) << "\"}";
+    }
+    out << "],\"segments\":[";
+    for (std::size_t s = 0; s < it.segments.size(); ++s) {
+      if (s > 0) out << ",";
+      const model::TraceSegment& seg = it.segments[s];
+      out << "{\"name\":\"" << JsonEscape(seg.name)
+          << "\",\"begin\":" << seg.begin << ",\"end\":" << seg.end
+          << ",\"layer\":" << seg.layer << "}";
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+Status WriteSimTimeline(const SimTimeline& timeline, TraceWriter* writer) {
+  if (timeline.stream_names.size() > 65535) {
+    return InvalidArgumentError("sim timeline has too many streams");
+  }
+  for (const std::string& name : timeline.stream_names) {
+    writer->AddStream(writer->InternString(name));
+  }
+  for (const sim::OpRecord& op : timeline.ops) {
+    if (op.stream < 0 ||
+        static_cast<std::size_t>(op.stream) >=
+            timeline.stream_names.size()) {
+      return InvalidArgumentError("sim op references an unnamed stream");
+    }
+    SimRecord record;
+    record.stream = static_cast<std::uint16_t>(op.stream);
+    record.label_id = writer->InternString(op.label);
+    record.start_s = op.start_s;
+    record.end_s = op.end_s;
+    record.stall_s = op.stall_s;
+    MEMO_RETURN_IF_ERROR(writer->AppendSim(record));
+  }
+  return OkStatus();
+}
+
+StatusOr<SimTimeline> ReadSimTimeline(TraceReader* reader) {
+  if (reader->kind() != TraceKind::kSimTimeline) {
+    return InvalidArgumentError("not a sim timeline trace");
+  }
+  reader->Rewind();
+  SimTimeline timeline;
+  timeline.stream_names.reserve(reader->streams().size());
+  for (const std::uint32_t id : reader->streams()) {
+    timeline.stream_names.push_back(reader->String(id));
+  }
+  timeline.ops.reserve(reader->record_count());
+  SimRecord record;
+  while (true) {
+    MEMO_ASSIGN_OR_RETURN(const bool more, reader->NextSim(&record));
+    if (!more) break;
+    sim::OpRecord op;
+    op.stream = record.stream;
+    op.label = reader->String(record.label_id);
+    op.start_s = record.start_s;
+    op.end_s = record.end_s;
+    op.stall_s = record.stall_s;
+    timeline.ops.push_back(std::move(op));
+  }
+  return timeline;
+}
+
+Status WriteSimTimelineFile(const SimTimeline& timeline,
+                            const std::string& path,
+                            const TraceWriterOptions& options) {
+  MEMO_ASSIGN_OR_RETURN(
+      auto writer,
+      TraceWriter::Create(path, TraceKind::kSimTimeline, options));
+  MEMO_RETURN_IF_ERROR(WriteSimTimeline(timeline, writer.get()));
+  return writer->Finish();
+}
+
+StatusOr<SimTimeline> ReadSimTimelineFile(const std::string& path) {
+  MEMO_ASSIGN_OR_RETURN(auto reader, TraceReader::Open(path));
+  return ReadSimTimeline(reader.get());
+}
+
+SimTimeline EngineTimeline(const sim::SimEngine& engine) {
+  SimTimeline timeline;
+  timeline.stream_names.reserve(engine.num_streams());
+  for (int s = 0; s < engine.num_streams(); ++s) {
+    timeline.stream_names.push_back(engine.stream_name(s));
+  }
+  timeline.ops = engine.timeline();
+  return timeline;
+}
+
+SimTimeline RecorderTimeline(const obs::TraceRecorder& recorder) {
+  // Lane ids -> dense stream indexes, in sorted-lane order so the result
+  // does not depend on naming order.
+  std::map<int, std::size_t> lane_to_stream;
+  SimTimeline timeline;
+  for (const auto& [lane, name] : recorder.synthetic_lanes()) {
+    if (lane_to_stream.emplace(lane, 0).second) {
+      timeline.stream_names.push_back(name);
+    }
+  }
+  std::size_t next = 0;
+  for (auto& [lane, stream] : lane_to_stream) stream = next++;
+  // Re-associate names with their sorted position.
+  timeline.stream_names.assign(lane_to_stream.size(), "");
+  for (const auto& [lane, name] : recorder.synthetic_lanes()) {
+    timeline.stream_names[lane_to_stream.at(lane)] = name;
+  }
+
+  for (const obs::TaggedTraceEvent& tagged : recorder.Snapshot()) {
+    const obs::TraceEvent& event = tagged.event;
+    if (event.phase != 'X' || event.tid_override < 0) continue;
+    const auto it = lane_to_stream.find(event.tid_override);
+    if (it == lane_to_stream.end()) continue;  // unnamed lane: skip
+    sim::OpRecord op;
+    op.stream = static_cast<int>(it->second);
+    op.label = event.effective_name();
+    op.start_s = event.ts_us * 1e-6;
+    op.end_s = (event.ts_us + event.dur_us) * 1e-6;
+    op.stall_s = event.arg_name != nullptr
+                     ? static_cast<double>(event.arg_value) * 1e-6
+                     : 0.0;
+    timeline.ops.push_back(std::move(op));
+  }
+  return timeline;
+}
+
+std::string SimTimelineToChromeJson(const SimTimeline& timeline) {
+  return sim::TimelineToChromeTrace(timeline.ops, timeline.stream_names);
+}
+
+}  // namespace memo::trace

@@ -1,0 +1,204 @@
+#ifndef MEMO_TRACE_FORMAT_H_
+#define MEMO_TRACE_FORMAT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace memo::trace {
+
+/// On-disk layout of a .memotrc compact binary trace (DESIGN.md §13):
+///
+///   [header 24 B]  magic "MEMOTRC1" | u16 version | u16 kind | u32 flags
+///                  | u32 chunk_records | u32 reserved
+///   [chunks]       each: u32 records | u32 raw_bytes | u32 stored_bytes
+///                  | u8 method | payload (raw or LZ-compressed records)
+///   [dictionary]   u32 count, then per string: u32 len | bytes. Record
+///                  name/label fields are u32 indexes into this table.
+///   [aux]          kind-specific metadata (segments + iteration ranges for
+///                  allocator traces, stream names for sim timelines).
+///   [footer 48 B]  u64 dict_offset | u64 aux_offset | u64 record_count
+///                  | u64 chunk_count | u64 checksum | magic "MEMOTRCE"
+///
+/// All integers are little-endian at fixed widths; doubles travel as their
+/// IEEE-754 bit pattern in a u64. Counts and offsets live in the footer so
+/// the writer can stream chunks without back-patching the header, keeping
+/// the FNV-1a checksum a single forward pass: it covers every byte from
+/// offset 0 up to (but excluding) the checksum field itself.
+inline constexpr char kMagic[8] = {'M', 'E', 'M', 'O', 'T', 'R', 'C', '1'};
+inline constexpr char kEndMagic[8] = {'M', 'E', 'M', 'O', 'T', 'R', 'C',
+                                      'E'};
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 24;
+inline constexpr std::size_t kChunkHeaderBytes = 13;
+inline constexpr std::size_t kFooterBytes = 48;
+/// Offset of the checksum field from the END of the file (checksum + end
+/// magic); the checksum covers file[0, size - kChecksumTailBytes).
+inline constexpr std::size_t kChecksumTailBytes = 16;
+
+/// What the records in a trace file describe.
+enum class TraceKind : std::uint16_t {
+  kAllocRequests = 0,  // allocator malloc/free request stream (model layer)
+  kSimTimeline = 1,    // discrete-event simulator op timeline
+};
+
+const char* TraceKindToString(TraceKind kind);
+
+/// Header flags.
+inline constexpr std::uint32_t kFlagCompressed = 1u << 0;
+
+/// Per-chunk storage method.
+inline constexpr std::uint8_t kChunkRaw = 0;
+inline constexpr std::uint8_t kChunkLz = 1;
+
+/// Fixed-width wire form of one allocator request (24 bytes):
+///   u8 op | u8 flags | u16 reserved | u32 name_id | i64 tensor_id
+///   | i64 bytes
+struct AllocRecord {
+  std::uint8_t op = 0;     // 0 = malloc, 1 = free
+  std::uint8_t flags = 0;  // bit0 = skeletal
+  std::uint32_t name_id = 0;
+  std::int64_t tensor_id = 0;
+  std::int64_t bytes = 0;
+};
+inline constexpr std::size_t kAllocRecordBytes = 24;
+inline constexpr std::uint8_t kOpMalloc = 0;
+inline constexpr std::uint8_t kOpFree = 1;
+inline constexpr std::uint8_t kAllocFlagSkeletal = 1u << 0;
+
+/// Fixed-width wire form of one simulator op (32 bytes):
+///   u16 stream | u16 reserved | u32 label_id | u64 start_bits
+///   | u64 end_bits | u64 stall_bits   (doubles as IEEE-754 bit patterns)
+struct SimRecord {
+  std::uint16_t stream = 0;
+  std::uint32_t label_id = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double stall_s = 0.0;
+};
+inline constexpr std::size_t kSimRecordBytes = 32;
+
+inline std::size_t RecordBytes(TraceKind kind) {
+  return kind == TraceKind::kAllocRequests ? kAllocRecordBytes
+                                           : kSimRecordBytes;
+}
+
+/// A named contiguous span of the request stream (mirrors
+/// model::TraceSegment; begin/end index the flattened record stream).
+struct SegmentEntry {
+  std::uint32_t name_id = 0;
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;
+  std::int32_t layer = -1;
+};
+
+/// One training iteration's slice of the flattened request and segment
+/// arrays (half-open ranges), so a multi-iteration workload round-trips
+/// with its iteration structure intact.
+struct IterationEntry {
+  std::uint32_t req_begin = 0;
+  std::uint32_t req_end = 0;
+  std::uint32_t seg_begin = 0;
+  std::uint32_t seg_end = 0;
+};
+
+// ---- Little-endian primitives (explicit byte order, not memcpy of host
+// integers, so traces are portable across endianness).
+
+inline void PutU16(std::string* out, std::uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void PutU32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutI64(std::string* out, std::int64_t v) {
+  PutU64(out, static_cast<std::uint64_t>(v));
+}
+
+inline void PutDouble(std::string* out, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+inline std::uint16_t GetU16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t GetU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t GetU64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+inline std::int64_t GetI64(const unsigned char* p) {
+  return static_cast<std::int64_t>(GetU64(p));
+}
+
+inline double GetDouble(const unsigned char* p) {
+  const std::uint64_t bits = GetU64(p);
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+inline void EncodeAllocRecord(const AllocRecord& r, std::string* out) {
+  out->push_back(static_cast<char>(r.op));
+  out->push_back(static_cast<char>(r.flags));
+  PutU16(out, 0);
+  PutU32(out, r.name_id);
+  PutI64(out, r.tensor_id);
+  PutI64(out, r.bytes);
+}
+
+inline AllocRecord DecodeAllocRecord(const unsigned char* p) {
+  AllocRecord r;
+  r.op = p[0];
+  r.flags = p[1];
+  r.name_id = GetU32(p + 4);
+  r.tensor_id = GetI64(p + 8);
+  r.bytes = GetI64(p + 16);
+  return r;
+}
+
+inline void EncodeSimRecord(const SimRecord& r, std::string* out) {
+  PutU16(out, r.stream);
+  PutU16(out, 0);
+  PutU32(out, r.label_id);
+  PutDouble(out, r.start_s);
+  PutDouble(out, r.end_s);
+  PutDouble(out, r.stall_s);
+}
+
+inline SimRecord DecodeSimRecord(const unsigned char* p) {
+  SimRecord r;
+  r.stream = GetU16(p);
+  r.label_id = GetU32(p + 4);
+  r.start_s = GetDouble(p + 8);
+  r.end_s = GetDouble(p + 16);
+  r.stall_s = GetDouble(p + 24);
+  return r;
+}
+
+}  // namespace memo::trace
+
+#endif  // MEMO_TRACE_FORMAT_H_

@@ -370,4 +370,91 @@ TEST(MemoCliTest, ServeAnswersQueryEndToEndOverTheSocket) {
   EXPECT_NE(run.output.find("\"mfu\":"), std::string::npos) << run.output;
 }
 
+TEST(MemoCliTest, TraceRecordInfoDiffReplayConvertEndToEnd) {
+  // Small custom model so the whole leg runs in well under a second.
+  const std::string record_args =
+      "trace record --layers 2 --hidden 128 --heads 4 --ffn 256 "
+      "--vocab 256 --seq 512 --seq-min 256 --seq-max 4096 --iterations 2";
+  const std::string path_a = ::testing::TempDir() + "cli_trace_a.memotrc";
+  const std::string path_a2 = ::testing::TempDir() + "cli_trace_a2.memotrc";
+  const std::string path_b = ::testing::TempDir() + "cli_trace_b.memotrc";
+
+  CliResult run = RunCli(record_args + " --seed 5 --out " + path_a);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("recorded 2 iterations"), std::string::npos)
+      << run.output;
+  ASSERT_EQ(RunCli(record_args + " --seed 5 --out " + path_a2).exit_code, 0);
+  ASSERT_EQ(RunCli(record_args + " --seed 6 --out " + path_b).exit_code, 0);
+
+  // info --json: machine-readable header summary.
+  run = RunCli("trace info --json --in " + path_a);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const ParseResult info = Parse(run.output);
+  ASSERT_TRUE(info.ok) << run.output;
+  EXPECT_EQ(info.value.at("kind").string, "alloc");
+  EXPECT_EQ(info.value.at("iterations").number, 2.0);
+  EXPECT_GT(info.value.at("records").number, 0.0);
+  EXPECT_TRUE(info.value.at("compressed").bool_value);
+
+  // diff: same seed -> identical (exit 0); different seed -> exit 1 with
+  // difference lines.
+  run = RunCli("trace diff --a " + path_a + " --b " + path_a2);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("identical"), std::string::npos) << run.output;
+  run = RunCli("trace diff --a " + path_a + " --b " + path_b);
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("content_fingerprint"), std::string::npos)
+      << run.output;
+
+  // replay: summary JSON on stdout, one entry per iteration, and running
+  // it twice produces byte-identical output (the regression contract).
+  run = RunCli("trace replay --capacity-gib 4 --in " + path_a);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const ParseResult summary = Parse(run.output);
+  ASSERT_TRUE(summary.ok) << run.output;
+  EXPECT_TRUE(summary.value.at("per_iteration").is_array());
+  EXPECT_EQ(summary.value.at("per_iteration").array.size(), 2u);
+  const CliResult rerun =
+      RunCli("trace replay --capacity-gib 4 --in " + path_a);
+  EXPECT_EQ(rerun.output, run.output);
+
+  // convert: the verbose JSON form must exist and dwarf the binary.
+  const std::string json_path = ::testing::TempDir() + "cli_trace_a.json";
+  run = RunCli("trace convert --to json --in " + path_a + " --out " +
+               json_path);
+  ASSERT_EQ(run.exit_code, 0) << run.output;
+  const std::string json = ReadFile(json_path);
+  const std::string binary = ReadFile(path_a);
+  ASSERT_FALSE(json.empty());
+  EXPECT_GE(json.size(), 5 * binary.size())
+      << "binary " << binary.size() << " vs JSON " << json.size();
+
+  std::remove(path_a.c_str());
+  std::remove(path_a2.c_str());
+  std::remove(path_b.c_str());
+  std::remove(json_path.c_str());
+}
+
+TEST(MemoCliTest, TraceSubcommandValidatesItsFlags) {
+  CliResult run = RunCli("trace");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+
+  run = RunCli("trace record");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+  EXPECT_NE(run.output.find("--out"), std::string::npos) << run.output;
+
+  run = RunCli("trace info");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+
+  run = RunCli("trace bogus --in x");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+
+  run = RunCli("trace record --kind nope --out " + ::testing::TempDir() +
+               "cli_trace_kind.memotrc");
+  EXPECT_EQ(run.exit_code, 2) << run.output;
+
+  run = RunCli("trace info --in /nonexistent/trace.memotrc");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+}
+
 }  // namespace

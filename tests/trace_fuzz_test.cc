@@ -1,0 +1,325 @@
+// Adversarial-input tests for the binary trace reader and LZ decoder: a
+// truncated, bit-flipped or structurally corrupted file must come back as a
+// Status — never a crash, hang, or read past the buffer. Runs under the
+// asan and tsan presets (tools/asan_check.cmake, tools/tsan_check.cmake) so
+// "no over-read" is checked by the sanitizer, not just by surviving.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.h"
+#include "common/rng.h"
+#include "model/model_config.h"
+#include "model/trace_gen.h"
+#include "trace/compress.h"
+#include "trace/convert.h"
+#include "trace/format.h"
+#include "trace/trace_io.h"
+
+namespace memo::trace {
+namespace {
+
+model::WorkloadTrace SmallWorkload() {
+  model::ModelConfig config;
+  config.name = "fuzz";
+  config.num_layers = 2;
+  config.hidden = 256;
+  config.ffn_hidden = 1024;
+  config.num_heads = 4;
+  config.vocab = 512;
+  model::TraceGenOptions base;
+  base.seq_local = 1024;
+  model::WorkloadGenOptions gen;
+  gen.iterations = 2;
+  gen.seed = 7;
+  gen.seq_local_min = 512;
+  gen.seq_local_max = 1024;
+  return model::GenerateVariableLengthWorkload(config, base, gen);
+}
+
+std::string EncodeWorkload(bool compress) {
+  TraceWriterOptions options;
+  options.compress = compress;
+  options.chunk_records = 64;  // several chunks, so chunk framing is hit
+  auto writer =
+      TraceWriter::CreateInMemory(TraceKind::kAllocRequests, options);
+  EXPECT_TRUE(WriteWorkload(SmallWorkload(), writer.get()).ok());
+  EXPECT_TRUE(writer->Finish().ok());
+  return writer->buffer();
+}
+
+/// Drains a reader to the end; any records it yields must also pass their
+/// per-record validation. Returns the first non-OK status, if any.
+Status DrainReader(TraceReader* reader) {
+  AllocRecord record;
+  while (true) {
+    auto more = reader->NextAlloc(&record);
+    if (!more.ok()) return more.status();
+    if (!more.value()) return OkStatus();
+  }
+}
+
+/// Full adversarial read of one byte string: open, drain the record
+/// stream, fingerprint. Every step may fail with a Status; none may crash.
+void ExerciseBuffer(const std::string& data) {
+  auto reader = TraceReader::OpenBuffer(data);
+  if (!reader.ok()) return;
+  (void)DrainReader(reader->get());
+  (void)(*reader)->ContentFingerprint();
+  (void)ReadWorkload(reader->get());
+}
+
+/// Rewrites the footer checksum so structure-level corruptions are not
+/// masked by the checksum check (the point is to reach the deeper
+/// validation, not to test the checksum twice).
+void PatchChecksum(std::string* data) {
+  ASSERT_GE(data->size(), kChecksumTailBytes);
+  const std::size_t pos = data->size() - kChecksumTailBytes;
+  const std::uint64_t sum = Fnv1a64(data->data(), pos);
+  for (int i = 0; i < 8; ++i) {
+    (*data)[pos + i] = static_cast<char>((sum >> (8 * i)) & 0xff);
+  }
+}
+
+void PokeU32(std::string* data, std::size_t offset, std::uint32_t v) {
+  ASSERT_LE(offset + 4, data->size());
+  for (int i = 0; i < 4; ++i) {
+    (*data)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+void PokeU64(std::string* data, std::size_t offset, std::uint64_t v) {
+  ASSERT_LE(offset + 8, data->size());
+  for (int i = 0; i < 8; ++i) {
+    (*data)[offset + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+std::uint64_t PeekU64(const std::string& data, std::size_t offset) {
+  return GetU64(
+      reinterpret_cast<const unsigned char*>(data.data()) + offset);
+}
+
+TEST(TraceFuzzTest, TruncationAtEveryPrefixLengthIsAStatus) {
+  for (const bool compress : {true, false}) {
+    const std::string full = EncodeWorkload(compress);
+    // Every prefix short enough to matter, then a sample of the rest so
+    // the test stays fast on the larger compressed-false encoding.
+    for (std::size_t len = 0; len < full.size();
+         len += (len < 256 ? 1 : 37)) {
+      ExerciseBuffer(full.substr(0, len));
+      // Opening a truncated file must fail outright: the footer (and with
+      // it the checksum) is gone or misaligned.
+      auto reader = TraceReader::OpenBuffer(full.substr(0, len));
+      EXPECT_FALSE(reader.ok()) << "prefix of " << len << " bytes opened";
+    }
+  }
+}
+
+TEST(TraceFuzzTest, EverySingleByteFlipIsDetected) {
+  const std::string full = EncodeWorkload(true);
+  for (std::size_t pos = 0; pos < full.size(); ++pos) {
+    std::string corrupt = full;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x5a);
+    auto reader = TraceReader::OpenBuffer(corrupt);
+    if (!reader.ok()) continue;  // rejected at open: fine
+    // A flip inside the checksum tail can only corrupt the checksum field
+    // or end magic, both checked at open — so reaching here means the flip
+    // was in covered bytes and the checksum must have caught it. Belt and
+    // braces: drain anyway and require *some* failure.
+    const Status status = DrainReader(reader->get());
+    EXPECT_FALSE(status.ok())
+        << "flip at byte " << pos << " went unnoticed";
+  }
+}
+
+TEST(TraceFuzzTest, ZeroRecordChunkIsRejected) {
+  std::string data = EncodeWorkload(true);
+  // First chunk header sits right after the file header.
+  PokeU32(&data, kHeaderBytes, 0);
+  PatchChecksum(&data);
+  auto reader = TraceReader::OpenBuffer(data);
+  if (reader.ok()) {
+    EXPECT_FALSE(DrainReader(reader->get()).ok());
+  }
+}
+
+TEST(TraceFuzzTest, OversizedChunkRecordCountIsRejected) {
+  std::string data = EncodeWorkload(true);
+  PokeU32(&data, kHeaderBytes, 0x7fffffff);
+  PatchChecksum(&data);
+  auto reader = TraceReader::OpenBuffer(data);
+  if (reader.ok()) {
+    EXPECT_FALSE(DrainReader(reader->get()).ok());
+  }
+}
+
+TEST(TraceFuzzTest, StoredBytesLargerThanRawIsRejected) {
+  std::string data = EncodeWorkload(true);
+  // stored_bytes field of the first chunk: header + records(4) + raw(4).
+  const std::size_t raw_off = kHeaderBytes + 4;
+  const std::size_t stored_off = kHeaderBytes + 8;
+  const std::uint32_t raw = GetU32(
+      reinterpret_cast<const unsigned char*>(data.data()) + raw_off);
+  PokeU32(&data, stored_off, raw + 1000);
+  PatchChecksum(&data);
+  auto reader = TraceReader::OpenBuffer(data);
+  if (reader.ok()) {
+    EXPECT_FALSE(DrainReader(reader->get()).ok());
+  }
+}
+
+TEST(TraceFuzzTest, UnknownChunkMethodIsRejected) {
+  std::string data = EncodeWorkload(true);
+  const std::size_t method_off = kHeaderBytes + 12;
+  data[method_off] = 7;
+  PatchChecksum(&data);
+  auto reader = TraceReader::OpenBuffer(data);
+  if (reader.ok()) {
+    EXPECT_FALSE(DrainReader(reader->get()).ok());
+  }
+}
+
+TEST(TraceFuzzTest, CorruptedDictionaryOffsetsAreRejected) {
+  const std::string base = EncodeWorkload(true);
+  const std::size_t footer = base.size() - kFooterBytes;
+  for (const std::uint64_t bad_dict :
+       {std::uint64_t{0}, std::uint64_t{1}, PeekU64(base, footer) + 9999,
+        static_cast<std::uint64_t>(base.size()),
+        ~std::uint64_t{0}}) {
+    std::string data = base;
+    PokeU64(&data, footer, bad_dict);
+    PatchChecksum(&data);
+    ExerciseBuffer(data);
+    auto reader = TraceReader::OpenBuffer(data);
+    EXPECT_FALSE(reader.ok()) << "dict_offset " << bad_dict << " accepted";
+  }
+}
+
+TEST(TraceFuzzTest, DictionaryLengthOverrunIsRejected) {
+  std::string data = EncodeWorkload(true);
+  const std::size_t footer = data.size() - kFooterBytes;
+  const std::uint64_t dict_offset = PeekU64(data, footer);
+  // First string's length field: dict_offset + u32 count.
+  PokeU32(&data, dict_offset + 4, 0x40000000);
+  PatchChecksum(&data);
+  auto reader = TraceReader::OpenBuffer(data);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(TraceFuzzTest, RecordCountMismatchIsRejected) {
+  std::string data = EncodeWorkload(true);
+  const std::size_t footer = data.size() - kFooterBytes;
+  std::string more = data;
+  PokeU64(&more, footer + 16, PeekU64(data, footer + 16) + 1);
+  PatchChecksum(&more);
+  ExerciseBuffer(more);
+  auto reader = TraceReader::OpenBuffer(more);
+  if (reader.ok()) {
+    EXPECT_FALSE(DrainReader(reader->get()).ok());
+  }
+}
+
+TEST(TraceFuzzTest, BadChecksumIsRejectedAtOpen) {
+  std::string data = EncodeWorkload(true);
+  const std::size_t pos = data.size() - kChecksumTailBytes;
+  data[pos] = static_cast<char>(data[pos] ^ 0xff);
+  auto reader = TraceReader::OpenBuffer(data);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(TraceFuzzTest, RandomMutationsWithRepairedChecksumNeverCrash) {
+  // With the checksum re-patched, corruption reaches the structural
+  // validators. Whatever they decide, every byte access must stay in
+  // bounds (asan is the judge).
+  const std::string base = EncodeWorkload(true);
+  Rng rng(0x7ace5eed);
+  for (int round = 0; round < 400; ++round) {
+    std::string data = base;
+    const int mutations = 1 + static_cast<int>(rng.NextBounded(8));
+    for (int m = 0; m < mutations; ++m) {
+      const std::size_t pos = rng.NextBounded(data.size());
+      data[pos] = static_cast<char>(rng.NextBounded(256));
+    }
+    PatchChecksum(&data);
+    ExerciseBuffer(data);
+  }
+}
+
+TEST(TraceFuzzTest, RandomTruncationsAndExtensionsNeverCrash) {
+  const std::string base = EncodeWorkload(false);
+  Rng rng(0xcafe);
+  for (int round = 0; round < 200; ++round) {
+    std::string data = base.substr(0, rng.NextBounded(base.size() + 1));
+    if (rng.NextBounded(2) == 0) {
+      data.append(rng.NextBounded(64), static_cast<char>('x'));
+    }
+    ExerciseBuffer(data);
+  }
+}
+
+TEST(TraceFuzzTest, SimReaderRejectsCorruptStreamIds) {
+  SimTimeline timeline;
+  timeline.stream_names = {"s0"};
+  sim::OpRecord op;
+  op.stream = 0;
+  op.label = "op";
+  op.start_s = 0.0;
+  op.end_s = 1.0;
+  timeline.ops.push_back(op);
+  TraceWriterOptions options;
+  options.compress = false;
+  auto writer =
+      TraceWriter::CreateInMemory(TraceKind::kSimTimeline, options);
+  ASSERT_TRUE(WriteSimTimeline(timeline, writer.get()).ok());
+  ASSERT_TRUE(writer->Finish().ok());
+  std::string data = writer->buffer();
+  // The one record's stream id lives at the start of the first chunk
+  // payload; point it at a stream that does not exist.
+  PokeU32(&data, kHeaderBytes + kChunkHeaderBytes, 0x00000005);
+  PatchChecksum(&data);
+  auto reader = TraceReader::OpenBuffer(data);
+  ASSERT_TRUE(reader.ok());
+  SimRecord record;
+  auto more = (*reader)->NextSim(&record);
+  EXPECT_FALSE(more.ok());
+}
+
+TEST(TraceFuzzTest, LzDecompressRejectsGarbageWithoutCrashing) {
+  Rng rng(99);
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t len = rng.NextBounded(512);
+    std::string garbage;
+    garbage.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      garbage += static_cast<char>(rng.NextBounded(256));
+    }
+    std::string out;
+    // Any verdict is fine; on success the output must honor the size.
+    if (LzDecompress(garbage, 256, &out).ok()) {
+      EXPECT_EQ(out.size(), 256u);
+    }
+  }
+}
+
+TEST(TraceFuzzTest, LzDecompressRejectsTruncatedValidStreams) {
+  std::string input;
+  for (int i = 0; i < 500; ++i) input += "pattern" + std::to_string(i % 9);
+  const std::string compressed = LzCompress(input);
+  for (std::size_t len = 0; len < compressed.size(); ++len) {
+    std::string out;
+    // Either a clean error or (for a prefix that happens to parse) a
+    // wrong-size result — which the trace reader treats as corruption.
+    const Status status =
+        LzDecompress(compressed.substr(0, len), input.size(), &out);
+    if (status.ok()) {
+      EXPECT_NE(out, input) << "truncated stream decoded to the original";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace memo::trace

@@ -35,6 +35,8 @@
 #include "serve/protocol.h"
 #include "serve/server.h"
 #include "serve/socket_server.h"
+#include "trace/convert.h"
+#include "trace/replay.h"
 #include "train/trainer.h"
 
 namespace {
@@ -52,7 +54,10 @@ void Usage();
 bool IsBooleanFlag(const char* name) {
   return std::strcmp(name, "async") == 0 ||
          std::strcmp(name, "resume") == 0 ||
-         std::strcmp(name, "full-recompute") == 0;
+         std::strcmp(name, "full-recompute") == 0 ||
+         std::strcmp(name, "raw") == 0 ||
+         std::strcmp(name, "json") == 0 ||
+         std::strcmp(name, "no-planner") == 0;
 }
 
 /// Minimal --key value flag parser. Malformed numeric values and dangling
@@ -710,10 +715,313 @@ int CmdQuery(const Flags& flags) {
   return code == 0.0 ? 0 : 1;
 }
 
+/// Model config for synthetic trace recording: a Table-2 preset via
+/// --model, or a small custom shape via --layers/--hidden/... (defaults
+/// are deliberately tiny so `trace record` runs in milliseconds).
+memo::model::ModelConfig TraceModelConfig(const Flags& flags) {
+  if (flags.Has("model")) {
+    auto config = memo::model::ModelByName(flags.Get("model", ""));
+    if (!config.ok()) {
+      std::fprintf(stderr, "%s\n", config.status().ToString().c_str());
+      std::exit(2);
+    }
+    return config.value();
+  }
+  memo::model::ModelConfig config;
+  config.name = "custom";
+  config.num_layers = flags.GetInt("layers", 4);
+  config.hidden = flags.GetInt("hidden", 512);
+  config.num_heads = flags.GetInt("heads", 8);
+  config.ffn_hidden = flags.GetInt("ffn", 4 * flags.GetInt("hidden", 512));
+  config.vocab = flags.GetInt("vocab", 4096);
+  return config;
+}
+
+int CmdTraceRecord(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "trace record requires --out FILE\n");
+    return 2;
+  }
+  RequireWritableFileIfSet(flags, "out");
+  const std::string kind = flags.Get("kind", "varlen");
+
+  const memo::model::ModelConfig config = TraceModelConfig(flags);
+  memo::model::TraceGenOptions base;
+  base.seq_local = flags.GetSeq("seq", 8 * memo::kSeqK);
+  base.tensor_parallel = flags.GetInt("tp", 1);
+  if (flags.GetInt("full-recompute", 0) != 0) {
+    base.mode = memo::model::ActivationMode::kFullRecompute;
+  }
+  memo::model::WorkloadGenOptions gen;
+  gen.iterations = flags.GetInt("iterations", 8);
+  gen.seed = static_cast<std::uint64_t>(flags.GetInt("seed", 1));
+  gen.seq_local_min = flags.GetSeq("seq-min", 4 * memo::kSeqK);
+  gen.seq_local_max = flags.GetSeq("seq-max", 16 * memo::kSeqK);
+  gen.moe_spread = flags.GetDouble("moe-spread", 0.75);
+  if (gen.iterations <= 0) {
+    std::fprintf(stderr, "--iterations must be positive\n");
+    return 2;
+  }
+
+  memo::model::WorkloadTrace workload;
+  if (kind == "varlen") {
+    workload = memo::model::GenerateVariableLengthWorkload(config, base, gen);
+  } else if (kind == "moe") {
+    workload = memo::model::GenerateMoeWorkload(config, base, gen);
+  } else if (kind == "diurnal") {
+    workload = memo::model::GenerateDiurnalWorkload(config, base, gen);
+  } else {
+    std::fprintf(stderr,
+                 "--kind must be varlen, moe or diurnal (got \"%s\")\n",
+                 kind.c_str());
+    return 2;
+  }
+
+  memo::trace::TraceWriterOptions writer_options;
+  writer_options.compress = flags.GetInt("raw", 0) == 0;
+  if (flags.Has("chunk-records")) {
+    writer_options.chunk_records = flags.GetInt("chunk-records", 4096);
+    if (writer_options.chunk_records <= 0) {
+      std::fprintf(stderr, "--chunk-records must be positive\n");
+      return 2;
+    }
+  }
+  const memo::Status status =
+      memo::trace::WriteWorkloadFile(workload, out, writer_options);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("recorded %zu iterations (%zu requests) to %s\n",
+              workload.iterations.size(), workload.TotalRequests(),
+              out.c_str());
+  return 0;
+}
+
+int CmdTraceInfo(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "trace info requires --in FILE\n");
+    return 2;
+  }
+  auto reader = memo::trace::TraceReader::Open(in);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+  auto fingerprint = (*reader)->ContentFingerprint();
+  if (!fingerprint.ok()) {
+    std::fprintf(stderr, "%s\n", fingerprint.status().ToString().c_str());
+    return 1;
+  }
+  const auto& r = **reader;
+  if (flags.GetInt("json", 0) != 0) {
+    std::printf(
+        "{\"kind\":\"%s\",\"records\":%llu,\"chunks\":%llu,"
+        "\"file_bytes\":%llu,\"compressed\":%s,\"strings\":%zu,"
+        "\"segments\":%zu,\"iterations\":%zu,\"streams\":%zu,"
+        "\"content_fingerprint\":\"%llx\"}\n",
+        memo::trace::TraceKindToString(r.kind()),
+        static_cast<unsigned long long>(r.record_count()),
+        static_cast<unsigned long long>(r.chunk_count()),
+        static_cast<unsigned long long>(r.file_bytes()),
+        (r.flags() & memo::trace::kFlagCompressed) != 0 ? "true" : "false",
+        r.strings().size(), r.segments().size(), r.iterations().size(),
+        r.streams().size(),
+        static_cast<unsigned long long>(fingerprint.value()));
+    return 0;
+  }
+  memo::TablePrinter table({"field", "value"});
+  table.AddRow({"kind", memo::trace::TraceKindToString(r.kind())});
+  table.AddRow({"records", std::to_string(r.record_count())});
+  table.AddRow({"chunks", std::to_string(r.chunk_count())});
+  table.AddRow({"file bytes", std::to_string(r.file_bytes())});
+  table.AddRow({"compressed",
+                (r.flags() & memo::trace::kFlagCompressed) != 0 ? "yes"
+                                                                : "no"});
+  table.AddRow({"dictionary strings", std::to_string(r.strings().size())});
+  table.AddRow({"segments", std::to_string(r.segments().size())});
+  table.AddRow({"iterations", std::to_string(r.iterations().size())});
+  table.AddRow({"streams", std::to_string(r.streams().size())});
+  char fp[32];
+  std::snprintf(fp, sizeof(fp), "%llx",
+                static_cast<unsigned long long>(fingerprint.value()));
+  table.AddRow({"content fingerprint", fp});
+  table.Print(std::cout);
+  return 0;
+}
+
+int CmdTraceConvert(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  const std::string out = flags.Get("out", "");
+  if (in.empty() || out.empty()) {
+    std::fprintf(stderr, "trace convert requires --in FILE and --out FILE\n");
+    return 2;
+  }
+  RequireWritableFileIfSet(flags, "out");
+  const std::string to = flags.Get("to", "json");
+
+  auto reader = memo::trace::TraceReader::Open(in);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "%s\n", reader.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string payload;
+  memo::Status status = memo::OkStatus();
+  if (to == "binary") {
+    // Re-encode (e.g. to toggle compression with --raw).
+    memo::trace::TraceWriterOptions writer_options;
+    writer_options.compress = flags.GetInt("raw", 0) == 0;
+    if ((*reader)->kind() == memo::trace::TraceKind::kAllocRequests) {
+      auto workload = memo::trace::ReadWorkload(reader->get());
+      if (!workload.ok()) {
+        std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+        return 1;
+      }
+      status = memo::trace::WriteWorkloadFile(workload.value(), out,
+                                              writer_options);
+    } else {
+      auto timeline = memo::trace::ReadSimTimeline(reader->get());
+      if (!timeline.ok()) {
+        std::fprintf(stderr, "%s\n", timeline.status().ToString().c_str());
+        return 1;
+      }
+      status = memo::trace::WriteSimTimelineFile(timeline.value(), out,
+                                                 writer_options);
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "%s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+    return 0;
+  }
+  if (to != "json") {
+    std::fprintf(stderr, "--to must be json or binary (got \"%s\")\n",
+                 to.c_str());
+    return 2;
+  }
+  if ((*reader)->kind() == memo::trace::TraceKind::kAllocRequests) {
+    auto workload = memo::trace::ReadWorkload(reader->get());
+    if (!workload.ok()) {
+      std::fprintf(stderr, "%s\n", workload.status().ToString().c_str());
+      return 1;
+    }
+    payload = memo::trace::WorkloadToJson(workload.value());
+  } else {
+    auto timeline = memo::trace::ReadSimTimeline(reader->get());
+    if (!timeline.ok()) {
+      std::fprintf(stderr, "%s\n", timeline.status().ToString().c_str());
+      return 1;
+    }
+    payload = memo::trace::SimTimelineToChromeJson(timeline.value());
+  }
+  std::FILE* file = std::fopen(out.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  const std::size_t written =
+      std::fwrite(payload.data(), 1, payload.size(), file);
+  std::fclose(file);
+  if (written != payload.size()) {
+    std::fprintf(stderr, "short write to %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu bytes)\n", out.c_str(), payload.size());
+  return 0;
+}
+
+int CmdTraceDiff(const Flags& flags) {
+  const std::string a = flags.Get("a", "");
+  const std::string b = flags.Get("b", "");
+  if (a.empty() || b.empty()) {
+    std::fprintf(stderr, "trace diff requires --a FILE and --b FILE\n");
+    return 2;
+  }
+  auto diff = memo::trace::DiffTraceFiles(a, b);
+  if (!diff.ok()) {
+    std::fprintf(stderr, "%s\n", diff.status().ToString().c_str());
+    return 2;
+  }
+  if (flags.GetInt("json", 0) != 0) {
+    std::string json = std::string("{\"equal\":") +
+                       (diff->equal ? "true" : "false") +
+                       ",\"differences\":[";
+    for (std::size_t i = 0; i < diff->differences.size(); ++i) {
+      if (i > 0) json += ",";
+      json += "\"" + diff->differences[i] + "\"";
+    }
+    json += "]}";
+    std::printf("%s\n", json.c_str());
+  } else if (diff->equal) {
+    std::printf("traces are identical\n");
+  } else {
+    for (const std::string& line : diff->differences) {
+      std::printf("%s\n", line.c_str());
+    }
+  }
+  return diff->equal ? 0 : 1;
+}
+
+int CmdTraceReplay(const Flags& flags) {
+  const std::string in = flags.Get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr, "trace replay requires --in FILE\n");
+    return 2;
+  }
+  RequirePositiveIfSet(flags, "capacity-gib");
+  RequireWritableFileIfSet(flags, "out");
+  memo::trace::ReplayOptions options;
+  options.allocator.capacity_bytes = static_cast<std::int64_t>(
+      flags.GetDouble("capacity-gib", 80.0) *
+      static_cast<double>(memo::kGiB));
+  options.static_bytes = static_cast<std::int64_t>(
+      flags.GetDouble("static-gib", 0.0) * static_cast<double>(memo::kGiB));
+  options.run_planner = flags.GetInt("no-planner", 0) == 0;
+
+  auto summary = memo::trace::ReplayTraceFile(in, options);
+  if (!summary.ok()) {
+    std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
+    return 1;
+  }
+  const std::string json = summary->ToJson();
+  const std::string out = flags.Get("out", "");
+  if (!out.empty()) {
+    std::FILE* file = std::fopen(out.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", out.c_str());
+      return 1;
+    }
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    if (written != json.size()) {
+      std::fprintf(stderr, "short write to %s\n", out.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
+int CmdTrace(const std::string& verb, const Flags& flags) {
+  if (verb == "record") return CmdTraceRecord(flags);
+  if (verb == "info") return CmdTraceInfo(flags);
+  if (verb == "convert") return CmdTraceConvert(flags);
+  if (verb == "diff") return CmdTraceDiff(flags);
+  if (verb == "replay") return CmdTraceReplay(flags);
+  std::fprintf(stderr, "unknown trace verb \"%s\"\n", verb.c_str());
+  Usage();
+  return 2;
+}
+
 void Usage() {
   std::fprintf(stderr,
-               "usage: memo_cli <run|plan|maxseq|alpha|train|serve|query> "
-               "[--flag value]...\n"
+               "usage: memo_cli <run|plan|maxseq|alpha|train|serve|query|"
+               "trace> [--flag value]...\n"
                "  run    --model 7B --seq 1024K --gpus 8 [--system memo]\n"
                "         [--tp N --cp N --pp N --dp N --sp N] [--alpha X]\n"
                "         [--host-gib G --nvme-gib G --nvme-gbps B]\n"
@@ -736,7 +1044,22 @@ void Usage() {
                "  query  --socket /tmp/memo.sock [--kind best|strategy|"
                "maxseq]\n"
                "         [--model 7B --seq 512K --gpus 8 --tp N ...]\n"
-               "         [--json '{...}'] [--retries N]\n");
+               "         [--json '{...}'] [--retries N]\n"
+               "  trace  record  --out t.memotrc [--kind varlen|moe|"
+               "diurnal]\n"
+               "                 [--iterations N --seed S]\n"
+               "                 [--seq-min 4K --seq-max 16K --seq 8K]\n"
+               "                 [--moe-spread X] [--model 7B | --layers N\n"
+               "                  --hidden H --heads N --ffn F --vocab V]\n"
+               "                 [--tp N --full-recompute] [--raw]\n"
+               "                 [--chunk-records N]\n"
+               "         info    --in t.memotrc [--json]\n"
+               "         convert --in t.memotrc --out f [--to json|binary]\n"
+               "                 [--raw]\n"
+               "         diff    --a x.memotrc --b y.memotrc [--json]\n"
+               "         replay  --in t.memotrc [--out summary.json]\n"
+               "                 [--capacity-gib G --static-gib G]\n"
+               "                 [--no-planner]\n");
 }
 
 }  // namespace
@@ -747,6 +1070,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string command = argv[1];
+  if (command == "trace") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) {
+      std::fprintf(stderr,
+                   "trace requires a verb: record, info, convert, diff or "
+                   "replay\n");
+      Usage();
+      return 2;
+    }
+    return CmdTrace(argv[2], Flags(argc, argv, 3));
+  }
   const Flags flags(argc, argv, 2);
   if (command == "run") return CmdRun(flags);
   if (command == "plan") return CmdPlan(flags);
