@@ -29,12 +29,17 @@ struct BenchRecord {
   std::string kernel = "optimized";
   std::string simd;
   double parallel_efficiency = 1.0;
+  /// Free-form secondary measurement whose meaning `aux_label` names (e.g.
+  /// "shed_rate" for the serve overload sweep, "vs_warm_hit" for the
+  /// warm-restart latency ratio). 0.0 with an empty label when unused.
+  double aux = 0.0;
+  std::string aux_label;
   /// Version of this row layout, emitted first in every record so the
   /// driver can dispatch parsers without sniffing fields. Bump when a field
-  /// is added/renamed/changes meaning. v2 = v1 + this field. Declared last
-  /// (with a default) so existing positional aggregate initializers keep
-  /// compiling.
-  int schema_version = 2;
+  /// is added/renamed/changes meaning. v2 = v1 + parallel_efficiency;
+  /// v3 = v2 + aux/aux_label. Declared last (with a default) so existing
+  /// positional aggregate initializers keep compiling.
+  int schema_version = 3;
 };
 
 /// Writes records as a JSON array (BENCH_*.json, consumed by the driver).
@@ -49,10 +54,11 @@ inline bool WriteBenchJson(const std::string& path,
                  "  {\"schema_version\": %d, \"op\": \"%s\", "
                  "\"threads\": %d, \"wall_ms\": %.3f, "
                  "\"speedup_vs_serial\": %.3f, \"kernel\": \"%s\", "
-                 "\"simd\": \"%s\", \"parallel_efficiency\": %.3f}%s\n",
+                 "\"simd\": \"%s\", \"parallel_efficiency\": %.3f, "
+                 "\"aux\": %.4f, \"aux_label\": \"%s\"}%s\n",
                  r.schema_version, r.op.c_str(), r.threads, r.wall_ms,
                  r.speedup_vs_serial, r.kernel.c_str(), r.simd.c_str(),
-                 r.parallel_efficiency,
+                 r.parallel_efficiency, r.aux, r.aux_label.c_str(),
                  i + 1 == records.size() ? "" : ",");
   }
   std::fprintf(f, "]\n");

@@ -10,6 +10,15 @@
 // --smoke shrinks the matrix to one fast level and keeps the correctness
 // checks (bit-identity, warm hits, shedding accounting) — the ctest
 // bench-smoke entry.
+//
+// Two hardening sweeps follow the latency matrix:
+//   overload — more clients than sessions against a tiny admission queue
+//   under a per-request deadline; reports the shed rate and the p99 of the
+//   answered queries (aux = shed_rate).
+//   restart  — cold solve -> snapshot -> fresh server: the first query
+//   after a warm restart must be a cache hit priced like one (aux =
+//   first-query latency over warm-hit latency; the acceptance bar is 2x,
+//   vs ~1000x for a cold re-solve).
 
 #include <algorithm>
 #include <chrono>
@@ -23,9 +32,11 @@
 #include <vector>
 
 #include "bench_json.h"
+#include "common/deadline.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "serve/server.h"
+#include "serve/snapshot.h"
 
 namespace {
 
@@ -230,6 +241,174 @@ int main(int argc, char** argv) {
     }
   }
   table.Print(std::cout);
+
+  // ---- Overload sweep: deadline pressure against a tiny admission queue.
+  // More clients than sessions, one queue slot per session, and a real
+  // per-request deadline: a production burst in miniature. Shed and
+  // deadline-expired answers are the expected overload responses; what
+  // matters is that answered queries keep a bounded p99 and nothing fails
+  // with a non-overload status.
+  {
+    const int overload_clients = smoke ? 4 : 8;
+    const int overload_sessions = 2;
+    const int per_overload_client = smoke ? 3 : 6;
+    PlanServerOptions options;
+    options.sessions = overload_sessions;
+    options.max_queue = overload_sessions;
+    PlanServer server(options);
+    const std::vector<PlanRequest> requests =
+        MakeRequests(overload_clients * per_overload_client);
+
+    std::mutex mu;
+    std::vector<double> answered_ms;
+    std::int64_t shed = 0;
+    std::int64_t expired = 0;
+    std::int64_t answered = 0;
+    std::vector<std::thread> threads;
+    for (int c = 0; c < overload_clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int i = 0; i < per_overload_client; ++i) {
+          const PlanRequest& request =
+              requests[static_cast<std::size_t>(c * per_overload_client + i)];
+          const auto start = std::chrono::steady_clock::now();
+          const QueryOutcome outcome =
+              server.Query(request, memo::Deadline::AfterMillis(2000));
+          const double ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+          std::lock_guard<std::mutex> lock(mu);
+          if (outcome.status.ok()) {
+            ++answered;
+            answered_ms.push_back(ms);
+          } else if (outcome.status.IsUnavailable()) {
+            ++shed;
+          } else if (outcome.status.IsDeadlineExceeded()) {
+            ++expired;
+          } else {
+            std::fprintf(stderr, "overload query failed oddly: %s\n",
+                         outcome.status.ToString().c_str());
+            std::exit(1);
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    server.Shutdown();
+
+    const std::int64_t total = answered + shed + expired;
+    const double shed_rate =
+        static_cast<double>(shed + expired) / static_cast<double>(total);
+    const double p99 = Percentile(answered_ms, 0.99);
+    std::printf("\noverload: %d clients / %d sessions, %lld queries -> "
+                "%lld answered, %lld shed, %lld deadline-expired "
+                "(shed rate %.0f%%), answered p99 %s\n",
+                overload_clients, overload_sessions,
+                static_cast<long long>(total),
+                static_cast<long long>(answered),
+                static_cast<long long>(shed),
+                static_cast<long long>(expired), 100.0 * shed_rate,
+                FmtMs(p99).c_str());
+    if (answered == 0) {
+      std::fprintf(stderr, "overload sweep answered nothing\n");
+      return 1;
+    }
+
+    memo::bench::BenchRecord record;
+    record.op = "serve_overload_p99";
+    record.threads = overload_clients;
+    record.wall_ms = p99;
+    record.kernel = "overload";
+    record.aux = shed_rate;
+    record.aux_label = "shed_rate";
+    records.push_back(record);
+  }
+
+  // ---- Warm-restart comparison: cold solve -> snapshot -> fresh server.
+  {
+    const std::string snapshot_path = "BENCH_serve_snapshot.bin";
+    const int restart_requests = smoke ? 4 : 8;
+    const std::vector<PlanRequest> requests = MakeRequests(restart_requests);
+
+    // Both sides of the ratio are "min across keys": each key's first
+    // post-restart query can only be measured once, so the floor over
+    // several keys is the noise filter (the same role min plays in
+    // BestWallMs at these microsecond scales).
+    const auto min_query_ms = [](PlanServer& server,
+                                 const std::vector<PlanRequest>& reqs,
+                                 bool require_hit) {
+      double best = 0.0;
+      for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const QueryOutcome outcome = server.Query(reqs[i]);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+        if (!outcome.status.ok() || (require_hit && !outcome.cache_hit)) {
+          std::fprintf(stderr, "restart comparison query failed\n");
+          std::exit(1);
+        }
+        if (i == 0 || ms < best) best = ms;
+      }
+      return best;
+    };
+
+    // Generation 1: cold solves (timed — the "restart without a snapshot"
+    // price), then a warm-hit baseline, then the shutdown snapshot.
+    PlanServer first;
+    const double cold_ms =
+        min_query_ms(first, requests, /*require_hit=*/false);
+    const double warm_hit_ms =
+        min_query_ms(first, requests, /*require_hit=*/true);
+    const auto saved =
+        memo::serve::SaveCacheSnapshot(snapshot_path, first.cache());
+    if (!saved.ok()) {
+      std::fprintf(stderr, "snapshot save failed: %s\n",
+                   saved.status().ToString().c_str());
+      return 1;
+    }
+    first.Shutdown();
+
+    // Generation 2: restore and pay the genuine first query per key.
+    PlanServer second;
+    const auto loaded =
+        memo::serve::LoadCacheSnapshot(snapshot_path, &second.cache());
+    if (!loaded.ok() || *loaded != restart_requests) {
+      std::fprintf(stderr, "snapshot load failed\n");
+      return 1;
+    }
+    const double snapshot_ms =
+        min_query_ms(second, requests, /*require_hit=*/true);
+    second.Shutdown();
+    std::remove(snapshot_path.c_str());
+
+    const double vs_warm = snapshot_ms / warm_hit_ms;
+    const double vs_cold = cold_ms / snapshot_ms;
+    std::printf("restart: first query after warm restart %s vs warm hit %s "
+                "(%.2fx) vs cold solve %s (%.0fx faster than cold)\n",
+                FmtMs(snapshot_ms).c_str(), FmtMs(warm_hit_ms).c_str(),
+                vs_warm, FmtMs(cold_ms).c_str(), vs_cold);
+
+    memo::bench::BenchRecord warm_record;
+    warm_record.op = "serve_restart_warm_hit";
+    warm_record.wall_ms = warm_hit_ms;
+    warm_record.kernel = "warm";
+    records.push_back(warm_record);
+
+    memo::bench::BenchRecord cold_record;
+    cold_record.op = "serve_restart_cold_solve";
+    cold_record.wall_ms = cold_ms;
+    cold_record.kernel = "cold";
+    records.push_back(cold_record);
+
+    memo::bench::BenchRecord snap_record;
+    snap_record.op = "serve_restart_snapshot_first_query";
+    snap_record.wall_ms = snapshot_ms;
+    snap_record.kernel = "snapshot";
+    snap_record.speedup_vs_serial = vs_cold;
+    snap_record.aux = vs_warm;
+    snap_record.aux_label = "vs_warm_hit";
+    records.push_back(snap_record);
+  }
 
   if (!memo::bench::WriteBenchJson("BENCH_serve.json", records)) {
     std::fprintf(stderr, "cannot write BENCH_serve.json\n");

@@ -1,0 +1,51 @@
+#include "common/deadline.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace memo {
+
+namespace {
+
+thread_local Deadline t_current_deadline;
+
+}  // namespace
+
+std::int64_t Deadline::remaining_millis() const {
+  if (infinite_) return std::numeric_limits<std::int64_t>::max() / 4;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        at_ - Clock::now())
+                        .count();
+  return std::max<std::int64_t>(0, left);
+}
+
+double Deadline::remaining_seconds() const {
+  if (infinite_) return std::numeric_limits<double>::infinity();
+  const double left =
+      std::chrono::duration<double>(at_ - Clock::now()).count();
+  return std::max(0.0, left);
+}
+
+Deadline Deadline::EarlierOf(const Deadline& other) const {
+  if (infinite_) return other;
+  if (other.infinite_) return *this;
+  return Deadline(std::min(at_, other.at_));
+}
+
+ScopedDeadline::ScopedDeadline(const Deadline& deadline)
+    : previous_(t_current_deadline) {
+  t_current_deadline = previous_.EarlierOf(deadline);
+}
+
+ScopedDeadline::~ScopedDeadline() { t_current_deadline = previous_; }
+
+const Deadline& CurrentDeadline() { return t_current_deadline; }
+
+Status CheckDeadline(const char* phase) {
+  if (!t_current_deadline.expired()) return OkStatus();
+  return DeadlineExceededError(std::string("deadline expired at phase ") +
+                               phase);
+}
+
+}  // namespace memo

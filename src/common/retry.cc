@@ -19,7 +19,7 @@ Status RetryPolicy::Run(const std::string& op,
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     last = fn();
     if (last.ok()) return last;
-    if (!IsRetryable(last.code())) return last;
+    if (!Retryable(last.code())) return last;
     const double elapsed =
         std::chrono::duration<double>(Clock::now() - start).count();
     const bool out_of_attempts = attempt == attempts;

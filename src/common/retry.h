@@ -30,10 +30,22 @@ struct RetryPolicy {
   /// 0 = unlimited. When exceeded, the last error is returned even if
   /// attempts remain.
   double deadline_seconds = 0.0;
+  /// Also retry kUnavailable and kDeadlineExceeded. Off by default: in the
+  /// I/O tiers these codes never occur, but serve clients see them when the
+  /// server sheds load or a request times out, and both are explicitly safe
+  /// to re-send (the request was refused, not half-executed).
+  bool retry_unavailable = false;
 
   /// True for codes a retry can plausibly fix.
   static bool IsRetryable(StatusCode code) {
     return code == StatusCode::kInternal;
+  }
+
+  /// Instance flavour of IsRetryable honouring retry_unavailable.
+  bool Retryable(StatusCode code) const {
+    return IsRetryable(code) ||
+           (retry_unavailable && (code == StatusCode::kUnavailable ||
+                                  code == StatusCode::kDeadlineExceeded));
   }
 
   /// Runs `fn` under this policy. `op` names the operation in metrics and
@@ -49,7 +61,7 @@ struct RetryPolicy {
     // Delegate the attempt/backoff loop to Run: the first call above
     // already happened, so replay fn through a thin Status adapter that
     // reuses the stored result on the first invocation.
-    if (result.ok() || !IsRetryable(last.code())) {
+    if (result.ok() || !Retryable(last.code())) {
       if (!result.ok()) return last;
       return result;
     }

@@ -23,6 +23,7 @@ enum class StatusCode : std::uint8_t {
   kUnimplemented = 6,
   kInternal = 7,
   kUnavailable = 8,      // Service saturated: retry later (load shedding).
+  kDeadlineExceeded = 9,  // The request's time budget ran out (serve path).
 };
 
 /// Returns the canonical spelling of a status code, e.g. "OUT_OF_MEMORY".
@@ -59,6 +60,12 @@ class Status {
   /// True when the status carries the load-shedding code (the caller should
   /// back off and retry; the request itself was never looked at).
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  /// True when the status carries the deadline code (the request's time
+  /// budget ran out before an answer was produced; the partial work was
+  /// discarded, never cached).
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "CODE: message".
   std::string ToString() const;
@@ -83,6 +90,7 @@ Status InfeasibleError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 /// Holds either a value of type T or an error Status. Modeled after
 /// absl::StatusOr; accessing the value of an errored StatusOr aborts.

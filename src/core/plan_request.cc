@@ -1,5 +1,7 @@
 #include "core/plan_request.h"
 
+#include "common/deadline.h"
+
 namespace memo::core {
 
 const char* PlanQueryKindToString(PlanQueryKind kind) {
@@ -137,6 +139,12 @@ PlanResult ExecutePlanRequest(const PlanRequest& request,
                               const PlanExecOptions& exec) {
   PlanResult result;
   result.kind = request.kind;
+  // A request that sat in the admission queue past its deadline must never
+  // reach a solver: bail here before any simulation work starts.
+  if (Status dl = CheckDeadline("plan_request_entry"); !dl.ok()) {
+    result.status = dl;
+    return result;
+  }
   SessionOptions session = request.MakeSessionOptions();
   session.memo.timeline_path = exec.timeline_path;
   const Workload workload{request.model, request.seq};
@@ -170,6 +178,12 @@ PlanResult ExecutePlanRequest(const PlanRequest& request,
       result.max_seq =
           MaxSupportedSeqLen(request.system, request.model, request.cluster,
                              request.seq_step, request.seq_cap, session);
+      // MaxSupportedSeqLen reports the best seq found so far; if the scan was
+      // cut short by the deadline that partial answer must not be mistaken
+      // for (and cached as) the true maximum.
+      if (Status dl = CheckDeadline("maxseq_scan"); !dl.ok()) {
+        result.status = dl;
+      }
       return result;
     }
   }

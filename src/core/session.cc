@@ -1,5 +1,6 @@
 #include "core/session.h"
 
+#include "common/deadline.h"
 #include "common/logging.h"
 
 namespace memo::core {
@@ -33,6 +34,12 @@ SystemRunResult RunBestStrategy(parallel::SystemKind system,
       parallel::EnumerateStrategies(system, workload.model, cluster,
                                     workload.seq);
   for (const parallel::ParallelStrategy& strategy : candidates) {
+    // Phase boundary: a serve-side request deadline aborts the sweep between
+    // candidates rather than mid-simulation, so partial results stay coherent.
+    if (Status dl = CheckDeadline("strategy_sweep"); !dl.ok()) {
+      result.status = dl;
+      return result;
+    }
     ++result.strategies_tried;
     auto run = RunStrategy(system, workload, strategy, cluster, options);
     if (!run.ok()) {
@@ -61,8 +68,10 @@ std::int64_t MaxSupportedSeqLen(parallel::SystemKind system,
   MEMO_CHECK_GT(step, 0);
   std::int64_t best = 0;
   for (std::int64_t seq = step; seq <= max_seq; seq += step) {
+    if (!CheckDeadline("maxseq_scan").ok()) break;
     const SystemRunResult run =
         RunBestStrategy(system, Workload{model, seq}, cluster, options);
+    if (run.status.IsDeadlineExceeded()) break;
     if (run.status.ok()) {
       best = seq;
     } else if (seq > best + 4 * step) {

@@ -144,6 +144,28 @@ std::shared_ptr<const CachedPlan> PlanCache::GetOrCompute(
   return value;
 }
 
+std::vector<std::pair<std::uint64_t, std::shared_ptr<const CachedPlan>>>
+PlanCache::Entries() const {
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const CachedPlan>>>
+      entries;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& entry : shard.lru) {
+      entries.emplace_back(entry.first, entry.second);
+    }
+  }
+  return entries;
+}
+
+void PlanCache::Restore(std::uint64_t key,
+                        const std::shared_ptr<CachedPlan>& plan) {
+  if (plan == nullptr) return;
+  if (plan->charged_bytes <= 0) plan->charged_bytes = ChargeFor(*plan);
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  InsertLocked(shard, key, plan);
+}
+
 void PlanCache::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);

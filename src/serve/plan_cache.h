@@ -10,6 +10,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/plan_request.h"
@@ -72,6 +73,18 @@ class PlanCache {
   /// Drops every resident entry (in-flight computes are unaffected and
   /// will insert their results afterwards).
   void Clear();
+
+  /// Every resident (key, plan) pair — the export side of the warm-restart
+  /// snapshot. Order is per-shard MRU-first; no recency is refreshed and no
+  /// hit is counted.
+  std::vector<std::pair<std::uint64_t, std::shared_ptr<const CachedPlan>>>
+  Entries() const;
+
+  /// Inserts `plan` under `key` as if it had just been computed: the byte
+  /// budget is charged and LRU tails evict as usual. Hit/miss counters are
+  /// untouched (restored entries were paid for in a previous life). The
+  /// import side of the warm-restart snapshot.
+  void Restore(std::uint64_t key, const std::shared_ptr<CachedPlan>& plan);
 
   struct Stats {
     std::int64_t hits = 0;

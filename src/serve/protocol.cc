@@ -385,13 +385,38 @@ std::string BuildResponseLine(const Status& status, std::uint64_t fingerprint,
 }
 
 std::string BuildErrorResponseLine(const Status& status) {
+  const bool retryable = status.code() == StatusCode::kUnavailable ||
+                         status.code() == StatusCode::kDeadlineExceeded;
   std::string out = "{\"status\":\"";
   out += StatusCodeToString(status.code());
   out += "\",";
   AppendField(&out, "code", static_cast<std::int64_t>(status.code()));
+  AppendField(&out, "retryable", retryable);
   out += "\"error\":\"";
   out += JsonEscape(status.message());
   out += "\"}";
+  return out;
+}
+
+std::string BuildHealthResponseLine(const HealthSnapshot& health) {
+  std::string out = "{\"status\":\"OK\",";
+  AppendField(&out, "code", static_cast<std::int64_t>(StatusCode::kOk));
+  out += "\"health\":{\"state\":\"";
+  out += health.draining ? "draining" : "serving";
+  out += "\",";
+  AppendField(&out, "connections",
+              static_cast<std::int64_t>(health.connections));
+  AppendField(&out, "queue_depth",
+              static_cast<std::int64_t>(health.queue_depth));
+  AppendField(&out, "requests_served", health.requests_served);
+  AppendField(&out, "cache_entries", health.cache_entries);
+  AppendField(&out, "cache_hits", health.cache_hits);
+  AppendField(&out, "cache_misses", health.cache_misses);
+  AppendField(&out, "cache_resident_bytes", health.cache_resident_bytes);
+  // AppendField leaves a trailing comma for the next field; close the
+  // objects in its place.
+  out.back() = '}';
+  out += '}';
   return out;
 }
 

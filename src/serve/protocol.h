@@ -46,8 +46,28 @@ std::string BuildResponseLine(const Status& status, std::uint64_t fingerprint,
                               bool cache_hit, const std::string& payload);
 
 /// Response for requests that failed before reaching the solver (parse
-/// errors, shedding): status + code only, no fingerprint/plan.
+/// errors, shedding): status + numeric code + a `retryable` bool so clients
+/// can re-send shed requests mechanically without matching code values.
+/// UNAVAILABLE and DEADLINE_EXCEEDED are retryable (the request was shed or
+/// timed out, never answered); parse errors are not.
 std::string BuildErrorResponseLine(const Status& status);
+
+/// Point-in-time server state for the `health` protocol request (the line
+/// "health" or {"kind":"health"}). Health answers never consult the solver
+/// and are not counted against a --max-requests budget.
+struct HealthSnapshot {
+  bool draining = false;
+  int connections = 0;
+  int queue_depth = 0;
+  std::int64_t requests_served = 0;
+  std::int64_t cache_entries = 0;
+  std::int64_t cache_hits = 0;
+  std::int64_t cache_misses = 0;
+  std::int64_t cache_resident_bytes = 0;
+};
+
+/// {"status":"OK","code":0,"health":{"state":"serving"|"draining",...}}
+std::string BuildHealthResponseLine(const HealthSnapshot& health);
 
 /// Minimal field extractors for flat JSON (used by the query CLI and
 /// tests; not a general JSON parser — sufficient for this protocol's own

@@ -15,6 +15,9 @@ namespace {
 struct ServeMetrics {
   obs::MetricCounter* accepted;
   obs::MetricCounter* shed;
+  obs::MetricCounter* shed_queue_full;
+  obs::MetricCounter* shed_draining;
+  obs::MetricCounter* deadline_exceeded;
   obs::MetricHistogram* latency_us;
   obs::MetricHistogram* solve_us;
 };
@@ -24,6 +27,9 @@ ServeMetrics& Metrics() {
     auto& reg = obs::MetricsRegistry::Global();
     return ServeMetrics{reg.counter("serve.request.accepted"),
                         reg.counter("serve.request.shed"),
+                        reg.counter("serve.shed.queue_full"),
+                        reg.counter("serve.shed.draining"),
+                        reg.counter("serve.deadline_exceeded"),
                         reg.histogram("serve.request.latency_us"),
                         reg.histogram("serve.solve.latency_us")};
   }();
@@ -49,6 +55,21 @@ PlanServer::PlanServer(const PlanServerOptions& options)
 
 PlanServer::~PlanServer() { Shutdown(); }
 
+void PlanServer::BeginDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_ = true;
+}
+
+bool PlanServer::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_ || stopping_;
+}
+
+int PlanServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(queue_.size());
+}
+
 void PlanServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -62,23 +83,43 @@ void PlanServer::Shutdown() {
 }
 
 QueryOutcome PlanServer::Solve(const core::PlanRequest& request,
-                               std::uint64_t fingerprint) {
+                               std::uint64_t fingerprint,
+                               const Deadline& deadline) {
   MEMO_TRACE_SCOPE_ARG("serve_request", "serve", "fingerprint", fingerprint);
   obs::ScopedLatencyTimer request_timer(Metrics().latency_us);
   QueryOutcome outcome;
   outcome.fingerprint = fingerprint;
   outcome.plan = cache_.GetOrCompute(
       fingerprint,
-      [&]() {
+      [&]() -> std::shared_ptr<CachedPlan> {
         MEMO_TRACE_SCOPE_ARG("plan_solve", "serve", "fingerprint",
                              fingerprint);
         obs::ScopedLatencyTimer solve_timer(Metrics().solve_us);
+        // The ambient deadline lets the solver abort between strategy
+        // candidates / maxseq probes without threading a Deadline through
+        // every core signature.
+        ScopedDeadline scope(deadline);
         auto plan = std::make_shared<CachedPlan>();
         plan->result = options_.solver(request);
+        if (plan->result.status.IsDeadlineExceeded()) {
+          // A timed-out solve is not the answer to the request — it is the
+          // answer to "this request under this deadline". Returning null
+          // keeps it out of the cache; a retry gets a fresh solve.
+          return nullptr;
+        }
         plan->payload = SerializePlanResult(plan->result);
         return plan;
       },
       &outcome.cache_hit);
+  if (!outcome.plan) {
+    // Either this solve timed out or we coalesced onto a leader whose solve
+    // timed out; both surface as kDeadlineExceeded (the follower's retry
+    // re-solves with its own budget).
+    outcome.status = DeadlineExceededError("solve exceeded request deadline");
+    Metrics().deadline_exceeded->Increment();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++deadline_exceeded_;
+  }
   return outcome;
 }
 
@@ -94,8 +135,19 @@ void PlanServer::SessionLoop(int session_index) {
       job = std::move(queue_.front());
       queue_.pop_front();
     }
-    QueryOutcome outcome = Solve(job->request, job->fingerprint);
-    {
+    QueryOutcome outcome;
+    if (job->deadline.expired()) {
+      // The request aged out while queued: answer immediately and never
+      // burn a solver session on work nobody is waiting for.
+      outcome.fingerprint = job->fingerprint;
+      outcome.status =
+          DeadlineExceededError("request expired in the admission queue");
+      Metrics().deadline_exceeded->Increment();
+      std::lock_guard<std::mutex> lock(mu_);
+      ++deadline_exceeded_;
+      ++completed_;
+    } else {
+      outcome = Solve(job->request, job->fingerprint, job->deadline);
       std::lock_guard<std::mutex> lock(mu_);
       ++completed_;
     }
@@ -103,14 +155,17 @@ void PlanServer::SessionLoop(int session_index) {
   }
 }
 
-QueryOutcome PlanServer::Query(const core::PlanRequest& request) {
+QueryOutcome PlanServer::Query(const core::PlanRequest& request,
+                               const Deadline& deadline) {
   auto job = std::make_unique<Job>();
   job->request = request;
   job->fingerprint = request.Fingerprint();
+  job->deadline = deadline;
   std::future<QueryOutcome> done = job->done.get_future();
 
   // Fast path: a resident cache entry answers without occupying a session
-  // or a queue slot, so warm traffic cannot be shed by a cold burst.
+  // or a queue slot, so warm traffic cannot be shed by a cold burst. Served
+  // even with an expired deadline — the answer is already in hand.
   if (auto plan = cache_.Lookup(job->fingerprint)) {
     Metrics().accepted->Increment();
     QueryOutcome outcome;
@@ -125,14 +180,19 @@ QueryOutcome PlanServer::Query(const core::PlanRequest& request) {
 
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ ||
-        static_cast<int>(queue_.size()) >= options_.max_queue) {
+    const bool rejecting = stopping_ || draining_;
+    if (rejecting || static_cast<int>(queue_.size()) >= options_.max_queue) {
       ++shed_;
       Metrics().shed->Increment();
+      if (rejecting) {
+        Metrics().shed_draining->Increment();
+      } else {
+        Metrics().shed_queue_full->Increment();
+      }
       QueryOutcome outcome;
       outcome.fingerprint = job->fingerprint;
       outcome.status = UnavailableError(
-          stopping_ ? "server is shutting down"
+          rejecting ? "server is draining: not accepting new work"
                     : "admission queue full: retry later");
       return outcome;
     }
@@ -146,7 +206,7 @@ QueryOutcome PlanServer::Query(const core::PlanRequest& request) {
 
 PlanServer::Stats PlanServer::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return Stats{accepted_, shed_, completed_};
+  return Stats{accepted_, shed_, completed_, deadline_exceeded_};
 }
 
 }  // namespace memo::serve

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "serve/plan_cache.h"
 
 namespace memo::serve {
@@ -30,9 +31,12 @@ struct PlanServerOptions {
 };
 
 /// The answer to one query. `status` reflects the service path only —
-/// kUnavailable when shed at admission; solver-level failures (OOM,
-/// infeasible) are OK here and live inside plan->result.status, because a
-/// failed solve is still the deterministic, cacheable answer to the request.
+/// kUnavailable when shed at admission, kDeadlineExceeded when the request's
+/// budget ran out (queued too long, or the solve was cut short); solver-level
+/// failures (OOM, infeasible) are OK here and live inside
+/// plan->result.status, because a failed solve is still the deterministic,
+/// cacheable answer to the request. Deadline-exceeded answers are NOT
+/// cached: they are a property of this request's timing, not of the request.
 struct QueryOutcome {
   Status status = OkStatus();
   std::uint64_t fingerprint = 0;
@@ -53,8 +57,24 @@ class PlanServer {
   PlanServer& operator=(const PlanServer&) = delete;
 
   /// Answers `request`, preferring the cache. Sheds with kUnavailable when
-  /// the admission queue is full. Blocks otherwise.
-  QueryOutcome Query(const core::PlanRequest& request);
+  /// the admission queue is full or the server is draining. Blocks
+  /// otherwise. The deadline bounds the whole journey: a request still
+  /// queued at expiry is answered kDeadlineExceeded without ever reaching a
+  /// solver, and a running solve checks the deadline at phase boundaries.
+  QueryOutcome Query(const core::PlanRequest& request,
+                     const Deadline& deadline);
+  QueryOutcome Query(const core::PlanRequest& request) {
+    return Query(request, Deadline::Infinite());
+  }
+
+  /// Stops admitting new work (shed with kUnavailable "draining") while
+  /// letting queued and in-flight queries complete. Idempotent; Shutdown()
+  /// afterwards joins the sessions once the queue is empty.
+  void BeginDrain();
+  bool draining() const;
+
+  /// Queued-but-not-started requests right now (health reporting).
+  int queue_depth() const;
 
   /// Drains the queue and joins the sessions. Queries still queued complete;
   /// new ones are rejected with kUnavailable. Idempotent.
@@ -66,6 +86,7 @@ class PlanServer {
     std::int64_t accepted = 0;
     std::int64_t shed = 0;
     std::int64_t completed = 0;
+    std::int64_t deadline_exceeded = 0;
   };
   Stats stats() const;
 
@@ -73,12 +94,13 @@ class PlanServer {
   struct Job {
     core::PlanRequest request;
     std::uint64_t fingerprint = 0;
+    Deadline deadline;
     std::promise<QueryOutcome> done;
   };
 
   void SessionLoop(int session_index);
   QueryOutcome Solve(const core::PlanRequest& request,
-                     std::uint64_t fingerprint);
+                     std::uint64_t fingerprint, const Deadline& deadline);
 
   PlanServerOptions options_;
   PlanCache cache_;
@@ -87,9 +109,11 @@ class PlanServer {
   std::condition_variable queue_cv_;
   std::deque<std::unique_ptr<Job>> queue_;
   bool stopping_ = false;
+  bool draining_ = false;
   std::int64_t accepted_ = 0;
   std::int64_t shed_ = 0;
   std::int64_t completed_ = 0;
+  std::int64_t deadline_exceeded_ = 0;
 
   std::vector<std::thread> sessions_;
 };

@@ -1,14 +1,18 @@
 #include "serve/socket_server.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <utility>
 
+#include "common/fault_injector.h"
+#include "obs/metrics.h"
 #include "serve/protocol.h"
 
 namespace memo::serve {
@@ -29,6 +33,10 @@ bool WriteAll(int fd, const std::string& data) {
     sent += static_cast<std::size_t>(n);
   }
   return true;
+}
+
+void Count(const char* name) {
+  obs::MetricsRegistry::Global().counter(name)->Increment();
 }
 
 }  // namespace
@@ -92,18 +100,61 @@ void SocketServer::AcceptLoop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listen fd shut down (Stop) or fatal error
+      break;  // listen fd shut down (Stop/BeginDrain) or fatal error
     }
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_.load(std::memory_order_acquire)) {
+    // Join threads of connections that have since closed, so a long-lived
+    // server does not accumulate one dead std::thread per past connection.
+    ReapFinished();
+    bool refuse = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_.load(std::memory_order_acquire) || draining_) {
+        ::close(fd);
+        break;
+      }
+      if (options_.max_connections > 0 &&
+          static_cast<int>(connections_.size()) >= options_.max_connections) {
+        // At the cap: evict the stalest connection that is not mid-request
+        // (slow-loris defense — idle holders lose their slot to newcomers).
+        // The count may transiently exceed the cap by one while the evicted
+        // owner notices the shutdown and unwinds.
+        auto stalest = connections_.end();
+        for (auto it = connections_.begin(); it != connections_.end(); ++it) {
+          if (it->second.in_request) continue;
+          if (stalest == connections_.end() ||
+              it->second.last_activity < stalest->second.last_activity) {
+            stalest = it;
+          }
+        }
+        if (stalest != connections_.end()) {
+          Count("serve.conn.evicted");
+          ::shutdown(stalest->second.fd, SHUT_RDWR);
+        } else {
+          refuse = true;  // every connection is busy: the newcomer loses
+        }
+      }
+      if (!refuse) {
+        const std::uint64_t id = next_connection_id_++;
+        Connection conn;
+        conn.fd = fd;
+        conn.last_activity = std::chrono::steady_clock::now();
+        connections_.emplace(id, conn);
+        connection_threads_.emplace(
+            id, std::thread([this, id, fd] { ServeConnection(id, fd); }));
+      }
+    }
+    if (refuse) {
+      Count("serve.conn.refused");
+      WriteAll(fd,
+               BuildErrorResponseLine(UnavailableError(
+                   "connection limit reached and all connections busy")) +
+                   "\n");
       ::close(fd);
-      break;
     }
-    connection_fds_.insert(fd);
-    connection_threads_.emplace_back([this, fd] { ServeConnection(fd); });
   }
+  ReapFinished();
   std::lock_guard<std::mutex> lock(mu_);
-  stopped_ = true;
+  accept_done_ = true;
   stopped_cv_.notify_all();
 }
 
@@ -118,52 +169,234 @@ void SocketServer::CountRequest() {
   }
 }
 
-void SocketServer::ServeConnection(int fd) {
+bool SocketServer::HandleLine(std::uint64_t id, int fd,
+                              const std::string& line) {
+  if (line.empty()) return true;
+  std::string kind;
+  const bool is_health =
+      line == "health" ||
+      (JsonFindString(line, "kind", &kind) && kind == "health");
+  std::string response;
+  if (is_health) {
+    // Health never touches the solver and never spends --max-requests
+    // budget, so harness pollers cannot exhaust a budgeted server.
+    HealthSnapshot health;
+    const PlanCache::Stats cache = server_->cache().stats();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      health.draining = draining_ || stopping_.load(std::memory_order_acquire);
+      health.connections = static_cast<int>(connections_.size());
+    }
+    health.queue_depth = server_->queue_depth();
+    health.requests_served = requests_served();
+    health.cache_entries = cache.entries;
+    health.cache_hits = cache.hits;
+    health.cache_misses = cache.misses;
+    health.cache_resident_bytes = cache.resident_bytes;
+    response = BuildHealthResponseLine(health);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = connections_.find(id);
+      if (it != connections_.end()) it->second.in_request = true;
+    }
+    auto request = ParsePlanRequestJson(line);
+    if (!request.ok()) {
+      response = BuildErrorResponseLine(request.status());
+    } else {
+      const Deadline deadline =
+          options_.request_deadline_ms > 0
+              ? Deadline::AfterMillis(options_.request_deadline_ms)
+              : Deadline::Infinite();
+      const QueryOutcome outcome = server_->Query(*request, deadline);
+      if (!outcome.status.ok()) {
+        response = BuildErrorResponseLine(outcome.status);
+      } else {
+        response = BuildResponseLine(outcome.plan->result.status,
+                                     outcome.fingerprint, outcome.cache_hit,
+                                     outcome.plan->payload);
+      }
+    }
+  }
+  response += '\n';
+  bool written = FaultInjector::Global().MaybeFail("serve.conn_send").ok() &&
+                 WriteAll(fd, response);
+  if (!is_health) {
+    CountRequest();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = connections_.find(id);
+    if (it != connections_.end()) it->second.in_request = false;
+  }
+  return written;
+}
+
+void SocketServer::ServeConnection(std::uint64_t id, int fd) {
   std::string buffer;
   char chunk[4096];
+  const std::size_t max_line =
+      options_.max_line_bytes > 0
+          ? static_cast<std::size_t>(options_.max_line_bytes)
+          : static_cast<std::size_t>(-1);
   while (true) {
+    // Poll with the idle budget as the timeout so a silent peer is noticed
+    // without a watchdog thread.
+    int timeout_ms = -1;
+    if (options_.idle_timeout_ms > 0) {
+      std::chrono::steady_clock::time_point last;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = connections_.find(id);
+        if (it == connections_.end()) break;
+        last = it->second.last_activity;
+      }
+      const auto idle = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            std::chrono::steady_clock::now() - last)
+                            .count();
+      timeout_ms = static_cast<int>(
+          std::max<std::int64_t>(0, options_.idle_timeout_ms - idle));
+    }
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) {
+      // Idle timeout: tell the (possibly slow-loris) peer why, then hang up.
+      Count("serve.conn.idle_timeout");
+      WriteAll(fd, BuildErrorResponseLine(UnavailableError(
+                       "idle timeout: no request activity")) +
+                       "\n");
+      break;
+    }
+    if (!FaultInjector::Global().MaybeFail("serve.conn_recv").ok()) break;
     const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // peer closed or Stop shut the fd down
+    if (n <= 0) break;  // peer closed or Stop/drain shut the fd down
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = connections_.find(id);
+      if (it != connections_.end()) {
+        it->second.last_activity = std::chrono::steady_clock::now();
+      }
+    }
     buffer.append(chunk, static_cast<std::size_t>(n));
+    bool close_connection = false;
     std::size_t newline;
     while ((newline = buffer.find('\n')) != std::string::npos) {
       const std::string line = buffer.substr(0, newline);
       buffer.erase(0, newline + 1);
-      if (line.empty()) continue;
-      std::string response;
-      auto request = ParsePlanRequestJson(line);
-      if (!request.ok()) {
-        response = BuildErrorResponseLine(request.status());
-      } else {
-        const QueryOutcome outcome = server_->Query(*request);
-        if (!outcome.status.ok()) {
-          response = BuildErrorResponseLine(outcome.status);
-        } else {
-          response =
-              BuildResponseLine(outcome.plan->result.status,
-                                outcome.fingerprint, outcome.cache_hit,
-                                outcome.plan->payload);
-        }
+      if (line.size() > max_line) {
+        Count("serve.conn.oversized");
+        WriteAll(fd, BuildErrorResponseLine(InvalidArgumentError(
+                         "request line exceeds max_line_bytes")) +
+                         "\n");
+        CountRequest();
+        close_connection = true;
+        break;
       }
-      response += '\n';
-      const bool written = WriteAll(fd, response);
+      if (!HandleLine(id, fd, line)) {
+        close_connection = true;
+        break;
+      }
+    }
+    if (close_connection) break;
+    if (buffer.size() > max_line) {
+      // A partial line already over the cap can never become a valid
+      // request; bounding it here bounds per-connection memory.
+      Count("serve.conn.oversized");
+      WriteAll(fd, BuildErrorResponseLine(InvalidArgumentError(
+                       "request line exceeds max_line_bytes")) +
+                       "\n");
       CountRequest();
-      if (!written) break;
+      break;
+    }
+    if (buffer.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (draining_) break;  // drained: all buffered lines answered
     }
   }
   {
-    // Remove from the shutdown set before closing, so a concurrent Stop()
-    // cannot shutdown() a recycled descriptor number.
+    // Remove from the registry before closing, so a concurrent Stop()
+    // cannot shutdown() a recycled descriptor number. The finished list
+    // hands the thread object to ReapFinished (accept loop or Stop).
     std::lock_guard<std::mutex> lock(mu_);
-    connection_fds_.erase(fd);
+    connections_.erase(id);
+    finished_.push_back(id);
+    stopped_cv_.notify_all();
   }
   ::close(fd);
 }
 
+void SocketServer::ReapFinished() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::uint64_t id : finished_) {
+      auto it = connection_threads_.find(id);
+      if (it == connection_threads_.end()) continue;
+      done.push_back(std::move(it->second));
+      connection_threads_.erase(it);
+    }
+    finished_.clear();
+  }
+  for (std::thread& thread : done) {
+    if (thread.joinable()) thread.join();
+  }
+}
+
 void SocketServer::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
-  stopped_cv_.wait(lock, [&] { return stopped_; });
+  stopped_cv_.wait(lock, [&] {
+    return stopped_ || (accept_done_ && connections_.empty());
+  });
+}
+
+bool SocketServer::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_ || stopping_.load(std::memory_order_acquire);
+}
+
+int SocketServer::active_connections() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(connections_.size());
+}
+
+void SocketServer::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ || stopping_.load(std::memory_order_acquire)) return;
+    draining_ = true;
+  }
+  // Order matters: shed new queries first, then stop accepting, then nudge
+  // idle connections. Busy connections answer their current request, see
+  // draining_ with an empty buffer, and close themselves.
+  server_->BeginDrain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+    for (auto& entry : connections_) {
+      if (!entry.second.in_request) ::shutdown(entry.second.fd, SHUT_RDWR);
+    }
+  }
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!drain_thread_.joinable()) {
+    drain_thread_ = std::thread([this] {
+      std::unique_lock<std::mutex> lock(mu_);
+      const bool drained = stopped_cv_.wait_for(
+          lock, std::chrono::milliseconds(std::max<std::int64_t>(
+                    1, options_.drain_grace_ms)),
+          [&] {
+            return stopped_ ||
+                   stopping_.load(std::memory_order_acquire) ||
+                   connections_.empty();
+          });
+      lock.unlock();
+      if (!drained) RequestStop();  // grace expired: force the stragglers
+    });
+  }
 }
 
 void SocketServer::RequestStop() {
@@ -173,7 +406,8 @@ void SocketServer::RequestStop() {
   // valid until Stop joins the threads that own them.
   std::lock_guard<std::mutex> lock(mu_);
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
-  for (int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  for (auto& entry : connections_) ::shutdown(entry.second.fd, SHUT_RDWR);
+  stopped_cv_.notify_all();
 }
 
 void SocketServer::Stop() {
@@ -182,11 +416,16 @@ void SocketServer::Stop() {
   // finishes its joins, then runs through the (now empty) join lists.
   std::lock_guard<std::mutex> stop_lock(stop_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (drain_thread_.joinable()) drain_thread_.join();
   // The accept loop has exited, so connection_threads_ can no longer grow.
   std::vector<std::thread> connections;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    connections.swap(connection_threads_);
+    for (auto& entry : connection_threads_) {
+      connections.push_back(std::move(entry.second));
+    }
+    connection_threads_.clear();
+    finished_.clear();
   }
   for (std::thread& t : connections) {
     if (t.joinable()) t.join();
@@ -246,7 +485,7 @@ StatusOr<std::string> QueryOverSocket(const std::string& socket_path,
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) {
       ::close(fd);
-      return InternalError("server closed the connection mid-response");
+      return UnavailableError("server closed the connection mid-response");
     }
     response.append(chunk, static_cast<std::size_t>(n));
   }

@@ -5,8 +5,18 @@
 // cache, and the newline-JSON wire protocol over a real Unix-domain
 // socket.
 
+#include <pthread.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <condition_variable>
+#include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -14,10 +24,12 @@
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injector.h"
 #include "core/plan_request.h"
 #include "core/session.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/snapshot.h"
 #include "serve/socket_server.h"
 
 namespace {
@@ -326,6 +338,382 @@ TEST(SocketServerTest, MaxRequestsStopsTheServerAfterTheBudget) {
   socket_server.Wait();  // returns because the budget is exhausted
   EXPECT_GE(socket_server.requests_served(), 2);
   socket_server.Stop();
+}
+
+/// Raw AF_UNIX client for the abuse tests below (QueryOverSocket always
+/// sends a complete line, which is exactly what these must not do).
+int RawConnect(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Reads until EOF or `deadline_ms` elapses; returns everything received.
+std::string RecvAll(int fd, int deadline_ms) {
+  std::string out;
+  const auto stop_at = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(deadline_ms);
+  char buf[512];
+  while (std::chrono::steady_clock::now() < stop_at) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // clean close
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return out;
+}
+
+TEST(SocketServerTest, HealthRequestAnswersWithoutTouchingTheSolver) {
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_serve_health.sock";
+  std::remove(socket_path.c_str());
+
+  // A solver that records if it ever runs: health must not solve.
+  std::atomic<bool> solver_ran{false};
+  PlanServerOptions server_options;
+  server_options.solver = [&](const PlanRequest&) -> PlanResult {
+    solver_ran = true;
+    return PlanResult{};
+  };
+  PlanServer server(server_options);
+  memo::serve::SocketServerOptions options;
+  options.socket_path = socket_path;
+  memo::serve::SocketServer socket_server(&server, options);
+  ASSERT_TRUE(socket_server.Start().ok());
+
+  for (const char* probe : {"health", "{\"kind\":\"health\"}"}) {
+    const auto response =
+        memo::serve::QueryOverSocket(socket_path, probe, 10);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    double code = -1.0;
+    ASSERT_TRUE(memo::serve::JsonFindNumber(*response, "code", &code));
+    EXPECT_EQ(code, 0.0);
+    EXPECT_NE(response->find("\"state\":\"serving\""), std::string::npos)
+        << *response;
+    EXPECT_NE(response->find("\"cache_entries\":"), std::string::npos);
+  }
+  // Health probes are not requests: the budget counter must not move and
+  // the solver never runs.
+  EXPECT_EQ(socket_server.requests_served(), 0);
+  EXPECT_FALSE(solver_ran.load());
+  socket_server.Stop();
+}
+
+TEST(SocketServerTest, OversizedRequestLineIsRejectedAndClosed) {
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_serve_maxline.sock";
+  std::remove(socket_path.c_str());
+
+  PlanServer server;
+  memo::serve::SocketServerOptions options;
+  options.socket_path = socket_path;
+  options.max_line_bytes = 128;
+  memo::serve::SocketServer socket_server(&server, options);
+  ASSERT_TRUE(socket_server.Start().ok());
+
+  // A complete line over the cap gets one INVALID_ARGUMENT response.
+  const std::string oversized(512, 'x');
+  const auto response =
+      memo::serve::QueryOverSocket(socket_path, oversized, 10);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_NE(response->find("INVALID_ARGUMENT"), std::string::npos)
+      << *response;
+
+  // A never-terminated line over the cap is cut off mid-stream: the
+  // buffer cannot be grown without bound by withholding the newline.
+  const int fd = RawConnect(socket_path);
+  ASSERT_GE(fd, 0);
+  const std::string endless(512, 'y');  // no trailing newline
+  ASSERT_EQ(::send(fd, endless.data(), endless.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(endless.size()));
+  const std::string answer = RecvAll(fd, 2000);
+  EXPECT_NE(answer.find("INVALID_ARGUMENT"), std::string::npos) << answer;
+  ::close(fd);
+
+  // The server survives both abuses.
+  const auto after = memo::serve::QueryOverSocket(
+      socket_path,
+      "{\"kind\":\"strategy\",\"model\":\"7B\",\"seq\":\"64K\",\"gpus\":8,"
+      "\"tp\":4,\"cp\":2}",
+      5);
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+  socket_server.Stop();
+}
+
+TEST(SocketServerTest, IdleConnectionIsTimedOutWithUnavailable) {
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_serve_idle.sock";
+  std::remove(socket_path.c_str());
+
+  PlanServer server;
+  memo::serve::SocketServerOptions options;
+  options.socket_path = socket_path;
+  options.idle_timeout_ms = 100;
+  memo::serve::SocketServer socket_server(&server, options);
+  ASSERT_TRUE(socket_server.Start().ok());
+
+  const int fd = RawConnect(socket_path);
+  ASSERT_GE(fd, 0);
+  // Send nothing: the slow-loris defense must close the connection after
+  // the idle window, with an UNAVAILABLE line first.
+  const std::string answer = RecvAll(fd, 3000);
+  EXPECT_NE(answer.find("UNAVAILABLE"), std::string::npos) << answer;
+  ::close(fd);
+  socket_server.Stop();
+}
+
+TEST(SocketServerTest, ConnectionCapEvictsTheStalestIdleConnection) {
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_serve_cap.sock";
+  std::remove(socket_path.c_str());
+
+  PlanServer server;
+  memo::serve::SocketServerOptions options;
+  options.socket_path = socket_path;
+  options.max_connections = 1;
+  memo::serve::SocketServer socket_server(&server, options);
+  ASSERT_TRUE(socket_server.Start().ok());
+
+  const int idle_fd = RawConnect(socket_path);
+  ASSERT_GE(idle_fd, 0);
+  // Give the accept loop time to register the idle connection.
+  while (socket_server.active_connections() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  // A second connection at the cap evicts the idle one and is served.
+  const auto response = memo::serve::QueryOverSocket(
+      socket_path,
+      "{\"kind\":\"strategy\",\"model\":\"7B\",\"seq\":\"64K\",\"gpus\":8,"
+      "\"tp\":4,\"cp\":2}",
+      10);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  double code = -1.0;
+  ASSERT_TRUE(memo::serve::JsonFindNumber(*response, "code", &code));
+  EXPECT_EQ(code, 0.0);
+
+  // The evicted connection observes EOF (possibly after an error line).
+  bool closed = false;
+  const auto eof_deadline = std::chrono::steady_clock::now() +
+                            std::chrono::milliseconds(3000);
+  char buf[256];
+  while (std::chrono::steady_clock::now() < eof_deadline) {
+    const ssize_t n = ::recv(idle_fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n == 0 || (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR)) {
+      closed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(closed) << "evicted connection was never closed";
+  ::close(idle_fd);
+  socket_server.Stop();
+}
+
+namespace eintr {
+void NoopHandler(int) {}
+}  // namespace eintr
+
+TEST(SocketServerTest, BlockedClientReadSurvivesSignalInterruption) {
+  // Regression for the EINTR audit: a client blocked in recv waiting for
+  // a slow solve must resume the read when a signal interrupts it, not
+  // fail the query.
+  struct sigaction action {};
+  struct sigaction previous {};
+  action.sa_handler = eintr::NoopHandler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART: recv returns EINTR
+  ASSERT_EQ(sigaction(SIGUSR1, &action, &previous), 0);
+
+  const std::string socket_path =
+      ::testing::TempDir() + "memo_serve_eintr.sock";
+  std::remove(socket_path.c_str());
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::condition_variable entered_cv;
+  bool entered = false;
+
+  PlanServerOptions server_options;
+  server_options.solver = [&](const PlanRequest& request) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      entered = true;
+    }
+    entered_cv.notify_all();
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return release; });
+    return ExecutePlanRequest(request);
+  };
+  PlanServer server(server_options);
+  memo::serve::SocketServerOptions options;
+  options.socket_path = socket_path;
+  memo::serve::SocketServer socket_server(&server, options);
+  ASSERT_TRUE(socket_server.Start().ok());
+
+  memo::StatusOr<std::string> response = memo::InternalError("unset");
+  std::thread client([&] {
+    response = memo::serve::QueryOverSocket(
+        socket_path,
+        "{\"kind\":\"strategy\",\"model\":\"7B\",\"seq\":\"64K\",\"gpus\":8,"
+        "\"tp\":4,\"cp\":2}",
+        10);
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    entered_cv.wait(lock, [&] { return entered; });
+  }
+
+  // The client is now blocked in recv (the solver is gated). Pepper it
+  // with signals, then let the solve finish.
+  for (int i = 0; i < 5; ++i) {
+    pthread_kill(client.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  client.join();
+
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  double code = -1.0;
+  ASSERT_TRUE(memo::serve::JsonFindNumber(*response, "code", &code));
+  EXPECT_EQ(code, 0.0);
+
+  socket_server.Stop();
+  ASSERT_EQ(sigaction(SIGUSR1, &previous, nullptr), 0);
+}
+
+TEST(ProtocolTest, ErrorResponsesCarryAMachineReadableRetryableFlag) {
+  const std::string shed =
+      memo::serve::BuildErrorResponseLine(memo::UnavailableError("full"));
+  EXPECT_NE(shed.find("\"retryable\":true"), std::string::npos) << shed;
+
+  const std::string expired = memo::serve::BuildErrorResponseLine(
+      memo::DeadlineExceededError("too slow"));
+  EXPECT_NE(expired.find("\"retryable\":true"), std::string::npos)
+      << expired;
+  EXPECT_NE(expired.find("DEADLINE_EXCEEDED"), std::string::npos);
+
+  const std::string parse = memo::serve::BuildErrorResponseLine(
+      memo::InvalidArgumentError("bad json"));
+  EXPECT_NE(parse.find("\"retryable\":false"), std::string::npos) << parse;
+}
+
+TEST(SnapshotTest, RoundTripRestoresBitIdenticalPayloads) {
+  const std::string path = ::testing::TempDir() + "memo_snap_rt.bin";
+  std::remove(path.c_str());
+
+  PlanServer cold;
+  const QueryOutcome a = cold.Query(SmallRequest(64 * memo::kSeqK));
+  const QueryOutcome b = cold.Query(SmallRequest(96 * memo::kSeqK));
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+
+  const auto saved = memo::serve::SaveCacheSnapshot(path, cold.cache());
+  ASSERT_TRUE(saved.ok()) << saved.status().ToString();
+  EXPECT_EQ(*saved, 2);
+
+  PlanServer warm;
+  const auto loaded = memo::serve::LoadCacheSnapshot(path, &warm.cache());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2);
+
+  // Restored entries answer as cache hits with the exact cold bytes.
+  const QueryOutcome ra = warm.Query(SmallRequest(64 * memo::kSeqK));
+  EXPECT_TRUE(ra.cache_hit);
+  ASSERT_NE(ra.plan, nullptr);
+  EXPECT_EQ(ra.plan->payload, a.plan->payload);
+  const QueryOutcome rb = warm.Query(SmallRequest(96 * memo::kSeqK));
+  EXPECT_TRUE(rb.cache_hit);
+  EXPECT_EQ(rb.plan->payload, b.plan->payload);
+
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotTest, CorruptSnapshotsAreRejectedAndTheCacheStaysCold) {
+  const std::string path = ::testing::TempDir() + "memo_snap_bad.bin";
+  std::remove(path.c_str());
+
+  PlanServer cold;
+  ASSERT_TRUE(cold.Query(SmallRequest()).status.ok());
+  ASSERT_TRUE(memo::serve::SaveCacheSnapshot(path, cold.cache()).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 32u);
+
+  const auto write_variant = [&](const std::string& data) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  };
+
+  // Flipped payload byte, truncated tail, and bad magic must each be
+  // rejected with the cache left untouched.
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] ^= 0x5a;
+  std::string truncated = bytes.substr(0, bytes.size() - 9);
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  for (const std::string& variant : {flipped, truncated, bad_magic}) {
+    write_variant(variant);
+    PlanServer warm;
+    const auto loaded = memo::serve::LoadCacheSnapshot(path, &warm.cache());
+    EXPECT_FALSE(loaded.ok());
+    EXPECT_EQ(loaded.status().code(), memo::StatusCode::kInvalidArgument)
+        << loaded.status().ToString();
+    EXPECT_EQ(warm.cache().stats().entries, 0);
+  }
+
+  // A missing file is the normal first boot: kNotFound, not corruption.
+  std::remove(path.c_str());
+  PlanServer fresh;
+  const auto missing = memo::serve::LoadCacheSnapshot(path, &fresh.cache());
+  EXPECT_EQ(missing.status().code(), memo::StatusCode::kNotFound)
+      << missing.status().ToString();
+}
+
+TEST(SnapshotTest, ArmedFaultSitesFailTheSnapshotNotTheProcess) {
+  const std::string path = ::testing::TempDir() + "memo_snap_fault.bin";
+  std::remove(path.c_str());
+
+  PlanServer server;
+  ASSERT_TRUE(server.Query(SmallRequest()).status.ok());
+
+  memo::FaultRule once;
+  once.nth = 1;
+  memo::FaultInjector::Global().Arm("serve.snapshot_write", once);
+  EXPECT_FALSE(memo::serve::SaveCacheSnapshot(path, server.cache()).ok());
+  memo::FaultInjector::Global().Reset();
+
+  ASSERT_TRUE(memo::serve::SaveCacheSnapshot(path, server.cache()).ok());
+  memo::FaultInjector::Global().Arm("serve.snapshot_read", once);
+  PlanServer warm;
+  EXPECT_FALSE(
+      memo::serve::LoadCacheSnapshot(path, &warm.cache()).ok());
+  memo::FaultInjector::Global().Reset();
+  EXPECT_TRUE(
+      memo::serve::LoadCacheSnapshot(path, &warm.cache()).ok());
+  std::remove(path.c_str());
 }
 
 }  // namespace

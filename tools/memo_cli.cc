@@ -15,14 +15,18 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "common/fault_injector.h"
+#include "common/retry.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "core/job_profiler.h"
@@ -34,6 +38,7 @@
 #include "planner/plan_io.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
+#include "serve/snapshot.h"
 #include "serve/socket_server.h"
 #include "trace/convert.h"
 #include "trace/replay.h"
@@ -57,7 +62,8 @@ bool IsBooleanFlag(const char* name) {
          std::strcmp(name, "full-recompute") == 0 ||
          std::strcmp(name, "raw") == 0 ||
          std::strcmp(name, "json") == 0 ||
-         std::strcmp(name, "no-planner") == 0;
+         std::strcmp(name, "no-planner") == 0 ||
+         std::strcmp(name, "no-retry") == 0;
 }
 
 /// Minimal --key value flag parser. Malformed numeric values and dangling
@@ -591,10 +597,25 @@ int CmdTrain(const Flags& flags) {
   return obs.Finish();
 }
 
+/// Self-pipe for async-signal-safe shutdown: the handler only write()s one
+/// byte; a watcher thread turns it into BeginDrain. Main writes a 0 byte
+/// after shutdown to dismiss the watcher.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleShutdownSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
 /// `memo_cli serve`: long-running planning service on a Unix socket. The
 /// process answers newline-delimited JSON plan queries from a pool of
 /// solver sessions behind a fingerprint-keyed LRU plan cache, until
 /// interrupted (or --max-requests answers have been served).
+///
+/// SIGTERM/SIGINT trigger a graceful drain: stop accepting, answer what is
+/// in flight, flush metrics, save the --cache-snapshot, exit 0. Exit codes:
+/// 0 = clean shutdown (including signal-driven drain), 1 = runtime error,
+/// 2 = usage error.
 int CmdServe(const Flags& flags) {
   ObsOutputs obs(flags);
   const std::string socket_path = flags.Get("socket", "");
@@ -606,6 +627,27 @@ int CmdServe(const Flags& flags) {
   RequirePositiveIfSet(flags, "sessions");
   RequirePositiveIfSet(flags, "queue");
   RequirePositiveIfSet(flags, "cache-mib");
+  RequirePositiveIfSet(flags, "request-deadline-ms");
+  RequirePositiveIfSet(flags, "idle-timeout-ms");
+  RequirePositiveIfSet(flags, "max-line-bytes");
+  RequirePositiveIfSet(flags, "max-connections");
+  RequirePositiveIfSet(flags, "drain-grace-ms");
+
+  // Seeded fault injection (e.g. --fault "serve.snapshot_read:nth=1") for
+  // chaos drills against a live server.
+  if (flags.Has("fault-seed")) {
+    memo::FaultInjector::Global().Seed(
+        static_cast<std::uint64_t>(flags.GetDouble("fault-seed", 0.0)));
+  }
+  const std::string fault_spec = flags.Get("fault", "");
+  if (!fault_spec.empty()) {
+    const memo::Status armed =
+        memo::FaultInjector::Global().ArmFromSpec(fault_spec);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "%s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
 
   memo::serve::PlanServerOptions options;
   options.sessions = flags.GetInt("sessions", 4);
@@ -614,15 +656,66 @@ int CmdServe(const Flags& flags) {
       flags.GetDouble("cache-mib", 32.0) * static_cast<double>(memo::kMiB));
   memo::serve::PlanServer server(options);
 
+  // Warm restart: load the previous run's cache snapshot if present. A
+  // corrupt or unreadable snapshot is logged and ignored — a service that
+  // refuses to boot because its cache file is damaged would turn a restart
+  // into an outage.
+  const std::string snapshot_path = flags.Get("cache-snapshot", "");
+  if (!snapshot_path.empty()) {
+    const auto loaded =
+        memo::serve::LoadCacheSnapshot(snapshot_path, &server.cache());
+    if (loaded.ok()) {
+      std::printf("cache snapshot: restored %d entries from %s\n", *loaded,
+                  snapshot_path.c_str());
+    } else if (loaded.status().code() == memo::StatusCode::kNotFound) {
+      std::printf("cache snapshot: none at %s (cold start)\n",
+                  snapshot_path.c_str());
+    } else {
+      std::fprintf(stderr, "cache snapshot: %s; starting cold\n",
+                   loaded.status().ToString().c_str());
+    }
+  }
+
   memo::serve::SocketServerOptions socket_options;
   socket_options.socket_path = socket_path;
   socket_options.max_requests = flags.GetInt("max-requests", -1);
+  socket_options.request_deadline_ms =
+      flags.GetInt("request-deadline-ms", 0);
+  socket_options.idle_timeout_ms = flags.GetInt("idle-timeout-ms", 0);
+  socket_options.max_line_bytes =
+      flags.GetInt("max-line-bytes", 1 << 20);
+  socket_options.max_connections = flags.GetInt("max-connections", 0);
+  socket_options.drain_grace_ms = flags.GetInt("drain-grace-ms", 5000);
   memo::serve::SocketServer socket_server(&server, socket_options);
   const memo::Status started = socket_server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "%s\n", started.ToString().c_str());
     return 1;
   }
+
+  // Graceful-drain plumbing: signal handler -> pipe byte -> watcher thread
+  // -> BeginDrain. Everything non-trivial happens on the watcher thread;
+  // the handler itself is a single write().
+  if (::pipe(g_signal_pipe) != 0) {
+    std::fprintf(stderr, "pipe(): %s\n", std::strerror(errno));
+    return 1;
+  }
+  std::signal(SIGTERM, HandleShutdownSignal);
+  std::signal(SIGINT, HandleShutdownSignal);
+  const long long drain_grace_ms = socket_options.drain_grace_ms;
+  std::thread signal_watcher([&socket_server, drain_grace_ms] {
+    char byte = 0;
+    while (true) {
+      const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0 || byte == 0) return;  // sentinel or pipe gone: done
+      std::printf("shutdown signal: draining (grace %lld ms)\n",
+                  drain_grace_ms);
+      std::fflush(stdout);
+      socket_server.BeginDrain();
+    }
+  });
+
   std::printf("serving on %s (%d sessions, queue %d, cache %s)\n",
               socket_path.c_str(), options.sessions, options.max_queue,
               memo::FormatBytes(options.cache.capacity_bytes).c_str());
@@ -632,12 +725,41 @@ int CmdServe(const Flags& flags) {
   socket_server.Stop();
   server.Shutdown();
 
+  // Dismiss the watcher: restore default handlers first so a late signal
+  // kills the (already drained) process instead of writing to a dead pipe.
+  std::signal(SIGTERM, SIG_DFL);
+  std::signal(SIGINT, SIG_DFL);
+  {
+    const char sentinel = 0;
+    [[maybe_unused]] const ssize_t n =
+        ::write(g_signal_pipe[1], &sentinel, 1);
+  }
+  signal_watcher.join();
+  ::close(g_signal_pipe[0]);
+  ::close(g_signal_pipe[1]);
+  g_signal_pipe[0] = g_signal_pipe[1] = -1;
+
+  if (!snapshot_path.empty()) {
+    const auto saved =
+        memo::serve::SaveCacheSnapshot(snapshot_path, server.cache());
+    if (saved.ok()) {
+      std::printf("cache snapshot: saved %d entries to %s\n", *saved,
+                  snapshot_path.c_str());
+    } else {
+      std::fprintf(stderr, "cache snapshot: save failed: %s\n",
+                   saved.status().ToString().c_str());
+    }
+  }
+  if (!fault_spec.empty()) memo::FaultInjector::Global().Reset();
+
   const auto cache = server.cache().stats();
   const auto stats = server.stats();
-  std::printf("served %lld requests (%lld shed); cache %lld hits / %lld "
-              "misses / %lld coalesced / %lld evictions\n",
+  std::printf("served %lld requests (%lld shed, %lld deadline-expired); "
+              "cache %lld hits / %lld misses / %lld coalesced / %lld "
+              "evictions\n",
               static_cast<long long>(socket_server.requests_served()),
               static_cast<long long>(stats.shed),
+              static_cast<long long>(stats.deadline_exceeded),
               static_cast<long long>(cache.hits),
               static_cast<long long>(cache.misses),
               static_cast<long long>(cache.coalesced),
@@ -649,6 +771,12 @@ int CmdServe(const Flags& flags) {
 /// Either forward a raw request object via --json, or assemble one from
 /// the familiar planning flags. Prints the response line; exits 0 when the
 /// plan solved, 1 otherwise.
+///
+/// Shed and deadline-expired responses (the server marks them
+/// "retryable":true) are re-sent with bounded exponential backoff —
+/// --attempts bounds the total tries, --no-retry disables re-sending
+/// entirely. A request the server refused was never looked at, so
+/// re-sending cannot double-execute anything.
 int CmdQuery(const Flags& flags) {
   const std::string socket_path = flags.Get("socket", "");
   if (socket_path.empty()) {
@@ -703,15 +831,44 @@ int CmdQuery(const Flags& flags) {
     line += "}";
   }
 
-  const auto response = memo::serve::QueryOverSocket(
-      socket_path, line, flags.GetInt("retries", 0));
-  if (!response.ok()) {
-    std::fprintf(stderr, "%s\n", response.status().ToString().c_str());
+  memo::RetryPolicy policy;
+  policy.retry_unavailable = true;
+  policy.max_attempts = flags.GetInt("attempts", 4);
+  policy.initial_backoff_seconds = 0.02;
+  policy.max_backoff_seconds = 0.5;
+  if (flags.GetInt("no-retry", 0) != 0) policy.max_attempts = 1;
+
+  std::string response_line;
+  const memo::Status status =
+      policy.Run("serve.query", [&]() -> memo::Status {
+        const auto response = memo::serve::QueryOverSocket(
+            socket_path, line, flags.GetInt("retries", 0));
+        // Connect/transport failures surface as UNAVAILABLE and ride the
+        // same retry loop as server-side shedding.
+        if (!response.ok()) return response.status();
+        response_line = *response;
+        double code = 0.0;
+        bool retryable = false;
+        memo::serve::JsonFindNumber(response_line, "code", &code);
+        memo::serve::JsonFindBool(response_line, "retryable", &retryable);
+        if (retryable) {
+          return memo::Status(
+              static_cast<memo::StatusCode>(static_cast<int>(code)),
+              "server refused the request (shed or deadline-expired)");
+        }
+        return memo::OkStatus();
+      });
+  if (!status.ok()) {
+    // Machine-readable error line on stdout (same shape the server emits),
+    // human-readable diagnosis on stderr.
+    std::printf("%s\n",
+                memo::serve::BuildErrorResponseLine(status).c_str());
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", response->c_str());
+  std::printf("%s\n", response_line.c_str());
   double code = -1.0;
-  if (!memo::serve::JsonFindNumber(*response, "code", &code)) return 1;
+  if (!memo::serve::JsonFindNumber(response_line, "code", &code)) return 1;
   return code == 0.0 ? 0 : 1;
 }
 
@@ -1041,10 +1198,17 @@ void Usage() {
                "         [--trace-out t.json --metrics-out m.json]\n"
                "  serve  --socket /tmp/memo.sock [--sessions N --queue N]\n"
                "         [--cache-mib M] [--max-requests N]\n"
+               "         [--request-deadline-ms D --idle-timeout-ms D]\n"
+               "         [--max-line-bytes B --max-connections N]\n"
+               "         [--cache-snapshot snap.bin --drain-grace-ms D]\n"
+               "         [--fault \"site:p=0.05,...\" --fault-seed S]\n"
+               "         (SIGTERM/SIGINT drain gracefully; exit 0 clean,\n"
+               "          1 runtime error, 2 usage)\n"
                "  query  --socket /tmp/memo.sock [--kind best|strategy|"
                "maxseq]\n"
                "         [--model 7B --seq 512K --gpus 8 --tp N ...]\n"
-               "         [--json '{...}'] [--retries N]\n"
+               "         [--json '{...}'] [--retries N] [--attempts N]\n"
+               "         [--no-retry]\n"
                "  trace  record  --out t.memotrc [--kind varlen|moe|"
                "diurnal]\n"
                "                 [--iterations N --seed S]\n"
