@@ -1,9 +1,9 @@
-#include "trace/compress.h"
+#include "common/compress.h"
 
 #include <cstring>
 #include <vector>
 
-namespace memo::trace {
+namespace memo {
 
 namespace {
 
@@ -161,4 +161,4 @@ Status LzDecompress(std::string_view input, std::size_t expected_size,
   return OkStatus();
 }
 
-}  // namespace memo::trace
+}  // namespace memo

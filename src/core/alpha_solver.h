@@ -1,6 +1,7 @@
 #ifndef MEMO_CORE_ALPHA_SOLVER_H_
 #define MEMO_CORE_ALPHA_SOLVER_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/status.h"
@@ -91,6 +92,78 @@ StatusOr<TieredAlphaResult> SolveAlphaTiered(const TieredAlphaInputs& inputs);
 /// every constraint of the solved LP remains satisfied.
 TieredAlphaResult QuantizeTieredAlpha(const TieredAlphaResult& result,
                                       int steps = 8);
+
+/// Cost model of the lossless compression stage as the LP prices it,
+/// normally filled from offload::CalibrateCodec: the raw/wire ratio the
+/// codec achieves on activation blobs and its single-stream throughput in
+/// raw bytes/s. Compression is "off" (and SolveAlphaThreeWay degenerates to
+/// SolveAlphaTiered) unless the ratio actually beats 1.0 and both
+/// throughputs are known.
+struct CompressionPricing {
+  double ratio = 1.0;
+  double compress_bytes_per_second = 0.0;
+  double decompress_bytes_per_second = 0.0;
+
+  bool enabled() const {
+    return ratio > 1.0 && compress_bytes_per_second > 0.0 &&
+           decompress_bytes_per_second > 0.0;
+  }
+  /// Raw bytes/s the codec sustains in the direction that limits a
+  /// steady-state pipeline (forward compresses, backward decompresses; the
+  /// slower one gates how much can be compressed per layer window).
+  double bottleneck_bytes_per_second() const {
+    return std::min(compress_bytes_per_second, decompress_bytes_per_second);
+  }
+};
+
+struct ThreeWayAlphaInputs {
+  TieredAlphaInputs tiered;
+  CompressionPricing compression;
+};
+
+/// Result of the three-way swap/recompute/compress split. `alpha_disk`
+/// includes the compressed share: alpha = alpha_ram + alpha_disk and
+/// alpha_disk_compressed <= alpha_disk, with 1 - alpha recomputed.
+struct ThreeWayAlphaResult {
+  double alpha = 0.0;
+  double alpha_ram = 0.0;
+  double alpha_disk = 0.0;
+  double alpha_disk_compressed = 0.0;
+  double base_ram_fraction = 1.0;
+  bool overlap_bound = false;
+  bool host_memory_bound = false;
+  bool disk_memory_bound = false;
+  bool disk_bandwidth_bound = false;
+  /// Codec throughput binding: more rows would compress if the CPU could
+  /// keep pace with the layer window.
+  bool codec_cpu_bound = false;
+};
+
+/// Extends the two-tier LP with compression as a third way to spend a row:
+/// vars (a_r, a_d, a_c) = RAM swap, raw disk swap, compressed disk swap.
+///   max  a_r + a_d + a_c          (RAM > compressed > raw disk at ties)
+///   s.t. others*(a_r+a_d+a_c)      <= B_pcie*T - base        (PCIe, raw —
+///                                     the codec runs host-side, after D2H)
+///        others*(a_d + a_c/r)      <= B_disk*T - base_disk/r (disk link,
+///                                     on-wire bytes)
+///        others*a_r               <= M_ram/(n-2) - base_ram  (RAM cap)
+///        others*(a_d + a_c/r)      <= M_disk/(n-2) - base_disk/r (disk cap)
+///        others*a_c               <= C*T - base_disk         (codec CPU,
+///                                     C = bottleneck raw bytes/s)
+///        a_r + a_d + a_c <= 1, all >= 0
+/// where r is the compression ratio and the disk-bound base spill is always
+/// compressed (the runtime decorator compresses everything on that path).
+/// With compression disabled or no disk tier this is exactly
+/// SolveAlphaTiered, including its failure modes.
+StatusOr<ThreeWayAlphaResult> SolveAlphaThreeWay(
+    const ThreeWayAlphaInputs& inputs);
+
+/// Quantizes the total swapped fraction down and re-splits it by the same
+/// preference order the LP objective encodes (RAM, then compressed disk,
+/// then raw disk). No share grows past its solved value, so the quantized
+/// split satisfies every constraint the optimum did.
+ThreeWayAlphaResult QuantizeThreeWayAlpha(const ThreeWayAlphaResult& result,
+                                          int steps = 8);
 
 }  // namespace memo::core
 

@@ -4,6 +4,7 @@
 #include "core/alpha_solver.h"
 #include "core/executor.h"
 #include "core/timings.h"
+#include "offload/compression.h"
 #include "planner/bilevel_planner.h"
 
 namespace memo::core {
@@ -20,6 +21,14 @@ struct MemoOptions {
   /// When non-empty, write the simulated three-stream schedule as a Chrome
   /// tracing JSON file (chrome://tracing / Perfetto) to this path.
   std::string timeline_path;
+  /// Lossless compression on the disk-bound offload path. With a codec
+  /// selected and `compression` priced (normally via offload::CalibrateCodec;
+  /// pinned to fixed numbers in tests so plans stay deterministic), the swap
+  /// fraction is solved by the three-way swap/recompute/compress LP and the
+  /// schedule gains a host codec stream. kNone reproduces the two-tier
+  /// behaviour exactly.
+  offload::CompressionCodec codec = offload::CompressionCodec::kNone;
+  CompressionPricing compression;
 };
 
 /// Simulates one MEMO training iteration (§4): solves the swap fraction,

@@ -1,0 +1,109 @@
+#include "offload/compressed_backend.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/fault_injector.h"
+#include "obs/metrics.h"
+#include "obs/trace_recorder.h"
+
+namespace memo::offload {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+}  // namespace
+
+CompressedBackend::CompressedBackend(CompressionCodec codec,
+                                     std::unique_ptr<StashBackend> inner)
+    : codec_(codec), inner_(std::move(inner)) {}
+
+std::string CompressedBackend::name() const {
+  return inner_->name() + "+" + CodecName(codec_);
+}
+
+Status CompressedBackend::Put(std::int64_t key, std::string&& blob) {
+  // Fires before anything is mutated: a failed "host compressor" leaves the
+  // caller's blob and the inner backend untouched, so the whole Put can be
+  // retried losslessly.
+  MEMO_RETURN_IF_ERROR(FaultInjector::Global().MaybeFail("offload.compress"));
+  const Clock::time_point start = Clock::now();
+  MEMO_TRACE_SCOPE_ARG("stash_compress", "offload", "bytes",
+                       static_cast<std::int64_t>(blob.size()));
+  std::string wire = CompressBlob(codec_, blob);
+  const double compress_seconds = SecondsSince(start);
+  const BlobInfo info = PeekBlobInfo(wire);
+  const std::int64_t raw_bytes = static_cast<std::int64_t>(blob.size());
+  const std::int64_t wire_bytes = static_cast<std::int64_t>(wire.size());
+  MEMO_RETURN_IF_ERROR(inner_->Put(key, std::move(wire)));
+  blob.clear();  // consumed-on-success, like every other backend
+  static obs::MetricCounter* saved_counter =
+      obs::MetricsRegistry::Global().counter("compress.bytes_saved");
+  saved_counter->Add(std::max<std::int64_t>(0, raw_bytes - wire_bytes));
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.raw_put_bytes += raw_bytes;
+  stats_.wire_put_bytes += wire_bytes;
+  stats_.compress_seconds += compress_seconds;
+  if (info.codec == CompressionCodec::kNone) {
+    ++stats_.blobs_stored_raw;
+  } else {
+    ++stats_.blobs_compressed;
+  }
+  return OkStatus();
+}
+
+StatusOr<std::string> CompressedBackend::Take(std::int64_t key) {
+  // Fires before the inner Take so an injected decompressor fault leaves
+  // the blob resident and retryable.
+  MEMO_RETURN_IF_ERROR(
+      FaultInjector::Global().MaybeFail("offload.decompress"));
+  StatusOr<std::string> wire = inner_->Take(key);
+  if (!wire.ok()) return wire;
+  const std::int64_t wire_bytes =
+      static_cast<std::int64_t>(wire.value().size());
+  const Clock::time_point start = Clock::now();
+  MEMO_TRACE_SCOPE_ARG("stash_decompress", "offload", "bytes", wire_bytes);
+  StatusOr<std::string> raw = DecompressBlob(wire.value());
+  const double decompress_seconds = SecondsSince(start);
+  if (!raw.ok()) {
+    // Decode failure means the blob is corrupt, not gone: reinstate it so a
+    // retrying caller hits the same deterministic error instead of a
+    // misleading kNotFound.
+    (void)inner_->Put(key, std::move(wire).value());
+    MEMO_TRACE_INSTANT("stash_decode_error", "offload",
+                       raw.status().ToString());
+    return raw.status();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.raw_take_bytes += static_cast<std::int64_t>(raw.value().size());
+  stats_.wire_take_bytes += wire_bytes;
+  stats_.decompress_seconds += decompress_seconds;
+  return raw;
+}
+
+bool CompressedBackend::Contains(std::int64_t key) const {
+  return inner_->Contains(key);
+}
+
+void CompressedBackend::Prefetch(std::int64_t key) { inner_->Prefetch(key); }
+
+std::int64_t CompressedBackend::resident_bytes() const {
+  return inner_->resident_bytes();
+}
+
+TierStats CompressedBackend::ram_stats() const { return inner_->ram_stats(); }
+
+TierStats CompressedBackend::disk_stats() const {
+  return inner_->disk_stats();
+}
+
+CompressionStats CompressedBackend::compression_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace memo::offload

@@ -1,0 +1,52 @@
+#ifndef MEMO_OFFLOAD_COMPRESSED_BACKEND_H_
+#define MEMO_OFFLOAD_COMPRESSED_BACKEND_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "offload/compression.h"
+#include "offload/stash_backend.h"
+
+namespace memo::offload {
+
+/// Decorator that compresses every blob on its way into the wrapped backend
+/// and decompresses on the way out, so RAM, disk and tiered stashes all see
+/// (and account, and throttle on) wire bytes while the trainer keeps its
+/// raw-bytes view. Restores are verified against the per-blob FNV-1a of the
+/// raw bytes, making the pipeline self-checking end-to-end regardless of
+/// which tier a blob crossed.
+///
+/// Fault-injection sites: "offload.compress" fires before a Put touches the
+/// inner backend, "offload.decompress" before a Take does — both leave the
+/// stash unchanged, so ActivationStore's whole-operation retries absorb
+/// them exactly like tier faults. A genuinely corrupt blob (bad header or
+/// checksum) is reinstated into the inner backend and the error surfaces
+/// deterministically on every retry.
+class CompressedBackend : public StashBackend {
+ public:
+  CompressedBackend(CompressionCodec codec,
+                    std::unique_ptr<StashBackend> inner);
+
+  std::string name() const override;
+  Status Put(std::int64_t key, std::string&& blob) override;
+  StatusOr<std::string> Take(std::int64_t key) override;
+  bool Contains(std::int64_t key) const override;
+  void Prefetch(std::int64_t key) override;
+  std::int64_t resident_bytes() const override;
+  TierStats ram_stats() const override;
+  TierStats disk_stats() const override;
+  CompressionStats compression_stats() const override;
+
+  StashBackend* inner() { return inner_.get(); }
+
+ private:
+  const CompressionCodec codec_;
+  std::unique_ptr<StashBackend> inner_;
+  mutable std::mutex mu_;
+  CompressionStats stats_;
+};
+
+}  // namespace memo::offload
+
+#endif  // MEMO_OFFLOAD_COMPRESSED_BACKEND_H_

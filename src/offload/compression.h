@@ -1,0 +1,129 @@
+#ifndef MEMO_OFFLOAD_COMPRESSION_H_
+#define MEMO_OFFLOAD_COMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace memo::offload {
+
+/// Lossless codecs for offloaded activation blobs. Compression is a third
+/// option in the swap/recompute trade space (Adacc, SSDTrain): spending CPU
+/// seconds to shrink a blob effectively multiplies the bandwidth and
+/// capacity of the tier it lands on. Everything here is bit-exact — the
+/// Fig. 12d correctness claim rests on exact restores, so a codec may
+/// shuffle and entropy-code but never round.
+enum class CompressionCodec : std::uint8_t {
+  kNone = 0,
+  /// The deterministic LZ block codec (common/compress.h) straight over the
+  /// serialized blob bytes. Cheap; wins on low-entropy blobs (early-training
+  /// activations, zero-heavy tensors).
+  kLz = 1,
+  /// FP-aware byte-plane transform: the blob is split into four planes of
+  /// same-significance bytes (stride-4 transpose of the float32 stream)
+  /// before LZ. Exponent/sign bytes of neighbouring activations are highly
+  /// repetitive, so grouping them gives LZ long matches that interleaved
+  /// floats never expose. Slightly more CPU per byte than kLz.
+  kBytePlane = 2,
+};
+
+/// "none", "lz", "byteplane".
+const char* CodecName(CompressionCodec codec);
+
+/// Parses a --compress flag value. Fails with kInvalidArgument on anything
+/// but the three names above.
+StatusOr<CompressionCodec> ParseCodec(std::string_view name);
+
+/// What a compressed-blob header declares (see CompressBlob). For a bare
+/// (headerless) blob PeekBlobInfo reports codec kNone and raw == wire ==
+/// blob size, so byte accounting works uniformly whether or not the
+/// compression stage is installed.
+struct BlobInfo {
+  CompressionCodec codec = CompressionCodec::kNone;
+  std::int64_t raw_bytes = 0;   // pre-compression payload size
+  std::int64_t wire_bytes = 0;  // whole-blob size as stored (header included)
+};
+
+/// Wraps `raw` in the self-describing compressed-blob format:
+///
+///   magic "MCZ1" | codec u8 | raw_size u64 | payload_size u64 |
+///   fnv1a64(raw) u64 | payload bytes
+///
+/// (little-endian, 29-byte header). The header's codec is the one actually
+/// applied to the payload: when the requested codec fails to shrink the
+/// blob the payload is stored raw under codec id kNone, so the wire size
+/// never exceeds raw + header. The FNV-1a of the raw bytes makes every
+/// restore verifiable end-to-end, independent of which tier the blob
+/// crossed.
+std::string CompressBlob(CompressionCodec codec, std::string_view raw);
+
+/// Inverts CompressBlob: validates the header, decompresses the payload and
+/// verifies the raw-byte checksum. Fails with kInvalidArgument on a
+/// malformed header or payload and kInternal on a checksum mismatch; never
+/// crashes on corrupt input.
+StatusOr<std::string> DecompressBlob(std::string_view blob);
+
+/// Header peek without decompressing (used by the tier backends to account
+/// raw vs on-wire bytes). Never fails — a blob that does not carry a valid
+/// header is reported as uncompressed.
+BlobInfo PeekBlobInfo(std::string_view blob);
+
+/// Measured cost model of one codec, in the units the three-way alpha LP
+/// prices: bytes/s of compress and decompress throughput, and the raw/wire
+/// ratio achieved on an activation-like probe buffer. The ratio is
+/// deterministic (the probe data and codec both are); the throughputs are
+/// wall-clock measurements and so are machine-dependent — which is the
+/// point of calibrating instead of hard-coding.
+struct CodecProfile {
+  double compress_bytes_per_second = 0.0;
+  double decompress_bytes_per_second = 0.0;
+  double ratio = 1.0;
+};
+
+/// Runs the codec over a deterministic synthetic activation buffer
+/// (smooth float32 series with GELU-style sparsity, the byte distribution
+/// the real trainer produces) and measures throughput + ratio. kNone
+/// returns the default profile. `probe_bytes` is rounded up to a whole
+/// number of floats.
+CodecProfile CalibrateCodec(CompressionCodec codec,
+                            std::int64_t probe_bytes = 4 * 1024 * 1024);
+
+/// Counters of the compression stage (CompressedBackend). Raw bytes are
+/// what the trainer handed over; wire bytes are what actually hit the
+/// wrapped backend — the gap is the bandwidth/capacity the codec bought.
+struct CompressionStats {
+  std::int64_t raw_put_bytes = 0;
+  std::int64_t wire_put_bytes = 0;
+  std::int64_t raw_take_bytes = 0;
+  std::int64_t wire_take_bytes = 0;
+  std::int64_t blobs_compressed = 0;  // codec shrank the payload
+  std::int64_t blobs_stored_raw = 0;  // codec didn't help; stored raw
+  double compress_seconds = 0.0;
+  double decompress_seconds = 0.0;
+
+  /// Raw-over-wire ratio of everything put so far (1.0 before any put).
+  double put_ratio() const {
+    return wire_put_bytes > 0
+               ? static_cast<double>(raw_put_bytes) /
+                     static_cast<double>(wire_put_bytes)
+               : 1.0;
+  }
+
+  CompressionStats& operator+=(const CompressionStats& o) {
+    raw_put_bytes += o.raw_put_bytes;
+    wire_put_bytes += o.wire_put_bytes;
+    raw_take_bytes += o.raw_take_bytes;
+    wire_take_bytes += o.wire_take_bytes;
+    blobs_compressed += o.blobs_compressed;
+    blobs_stored_raw += o.blobs_stored_raw;
+    compress_seconds += o.compress_seconds;
+    decompress_seconds += o.decompress_seconds;
+    return *this;
+  }
+};
+
+}  // namespace memo::offload
+
+#endif  // MEMO_OFFLOAD_COMPRESSION_H_

@@ -5,6 +5,7 @@
 #include "common/fault_injector.h"
 #include "obs/metrics.h"
 #include "obs/trace_recorder.h"
+#include "offload/compressed_backend.h"
 
 namespace memo::offload {
 
@@ -138,16 +139,28 @@ Status TieredBackend::disk_status() const {
 }
 
 std::unique_ptr<StashBackend> CreateBackend(const BackendOptions& options) {
+  std::unique_ptr<StashBackend> backend;
   switch (options.kind) {
     case BackendKind::kRam:
-      return std::make_unique<RamBackend>(options.ram_capacity_bytes);
+      backend = std::make_unique<RamBackend>(options.ram_capacity_bytes);
+      break;
     case BackendKind::kDisk:
-      return std::make_unique<DiskBackend>(options.disk);
+      backend = std::make_unique<DiskBackend>(options.disk);
+      break;
     case BackendKind::kTiered:
-      return std::make_unique<TieredBackend>(options.ram_capacity_bytes,
-                                             options.disk);
+      backend = std::make_unique<TieredBackend>(options.ram_capacity_bytes,
+                                                options.disk);
+      break;
   }
-  return std::make_unique<RamBackend>(0);
+  if (backend == nullptr) backend = std::make_unique<RamBackend>(0);
+  // The codec wraps *outside* tier routing, so every tier stores wire
+  // bytes: RAM capacity stretches by the achieved ratio and disk transfers
+  // shrink, which is the whole point of pricing compression in the LP.
+  if (options.codec != CompressionCodec::kNone) {
+    backend = std::make_unique<CompressedBackend>(options.codec,
+                                                  std::move(backend));
+  }
+  return backend;
 }
 
 }  // namespace memo::offload

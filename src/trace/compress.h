@@ -1,33 +1,18 @@
 #ifndef MEMO_TRACE_COMPRESS_H_
 #define MEMO_TRACE_COMPRESS_H_
 
-#include <string>
-#include <string_view>
+// The deterministic LZ block codec started life here as the .memotrc chunk
+// compressor and now also backs the offload stash compression pipeline, so
+// the implementation lives in common/. This forwarding header keeps the
+// trace-local spelling (memo::trace::LzCompress) compiling; the canonical
+// byte encoding is unchanged, so golden .memotrc fixtures still byte-compare.
 
-#include "common/status.h"
+#include "common/compress.h"
 
 namespace memo::trace {
 
-/// Byte-oriented LZ77 codec in the LZ4 block style: greedy hash-table
-/// matching, 16-bit offsets, nibble-packed literal/match lengths with
-/// 255-byte extensions. Self-contained and fully deterministic — the same
-/// input produces the same bytes on every host and toolchain, which is what
-/// lets compressed golden trace fixtures be byte-compared in tests (a
-/// system zlib could change its encoder between versions; this cannot).
-///
-/// Fixed-width trace records are highly repetitive (one 24/32-byte layout,
-/// recurring sizes and name ids), so even this greedy encoder typically
-/// shrinks chunks 4-10x; callers that see no gain store the chunk raw.
-std::string LzCompress(std::string_view input);
-
-/// Decompresses a LzCompress block. `expected_size` is the exact raw size
-/// recorded next to the chunk; output of any other size, or any token that
-/// would read or write out of bounds, fails with kInvalidArgument. The
-/// decoder never reads past `input` or writes past `expected_size`, no
-/// matter how corrupt the block is — the property the trace fuzz test
-/// hammers on.
-Status LzDecompress(std::string_view input, std::size_t expected_size,
-                    std::string* out);
+using ::memo::LzCompress;
+using ::memo::LzDecompress;
 
 }  // namespace memo::trace
 

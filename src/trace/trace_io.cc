@@ -4,7 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
-#include "trace/compress.h"
+#include "common/compress.h"
 
 namespace memo::trace {
 

@@ -1,0 +1,348 @@
+// Compression stage tests: the MCZ1 blob format round-trips bit-exactly
+// over every codec and payload shape (including the 1..17-byte tails the
+// LZ token packing is touchy about), corrupt headers surface as Status
+// errors instead of crashes, the CompressedBackend decorator keeps every
+// StashBackend bit-exact while its raw/wire accounting stays truthful, the
+// three-way swap/recompute/compress LP prices the codec correctly, and —
+// the Fig. 12d claim — trainer loss curves are bit-identical with and
+// without compression.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/alpha_solver.h"
+#include "offload/compressed_backend.h"
+#include "offload/compression.h"
+#include "offload/stash_backend.h"
+#include "train/trainer.h"
+
+namespace memo::offload {
+namespace {
+
+using core::CompressionPricing;
+using core::QuantizeThreeWayAlpha;
+using core::SolveAlphaThreeWay;
+using core::SolveAlphaTiered;
+using core::ThreeWayAlphaInputs;
+
+/// A float32 buffer with the byte distribution activations have: smooth
+/// series plus noise, with a GELU-style run of exact zeros.
+std::string ActivationBlob(std::size_t floats, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(floats);
+  for (std::size_t i = 0; i < floats; ++i) {
+    if (rng.NextDouble() < 0.35) {
+      data[i] = 0.0f;
+    } else {
+      data[i] = static_cast<float>(0.05 * rng.NextDouble() +
+                                   0.5 * (1.0 + i * 1e-3));
+    }
+  }
+  return std::string(reinterpret_cast<const char*>(data.data()),
+                     floats * sizeof(float));
+}
+
+std::string RandomBlob(std::size_t bytes, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string blob(bytes, '\0');
+  for (std::size_t i = 0; i < bytes; ++i) {
+    blob[i] = static_cast<char>(rng.NextUint64() & 0xff);
+  }
+  return blob;
+}
+
+TEST(CompressionTest, RoundTripsEveryCodecAndShape) {
+  std::vector<std::string> payloads;
+  payloads.push_back("");                        // empty
+  payloads.push_back(std::string(4096, '\0'));   // all zeros
+  payloads.push_back(std::string(4096, 'A'));    // constant
+  payloads.push_back(RandomBlob(4096, 1));      // incompressible
+  payloads.push_back(ActivationBlob(4096, 2));  // activation-like
+  // Tail sizes 1..17 straddle the LZ codec's last-literals window and the
+  // byte-plane codec's size%4 remainder handling.
+  for (std::size_t tail = 1; tail <= 17; ++tail) {
+    payloads.push_back(ActivationBlob(256, 3).substr(0, 1024 + tail));
+    payloads.push_back(RandomBlob(tail, 4 + tail));
+  }
+  for (CompressionCodec codec :
+       {CompressionCodec::kNone, CompressionCodec::kLz,
+        CompressionCodec::kBytePlane}) {
+    for (const std::string& raw : payloads) {
+      const std::string wire = CompressBlob(codec, raw);
+      // The store-raw fallback bounds the wire size for every payload.
+      EXPECT_LE(wire.size(), raw.size() + 29u);
+      const auto restored = DecompressBlob(wire);
+      ASSERT_TRUE(restored.ok())
+          << CodecName(codec) << " size " << raw.size() << ": "
+          << restored.status().ToString();
+      EXPECT_EQ(*restored, raw)
+          << CodecName(codec) << " size " << raw.size();
+    }
+  }
+}
+
+TEST(CompressionTest, CompressesActivationBlobs) {
+  const std::string raw = ActivationBlob(64 * 1024, 7);
+  for (CompressionCodec codec :
+       {CompressionCodec::kLz, CompressionCodec::kBytePlane}) {
+    const std::string wire = CompressBlob(codec, raw);
+    EXPECT_LT(wire.size(), raw.size()) << CodecName(codec);
+    const BlobInfo info = PeekBlobInfo(wire);
+    EXPECT_EQ(info.codec, codec);
+    EXPECT_EQ(info.raw_bytes, static_cast<std::int64_t>(raw.size()));
+    EXPECT_EQ(info.wire_bytes, static_cast<std::int64_t>(wire.size()));
+  }
+}
+
+TEST(CompressionTest, IncompressibleBlobStoredRaw) {
+  const std::string raw = RandomBlob(8192, 9);
+  const std::string wire = CompressBlob(CompressionCodec::kLz, raw);
+  // The header declares what was actually applied: nothing.
+  EXPECT_EQ(PeekBlobInfo(wire).codec, CompressionCodec::kNone);
+  const auto restored = DecompressBlob(wire);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, raw);
+}
+
+TEST(CompressionTest, PeekBlobInfoOnBareBlobReportsUncompressed) {
+  const std::string bare = "not a compressed blob";
+  const BlobInfo info = PeekBlobInfo(bare);
+  EXPECT_EQ(info.codec, CompressionCodec::kNone);
+  EXPECT_EQ(info.raw_bytes, static_cast<std::int64_t>(bare.size()));
+  EXPECT_EQ(info.wire_bytes, static_cast<std::int64_t>(bare.size()));
+}
+
+TEST(CompressionTest, CorruptionSurfacesAsStatusNotCrash) {
+  const std::string raw = ActivationBlob(4096, 11);
+  const std::string wire = CompressBlob(CompressionCodec::kLz, raw);
+  // Flip every byte position in turn: header fields, payload bytes — each
+  // must produce a clean error or (for untouched semantics) a valid
+  // restore, never a crash or an out-of-bounds read.
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    std::string bad = wire;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    const auto restored = DecompressBlob(bad);
+    if (restored.ok()) {
+      EXPECT_EQ(*restored, raw) << "silent corruption at byte " << i;
+    }
+  }
+  // Truncations at every prefix length must also fail cleanly.
+  for (std::size_t len = 0; len < wire.size(); ++len) {
+    const auto restored = DecompressBlob(wire.substr(0, len));
+    EXPECT_FALSE(restored.ok()) << "truncated to " << len << " bytes";
+  }
+}
+
+TEST(CompressionTest, ParseCodecNames) {
+  EXPECT_EQ(*ParseCodec("none"), CompressionCodec::kNone);
+  EXPECT_EQ(*ParseCodec("lz"), CompressionCodec::kLz);
+  EXPECT_EQ(*ParseCodec("byteplane"), CompressionCodec::kBytePlane);
+  EXPECT_FALSE(ParseCodec("gzip").ok());
+  EXPECT_FALSE(ParseCodec("").ok());
+}
+
+TEST(CompressionTest, CalibrationMeasuresAWinningRatio) {
+  for (CompressionCodec codec :
+       {CompressionCodec::kLz, CompressionCodec::kBytePlane}) {
+    const CodecProfile profile = CalibrateCodec(codec, 256 * 1024);
+    EXPECT_GT(profile.ratio, 1.0) << CodecName(codec);
+    EXPECT_GT(profile.compress_bytes_per_second, 0.0);
+    EXPECT_GT(profile.decompress_bytes_per_second, 0.0);
+    // The ratio is a property of the probe data and the codec only, so a
+    // second calibration must reproduce it exactly.
+    EXPECT_EQ(CalibrateCodec(codec, 256 * 1024).ratio, profile.ratio);
+  }
+  const CodecProfile none = CalibrateCodec(CompressionCodec::kNone);
+  EXPECT_EQ(none.ratio, 1.0);
+}
+
+TEST(CompressionTest, CompressedBackendRoundTripsEveryTier) {
+  for (BackendKind kind :
+       {BackendKind::kRam, BackendKind::kDisk, BackendKind::kTiered}) {
+    for (CompressionCodec codec :
+         {CompressionCodec::kLz, CompressionCodec::kBytePlane}) {
+      BackendOptions options;
+      options.kind = kind;
+      options.codec = codec;
+      if (kind == BackendKind::kTiered) options.ram_capacity_bytes = 4096;
+      auto backend = CreateBackend(options);
+      std::vector<std::string> blobs;
+      for (int key = 0; key < 4; ++key) {
+        blobs.push_back(ActivationBlob(2048 + 13 * key, 100 + key));
+        std::string copy = blobs.back();
+        ASSERT_TRUE(backend->Put(key, std::move(copy)).ok());
+        EXPECT_TRUE(backend->Contains(key));
+      }
+      for (int key = 0; key < 4; ++key) {
+        const auto taken = backend->Take(key);
+        ASSERT_TRUE(taken.ok()) << taken.status().ToString();
+        EXPECT_EQ(*taken, blobs[key])
+            << backend->name() << " key " << key;
+      }
+      const CompressionStats stats = backend->compression_stats();
+      EXPECT_EQ(stats.blobs_compressed + stats.blobs_stored_raw, 4);
+      EXPECT_EQ(stats.raw_take_bytes, stats.raw_put_bytes);
+      EXPECT_GT(stats.put_ratio(), 1.0) << backend->name();
+    }
+  }
+}
+
+TEST(CompressionTest, TierStatsSeparateRawFromWireBytes) {
+  BackendOptions options;
+  options.kind = BackendKind::kRam;
+  options.codec = CompressionCodec::kLz;
+  auto backend = CreateBackend(options);
+  const std::string raw = ActivationBlob(16 * 1024, 21);
+  std::string copy = raw;
+  ASSERT_TRUE(backend->Put(0, std::move(copy)).ok());
+  const TierStats ram = backend->ram_stats();
+  // The tier physically stores the compressed blob: on-wire put bytes are
+  // what landed, raw bytes what the caller handed over.
+  EXPECT_EQ(ram.raw_put_bytes, static_cast<std::int64_t>(raw.size()));
+  EXPECT_LT(ram.put_bytes, ram.raw_put_bytes);
+  EXPECT_EQ(ram.resident_bytes, backend->resident_bytes());
+  ASSERT_TRUE(backend->Take(0).ok());
+  const TierStats after = backend->ram_stats();
+  EXPECT_EQ(after.raw_take_bytes, static_cast<std::int64_t>(raw.size()));
+  EXPECT_LT(after.take_bytes, after.raw_take_bytes);
+}
+
+TEST(CompressionTest, TakeOfCorruptedBlobFailsAndKeepsTheBlob) {
+  auto compressed = std::make_unique<CompressedBackend>(
+      CompressionCodec::kLz, CreateBackend(BackendOptions{}));
+  std::string blob = ActivationBlob(4096, 31);
+  ASSERT_TRUE(compressed->Put(5, std::move(blob)).ok());
+  // Corrupt the stored wire blob behind the decorator's back.
+  auto wire = compressed->inner()->Take(5);
+  ASSERT_TRUE(wire.ok());
+  std::string bad = *wire;
+  bad[bad.size() / 2] = static_cast<char>(bad[bad.size() / 2] ^ 0xff);
+  ASSERT_TRUE(compressed->inner()->Put(5, std::move(bad)).ok());
+  // The decode failure surfaces as a Status, and the (corrupt) blob is
+  // reinstated so a whole-op retry observes the same deterministic error
+  // instead of a misleading kNotFound.
+  const auto taken = compressed->Take(5);
+  ASSERT_FALSE(taken.ok());
+  EXPECT_TRUE(compressed->Contains(5));
+  EXPECT_FALSE(compressed->Take(5).ok());
+}
+
+/// A starved-host, disk-bandwidth-bound shape: RAM holds nothing past the
+/// base bytes, and the raw disk link only sustains part of the layer
+/// window. The codec effectively widens the disk link by its ratio.
+ThreeWayAlphaInputs StarvedInputs() {
+  ThreeWayAlphaInputs in;
+  in.tiered.ram.s_input_bytes = 1 << 20;
+  in.tiered.ram.s_attn_bytes = 1 << 20;
+  in.tiered.ram.s_others_bytes = 8 << 20;
+  in.tiered.ram.pcie_bytes_per_second = 1e9;
+  in.tiered.ram.layer_forward_seconds = 0.02;
+  in.tiered.ram.num_layers = 10;
+  in.tiered.ram.host_bytes_per_gpu = 16 << 20;   // base fits, others don't
+  in.tiered.disk_bytes_per_gpu = 1 << 30;
+  in.tiered.disk_bytes_per_second = 2e8;          // slow NVMe-analog link
+  in.compression.ratio = 2.0;
+  in.compression.compress_bytes_per_second = 4e9;
+  in.compression.decompress_bytes_per_second = 4e9;
+  return in;
+}
+
+TEST(ThreeWayAlphaTest, DisabledCompressionMatchesTieredSolve) {
+  ThreeWayAlphaInputs in = StarvedInputs();
+  in.compression = CompressionPricing{};  // ratio 1.0 => disabled
+  const auto three = SolveAlphaThreeWay(in);
+  const auto tiered = SolveAlphaTiered(in.tiered);
+  ASSERT_TRUE(three.ok());
+  ASSERT_TRUE(tiered.ok());
+  EXPECT_EQ(three->alpha, tiered->alpha);
+  EXPECT_EQ(three->alpha_ram, tiered->alpha_ram);
+  EXPECT_EQ(three->alpha_disk, tiered->alpha_disk);
+  EXPECT_EQ(three->alpha_disk_compressed, 0.0);
+}
+
+TEST(ThreeWayAlphaTest, CompressionRaisesDiskBoundAlpha) {
+  const ThreeWayAlphaInputs in = StarvedInputs();
+  const auto tiered = SolveAlphaTiered(in.tiered);
+  const auto three = SolveAlphaThreeWay(in);
+  ASSERT_TRUE(tiered.ok());
+  ASSERT_TRUE(three.ok());
+  // The disk link gates the two-tier solve; pricing the codec buys a
+  // strictly larger swap fraction, carried by compressed rows.
+  EXPECT_GT(three->alpha, tiered->alpha);
+  EXPECT_GT(three->alpha_disk_compressed, 0.0);
+  EXPECT_LE(three->alpha_disk_compressed, three->alpha_disk + 1e-12);
+  EXPECT_LE(three->alpha, 1.0 + 1e-12);
+}
+
+TEST(ThreeWayAlphaTest, SlowCodecIsCpuBound) {
+  ThreeWayAlphaInputs in = StarvedInputs();
+  in.compression.compress_bytes_per_second = 1e8;  // slower than the link
+  in.compression.decompress_bytes_per_second = 1e8;
+  const auto slow = SolveAlphaThreeWay(in);
+  const auto fast = SolveAlphaThreeWay(StarvedInputs());
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  EXPECT_LT(slow->alpha_disk_compressed, fast->alpha_disk_compressed);
+  EXPECT_TRUE(slow->codec_cpu_bound);
+}
+
+TEST(ThreeWayAlphaTest, QuantizeKeepsPreferenceOrderAndFeasibility) {
+  const auto solved = SolveAlphaThreeWay(StarvedInputs());
+  ASSERT_TRUE(solved.ok());
+  const auto q = QuantizeThreeWayAlpha(*solved, 8);
+  EXPECT_LE(q.alpha, solved->alpha);
+  EXPECT_LE(q.alpha_ram, solved->alpha_ram + 1e-12);
+  EXPECT_LE(q.alpha_disk_compressed, solved->alpha_disk_compressed + 1e-12);
+  EXPECT_LE(q.alpha_disk, solved->alpha_disk + 1e-12);
+  EXPECT_NEAR(q.alpha, q.alpha_ram + q.alpha_disk, 1e-12);
+  const double eighth = q.alpha * 8.0;
+  EXPECT_NEAR(eighth, static_cast<double>(static_cast<int>(eighth + 0.5)),
+              1e-9);
+}
+
+/// The Fig. 12d property extended to the compression stage: the loss series
+/// must be bit-identical no matter which codec the stash bytes travelled
+/// through. Token-wise restores are exact, so compression may never change
+/// a single ULP.
+TEST(CompressionTrainerTest, LossBitIdenticalAcrossCodecs) {
+  train::TrainRunOptions base;
+  base.model.layers = 2;
+  base.model.hidden = 16;
+  base.model.heads = 2;
+  base.model.ffn = 32;
+  base.model.vocab = 24;
+  base.model.seq = 24;
+  base.policy = train::ActivationPolicy::kTokenWise;
+  base.alpha = 0.5;
+  base.iterations = 6;
+  base.seed = 20250809;
+  base.backend.kind = BackendKind::kTiered;
+  base.backend.ram_capacity_bytes = 2048;  // force real disk traffic
+
+  const train::TrainRunResult reference = train::RunTraining(base);
+  ASSERT_TRUE(reference.status.ok()) << reference.status.ToString();
+
+  for (CompressionCodec codec :
+       {CompressionCodec::kLz, CompressionCodec::kBytePlane}) {
+    train::TrainRunOptions with_codec = base;
+    with_codec.backend.codec = codec;
+    const train::TrainRunResult run = train::RunTraining(with_codec);
+    ASSERT_TRUE(run.status.ok()) << run.status.ToString();
+    ASSERT_EQ(run.losses.size(), reference.losses.size());
+    for (std::size_t i = 0; i < run.losses.size(); ++i) {
+      EXPECT_EQ(run.losses[i], reference.losses[i])
+          << CodecName(codec) << " diverged at iteration " << i;
+    }
+    const train::OffloadStats stats = run.offload_stats;
+    EXPECT_GT(stats.compression.blobs_compressed +
+                  stats.compression.blobs_stored_raw,
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace memo::offload
